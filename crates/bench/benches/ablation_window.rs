@@ -1,0 +1,142 @@
+//! Ablation benches for the window-manager design choices (DESIGN.md
+//! A1–A4): frame factor, window width, dynamic contraction, and
+//! contention-estimate sensitivity. Criterion times a fixed transaction
+//! budget under each setting; compare means across the parameter sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wtm_bench::scale;
+use wtm_stm::Stm;
+use wtm_window::{WindowConfig, WindowManager, WindowVariant};
+use wtm_workloads::{OpKind, SetOpGenerator, TxIntSet, TxList};
+
+/// Run `budget` List transactions over `threads` workers under a
+/// hand-tuned window configuration; returns the wall time.
+fn run_budget(variant: WindowVariant, cfg: WindowConfig, threads: usize, budget: u64) -> Duration {
+    let wm = Arc::new(WindowManager::new(variant, cfg));
+    let stm = Stm::new(wm.clone(), threads);
+    let list = TxList::new();
+    {
+        let boot = Stm::new(Arc::new(wtm_stm::cm::AbortSelfManager), 1);
+        let ctx = boot.thread(0);
+        let mut k = 0;
+        while k < 64 {
+            ctx.atomic(|tx| list.insert(tx, k).map(|_| ()));
+            k += 2;
+        }
+    }
+    let remaining = std::sync::atomic::AtomicI64::new(budget as i64);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let ctx = stm.thread(t);
+            let list = &list;
+            let remaining = &remaining;
+            let wm = &wm;
+            s.spawn(move || {
+                let mut gen = SetOpGenerator::new(7, t, 64, 100);
+                while remaining.fetch_sub(1, std::sync::atomic::Ordering::Relaxed) > 0 {
+                    let op = gen.next_op();
+                    ctx.atomic(|tx| match op.kind {
+                        OpKind::Insert => list.insert(tx, op.key).map(|_| ()),
+                        OpKind::Remove => list.remove(tx, op.key).map(|_| ()),
+                        OpKind::Contains => list.contains(tx, op.key).map(|_| ()),
+                    });
+                }
+                wm.cancel();
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_window");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    // A1: frame factor sweep.
+    for phi in [0.5, 2.0, 8.0] {
+        group.bench_function(BenchmarkId::new("frame_factor", format!("{phi}")), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut cfg = WindowConfig::new(scale::THREADS, scale::WINDOW_N);
+                    cfg.phi_factor = phi;
+                    total += run_budget(
+                        WindowVariant::OnlineDynamic,
+                        cfg,
+                        scale::THREADS,
+                        scale::BUDGET,
+                    );
+                }
+                total
+            });
+        });
+    }
+
+    // A2: window width sweep.
+    for n in [4usize, 16, 64] {
+        group.bench_function(BenchmarkId::new("window_width", n), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let cfg = WindowConfig::new(scale::THREADS, n);
+                    total += run_budget(
+                        WindowVariant::AdaptiveImprovedDynamic,
+                        cfg,
+                        scale::THREADS,
+                        scale::BUDGET,
+                    );
+                }
+                total
+            });
+        });
+    }
+
+    // A3: static vs dynamic frames.
+    for (label, variant) in [
+        ("static", WindowVariant::Online),
+        ("dynamic", WindowVariant::OnlineDynamic),
+    ] {
+        group.bench_function(BenchmarkId::new("frames", label), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let cfg = WindowConfig::new(scale::THREADS, scale::WINDOW_N);
+                    total += run_budget(variant, cfg, scale::THREADS, scale::BUDGET);
+                }
+                total
+            });
+        });
+    }
+
+    // A4: contention-estimate sensitivity (Online, which trusts C).
+    for mult in [0.25f64, 1.0, 16.0] {
+        group.bench_function(BenchmarkId::new("c_estimate", format!("{mult}x")), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let cfg = WindowConfig::new(scale::THREADS, scale::WINDOW_N)
+                        .with_c_init(scale::THREADS as f64 * mult);
+                    total += run_budget(
+                        WindowVariant::OnlineDynamic,
+                        cfg,
+                        scale::THREADS,
+                        scale::BUDGET,
+                    );
+                }
+                total
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 2 — throughput of the five window-based variants on all four
+//! benchmarks. Criterion measures the wall time to commit a fixed
+//! transaction budget; lower time = higher throughput, so the relative
+//! ordering of the variants is the figure's series ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use wtm_bench::scale;
+use wtm_harness::runner::{run_one, RunSpec, StopRule};
+use wtm_workloads::Benchmark;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_window_variants");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for bench in Benchmark::all() {
+        for variant in wtm_window::window_names() {
+            let id = BenchmarkId::new(bench.name(), variant);
+            group.bench_function(id, |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for rep in 0..iters {
+                        let mut spec = RunSpec::new(
+                            *bench,
+                            variant,
+                            scale::THREADS,
+                            StopRule::Budget(scale::BUDGET),
+                        );
+                        spec.window_n = scale::WINDOW_N;
+                        spec.seed = 0xF162 + rep;
+                        let t0 = Instant::now();
+                        let out = run_one(&spec);
+                        total += t0.elapsed();
+                        assert!(out.stats.commits > 0);
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

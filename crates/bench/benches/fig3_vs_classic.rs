@@ -1,0 +1,50 @@
+//! Fig. 3 — the best window variants (Online-Dynamic,
+//! Adaptive-Improved-Dynamic) against Polka, Greedy, and Priority.
+//! Time-to-budget per manager; the paper's claims translate to: window ≈
+//! Polka, window clearly faster than Greedy/Priority on List/RBTree/
+//! Vacation, SkipList slightly unfavourable to the window variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use wtm_bench::scale;
+use wtm_harness::managers::comparison_manager_names;
+use wtm_harness::runner::{run_one, RunSpec, StopRule};
+use wtm_workloads::Benchmark;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_vs_classic");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for bench in Benchmark::all() {
+        for manager in comparison_manager_names() {
+            let id = BenchmarkId::new(bench.name(), manager);
+            group.bench_function(id, |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for rep in 0..iters {
+                        let mut spec = RunSpec::new(
+                            *bench,
+                            manager,
+                            scale::THREADS,
+                            StopRule::Budget(scale::BUDGET),
+                        );
+                        spec.window_n = scale::WINDOW_N;
+                        spec.seed = 0xF163 + rep;
+                        let t0 = Instant::now();
+                        let out = run_one(&spec);
+                        total += t0.elapsed();
+                        assert!(out.stats.commits > 0);
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 4 — aborts per commit. Criterion's metric is time, so this bench
+//! measures the same budget runs as Fig. 3 while *printing* each
+//! manager's aborts-per-commit ratio (the figure's actual series) to
+//! stderr — the printed table is the regenerated artifact, the timing is
+//! a bonus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use wtm_bench::scale;
+use wtm_harness::managers::comparison_manager_names;
+use wtm_harness::runner::{run_one, RunSpec, StopRule};
+use wtm_workloads::Benchmark;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_aborts_per_commit");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for bench in Benchmark::all() {
+        for manager in comparison_manager_names() {
+            let id = BenchmarkId::new(bench.name(), manager);
+            group.bench_function(id, |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    let mut aborts = 0u64;
+                    let mut commits = 0u64;
+                    for rep in 0..iters {
+                        let mut spec = RunSpec::new(
+                            *bench,
+                            manager,
+                            scale::THREADS,
+                            StopRule::Budget(scale::BUDGET),
+                        );
+                        spec.window_n = scale::WINDOW_N;
+                        spec.seed = 0xF164 + rep;
+                        let t0 = Instant::now();
+                        let out = run_one(&spec);
+                        total += t0.elapsed();
+                        aborts += out.stats.aborts;
+                        commits += out.stats.commits;
+                    }
+                    eprintln!(
+                        "[fig4] {} / {manager}: aborts/commit = {:.3}",
+                        bench.name(),
+                        aborts as f64 / commits.max(1) as f64
+                    );
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

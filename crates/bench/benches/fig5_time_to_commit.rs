@@ -1,0 +1,55 @@
+//! Fig. 5 — total time to commit a fixed transaction budget under Low /
+//! Medium / High contention (20% / 60% / 100% update operations).
+//! Time-to-budget is Criterion's native metric, so this bench *is* the
+//! figure: compare the mean times across managers per (benchmark, level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use wtm_bench::scale;
+use wtm_harness::managers::comparison_manager_names;
+use wtm_harness::runner::{run_one, RunSpec, StopRule};
+use wtm_workloads::{Benchmark, ContentionLevel};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_time_to_commit");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for bench in Benchmark::all() {
+        for level in ContentionLevel::all() {
+            for manager in comparison_manager_names() {
+                let id = BenchmarkId::new(
+                    format!("{}_{}", bench.name(), level.name()),
+                    manager,
+                );
+                group.bench_function(id, |b| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for rep in 0..iters {
+                            let mut spec = RunSpec::new(
+                                *bench,
+                                manager,
+                                scale::THREADS,
+                                StopRule::Budget(scale::BUDGET),
+                            );
+                            spec.update_pct = level.update_pct();
+                            spec.window_n = scale::WINDOW_N;
+                            spec.seed = 0xF165 + rep;
+                            let t0 = Instant::now();
+                            let out = run_one(&spec);
+                            total += t0.elapsed();
+                            assert!(out.stats.commits > 0);
+                        }
+                        total
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

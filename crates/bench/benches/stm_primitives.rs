@@ -1,0 +1,76 @@
+//! Microbenchmarks of the STM engine itself: cost of reads, writes,
+//! commits, and contention-manager dispatch. Not a paper figure, but the
+//! baseline that explains the figure numbers (τ, the transaction
+//! duration, is built from these costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wtm_stm::cm::AbortSelfManager;
+use wtm_stm::{Stm, TVar};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_primitives");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // Read-only transactions of varying read-set size.
+    for reads in [1usize, 8, 64] {
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let vars: Vec<TVar<u64>> = (0..reads as u64).map(TVar::new).collect();
+        group.bench_function(BenchmarkId::new("read_only_txn", reads), |b| {
+            let ctx = stm.thread(0);
+            b.iter(|| {
+                ctx.atomic(|tx| {
+                    let mut sum = 0u64;
+                    for v in &vars {
+                        sum += *tx.read(v)?;
+                    }
+                    Ok(std::hint::black_box(sum))
+                })
+            });
+        });
+    }
+
+    // Write transactions of varying write-set size.
+    for writes in [1usize, 8, 32] {
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let vars: Vec<TVar<u64>> = (0..writes as u64).map(TVar::new).collect();
+        group.bench_function(BenchmarkId::new("write_txn", writes), |b| {
+            let ctx = stm.thread(0);
+            let mut n = 0u64;
+            b.iter(|| {
+                n += 1;
+                ctx.atomic(|tx| {
+                    for v in &vars {
+                        tx.write(v, n)?;
+                    }
+                    Ok(())
+                })
+            });
+        });
+    }
+
+    // Read-modify-write on one hot variable (the txn of the List bench).
+    {
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let v: TVar<u64> = TVar::new(0);
+        group.bench_function("increment_txn", |b| {
+            let ctx = stm.thread(0);
+            b.iter(|| {
+                ctx.atomic(|tx| {
+                    let x = *tx.read(&v)?;
+                    tx.write(&v, x + 1)
+                })
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! §II-C theory tables — simulator makespans for the Offline/Online
+//! window algorithms vs the one-shot baseline. Criterion times the
+//! simulations; the makespans themselves (the theory artifact) are
+//! printed per benchmark id.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use wtm_sim::engine::{simulate, SimConfig};
+use wtm_sim::graph::ConflictGraph;
+use wtm_sim::sched::{
+    GreedyTimestampScheduler, OfflineWindowScheduler, OneShotScheduler, OnlineWindowScheduler,
+    SimScheduler, WindowMode,
+};
+
+const M: usize = 16;
+const N: usize = 24;
+const TAU: u32 = 4;
+
+fn make_sched(name: &str, cfg: &SimConfig, g: &ConflictGraph, seed: u64) -> Box<dyn SimScheduler> {
+    match name {
+        "Offline" => Box::new(OfflineWindowScheduler::new(cfg, g, seed)),
+        "Online" => Box::new(OnlineWindowScheduler::new(cfg, g, WindowMode::Static, seed)),
+        "Online-Dynamic" => Box::new(OnlineWindowScheduler::new(cfg, g, WindowMode::Dynamic, seed)),
+        "Adaptive" => Box::new(OnlineWindowScheduler::adaptive(cfg, WindowMode::Dynamic, seed)),
+        "OneShot" => Box::new(OneShotScheduler::new(cfg, seed)),
+        "Greedy" => Box::new(GreedyTimestampScheduler::new(cfg)),
+        _ => unreachable!(),
+    }
+}
+
+fn bench_theory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory_makespan");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let graphs = [
+        ("complete_columns", ConflictGraph::complete_columns(M, N)),
+        (
+            "clustered",
+            ConflictGraph::clustered(M, N, 0.8, 0.05, 99),
+        ),
+        (
+            "resources_s16",
+            ConflictGraph::from_resources(M, N, 16, 4, 0.5, 99),
+        ),
+    ];
+    for (gname, g) in &graphs {
+        for sched_name in [
+            "Offline",
+            "Online",
+            "Online-Dynamic",
+            "Adaptive",
+            "OneShot",
+            "Greedy",
+        ] {
+            let cfg = SimConfig::new(M, N, TAU);
+            // Print the artifact once.
+            let mut s = make_sched(sched_name, &cfg, g, 7);
+            let out = simulate(g, &cfg, s.as_mut());
+            eprintln!(
+                "[theory] {gname} / {sched_name}: makespan={} aborts={} (C={})",
+                out.makespan,
+                out.aborts,
+                g.contention()
+            );
+            group.bench_function(BenchmarkId::new(*gname, sched_name), |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut s = make_sched(sched_name, &cfg, g, seed);
+                    std::hint::black_box(simulate(g, &cfg, s.as_mut()))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theory);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! # wtm-bench — Criterion benchmarks, one group per paper figure
+//!
+//! The benches live in `benches/`:
+//!
+//! * `fig2_window_variants` — throughput of the five window variants.
+//! * `fig3_vs_classic` — best window variants vs Polka/Greedy/Priority.
+//! * `fig4_aborts_per_commit` — abort ratios (reported via
+//!   `iter_custom`-measured runs; the ratio is printed per sample).
+//! * `fig5_time_to_commit` — time to commit a fixed transaction budget at
+//!   three contention levels.
+//! * `theory_makespan` — simulator makespans (Offline/Online vs one-shot).
+//! * `ablation_window` — window design-choice ablations (frame factor,
+//!   window width, static vs dynamic frames, contention-estimate
+//!   sensitivity).
+//! * `stm_primitives` — microbenchmarks of the engine itself (read, write,
+//!   commit, conflict resolution).
+//!
+//! Run `cargo bench` at the workspace root; each bench uses small
+//! parameters so a full pass stays in the minutes range.
+
+/// Benchmark-scale parameters shared by the bench targets (kept tiny so
+/// `cargo bench` terminates quickly; the `windowtm` CLI is the tool for
+/// full-scale figure regeneration).
+pub mod scale {
+    use std::time::Duration;
+
+    /// Threads used by figure-shaped benches.
+    pub const THREADS: usize = 4;
+    /// Window width `N`.
+    pub const WINDOW_N: usize = 16;
+    /// Timed-run interval per measured iteration.
+    pub const RUN_INTERVAL: Duration = Duration::from_millis(60);
+    /// Transaction budget for fig5-shaped benches.
+    pub const BUDGET: u64 = 400;
+}

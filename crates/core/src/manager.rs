@@ -1,0 +1,545 @@
+//! The window-based contention manager.
+//!
+//! Implements [`wtm_stm::ContentionManager`] for all five variants of the
+//! paper. The moving parts:
+//!
+//! * **window boundaries** — all `M` threads synchronize on a cancellable
+//!   barrier before each window, roll their random delays `qᵢ`, register
+//!   their frame assignments with the shared [`WindowRun`] frame clock,
+//!   then synchronize again and start executing. (The barrier cost is real
+//!   and intentional: it is the "execution window overhead" the paper
+//!   measures in Fig. 5.)
+//! * **priorities** — `resolve` compares the vectors `(π₁, π₂)`
+//!   lexicographically; π₁ is derived from the frame clock and the
+//!   transaction's assigned frame, π₂ is the RandomizedRounds rank
+//!   re-rolled on every attempt. The comparison is total (attempt ids
+//!   break ties), so every conflict kills exactly one side — the manager
+//!   never waits, and the *pending-commit* property holds: the globally
+//!   lexicographically-smallest active transaction can never be aborted.
+//! * **adaptivity** — `Cᵢ` evolves per [`AdaptiveMode`]: fixed, doubling
+//!   on bad events (commit landed after the assigned frame), or driven by
+//!   a contention-intensity EWMA updated on every commit/abort.
+//! * **calibration** — frame lengths are `Φ = c · ln(MN) · τ̂` where `τ̂`
+//!   is an EWMA of committed attempt durations, so "frame ≈ Θ(ln MN)
+//!   transaction durations" holds without knowing τ a priori.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::Rng;
+
+use wtm_stm::sync::{BarrierWait, CancellableBarrier};
+use wtm_stm::txstate::NOT_WINDOWED;
+use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+
+use crate::config::{AdaptiveMode, WindowConfig};
+use crate::run::WindowRun;
+use crate::thread::ThreadWindow;
+use crate::WindowVariant;
+
+/// Cap on a single calibration sample so one descheduled attempt cannot
+/// blow up the frame length.
+const TAU_SAMPLE_CAP_NS: u64 = 10_000_000; // 10 ms
+
+/// EWMA weight of the previous τ estimate.
+const TAU_EWMA_OLD: f64 = 0.8;
+
+struct RunSlot {
+    generation: u64,
+    run: Arc<WindowRun>,
+}
+
+/// See module docs. One instance drives all `M` worker threads of an
+/// [`wtm_stm::Stm`]; `cfg.m` **must** equal the number of threads actively
+/// running transactions, otherwise the window barrier never releases.
+pub struct WindowManager {
+    cfg: WindowConfig,
+    variant: WindowVariant,
+    barrier: CancellableBarrier,
+    threads: Box<[Mutex<ThreadWindow>]>,
+    /// Per-thread τ estimates (ns), written by owners, read when a new
+    /// window run is created. Atomics so run creation never locks another
+    /// thread's `ThreadWindow`.
+    taus: Box<[AtomicU64]>,
+    runs: Mutex<RunSlot>,
+}
+
+impl WindowManager {
+    /// Build a manager for `variant` with the given window configuration.
+    pub fn new(variant: WindowVariant, cfg: WindowConfig) -> Self {
+        let c_init = match variant.adaptive_mode() {
+            AdaptiveMode::Known => cfg.c_init,
+            AdaptiveMode::Doubling => 1.0,
+            AdaptiveMode::ContentionIntensity => 1.0,
+        };
+        let threads: Box<[Mutex<ThreadWindow>]> = (0..cfg.m)
+            .map(|t| Mutex::new(ThreadWindow::new(t, cfg.seed, c_init, cfg.n)))
+            .collect();
+        let initial_run = Arc::new(WindowRun::new(
+            variant.dynamic_frames(),
+            cfg.frame_len_ns(cfg.tau_initial.as_nanos() as f64),
+            cfg.max_frames_hint(),
+        ));
+        WindowManager {
+            barrier: CancellableBarrier::new(cfg.m),
+            threads,
+            taus: (0..cfg.m).map(|_| AtomicU64::new(0)).collect(),
+            runs: Mutex::new(RunSlot {
+                generation: 0,
+                run: initial_run,
+            }),
+            cfg,
+            variant,
+        }
+    }
+
+    /// The configured variant.
+    pub fn variant(&self) -> WindowVariant {
+        self.variant
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> &WindowConfig {
+        &self.cfg
+    }
+
+    /// Release every thread parked at a window barrier and put the manager
+    /// into *free mode* (plain RandomizedRounds behaviour). Call this when
+    /// an experiment's measurement interval ends, before joining workers.
+    pub fn cancel(&self) {
+        self.barrier.cancel();
+    }
+
+    /// Current contention estimate of a thread (diagnostics/tests).
+    pub fn contention_estimate(&self, thread_id: usize) -> f64 {
+        self.threads[thread_id].lock().c
+    }
+
+    /// Number of completed windows on a thread (diagnostics/tests).
+    pub fn windows_completed(&self, thread_id: usize) -> u64 {
+        let tw = self.threads[thread_id].lock();
+        tw.windows_done.saturating_sub(u64::from(tw.j < self.cfg.n))
+    }
+
+    /// Mean τ estimate across threads, falling back to the configured
+    /// initial value when no calibration data exists yet.
+    fn mean_tau_ns(&self) -> f64 {
+        let mut sum = 0u64;
+        let mut cnt = 0u64;
+        for t in self.taus.iter() {
+            let v = t.load(Ordering::Relaxed);
+            if v > 0 {
+                sum += v;
+                cnt += 1;
+            }
+        }
+        if cnt == 0 {
+            self.cfg.tau_initial.as_nanos() as f64
+        } else {
+            sum as f64 / cnt as f64
+        }
+    }
+
+    /// Get (or create) the frame clock for barrier generation `generation`.
+    fn run_for_generation(&self, generation: u64) -> Arc<WindowRun> {
+        let mut slot = self.runs.lock();
+        if slot.generation < generation {
+            slot.run = Arc::new(WindowRun::new(
+                self.variant.dynamic_frames(),
+                self.cfg.frame_len_ns(self.mean_tau_ns()),
+                self.cfg.max_frames_hint(),
+            ));
+            slot.generation = generation;
+        }
+        Arc::clone(&slot.run)
+    }
+
+    /// Window-boundary protocol: barrier → roll `qᵢ`, register assignments
+    /// → barrier → go.
+    fn begin_window(&self, tw: &mut ThreadWindow) {
+        if tw.free_mode || self.barrier.wait() == BarrierWait::Cancelled {
+            self.enter_free_mode(tw);
+            return;
+        }
+        tw.windows_done += 1;
+        tw.j = 0;
+        tw.j_base = 0;
+        tw.base = 0;
+        // Refresh the contention estimate for this window.
+        match self.variant.adaptive_mode() {
+            AdaptiveMode::Known => tw.c = self.cfg.c_init,
+            AdaptiveMode::Doubling => tw.c = 1.0, // fresh guess per window (§II-B3)
+            AdaptiveMode::ContentionIntensity => tw.c = self.c_from_ci(tw.ci),
+        }
+        let alpha = self.cfg.alpha_for(tw.c);
+        tw.q = tw.rng.random_range(0..alpha);
+        let run = self.run_for_generation(tw.windows_done);
+        run.register_all((0..self.cfg.n as u64).map(|j| tw.q + j));
+        // Second phase: nobody executes until everyone registered, so the
+        // dynamic frame clock sees the complete pending table.
+        let released = self.barrier.wait() == BarrierWait::Released;
+        run.seal_registration();
+        tw.run = Some(run);
+        if !released {
+            self.enter_free_mode(tw);
+        }
+    }
+
+    fn enter_free_mode(&self, tw: &mut ThreadWindow) {
+        tw.free_mode = true;
+        tw.j = 0;
+        tw.j_base = 0;
+        tw.base = 0;
+        tw.q = 0;
+        // A static run with a 1 ns frame: current_frame is astronomically
+        // large immediately, so every transaction is high priority and the
+        // manager degenerates to RandomizedRounds.
+        tw.run = Some(Arc::new(WindowRun::new(false, 1, 1)));
+    }
+
+    /// Map the contention-intensity EWMA to a contention estimate: CI = 0
+    /// → C = 1 (no delay), CI = 1 → C = N·ln(MN) (delay spread α = N).
+    fn c_from_ci(&self, ci: f64) -> f64 {
+        1.0 + ci.clamp(0.0, 1.0) * self.cfg.n as f64 * self.cfg.ln_mn()
+    }
+
+    /// Re-randomize the rest of the window after a bad event (§II-B3):
+    /// restart the schedule at the next frame with a fresh delay drawn
+    /// from the updated estimate.
+    fn re_randomize(&self, tw: &mut ThreadWindow, run: &WindowRun, cur_frame: u64) {
+        let n = self.cfg.n;
+        let remaining = (tw.j + 1)..n; // transactions after the one committing
+        let new_base = cur_frame + 1;
+        let new_q = tw.rng.random_range(0..self.cfg.alpha_for(tw.c));
+        for jj in remaining {
+            let old = tw.base + tw.q + (jj - tw.j_base) as u64;
+            let new = new_base + new_q + (jj - (tw.j + 1)) as u64;
+            run.reassign(old, new);
+        }
+        tw.base = new_base;
+        tw.q = new_q;
+        tw.j_base = tw.j + 1;
+    }
+
+    /// π₁ of a transaction given the current frame: `false` = high.
+    #[inline]
+    fn is_low_priority(tx: &TxState, cur_frame: u64) -> bool {
+        let f = tx.assigned_frame();
+        f == NOT_WINDOWED || f > cur_frame
+    }
+
+    fn current_run(&self, thread_id: usize) -> Option<Arc<WindowRun>> {
+        self.threads[thread_id].lock().run.clone()
+    }
+}
+
+impl ContentionManager for WindowManager {
+    fn resolve(&self, me: &TxState, enemy: &TxState, _kind: ConflictKind) -> Resolution {
+        let cur = match self.current_run(me.thread_id) {
+            Some(run) => run.current_frame(),
+            None => 0,
+        };
+        let mine = (
+            Self::is_low_priority(me, cur),
+            me.rank(),
+            me.attempt_id,
+        );
+        let theirs = (
+            Self::is_low_priority(enemy, cur),
+            enemy.rank(),
+            enemy.attempt_id,
+        );
+        if mine < theirs {
+            Resolution::AbortEnemy
+        } else {
+            // Yield once before dying: on an oversubscribed host this lets
+            // the high-priority winner actually run.
+            std::thread::yield_now();
+            Resolution::AbortSelf
+        }
+    }
+
+    fn on_begin(&self, tx: &Arc<TxState>, is_retry: bool) {
+        let mut tw = self.threads[tx.thread_id].lock();
+        if !is_retry {
+            if tw.j >= self.cfg.n || tw.run.is_none() {
+                self.begin_window(&mut tw);
+            }
+            tw.cur_assigned = tw.next_assigned_frame();
+        }
+        tx.set_assigned_frame(tw.cur_assigned);
+        // π₂ is re-rolled at every attempt ("on start of the frame F_ij,
+        // and after every abort").
+        let rank = tw.rng.random_range(1..=self.cfg.m as u32);
+        tx.set_rank(rank);
+    }
+
+    fn on_commit(&self, tx: &TxState) {
+        let mut tw = self.threads[tx.thread_id].lock();
+        // τ calibration from the committed attempt's duration.
+        if self.cfg.auto_calibrate {
+            let sample = (tx.attempt_start.elapsed().as_nanos() as u64).min(TAU_SAMPLE_CAP_NS);
+            let slot = &self.taus[tx.thread_id];
+            let old = slot.load(Ordering::Relaxed);
+            let new = if old == 0 {
+                sample
+            } else {
+                (TAU_EWMA_OLD * old as f64 + (1.0 - TAU_EWMA_OLD) * sample as f64) as u64
+            };
+            slot.store(new.max(1), Ordering::Relaxed);
+        }
+        // Contention intensity decays on commit.
+        tw.ci *= self.cfg.ci_alpha;
+
+        if tw.free_mode {
+            return;
+        }
+        let Some(run) = tw.run.clone() else { return };
+        let assigned = tx.assigned_frame();
+        if assigned == NOT_WINDOWED {
+            return;
+        }
+        let cur = run.current_frame();
+        run.complete(assigned);
+
+        // Bad event: the transaction missed its assigned frame (§II-B3).
+        let missed = cur > assigned;
+        if missed && tw.j + 1 < self.cfg.n {
+            match self.variant.adaptive_mode() {
+                AdaptiveMode::Known => {}
+                AdaptiveMode::Doubling => {
+                    let cap = (self.cfg.m * self.cfg.n) as f64;
+                    tw.c = (tw.c * 2.0).min(cap);
+                    self.re_randomize(&mut tw, &run, cur);
+                }
+                AdaptiveMode::ContentionIntensity => {
+                    tw.c = self.c_from_ci(tw.ci);
+                    self.re_randomize(&mut tw, &run, cur);
+                }
+            }
+        }
+        tw.j += 1;
+    }
+
+    fn on_abort(&self, tx: &TxState) {
+        let mut tw = self.threads[tx.thread_id].lock();
+        // Contention intensity rises on abort (ATS-style EWMA).
+        tw.ci = self.cfg.ci_alpha * tw.ci + (1.0 - self.cfg.ci_alpha);
+    }
+
+    fn name(&self) -> &str {
+        self.variant.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    fn cfg_1xn(n: usize) -> WindowConfig {
+        WindowConfig::new(1, n).with_fixed_tau(Duration::from_micros(10))
+    }
+
+    fn state_on(thread: usize, attempt_id: u64) -> Arc<TxState> {
+        Arc::new(TxState::new(
+            attempt_id,
+            attempt_id,
+            thread,
+            0,
+            attempt_id,
+            attempt_id,
+            Instant::now(),
+            0,
+        ))
+    }
+
+    #[test]
+    fn on_begin_assigns_frame_and_rank() {
+        let wm = WindowManager::new(WindowVariant::Online, cfg_1xn(4));
+        let tx = state_on(0, 1);
+        wm.on_begin(&tx, false);
+        assert_ne!(tx.assigned_frame(), NOT_WINDOWED);
+        assert!(tx.rank() >= 1);
+    }
+
+    #[test]
+    fn retry_keeps_frame_rerolls_rank() {
+        let cfg = WindowConfig::new(1, 4)
+            .with_fixed_tau(Duration::from_micros(10))
+            .with_seed(3);
+        let wm = WindowManager::new(WindowVariant::Online, cfg);
+        let tx = state_on(0, 1);
+        wm.on_begin(&tx, false);
+        let f = tx.assigned_frame();
+        let retry = state_on(0, 2);
+        wm.on_begin(&retry, true);
+        assert_eq!(retry.assigned_frame(), f, "retries keep the assigned frame");
+    }
+
+    #[test]
+    fn consecutive_txns_get_consecutive_frames() {
+        // M = 1: q is drawn from alpha(C=1) = 1 slot, so q = 0 and
+        // F_j = j exactly.
+        let wm = WindowManager::new(WindowVariant::Adaptive, cfg_1xn(5));
+        let mut frames = Vec::new();
+        for i in 0..5u64 {
+            let tx = state_on(0, i + 1);
+            wm.on_begin(&tx, false);
+            frames.push(tx.assigned_frame());
+            tx.try_commit();
+            wm.on_commit(&tx);
+        }
+        assert_eq!(frames, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn high_beats_low_regardless_of_rank() {
+        let wm = WindowManager::new(WindowVariant::Online, cfg_1xn(4));
+        let hi = state_on(0, 1);
+        let lo = state_on(0, 2);
+        wm.on_begin(&hi, false); // frame 0 → high immediately
+        hi.set_rank(1_000_000_u32); // terrible rank
+        lo.set_assigned_frame(999); // far future → low
+        lo.set_rank(1); // great rank
+        assert_eq!(
+            wm.resolve(&hi, &lo, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+        assert_eq!(
+            wm.resolve(&lo, &hi, ConflictKind::WriteWrite),
+            Resolution::AbortSelf
+        );
+    }
+
+    #[test]
+    fn equal_priority_resolved_by_rank_then_id() {
+        let wm = WindowManager::new(WindowVariant::Online, cfg_1xn(4));
+        let a = state_on(0, 1);
+        let b = state_on(0, 2);
+        wm.on_begin(&a, false);
+        a.set_assigned_frame(0);
+        b.set_assigned_frame(0);
+        a.set_rank(2);
+        b.set_rank(5);
+        assert_eq!(
+            wm.resolve(&a, &b, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+        assert_eq!(
+            wm.resolve(&b, &a, ConflictKind::WriteWrite),
+            Resolution::AbortSelf
+        );
+        // Rank tie → lower attempt id wins.
+        b.set_rank(2);
+        assert_eq!(
+            wm.resolve(&a, &b, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+    }
+
+    #[test]
+    fn resolution_is_antisymmetric() {
+        let wm = WindowManager::new(WindowVariant::OnlineDynamic, cfg_1xn(4));
+        let a = state_on(0, 1);
+        let b = state_on(0, 2);
+        wm.on_begin(&a, false);
+        for (fa, fb, ra, rb) in [(0u64, 0u64, 1u32, 2u32), (0, 7, 3, 1), (9, 9, 2, 2)] {
+            a.set_assigned_frame(fa);
+            b.set_assigned_frame(fb);
+            a.set_rank(ra);
+            b.set_rank(rb);
+            let ab = wm.resolve(&a, &b, ConflictKind::WriteWrite);
+            let ba = wm.resolve(&b, &a, ConflictKind::WriteWrite);
+            assert_ne!(ab, ba, "exactly one side must die: {fa},{fb},{ra},{rb}");
+        }
+    }
+
+    #[test]
+    fn doubling_adaptive_raises_estimate_on_bad_event() {
+        // Static frames with an absurdly short frame length so the frame
+        // clock races ahead of commits → guaranteed bad events.
+        let cfg = WindowConfig::new(1, 8).with_fixed_tau(Duration::from_nanos(1));
+        let wm = WindowManager::new(WindowVariant::Adaptive, cfg);
+        let tx = state_on(0, 1);
+        wm.on_begin(&tx, false);
+        assert_eq!(wm.contention_estimate(0), 1.0);
+        std::thread::sleep(Duration::from_millis(1)); // frame clock advances
+        tx.try_commit();
+        wm.on_commit(&tx);
+        assert!(
+            wm.contention_estimate(0) >= 2.0,
+            "bad event must double C, got {}",
+            wm.contention_estimate(0)
+        );
+    }
+
+    #[test]
+    fn contention_intensity_rises_on_abort_decays_on_commit() {
+        let wm = WindowManager::new(WindowVariant::AdaptiveImproved, cfg_1xn(8));
+        let tx = state_on(0, 1);
+        wm.on_begin(&tx, false);
+        wm.on_abort(&tx);
+        let ci_after_abort = wm.threads[0].lock().ci;
+        assert!(ci_after_abort > 0.0);
+        let tx2 = state_on(0, 2);
+        wm.on_begin(&tx2, true);
+        tx2.try_commit();
+        wm.on_commit(&tx2);
+        let ci_after_commit = wm.threads[0].lock().ci;
+        assert!(ci_after_commit < ci_after_abort);
+    }
+
+    #[test]
+    fn cancel_enters_free_mode() {
+        let wm = WindowManager::new(WindowVariant::OnlineDynamic, cfg_1xn(2));
+        wm.cancel();
+        // After cancel, windows no longer block and txns become high
+        // priority almost immediately (free-mode run).
+        for i in 0..10u64 {
+            let tx = state_on(0, i + 1);
+            wm.on_begin(&tx, false);
+            tx.try_commit();
+            wm.on_commit(&tx);
+        }
+        std::thread::sleep(Duration::from_micros(10));
+        let tx = state_on(0, 100);
+        wm.on_begin(&tx, false);
+        let run = wm.current_run(0).unwrap();
+        assert!(run.current_frame() > 1_000, "free-mode frames race ahead");
+    }
+
+    #[test]
+    fn two_threads_complete_windows_under_stm() {
+        use wtm_stm::{Stm, TVar};
+        let m = 2;
+        let n = 6;
+        let cfg = WindowConfig::new(m, n).with_seed(11);
+        let wm = Arc::new(WindowManager::new(
+            WindowVariant::AdaptiveImprovedDynamic,
+            cfg,
+        ));
+        let stm = Stm::new(wm.clone(), m);
+        let tv: TVar<u64> = TVar::new(0);
+        std::thread::scope(|s| {
+            for t in 0..m {
+                let ctx = stm.thread(t);
+                let tv = tv.clone();
+                s.spawn(move || {
+                    for _ in 0..2 * n {
+                        ctx.atomic(|tx| {
+                            let v = *tx.read(&tv)?;
+                            tx.write(&tv, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        wm.cancel();
+        assert_eq!(*tv.sample(), (m * 2 * n) as u64);
+        // Both threads saw at least 2 windows (2n txns / n per window).
+        assert!(wm.windows_completed(0) >= 2);
+        assert!(wm.windows_completed(1) >= 2);
+    }
+}

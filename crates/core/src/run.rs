@@ -1,0 +1,244 @@
+//! One window execution: the frame clock.
+//!
+//! A [`WindowRun`] is created once per window (per barrier generation) and
+//! shared by all M threads. It answers the single question the conflict
+//! resolver needs — *what is the current frame?* — under one of two
+//! drivers:
+//!
+//! * **static**: frame = elapsed wall time / frame length. The paper's
+//!   base algorithms, where frames are fixed at Θ(ln MN) transaction
+//!   durations.
+//! * **dynamic**: the frame index advances as soon as every transaction
+//!   *assigned* to the current frame has committed (the "dynamic
+//!   contraction" of §III-B that makes Online-Dynamic and
+//!   Adaptive-Improved-Dynamic the best performers). Contraction never
+//!   waits for wall time, so the dead time between the last commit in a
+//!   frame and the frame's nominal end is reclaimed. Expansion is implicit:
+//!   a frame simply lasts until its transactions are done, which the paper
+//!   notes is rarely needed because of the pending-commit property.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Shared frame clock for one window execution.
+pub struct WindowRun {
+    start: Instant,
+    frame_len_ns: u64,
+    dynamic: bool,
+    /// Mirror of the dynamic frame index for lock-free reads on the
+    /// conflict-resolution hot path.
+    cur: AtomicU64,
+    state: Mutex<DynFrames>,
+}
+
+struct DynFrames {
+    /// Outstanding (assigned, uncommitted) transactions per frame.
+    pending: Vec<u32>,
+    cur: u64,
+}
+
+impl WindowRun {
+    /// New frame clock. `frame_len_ns` is ignored for dynamic runs except
+    /// as a fallback; `frames_hint` pre-sizes the pending table.
+    pub fn new(dynamic: bool, frame_len_ns: u64, frames_hint: usize) -> Self {
+        WindowRun {
+            start: Instant::now(),
+            frame_len_ns: frame_len_ns.max(1),
+            dynamic,
+            cur: AtomicU64::new(0),
+            state: Mutex::new(DynFrames {
+                pending: vec![0; frames_hint.max(1)],
+                cur: 0,
+            }),
+        }
+    }
+
+    /// Whether this run uses dynamic contraction.
+    pub fn is_dynamic(&self) -> bool {
+        self.dynamic
+    }
+
+    /// The frame length (static driver), in nanoseconds.
+    pub fn frame_len_ns(&self) -> u64 {
+        self.frame_len_ns
+    }
+
+    /// The current frame index.
+    #[inline]
+    pub fn current_frame(&self) -> u64 {
+        if self.dynamic {
+            self.cur.load(Ordering::Acquire)
+        } else {
+            (self.start.elapsed().as_nanos() as u64) / self.frame_len_ns
+        }
+    }
+
+    /// Register one transaction assigned to `frame` (window start, or an
+    /// adaptive re-randomization). Only meaningful for dynamic runs; a
+    /// no-op otherwise.
+    pub fn register(&self, frame: u64) {
+        if !self.dynamic {
+            return;
+        }
+        let mut st = self.state.lock();
+        let idx = frame as usize;
+        if idx >= st.pending.len() {
+            st.pending.resize(idx + 1, 0);
+        }
+        st.pending[idx] += 1;
+    }
+
+    /// Register a batch of assigned frames.
+    pub fn register_all(&self, frames: impl IntoIterator<Item = u64>) {
+        for f in frames {
+            self.register(f);
+        }
+    }
+
+    /// A transaction assigned to `frame` committed: contract if possible.
+    pub fn complete(&self, frame: u64) {
+        if !self.dynamic {
+            return;
+        }
+        let mut st = self.state.lock();
+        let idx = frame as usize;
+        if idx < st.pending.len() && st.pending[idx] > 0 {
+            st.pending[idx] -= 1;
+        }
+        self.advance_locked(&mut st);
+    }
+
+    /// Move one not-yet-committed assignment from `old` to `new`
+    /// (adaptive re-randomization of the remaining window).
+    pub fn reassign(&self, old: u64, new: u64) {
+        if !self.dynamic {
+            return;
+        }
+        let mut st = self.state.lock();
+        let oi = old as usize;
+        if oi < st.pending.len() && st.pending[oi] > 0 {
+            st.pending[oi] -= 1;
+        }
+        let ni = new as usize;
+        if ni >= st.pending.len() {
+            st.pending.resize(ni + 1, 0);
+        }
+        st.pending[ni] += 1;
+        self.advance_locked(&mut st);
+    }
+
+    /// Advance `cur` past drained frames. The frame index never moves past
+    /// the last slot with work so late registrations stay well-ordered.
+    fn advance_locked(&self, st: &mut DynFrames) {
+        let last = st.pending.len() as u64;
+        while st.cur < last {
+            let idx = st.cur as usize;
+            if st.pending[idx] == 0 {
+                st.cur += 1;
+            } else {
+                break;
+            }
+        }
+        self.cur.store(st.cur, Ordering::Release);
+    }
+
+    /// Recompute contraction after batch registration (call once all
+    /// threads have registered, to skip leading empty frames).
+    pub fn seal_registration(&self) {
+        if !self.dynamic {
+            return;
+        }
+        let mut st = self.state.lock();
+        self.advance_locked(&mut st);
+    }
+
+    /// Total outstanding transactions (diagnostics).
+    pub fn outstanding(&self) -> u64 {
+        self.state.lock().pending.iter().map(|&c| u64::from(c)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn static_run_advances_with_time() {
+        let run = WindowRun::new(false, 1_000_000, 8); // 1 ms frames
+        assert_eq!(run.current_frame(), 0);
+        std::thread::sleep(Duration::from_millis(3));
+        assert!(run.current_frame() >= 2);
+    }
+
+    #[test]
+    fn dynamic_run_ignores_time() {
+        let run = WindowRun::new(true, 1, 8); // 1 ns frames would race ahead if time-driven
+        run.register(0);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(run.current_frame(), 0, "dynamic frames ignore wall time");
+    }
+
+    #[test]
+    fn dynamic_contraction_on_commit() {
+        let run = WindowRun::new(true, 1_000, 8);
+        run.register_all([0, 0, 1, 3]);
+        run.seal_registration();
+        assert_eq!(run.current_frame(), 0);
+        run.complete(0);
+        assert_eq!(run.current_frame(), 0, "one txn still pending in frame 0");
+        run.complete(0);
+        assert_eq!(run.current_frame(), 1, "frame 0 drained");
+        run.complete(1);
+        // Frame 2 is empty: contraction skips straight to 3.
+        assert_eq!(run.current_frame(), 3);
+        run.complete(3);
+        assert_eq!(run.outstanding(), 0);
+    }
+
+    #[test]
+    fn seal_skips_leading_empty_frames() {
+        let run = WindowRun::new(true, 1_000, 8);
+        run.register_all([4, 5]);
+        run.seal_registration();
+        assert_eq!(run.current_frame(), 4);
+    }
+
+    #[test]
+    fn early_commit_of_future_frame_txn() {
+        // A low-priority transaction assigned to frame 2 commits before its
+        // frame: pending[2] drains early and the frame is skipped later.
+        let run = WindowRun::new(true, 1_000, 8);
+        run.register_all([0, 2]);
+        run.seal_registration();
+        run.complete(2); // early, while cur = 0
+        assert_eq!(run.current_frame(), 0);
+        run.complete(0);
+        // Both 0,1,2 drained → cur runs to the end of the table.
+        assert!(run.current_frame() >= 3);
+    }
+
+    #[test]
+    fn reassign_moves_pending() {
+        let run = WindowRun::new(true, 1_000, 4);
+        run.register_all([1, 1]);
+        run.seal_registration();
+        assert_eq!(run.current_frame(), 1);
+        run.reassign(1, 6); // table grows on demand
+        run.complete(1);
+        assert_eq!(run.current_frame(), 6);
+        run.complete(6);
+        assert_eq!(run.outstanding(), 0);
+    }
+
+    #[test]
+    fn registration_grows_table() {
+        let run = WindowRun::new(true, 1_000, 2);
+        run.register(100);
+        assert_eq!(run.outstanding(), 1);
+        run.complete(100);
+        assert_eq!(run.outstanding(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Per-thread window bookkeeping.
+//!
+//! Each worker owns a [`ThreadWindow`]: its contention estimate `Cᵢ`, the
+//! random delay `qᵢ` for the current window, its progress `j` through the
+//! window, and the RNG for delays and π₂ ranks. The struct sits behind a
+//! `parking_lot::Mutex` purely for interior mutability — it is only ever
+//! locked by its owning thread, so the lock is always uncontended.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::run::WindowRun;
+
+/// Mutable per-thread window state (see module docs).
+pub(crate) struct ThreadWindow {
+    /// Contention estimate `Cᵢ`.
+    pub c: f64,
+    /// Random delay (in frames) for the current schedule segment.
+    pub q: u64,
+    /// Transactions committed so far in the current window (`0..=N`).
+    pub j: usize,
+    /// Transaction index at the start of the current schedule segment
+    /// (changes when an adaptive re-randomization restarts the schedule).
+    pub j_base: usize,
+    /// Frame base of the current schedule segment.
+    pub base: u64,
+    /// Assigned frame of the in-flight logical transaction.
+    pub cur_assigned: u64,
+    /// Windows completed + 1 while inside one = the barrier generation.
+    pub windows_done: u64,
+    /// Contention-intensity EWMA (Adaptive-Improved).
+    pub ci: f64,
+    /// Per-thread RNG (delays and π₂ ranks).
+    pub rng: SmallRng,
+    /// The frame clock of the window currently executing.
+    pub run: Option<Arc<WindowRun>>,
+    /// Set once the window machinery is bypassed (experiment shutdown).
+    pub free_mode: bool,
+}
+
+impl ThreadWindow {
+    pub(crate) fn new(thread_id: usize, seed: u64, c_init: f64, n: usize) -> Self {
+        ThreadWindow {
+            c: c_init,
+            q: 0,
+            // Start "at the end of a window" so the first transaction
+            // triggers window setup.
+            j: n,
+            j_base: 0,
+            base: 0,
+            cur_assigned: 0,
+            windows_done: 0,
+            ci: 0.0,
+            rng: SmallRng::seed_from_u64(
+                seed ^ (thread_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            run: None,
+            free_mode: false,
+        }
+    }
+
+    /// Assigned frame for the next transaction:
+    /// `Fᵢⱼ = base + qᵢ + (j − j_base)`.
+    pub(crate) fn next_assigned_frame(&self) -> u64 {
+        self.base + self.q + (self.j - self.j_base) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_window_end() {
+        let tw = ThreadWindow::new(0, 1, 4.0, 50);
+        assert_eq!(tw.j, 50, "first transaction must trigger window setup");
+        assert!(tw.run.is_none());
+    }
+
+    #[test]
+    fn frame_assignment_formula() {
+        let mut tw = ThreadWindow::new(0, 1, 4.0, 50);
+        tw.j = 3;
+        tw.j_base = 0;
+        tw.q = 2;
+        tw.base = 0;
+        assert_eq!(tw.next_assigned_frame(), 5);
+        // After a re-randomization at j = 3 with base 10 and q = 1:
+        tw.base = 10;
+        tw.q = 1;
+        tw.j_base = 3;
+        assert_eq!(tw.next_assigned_frame(), 11);
+        tw.j = 5;
+        assert_eq!(tw.next_assigned_frame(), 13);
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_rng_streams() {
+        use rand::Rng;
+        let mut a = ThreadWindow::new(0, 7, 1.0, 10);
+        let mut b = ThreadWindow::new(1, 7, 1.0, 10);
+        let sa: Vec<u32> = (0..8).map(|_| a.rng.random_range(0..1000)).collect();
+        let sb: Vec<u32> = (0..8).map(|_| b.rng.random_range(0..1000)).collect();
+        assert_ne!(sa, sb);
+    }
+}

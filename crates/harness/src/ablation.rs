@@ -1,0 +1,212 @@
+//! Ablations of the window-manager design choices (DESIGN.md §3).
+//!
+//! The paper motivates several knobs without sweeping them; these tables
+//! quantify each one:
+//!
+//! * **A1 — frame factor**: the constant `c` in `Φ = c·ln(MN)` trades
+//!   randomization spread against dead frame time.
+//! * **A2 — window width `N`**: a longer window amortizes the barrier and
+//!   randomization overhead over more transactions (the SkipList overhead
+//!   of Fig. 5 shrinks as `N` grows).
+//! * **A3 — dynamic contraction**: static vs dynamic frames, isolating
+//!   §III-B's claim that "dynamic variants always perform better".
+//! * **A4 — contention estimate `C`**: what the Online variants lose when
+//!   the configured `C` is wrong by ×¼ … ×16.
+
+use std::time::Duration;
+
+use wtm_window::{WindowConfig, WindowManager, WindowVariant};
+use wtm_workloads::Benchmark;
+
+use crate::preset::Preset;
+use crate::report::Table;
+use crate::runner::{run_one, RunSpec, StopRule};
+
+fn throughput_with_cfg(
+    bench: Benchmark,
+    variant: WindowVariant,
+    threads: usize,
+    duration: Duration,
+    cfg_mod: impl Fn(WindowConfig) -> WindowConfig,
+    seed: u64,
+) -> f64 {
+    // Bypass the name-based factory so the ablation can hand-tune the
+    // window configuration.
+    use std::sync::Arc;
+    use wtm_stm::Stm;
+    let cfg = cfg_mod(WindowConfig::new(threads, 16).with_seed(seed));
+    let wm = Arc::new(WindowManager::new(variant, cfg));
+    let stm = Stm::new(wm.clone(), threads);
+    let set: Box<dyn wtm_workloads::TxIntSet> = match bench {
+        Benchmark::List => Box::new(wtm_workloads::TxList::new()),
+        Benchmark::RBTree => Box::new(wtm_workloads::TxRBTree::new(bench.default_key_range() as usize + 8)),
+        Benchmark::SkipList => Box::new(wtm_workloads::TxSkipList::new()),
+        Benchmark::Vacation => unreachable!("ablations use the IntSet benchmarks"),
+    };
+    {
+        let boot = Stm::new(Arc::new(wtm_stm::cm::AbortSelfManager), 1);
+        let ctx = boot.thread(0);
+        let mut k = 0;
+        while k < bench.default_key_range() {
+            ctx.atomic(|tx| set.insert(tx, k).map(|_| ()));
+            k += 2;
+        }
+    }
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let commits = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let ctx = stm.thread(t);
+            let set = set.as_ref();
+            let stop = &stop;
+            let commits = &commits;
+            let wm = &wm;
+            s.spawn(move || {
+                let mut gen =
+                    wtm_workloads::SetOpGenerator::new(seed, t, bench.default_key_range(), 100);
+                let deadline = std::time::Instant::now() + duration;
+                let mut local = 0u64;
+                while std::time::Instant::now() < deadline
+                    && !stop.load(std::sync::atomic::Ordering::Relaxed)
+                {
+                    let op = gen.next_op();
+                    ctx.atomic(|tx| match op.kind {
+                        wtm_workloads::OpKind::Insert => set.insert(tx, op.key).map(|_| ()),
+                        wtm_workloads::OpKind::Remove => set.remove(tx, op.key).map(|_| ()),
+                        wtm_workloads::OpKind::Contains => set.contains(tx, op.key).map(|_| ()),
+                    });
+                    local += 1;
+                }
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                wm.cancel();
+                commits.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+    commits.load(std::sync::atomic::Ordering::Relaxed) as f64 / duration.as_secs_f64()
+}
+
+/// A1: throughput vs the frame factor `c` (List, Online-Dynamic).
+pub fn a1_frame_factor(preset: &Preset) -> Table {
+    let threads = preset.thread_counts.last().copied().unwrap_or(2);
+    let mut t = Table::new(
+        format!("A1: throughput vs frame factor c (List, Online-Dynamic, M={threads})"),
+        "phi_factor",
+        vec!["txn/s".into()],
+    );
+    for phi in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let thr = throughput_with_cfg(
+            Benchmark::List,
+            WindowVariant::OnlineDynamic,
+            threads,
+            preset.duration,
+            |mut c| {
+                c.phi_factor = phi;
+                c
+            },
+            42,
+        );
+        t.push_row(format!("{phi}"), vec![thr]);
+    }
+    t
+}
+
+/// A2: throughput vs window width `N` (SkipList — where the per-window
+/// overhead is most visible).
+pub fn a2_window_width(preset: &Preset) -> Table {
+    let threads = preset.thread_counts.last().copied().unwrap_or(2);
+    let mut t = Table::new(
+        format!("A2: throughput vs window width N (SkipList, Adaptive-Improved-Dynamic, M={threads})"),
+        "N",
+        vec!["txn/s".into()],
+    );
+    for n in [4usize, 16, 50, 200] {
+        let mut spec = RunSpec::new(
+            Benchmark::SkipList,
+            "Adaptive-Improved-Dynamic",
+            threads,
+            StopRule::Timed(preset.duration),
+        );
+        spec.window_n = n;
+        let out = run_one(&spec);
+        t.push_row(n.to_string(), vec![out.stats.throughput()]);
+    }
+    t
+}
+
+/// A3: static vs dynamic frames across benchmarks (§III-B's claim).
+pub fn a3_dynamic_vs_static(preset: &Preset) -> Table {
+    let threads = preset.thread_counts.last().copied().unwrap_or(2);
+    let mut t = Table::new(
+        format!("A3: dynamic vs static frames, throughput (M={threads})"),
+        "benchmark",
+        vec![
+            "Online".into(),
+            "Online-Dynamic".into(),
+            "dynamic/static".into(),
+        ],
+    );
+    for bench in [Benchmark::List, Benchmark::RBTree, Benchmark::SkipList] {
+        let run = |manager: &str| {
+            let mut spec =
+                RunSpec::new(bench, manager, threads, StopRule::Timed(preset.duration));
+            spec.window_n = preset.window_n;
+            run_one(&spec).stats.throughput()
+        };
+        let stat = run("Online");
+        let dynamic = run("Online-Dynamic");
+        t.push_row(
+            bench.name(),
+            vec![stat, dynamic, if stat > 0.0 { dynamic / stat } else { f64::NAN }],
+        );
+    }
+    t
+}
+
+/// A4: Online sensitivity to a mis-configured contention estimate.
+pub fn a4_c_sensitivity(preset: &Preset) -> Table {
+    let threads = preset.thread_counts.last().copied().unwrap_or(2);
+    let base_c = threads as f64;
+    let mut t = Table::new(
+        format!("A4: throughput vs configured C (List, Online-Dynamic, M={threads}, true C≈{base_c})"),
+        "C multiplier",
+        vec!["txn/s".into()],
+    );
+    for mult in [0.25, 1.0, 4.0, 16.0] {
+        let thr = throughput_with_cfg(
+            Benchmark::List,
+            WindowVariant::OnlineDynamic,
+            threads,
+            preset.duration,
+            |c| c.with_c_init(base_c * mult),
+            77,
+        );
+        t.push_row(format!("{mult}×"), vec![thr]);
+    }
+    t
+}
+
+/// All ablation tables.
+pub fn ablation_tables(preset: &Preset) -> Vec<Table> {
+    vec![
+        a1_frame_factor(preset),
+        a2_window_width(preset),
+        a3_dynamic_vs_static(preset),
+        a4_c_sensitivity(preset),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_produce_positive_throughput() {
+        let p = Preset::smoke();
+        for table in ablation_tables(&p) {
+            for row in &table.cells {
+                assert!(row[0] > 0.0, "dead cell in {}", table.title);
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Drivers for Figs. 2–5.
+
+use wtm_workloads::{Benchmark, ContentionLevel};
+
+use crate::managers::comparison_manager_names;
+use crate::preset::Preset;
+use crate::report::Table;
+use crate::runner::{run_averaged, RunSpec, StopRule};
+
+fn progress(msg: &str) {
+    eprintln!("[windowtm] {msg}");
+}
+
+/// Fig. 2 — throughput (commits/s) of the five window variants across the
+/// thread sweep, one table per benchmark.
+pub fn fig2(preset: &Preset) -> Vec<Table> {
+    let variants = wtm_window::window_names();
+    sweep_throughput(preset, &variants, "Fig 2", "window-variant throughput", false).0
+}
+
+/// Figs. 3 and 4 — the best window variants vs Polka/Greedy/Priority.
+/// Both figures come from the *same* runs (the paper measures throughput
+/// and aborts-per-commit of one experiment), so this driver returns both:
+/// `(fig3 throughput tables, fig4 aborts-per-commit tables)`.
+pub fn fig34(preset: &Preset) -> (Vec<Table>, Vec<Table>) {
+    let managers = comparison_manager_names();
+    sweep_throughput(preset, &managers, "Fig 3", "window vs classic throughput", true)
+}
+
+/// Shared thread-sweep driver. Returns throughput tables and (when
+/// `collect_aborts`) aborts-per-commit tables titled Fig 4.
+fn sweep_throughput(
+    preset: &Preset,
+    managers: &[&str],
+    fig: &str,
+    what: &str,
+    collect_aborts: bool,
+) -> (Vec<Table>, Vec<Table>) {
+    let mut thr_tables = Vec::new();
+    let mut apc_tables = Vec::new();
+    for bench in Benchmark::all() {
+        let cols: Vec<String> = managers.iter().map(|m| m.to_string()).collect();
+        let mut thr = Table::new(
+            format!("{fig}: {what} — {}", bench.name()),
+            "threads",
+            cols.clone(),
+        );
+        let mut apc = Table::new(
+            format!("Fig 4: aborts per commit — {}", bench.name()),
+            "threads",
+            cols,
+        );
+        for &m in &preset.thread_counts {
+            let mut thr_row = Vec::with_capacity(managers.len());
+            let mut apc_row = Vec::with_capacity(managers.len());
+            for manager in managers {
+                progress(&format!(
+                    "{fig} {} / {manager} / M={m}",
+                    bench.name()
+                ));
+                let mut spec = RunSpec::new(
+                    *bench,
+                    manager,
+                    m,
+                    StopRule::Timed(preset.duration),
+                );
+                spec.window_n = preset.window_n;
+                let out = run_averaged(&spec, preset.reps);
+                thr_row.push(out.stats.throughput());
+                apc_row.push(out.stats.aborts_per_commit());
+            }
+            thr.push_row(m.to_string(), thr_row);
+            apc.push_row(m.to_string(), apc_row);
+        }
+        thr_tables.push(thr);
+        if collect_aborts {
+            apc_tables.push(apc);
+        }
+    }
+    (thr_tables, apc_tables)
+}
+
+/// Fig. 5 — total time (seconds) to commit the transaction budget at 32
+/// threads under Low/Medium/High contention, one table per benchmark.
+pub fn fig5(preset: &Preset) -> Vec<Table> {
+    let managers = comparison_manager_names();
+    let mut tables = Vec::new();
+    for bench in Benchmark::all() {
+        let cols: Vec<String> = managers.iter().map(|m| m.to_string()).collect();
+        let mut t = Table::new(
+            format!(
+                "Fig 5: seconds to commit {} txns ({} threads) — {}",
+                preset.budget,
+                preset.fig5_threads,
+                bench.name()
+            ),
+            "contention",
+            cols,
+        );
+        for level in ContentionLevel::all() {
+            let mut row = Vec::with_capacity(managers.len());
+            for manager in &managers {
+                progress(&format!(
+                    "Fig 5 {} / {manager} / {}",
+                    bench.name(),
+                    level.name()
+                ));
+                let mut spec = RunSpec::new(
+                    *bench,
+                    manager,
+                    preset.fig5_threads,
+                    StopRule::Budget(preset.budget),
+                );
+                spec.update_pct = level.update_pct();
+                spec.window_n = preset.window_n;
+                let out = run_averaged(&spec, preset.reps);
+                row.push(out.total_time.as_secs_f64());
+            }
+            t.push_row(level.name(), row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Quick textual shape-check of Fig. 3-style tables: for each benchmark,
+/// the throughput ratio of the best window variant over each classic
+/// manager at the largest thread count. These are the numbers §III-B
+/// quotes ("2–4 fold in List", "comparable to Polka", …).
+pub fn fig3_ratios(tables: &[Table]) -> Table {
+    let mut out = Table::new(
+        "Fig 3 shape check: best-window / classic throughput at max threads",
+        "benchmark",
+        vec!["vs Polka".into(), "vs Greedy".into(), "vs Priority".into()],
+    );
+    for t in tables {
+        let last = t.rows.len().saturating_sub(1);
+        let window_best = ["Online-Dynamic", "Adaptive-Improved-Dynamic"]
+            .iter()
+            .filter_map(|m| t.get(last, m))
+            .fold(f64::NAN, f64::max);
+        let ratio = |name: &str| {
+            let v = t.get(last, name).unwrap_or(f64::NAN);
+            if v > 0.0 {
+                window_best / v
+            } else {
+                f64::NAN
+            }
+        };
+        let bench = t
+            .title
+            .rsplit("— ")
+            .next()
+            .unwrap_or(&t.title)
+            .to_string();
+        out.push_row(bench, vec![ratio("Polka"), ratio("Greedy"), ratio("Priority")]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_smoke_produces_full_tables() {
+        let p = Preset::smoke();
+        let tables = fig2(&p);
+        assert_eq!(tables.len(), 4);
+        for t in &tables {
+            assert_eq!(t.columns.len(), 5, "five window variants");
+            assert_eq!(t.rows.len(), p.thread_counts.len());
+            assert!(
+                t.cells.iter().flatten().all(|v| *v >= 0.0),
+                "throughput is non-negative"
+            );
+            assert!(
+                t.cells.iter().flatten().any(|v| *v > 0.0),
+                "something must commit: {}",
+                t.render()
+            );
+        }
+    }
+
+    #[test]
+    fn fig34_returns_paired_tables() {
+        let mut p = Preset::smoke();
+        p.thread_counts = vec![2];
+        let (f3, f4) = fig34(&p);
+        assert_eq!(f3.len(), 4);
+        assert_eq!(f4.len(), 4);
+        assert!(f3[0].title.contains("Fig 3"));
+        assert!(f4[0].title.contains("Fig 4"));
+        let ratios = fig3_ratios(&f3);
+        assert_eq!(ratios.rows.len(), 4);
+    }
+
+    #[test]
+    fn fig5_smoke_produces_times() {
+        let mut p = Preset::smoke();
+        p.budget = 80;
+        let tables = fig5(&p);
+        assert_eq!(tables.len(), 4);
+        for t in &tables {
+            assert_eq!(t.rows, vec!["Low", "Medium", "High"]);
+            assert!(t.cells.iter().flatten().all(|v| *v > 0.0));
+        }
+    }
+}

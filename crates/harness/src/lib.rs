@@ -1,0 +1,33 @@
+//! # wtm-harness — experiment drivers that regenerate the paper's figures
+//!
+//! One driver per artifact:
+//!
+//! | driver | paper artifact |
+//! |---|---|
+//! | [`figures::fig2`] | Fig. 2 — throughput of the five window variants, thread sweep, four benchmarks |
+//! | [`figures::fig34`] | Fig. 3 — throughput of the best window variants vs Polka/Greedy/Priority; Fig. 4 — aborts per commit of the same runs |
+//! | [`figures::fig5`] | Fig. 5 — total time to commit a fixed budget of transactions at three contention levels |
+//! | [`theory::makespan_tables`] | §II-C — simulator validation of the Offline/Online makespan bounds and the window-vs-one-shot claim |
+//!
+//! The [`runner`] module executes one `(benchmark, manager, threads)`
+//! cell: spawn `M` workers, run the deterministic operation stream until
+//! the stop rule fires, aggregate [`wtm_stm::StatsSnapshot`]s. The
+//! [`report`] module renders aligned text tables and CSV files.
+//!
+//! Two presets scale every experiment: `--quick` (CI-sized, seconds) and
+//! `--paper` (the paper's 10 s × 6 repetitions × 32 threads).
+
+pub mod ablation;
+pub mod figures;
+pub mod managers;
+pub mod metrics;
+pub mod preset;
+pub mod report;
+pub mod runner;
+pub mod theory;
+pub mod trace;
+
+pub use managers::{all_manager_names, build_manager, BuiltManager};
+pub use preset::Preset;
+pub use report::Table;
+pub use runner::{run_one, RunOutcome, RunSpec, StopRule};

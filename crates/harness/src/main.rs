@@ -1,0 +1,104 @@
+//! `windowtm` — regenerate the paper's figures from the command line.
+//!
+//! ```text
+//! windowtm <fig2|fig3|fig4|fig5|theory|trace|ablation|metrics|all> \
+//!          [--quick|--medium|--paper|--smoke] [--out DIR]
+//! ```
+//!
+//! Tables print to stdout and are also written as CSV into `--out`
+//! (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wtm_harness::ablation::ablation_tables;
+use wtm_harness::figures::{fig2, fig34, fig3_ratios, fig5};
+use wtm_harness::metrics::future_work_tables;
+use wtm_harness::preset::Preset;
+use wtm_harness::report::Table;
+use wtm_harness::theory::makespan_tables;
+use wtm_harness::trace::trace_tables;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: windowtm <fig2|fig3|fig4|fig5|theory|trace|ablation|metrics|all> [--quick|--medium|--paper|--smoke] [--out DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn emit(tables: &[Table], out_dir: &std::path::Path) {
+    for t in tables {
+        println!("{}", t.render());
+        match t.save_csv(out_dir) {
+            Ok(p) => eprintln!("[windowtm] wrote {}", p.display()),
+            Err(e) => eprintln!("[windowtm] csv write failed: {e}"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        return usage();
+    };
+    let mut preset = Preset::quick();
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => preset = Preset::quick(),
+            "--medium" => preset = Preset::medium(),
+            "--paper" => preset = Preset::paper(),
+            "--smoke" => preset = Preset::smoke(),
+            "--out" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    return usage();
+                };
+                out_dir = PathBuf::from(dir);
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    eprintln!(
+        "[windowtm] preset={} duration={:?} reps={} threads={:?}",
+        preset.name, preset.duration, preset.reps, preset.thread_counts
+    );
+
+    match cmd.as_str() {
+        "fig2" => emit(&fig2(&preset), &out_dir),
+        "fig3" | "fig4" | "fig34" => {
+            let (f3, f4) = fig34(&preset);
+            if cmd != "fig4" {
+                emit(&f3, &out_dir);
+                emit(&[fig3_ratios(&f3)], &out_dir);
+            }
+            if cmd != "fig3" {
+                emit(&f4, &out_dir);
+            }
+        }
+        "fig5" => emit(&fig5(&preset), &out_dir),
+        "theory" => emit(&makespan_tables(&preset), &out_dir),
+        "ablation" => emit(&ablation_tables(&preset), &out_dir),
+        "trace" => emit(&trace_tables(&preset), &out_dir),
+        "metrics" => emit(&future_work_tables(&preset), &out_dir),
+        "all" => {
+            emit(&fig2(&preset), &out_dir);
+            let (f3, f4) = fig34(&preset);
+            emit(&f3, &out_dir);
+            emit(&[fig3_ratios(&f3)], &out_dir);
+            emit(&f4, &out_dir);
+            emit(&fig5(&preset), &out_dir);
+            emit(&makespan_tables(&preset), &out_dir);
+            emit(&trace_tables(&preset), &out_dir);
+            emit(&ablation_tables(&preset), &out_dir);
+            emit(&future_work_tables(&preset), &out_dir);
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

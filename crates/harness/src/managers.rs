@@ -1,0 +1,96 @@
+//! Unified contention-manager factory: classic + window-based.
+
+use std::sync::Arc;
+
+use wtm_stm::ContentionManager;
+use wtm_window::{WindowConfig, WindowManager};
+
+/// A constructed manager, with the window handle kept separately so the
+/// runner can cancel window barriers at shutdown.
+pub struct BuiltManager {
+    /// The manager to install into the engine.
+    pub cm: Arc<dyn ContentionManager>,
+    /// Present iff the manager is window-based.
+    pub window: Option<Arc<WindowManager>>,
+}
+
+impl BuiltManager {
+    /// Release window barriers (no-op for classic managers).
+    pub fn cancel(&self) {
+        if let Some(w) = &self.window {
+            w.cancel();
+        }
+    }
+}
+
+/// Every manager name the harness understands: the five window variants
+/// first (Fig. 2 order), then the classic managers.
+pub fn all_manager_names() -> Vec<&'static str> {
+    let mut v = wtm_window::window_names();
+    v.extend_from_slice(wtm_managers::classic_names());
+    v
+}
+
+/// The paper's Fig. 3/4/5 comparison set: the two best window variants
+/// plus the three classic baselines.
+pub fn comparison_manager_names() -> Vec<&'static str> {
+    vec![
+        "Online-Dynamic",
+        "Adaptive-Improved-Dynamic",
+        "Polka",
+        "Greedy",
+        "Priority",
+    ]
+}
+
+/// Build a manager by name for `threads` workers. Window managers use an
+/// `threads × window_n` window seeded with `seed`.
+pub fn build_manager(
+    name: &str,
+    threads: usize,
+    window_n: usize,
+    seed: u64,
+) -> Option<BuiltManager> {
+    if let Some(cm) = wtm_managers::make_manager(name, threads) {
+        return Some(BuiltManager { cm, window: None });
+    }
+    let cfg = WindowConfig::new(threads, window_n).with_seed(seed);
+    wtm_window::make_window_manager(name, cfg).map(|wm| BuiltManager {
+        cm: wm.clone(),
+        window: Some(wm),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_builds() {
+        for name in all_manager_names() {
+            let b = build_manager(name, 2, 8, 1).unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(b.cm.name(), name);
+        }
+    }
+
+    #[test]
+    fn window_managers_expose_handle() {
+        let b = build_manager("Online-Dynamic", 2, 8, 1).unwrap();
+        assert!(b.window.is_some());
+        let c = build_manager("Polka", 2, 8, 1).unwrap();
+        assert!(c.window.is_none());
+        c.cancel(); // no-op must not panic
+    }
+
+    #[test]
+    fn comparison_set_is_buildable() {
+        for name in comparison_manager_names() {
+            assert!(build_manager(name, 4, 8, 1).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(build_manager("Nope", 2, 8, 1).is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! The paper's §IV "future work" metrics, implemented: wasted work,
+//! repeat conflicts, average committed-transaction duration, and average
+//! response time, for the Fig. 3 manager set across all benchmarks.
+//!
+//! > "window-based algorithms can also be evaluated for other performance
+//! > measures such as wasted work, repeat conflicts, average committed
+//! > transactions duration, average response time … We defer the
+//! > evaluation of window model evaluation on these aforementioned
+//! > performance measures for future work." — §IV
+//!
+//! This module is that evaluation.
+
+use crate::managers::comparison_manager_names;
+use crate::preset::Preset;
+use crate::report::Table;
+use crate::runner::{run_averaged, RunSpec, StopRule};
+use wtm_workloads::Benchmark;
+
+/// One table per metric; rows = benchmarks, columns = managers.
+pub fn future_work_tables(preset: &Preset) -> Vec<Table> {
+    let managers = comparison_manager_names();
+    let threads = preset.thread_counts.last().copied().unwrap_or(2);
+    let cols: Vec<String> = managers.iter().map(|m| m.to_string()).collect();
+    let mut wasted = Table::new(
+        format!("FW1: wasted work (fraction of cycles in aborted attempts, M={threads})"),
+        "benchmark",
+        cols.clone(),
+    );
+    let mut repeats = Table::new(
+        format!("FW2: repeat conflicts per 1000 commits (M={threads})"),
+        "benchmark",
+        cols.clone(),
+    );
+    let mut duration = Table::new(
+        format!("FW3: average committed-transaction duration (µs, M={threads})"),
+        "benchmark",
+        cols.clone(),
+    );
+    let mut response = Table::new(
+        format!("FW4: average response time (µs, first start → commit, M={threads})"),
+        "benchmark",
+        cols,
+    );
+    for bench in Benchmark::all() {
+        let mut w = Vec::new();
+        let mut r = Vec::new();
+        let mut d = Vec::new();
+        let mut resp = Vec::new();
+        for manager in &managers {
+            eprintln!("[windowtm] FW {} / {manager}", bench.name());
+            let mut spec =
+                RunSpec::new(*bench, manager, threads, StopRule::Timed(preset.duration));
+            spec.window_n = preset.window_n;
+            let out = run_averaged(&spec, preset.reps);
+            w.push(out.stats.wasted_work());
+            r.push(out.stats.repeat_conflicts as f64 * 1000.0 / out.stats.commits.max(1) as f64);
+            d.push(out.stats.avg_committed_duration().as_secs_f64() * 1e6);
+            resp.push(out.stats.avg_response_time().as_secs_f64() * 1e6);
+        }
+        wasted.push_row(bench.name(), w);
+        repeats.push_row(bench.name(), r);
+        duration.push_row(bench.name(), d);
+        response.push_row(bench.name(), resp);
+    }
+    vec![wasted, repeats, duration, response]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn future_work_tables_have_full_shape() {
+        let tables = future_work_tables(&Preset::smoke());
+        assert_eq!(tables.len(), 4);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 4, "{}", t.title);
+            assert_eq!(t.columns.len(), 5);
+            for row in &t.cells {
+                for v in row {
+                    assert!(v.is_finite() && *v >= 0.0, "bad cell in {}", t.title);
+                }
+            }
+        }
+        // Response time can never be below committed duration.
+        let d = &tables[2];
+        let r = &tables[3];
+        for i in 0..d.rows.len() {
+            for c in 0..d.columns.len() {
+                assert!(
+                    r.cells[i][c] + 1e-9 >= d.cells[i][c],
+                    "response < duration at {i},{c}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Simulator-based theory tables (§II-C of the paper).
+//!
+//! Three artifacts:
+//!
+//! * **T1 — makespan scaling**: for complete-column windows
+//!   (`C = M − 1`), the makespans of the window schedulers against the
+//!   one-shot baseline and the theoretical reference
+//!   `τ·(C + N·ln MN)` of Theorem 2.1. The *ratio* column should stay
+//!   roughly flat as `N` grows — that is the "within poly-log of optimal"
+//!   claim.
+//! * **T2 — window vs one-shot**: the §I-B motivation. Sweeping `M` on
+//!   clustered graphs, the window schedulers' makespan relative to the
+//!   one-shot decomposition.
+//! * **T3 — competitive ratio vs `s`**: resource-footprint graphs with a
+//!   shrinking resource pool; reports makespan over the trivial lower
+//!   bound `τ·max(N, clique)` (Theorems 2.2/2.4 predict growth roughly
+//!   linear in `s`... bounded by `O(s + log MN)`).
+
+use wtm_sim::engine::{simulate, SimConfig};
+use wtm_sim::graph::ConflictGraph;
+use wtm_sim::sched::{
+    FreeRandomizedScheduler, GreedyTimestampScheduler, OfflineWindowScheduler, OneShotScheduler,
+    OnlineWindowScheduler, PolkaProgressScheduler, WindowMode,
+};
+
+use crate::preset::Preset;
+use crate::report::Table;
+
+const TAU: u32 = 4;
+const SEEDS: [u64; 3] = [11, 29, 47];
+
+fn mean_makespan(
+    graph: &ConflictGraph,
+    cfg: &SimConfig,
+    mk: impl Fn(u64) -> Box<dyn wtm_sim::sched::SimScheduler>,
+) -> f64 {
+    let mut total = 0.0;
+    for seed in SEEDS {
+        let mut s = mk(seed);
+        let out = simulate(graph, cfg, s.as_mut());
+        assert!(out.all_committed, "{} did not finish", s.name());
+        total += out.makespan as f64;
+    }
+    total / SEEDS.len() as f64
+}
+
+/// Seed → boxed scheduler constructor.
+type SchedulerCtor<'a> = Box<dyn Fn(u64) -> Box<dyn wtm_sim::sched::SimScheduler> + 'a>;
+
+/// All scheduler constructors used by the theory tables.
+fn schedulers<'a>(
+    cfg: &'a SimConfig,
+    graph: &'a ConflictGraph,
+) -> Vec<(&'static str, SchedulerCtor<'a>)> {
+    vec![
+        (
+            "Offline",
+            Box::new(move |s| Box::new(OfflineWindowScheduler::new(cfg, graph, s))),
+        ),
+        (
+            "Online",
+            Box::new(move |s| {
+                Box::new(OnlineWindowScheduler::new(cfg, graph, WindowMode::Static, s))
+            }),
+        ),
+        (
+            "Online-Dynamic",
+            Box::new(move |s| {
+                Box::new(OnlineWindowScheduler::new(cfg, graph, WindowMode::Dynamic, s))
+            }),
+        ),
+        (
+            "Adaptive",
+            Box::new(move |s| {
+                Box::new(OnlineWindowScheduler::adaptive(cfg, WindowMode::Dynamic, s))
+            }),
+        ),
+        (
+            "OneShot",
+            Box::new(move |s| Box::new(OneShotScheduler::new(cfg, s))),
+        ),
+        (
+            "Greedy",
+            Box::new(move |_| Box::new(GreedyTimestampScheduler::new(cfg))),
+        ),
+        (
+            "Polka",
+            Box::new(move |s| Box::new(PolkaProgressScheduler::new(cfg, s))),
+        ),
+        (
+            "RandomizedRounds",
+            Box::new(move |s| Box::new(FreeRandomizedScheduler::new(cfg, s))),
+        ),
+    ]
+}
+
+/// T1: makespan vs `N` on complete columns; plus the Theorem 2.1 reference
+/// and the Offline/reference ratio.
+pub fn t1_makespan_scaling(preset: &Preset) -> Table {
+    let m = preset.sim_m;
+    let n_sweep: Vec<usize> = [preset.sim_n / 4, preset.sim_n / 2, preset.sim_n, 2 * preset.sim_n]
+        .into_iter()
+        .filter(|&n| n >= 2)
+        .collect();
+    let mut cols: Vec<String> = vec![
+        "Offline".into(),
+        "Online".into(),
+        "Online-Dynamic".into(),
+        "Adaptive".into(),
+        "OneShot".into(),
+        "Greedy".into(),
+        "Polka".into(),
+        "RandomizedRounds".into(),
+    ];
+    cols.push("bound τ(C+N·lnMN)".into());
+    cols.push("Offline/bound".into());
+    let mut t = Table::new(
+        format!("T1: makespan vs N (complete columns, M={m}, tau={TAU})"),
+        "N",
+        cols,
+    );
+    for n in n_sweep {
+        let graph = ConflictGraph::complete_columns(m, n);
+        let cfg = SimConfig::new(m, n, TAU);
+        let mut row = Vec::new();
+        for (_, mk) in schedulers(&cfg, &graph) {
+            row.push(mean_makespan(&graph, &cfg, |s| mk(s)));
+        }
+        let c = graph.contention() as f64;
+        let bound = TAU as f64 * (c + n as f64 * cfg.ln_mn());
+        let offline = row[0];
+        row.push(bound);
+        row.push(offline / bound);
+        t.push_row(n.to_string(), row);
+    }
+    t
+}
+
+/// T2: window vs one-shot makespan ratio across `M` (clustered graphs —
+/// the regime of §I-B where windows shine).
+pub fn t2_window_vs_oneshot(preset: &Preset) -> Table {
+    let n = preset.sim_n;
+    let m_sweep: Vec<usize> = [2, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|&m| m <= preset.sim_m.max(8))
+        .collect();
+    let mut t = Table::new(
+        format!("T2: makespan relative to one-shot (clustered conflicts, N={n}, tau={TAU})"),
+        "M",
+        vec![
+            "OneShot".into(),
+            "Offline/OneShot".into(),
+            "Online-Dynamic/OneShot".into(),
+            "Adaptive/OneShot".into(),
+            "Greedy/OneShot".into(),
+        ],
+    );
+    for m in m_sweep {
+        let graph = ConflictGraph::clustered(m, n, 0.9, 0.05, 1234 + m as u64);
+        let cfg = SimConfig::new(m, n, TAU);
+        let one = mean_makespan(&graph, &cfg, |s| Box::new(OneShotScheduler::new(&cfg, s)));
+        let off = mean_makespan(&graph, &cfg, |s| {
+            Box::new(OfflineWindowScheduler::new(&cfg, &graph, s))
+        });
+        let dynw = mean_makespan(&graph, &cfg, |s| {
+            Box::new(OnlineWindowScheduler::new(&cfg, &graph, WindowMode::Dynamic, s))
+        });
+        let ada = mean_makespan(&graph, &cfg, |s| {
+            Box::new(OnlineWindowScheduler::adaptive(&cfg, WindowMode::Dynamic, s))
+        });
+        let gre = mean_makespan(&graph, &cfg, |_| {
+            Box::new(GreedyTimestampScheduler::new(&cfg))
+        });
+        t.push_row(
+            m.to_string(),
+            vec![one, off / one, dynw / one, ada / one, gre / one],
+        );
+    }
+    t
+}
+
+/// T3: makespan over the trivial lower bound as the resource pool
+/// shrinks (competitive-ratio shape, Theorems 2.2/2.4).
+pub fn t3_competitive_vs_s(preset: &Preset) -> Table {
+    let m = preset.sim_m.min(16);
+    let n = preset.sim_n.min(24);
+    let mut t = Table::new(
+        format!("T3: makespan / lower bound vs shared resources s (M={m}, N={n}, tau={TAU})"),
+        "s",
+        vec![
+            "C (max conflicts)".into(),
+            "Offline/LB".into(),
+            "Online-Dynamic/LB".into(),
+            "OneShot/LB".into(),
+        ],
+    );
+    for s_resources in [4usize, 16, 64, 256] {
+        let graph = ConflictGraph::from_resources(m, n, s_resources, 4, 0.5, 777);
+        let cfg = SimConfig::new(m, n, TAU);
+        let lb = (TAU as f64) * (n.max(graph.column_clique_bound()) as f64);
+        let off = mean_makespan(&graph, &cfg, |sd| {
+            Box::new(OfflineWindowScheduler::new(&cfg, &graph, sd))
+        });
+        let dynw = mean_makespan(&graph, &cfg, |sd| {
+            Box::new(OnlineWindowScheduler::new(&cfg, &graph, WindowMode::Dynamic, sd))
+        });
+        let one = mean_makespan(&graph, &cfg, |sd| Box::new(OneShotScheduler::new(&cfg, sd)));
+        t.push_row(
+            s_resources.to_string(),
+            vec![graph.contention() as f64, off / lb, dynw / lb, one / lb],
+        );
+    }
+    t
+}
+
+/// All theory tables.
+pub fn makespan_tables(preset: &Preset) -> Vec<Table> {
+    vec![
+        t1_makespan_scaling(preset),
+        t2_window_vs_oneshot(preset),
+        t3_competitive_vs_s(preset),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_rows_and_bound_ratio_sane() {
+        let t = t1_makespan_scaling(&Preset::smoke());
+        assert!(!t.rows.is_empty());
+        for r in 0..t.rows.len() {
+            let ratio = t.get(r, "Offline/bound").unwrap();
+            assert!(
+                ratio > 0.0 && ratio < 10.0,
+                "Offline should sit within a small constant of the bound, got {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn t2_ratios_positive() {
+        let t = t2_window_vs_oneshot(&Preset::smoke());
+        for row in &t.cells {
+            for v in row {
+                assert!(*v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn t3_lower_bound_respected() {
+        let t = t3_competitive_vs_s(&Preset::smoke());
+        for r in 0..t.rows.len() {
+            for col in ["Offline/LB", "Online-Dynamic/LB", "OneShot/LB"] {
+                let v = t.get(r, col).unwrap();
+                assert!(v >= 0.99, "{col} below the lower bound: {v}");
+            }
+        }
+    }
+}

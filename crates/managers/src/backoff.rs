@@ -1,0 +1,95 @@
+//! Exponential-backoff contention manager.
+//!
+//! The STM analogue of test-and-test-and-set backoff locks: on a conflict,
+//! wait `base · 2^attempt` (capped), then — if the enemy is *still* in the
+//! way — kill it. The more often this transaction has aborted, the longer
+//! it waits, which spaces out repeat offenders. No priorities at all.
+
+use std::time::Duration;
+
+use wtm_stm::sync::cooperative_wait;
+use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+
+/// See module docs.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    max_interval: Duration,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base: Duration::from_micros(2),
+            max_interval: Duration::from_micros(512),
+        }
+    }
+}
+
+impl Backoff {
+    /// Backoff with custom base and cap.
+    pub fn new(base: Duration, max_interval: Duration) -> Self {
+        Backoff { base, max_interval }
+    }
+
+    fn interval_for(&self, attempt: u32) -> Duration {
+        let shift = attempt.min(20);
+        let nanos = self.base.as_nanos().saturating_mul(1u128 << shift);
+        Duration::from_nanos(nanos.min(self.max_interval.as_nanos()) as u64)
+    }
+}
+
+impl ContentionManager for Backoff {
+    fn resolve(&self, me: &TxState, enemy: &TxState, _kind: ConflictKind) -> Resolution {
+        me.set_waiting(true);
+        cooperative_wait(self.interval_for(me.attempt));
+        me.set_waiting(false);
+        if enemy.is_active() {
+            Resolution::AbortEnemy
+        } else {
+            Resolution::Retry
+        }
+    }
+
+    fn name(&self) -> &str {
+        "Backoff"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{state, state_on};
+
+    #[test]
+    fn interval_grows_exponentially_and_caps() {
+        let b = Backoff::new(Duration::from_micros(1), Duration::from_micros(8));
+        assert_eq!(b.interval_for(0), Duration::from_micros(1));
+        assert_eq!(b.interval_for(1), Duration::from_micros(2));
+        assert_eq!(b.interval_for(3), Duration::from_micros(8));
+        assert_eq!(b.interval_for(10), Duration::from_micros(8));
+        // Huge attempt counts must not overflow.
+        assert_eq!(b.interval_for(u32::MAX), Duration::from_micros(8));
+    }
+
+    #[test]
+    fn attacks_live_enemy_after_wait() {
+        let me = state(1, 1);
+        let enemy = state(2, 2);
+        assert_eq!(
+            Backoff::default().resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+    }
+
+    #[test]
+    fn retries_when_enemy_already_done() {
+        let me = state_on(0, 1, 1, 2);
+        let enemy = state(2, 2);
+        enemy.abort();
+        assert_eq!(
+            Backoff::default().resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::Retry
+        );
+    }
+}

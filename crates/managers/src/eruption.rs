@@ -1,0 +1,128 @@
+//! Eruption (Scherer & Scott, PODC 2005).
+//!
+//! Like Karma, priority is the number of objects opened — but when a
+//! transaction blocks behind an enemy it *transfers* its momentum: the
+//! blocked transaction's priority is added onto the enemy so that hot
+//! resources "erupt" through the conflict chain and finish quickly,
+//! whereupon the waiters get their turn. We model the transfer with the
+//! scratch slot: `user_slot` carries the momentum a transaction has
+//! received from waiters; effective priority = karma + received momentum.
+
+use std::time::Duration;
+
+use wtm_stm::sync::cooperative_wait;
+use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+
+/// See module docs.
+#[derive(Debug)]
+pub struct Eruption {
+    /// Wait interval between pressure checks.
+    interval: Duration,
+}
+
+impl Default for Eruption {
+    fn default() -> Self {
+        Eruption {
+            interval: Duration::from_micros(4),
+        }
+    }
+}
+
+impl Eruption {
+    /// Custom re-check interval.
+    pub fn with_interval(interval: Duration) -> Self {
+        Eruption { interval }
+    }
+
+    fn pressure(tx: &TxState) -> u64 {
+        tx.karma() + tx.user_slot()
+    }
+}
+
+impl ContentionManager for Eruption {
+    fn resolve(&self, me: &TxState, enemy: &TxState, _kind: ConflictKind) -> Resolution {
+        let mine = Self::pressure(me);
+        let theirs = Self::pressure(enemy);
+        if mine >= theirs {
+            return Resolution::AbortEnemy;
+        }
+        // Transfer momentum: my pressure pushes the enemy forward.
+        enemy.set_user_slot(theirs.saturating_add(mine.max(1)));
+        me.set_waiting(true);
+        cooperative_wait(self.interval);
+        me.set_waiting(false);
+        Resolution::Retry
+    }
+
+    fn on_begin(&self, tx: &std::sync::Arc<TxState>, _is_retry: bool) {
+        tx.set_user_slot(0); // momentum does not survive restarts
+    }
+
+    fn name(&self) -> &str {
+        "Eruption"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::state;
+
+    #[test]
+    fn higher_pressure_attacks() {
+        let cm = Eruption::default();
+        let me = state(1, 1);
+        let enemy = state(2, 2);
+        me.add_karma();
+        assert_eq!(
+            cm.resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+    }
+
+    #[test]
+    fn lower_pressure_waits_and_transfers_momentum() {
+        let cm = Eruption::with_interval(Duration::from_nanos(100));
+        let me = state(1, 1);
+        let enemy = state(2, 2);
+        for _ in 0..3 {
+            enemy.add_karma();
+        }
+        me.add_karma();
+        let before = enemy.user_slot();
+        assert_eq!(
+            cm.resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::Retry
+        );
+        assert!(
+            enemy.user_slot() > before,
+            "waiter must transfer momentum to the blocker"
+        );
+    }
+
+    #[test]
+    fn accumulated_momentum_eventually_wins() {
+        let cm = Eruption::with_interval(Duration::from_nanos(100));
+        let poor = state(1, 1);
+        let rich = state(2, 2);
+        for _ in 0..5 {
+            rich.add_karma();
+        }
+        // `rich` erupts through `poor` repeatedly; once rich receives
+        // enough momentum (here, from poor itself), rich's attacks stay
+        // immediate while poor keeps waiting.
+        assert_eq!(
+            cm.resolve(&rich, &poor, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+    }
+
+    #[test]
+    fn momentum_resets_on_begin() {
+        let cm = Eruption::default();
+        let tx = state(1, 1);
+        tx.set_user_slot(42);
+        cm.on_begin(&tx, true);
+        assert_eq!(tx.user_slot(), 0);
+    }
+}

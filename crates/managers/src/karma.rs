@@ -1,0 +1,96 @@
+//! Karma (Scherer & Scott, 2004/2005).
+//!
+//! Priority = objects opened, accumulated across retries, so a transaction
+//! that keeps losing gradually earns the right to win. The attacker
+//! compares its priority *plus the number of retries it has already
+//! suffered* against the enemy's priority: once
+//! `me.karma + me.attempt ≥ enemy.karma` it attacks; otherwise it waits a
+//! short fixed interval and lets the engine re-detect. (The per-attempt
+//! bonus is Karma's "each backoff raises my effective priority" rule.)
+
+use std::time::Duration;
+
+use wtm_stm::sync::cooperative_wait;
+use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+
+/// See module docs.
+#[derive(Debug)]
+pub struct Karma {
+    /// The fixed wait interval between priority re-checks.
+    interval: Duration,
+}
+
+impl Default for Karma {
+    fn default() -> Self {
+        Karma {
+            interval: Duration::from_micros(4),
+        }
+    }
+}
+
+impl Karma {
+    /// Karma with a custom re-check interval.
+    pub fn with_interval(interval: Duration) -> Self {
+        Karma { interval }
+    }
+}
+
+impl ContentionManager for Karma {
+    fn resolve(&self, me: &TxState, enemy: &TxState, _kind: ConflictKind) -> Resolution {
+        let effective = me.karma() + u64::from(me.attempt);
+        if effective >= enemy.karma() {
+            Resolution::AbortEnemy
+        } else {
+            me.set_waiting(true);
+            cooperative_wait(self.interval);
+            me.set_waiting(false);
+            Resolution::Retry
+        }
+    }
+
+    fn name(&self) -> &str {
+        "Karma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{state, state_on};
+
+    #[test]
+    fn equal_karma_attacks() {
+        let me = state(1, 1);
+        let enemy = state(2, 2);
+        assert_eq!(
+            Karma::default().resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+    }
+
+    #[test]
+    fn poorer_waits() {
+        let me = state(1, 1);
+        let enemy = state(2, 2);
+        enemy.add_karma();
+        enemy.add_karma();
+        assert_eq!(
+            Karma::default().resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::Retry
+        );
+    }
+
+    #[test]
+    fn retries_raise_effective_priority() {
+        // karma 0 but 5 retries beats an enemy with karma 4.
+        let me = state_on(0, 1, 1, 5);
+        let enemy = state(2, 2);
+        for _ in 0..4 {
+            enemy.add_karma();
+        }
+        assert_eq!(
+            Karma::default().resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+    }
+}

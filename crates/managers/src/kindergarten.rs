@@ -1,0 +1,132 @@
+//! Kindergarten (Scherer & Scott, PODC 2005).
+//!
+//! "Taking turns": each transaction keeps a list of enemies it has
+//! already backed off for. On a conflict with a *new* enemy it politely
+//! aborts itself (giving the other side its turn); on a *repeat* conflict
+//! with an enemy it already yielded to, it attacks — it is our turn now.
+//! The hat list is kept per thread and survives transaction restarts
+//! (that is the whole point: the restart remembers whom it yielded to).
+
+use parking_lot::Mutex;
+
+use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+
+/// A `(my logical txn, enemy logical txn)` pair we already yielded to.
+type HatPair = (u64, u64);
+
+/// See module docs.
+pub struct Kindergarten {
+    /// Per-thread list of [`HatPair`]s. Bounded to keep lookups cheap.
+    hats: Box<[Mutex<Vec<HatPair>>]>,
+}
+
+const MAX_HATS: usize = 64;
+
+impl Kindergarten {
+    /// Manager for `num_threads` workers.
+    pub fn new(num_threads: usize) -> Self {
+        Kindergarten {
+            hats: (0..num_threads.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+}
+
+impl ContentionManager for Kindergarten {
+    fn resolve(&self, me: &TxState, enemy: &TxState, _kind: ConflictKind) -> Resolution {
+        let slot = me.thread_id % self.hats.len();
+        let mut hats = self.hats[slot].lock();
+        let key = (me.txn_id, enemy.txn_id);
+        if hats.contains(&key) {
+            // We already gave this enemy a turn: now it is ours.
+            Resolution::AbortEnemy
+        } else {
+            if hats.len() >= MAX_HATS {
+                hats.remove(0);
+            }
+            hats.push(key);
+            Resolution::AbortSelf
+        }
+    }
+
+    fn on_commit(&self, tx: &TxState) {
+        let slot = tx.thread_id % self.hats.len();
+        self.hats[slot].lock().retain(|(mine, _)| *mine != tx.txn_id);
+    }
+
+    fn name(&self) -> &str {
+        "Kindergarten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{state, state_on};
+
+    #[test]
+    fn first_conflict_yields_second_attacks() {
+        let cm = Kindergarten::new(2);
+        let me = state_on(0, 1, 1, 0);
+        let enemy = state_on(1, 2, 2, 0);
+        assert_eq!(
+            cm.resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortSelf,
+            "first meeting: give the enemy a turn"
+        );
+        // Same logical pair again (our retry): now we attack.
+        assert_eq!(
+            cm.resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy,
+            "second meeting: our turn"
+        );
+    }
+
+    #[test]
+    fn different_enemies_each_get_one_turn() {
+        let cm = Kindergarten::new(1);
+        let me = state(1, 1);
+        let e1 = state(2, 2);
+        let e2 = state(3, 3);
+        assert_eq!(
+            cm.resolve(&me, &e1, ConflictKind::WriteWrite),
+            Resolution::AbortSelf
+        );
+        assert_eq!(
+            cm.resolve(&me, &e2, ConflictKind::WriteWrite),
+            Resolution::AbortSelf
+        );
+        assert_eq!(
+            cm.resolve(&me, &e1, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+        assert_eq!(
+            cm.resolve(&me, &e2, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+    }
+
+    #[test]
+    fn commit_clears_the_hat_list() {
+        let cm = Kindergarten::new(1);
+        let me = state(1, 1);
+        let enemy = state(2, 2);
+        let _ = cm.resolve(&me, &enemy, ConflictKind::WriteWrite);
+        cm.on_commit(&me);
+        // A fresh logical transaction with the same ids yields again.
+        assert_eq!(
+            cm.resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortSelf
+        );
+    }
+
+    #[test]
+    fn hat_list_is_bounded() {
+        let cm = Kindergarten::new(1);
+        let me = state(1, 1);
+        for i in 0..(MAX_HATS as u64 + 20) {
+            let enemy = state(i + 2, i + 2);
+            let _ = cm.resolve(&me, &enemy, ConflictKind::WriteWrite);
+        }
+        assert!(cm.hats[0].lock().len() <= MAX_HATS);
+    }
+}

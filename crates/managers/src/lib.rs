@@ -1,0 +1,87 @@
+//! # wtm-managers — classic STM contention managers
+//!
+//! The comparison baselines of the paper (§III-A) plus the wider family
+//! they come from:
+//!
+//! * [`Polka`] — the "published best" manager the paper compares against:
+//!   Karma priorities combined with exponential backoff
+//!   (Scherer & Scott, PODC 2005).
+//! * [`Greedy`] — the first manager with provable properties: decides by
+//!   static timestamps, never waits for a waiting enemy
+//!   (Guerraoui, Herlihy & Pochon, PODC 2005).
+//! * [`Priority`] — the simple static-priority manager of the paper:
+//!   priority is the start time; the younger transaction yields.
+//! * [`Karma`], [`Backoff`], [`Polite`], [`Aggressive`], [`Timid`],
+//!   [`Timestamp`] — the classic DSTM policy family.
+//! * [`RandomizedRounds`] — Schneider & Wattenhofer's randomized manager,
+//!   also the conflict-resolution subroutine inside the paper's window
+//!   Online algorithm.
+//!
+//! All managers implement [`wtm_stm::ContentionManager`] and are safe to
+//! share across every worker thread of one [`wtm_stm::Stm`].
+//!
+//! The [`registry`] module maps manager names to constructors for the
+//! experiment harness.
+
+pub mod ats;
+pub mod backoff;
+pub mod eruption;
+pub mod greedy;
+pub mod karma;
+pub mod kindergarten;
+pub mod polite;
+pub mod polka;
+pub mod priority;
+pub mod randomized;
+pub mod registry;
+pub mod simple;
+pub mod timestamp;
+
+pub use ats::Ats;
+pub use backoff::Backoff;
+pub use eruption::Eruption;
+pub use greedy::Greedy;
+pub use karma::Karma;
+pub use kindergarten::Kindergarten;
+pub use polite::Polite;
+pub use polka::Polka;
+pub use priority::Priority;
+pub use randomized::RandomizedRounds;
+pub use registry::{classic_names, make_manager};
+pub use simple::{Aggressive, Timid};
+pub use timestamp::Timestamp;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::Arc;
+    use std::time::Instant;
+    use wtm_stm::TxState;
+
+    /// Build a transaction state with the given ids and timestamp.
+    pub fn state(attempt_id: u64, ts: u64) -> Arc<TxState> {
+        Arc::new(TxState::new(
+            attempt_id,
+            attempt_id,
+            0,
+            0,
+            ts,
+            ts,
+            Instant::now(),
+            0,
+        ))
+    }
+
+    /// Build a state on a specific thread with a retry count.
+    pub fn state_on(thread: usize, attempt_id: u64, ts: u64, attempt: u32) -> Arc<TxState> {
+        Arc::new(TxState::new(
+            attempt_id,
+            attempt_id,
+            thread,
+            attempt,
+            ts,
+            ts + attempt as u64,
+            Instant::now(),
+            0,
+        ))
+    }
+}

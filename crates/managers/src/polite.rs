@@ -1,0 +1,114 @@
+//! Polite (Herlihy, Luchangco, Moir & Scherer, DSTM 2003).
+//!
+//! Per conflict, back off a bounded number of rounds with randomized
+//! exponentially-growing intervals, re-checking the enemy after each; if
+//! the enemy is still active when politeness runs out, abort it. The
+//! per-conflict round counter lives in the transaction's scratch slot and
+//! is reset on every new attempt.
+
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use parking_lot::Mutex;
+use wtm_stm::sync::cooperative_wait;
+use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+
+/// See module docs.
+pub struct Polite {
+    base: Duration,
+    max_rounds: u32,
+    rng: Mutex<SmallRng>,
+}
+
+impl Default for Polite {
+    fn default() -> Self {
+        Polite {
+            base: Duration::from_micros(2),
+            max_rounds: 8,
+            rng: Mutex::new(SmallRng::seed_from_u64(0xB01_17E)),
+        }
+    }
+}
+
+impl Polite {
+    /// Polite with custom base interval and round budget.
+    pub fn new(base: Duration, max_rounds: u32) -> Self {
+        Polite {
+            base,
+            max_rounds,
+            ..Default::default()
+        }
+    }
+}
+
+impl ContentionManager for Polite {
+    fn resolve(&self, me: &TxState, enemy: &TxState, _kind: ConflictKind) -> Resolution {
+        let round = me.user_slot();
+        if round >= u64::from(self.max_rounds) {
+            me.set_user_slot(0);
+            return Resolution::AbortEnemy;
+        }
+        me.set_user_slot(round + 1);
+        // Randomized interval in [1, 2^round] × base (classic randomized
+        // exponential backoff).
+        let spread = 1u64 << round.min(16);
+        let factor = self.rng.lock().random_range(1..=spread);
+        me.set_waiting(true);
+        cooperative_wait(Duration::from_nanos(
+            self.base.as_nanos() as u64 * factor,
+        ));
+        me.set_waiting(false);
+        if enemy.is_active() {
+            Resolution::Retry // engine re-detects; we count rounds across re-entries
+        } else {
+            me.set_user_slot(0);
+            Resolution::Retry
+        }
+    }
+
+    fn on_begin(&self, tx: &std::sync::Arc<TxState>, _is_retry: bool) {
+        tx.set_user_slot(0);
+    }
+
+    fn name(&self) -> &str {
+        "Polite"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::state;
+
+    #[test]
+    fn attacks_after_round_budget() {
+        let cm = Polite::new(Duration::from_nanos(100), 3);
+        let me = state(1, 1);
+        let enemy = state(2, 2);
+        let mut attacked = false;
+        for _ in 0..4 {
+            match cm.resolve(&me, &enemy, ConflictKind::WriteWrite) {
+                Resolution::AbortEnemy => {
+                    attacked = true;
+                    break;
+                }
+                Resolution::Retry => continue,
+                Resolution::AbortSelf => panic!("polite never aborts self"),
+            }
+        }
+        assert!(attacked, "must attack once politeness is exhausted");
+        // Round counter reset for the next conflict.
+        assert_eq!(me.user_slot(), 0);
+    }
+
+    #[test]
+    fn on_begin_resets_rounds() {
+        let cm = Polite::default();
+        let me = state(1, 1);
+        me.set_user_slot(5);
+        cm.on_begin(&me, true);
+        assert_eq!(me.user_slot(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Polka (Scherer & Scott, PODC 2005) — the paper's "published best"
+//! baseline.
+//!
+//! Polka marries **Karma**'s priority accumulation with **Polite**'s
+//! exponential backoff. A transaction's priority is the number of objects
+//! it has opened, *accumulated across retries* (work invested). On a
+//! conflict the attacker computes the priority gap `Δ = enemy − me`:
+//!
+//! * `Δ ≤ 0` — the attacker has invested at least as much work: abort the
+//!   enemy at once.
+//! * `Δ > 0` — give the enemy `Δ` chances to finish, sleeping an
+//!   exponentially growing interval between checks; if it is still active
+//!   after `Δ` intervals, abort it anyway.
+//!
+//! Polka has no provable worst-case guarantee (the paper stresses this)
+//! but excellent empirical behaviour: victims that have done a lot of work
+//! get time to finish, and deadlocked/parked enemies are eventually killed.
+
+use std::time::Duration;
+
+use wtm_stm::sync::cooperative_wait;
+use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+
+/// Polka contention manager. Construct with [`Polka::default`] or tune the
+/// backoff via [`Polka::with_backoff`].
+#[derive(Debug)]
+pub struct Polka {
+    /// First backoff interval.
+    base: Duration,
+    /// Cap on a single backoff interval.
+    max_interval: Duration,
+    /// Cap on the number of backoff rounds (bounds the Δ loop so a huge
+    /// karma gap cannot stall the attacker for seconds).
+    max_rounds: u64,
+}
+
+impl Default for Polka {
+    fn default() -> Self {
+        Polka {
+            base: Duration::from_micros(2),
+            max_interval: Duration::from_micros(256),
+            max_rounds: 16,
+        }
+    }
+}
+
+impl Polka {
+    /// Custom backoff parameters (`base` doubling each round up to
+    /// `max_interval`, at most `max_rounds` rounds).
+    pub fn with_backoff(base: Duration, max_interval: Duration, max_rounds: u64) -> Self {
+        Polka {
+            base,
+            max_interval,
+            max_rounds,
+        }
+    }
+}
+
+impl ContentionManager for Polka {
+    fn resolve(&self, me: &TxState, enemy: &TxState, _kind: ConflictKind) -> Resolution {
+        let gap = enemy.karma().saturating_sub(me.karma());
+        if gap == 0 {
+            return Resolution::AbortEnemy;
+        }
+        let rounds = gap.min(self.max_rounds);
+        let mut interval = self.base;
+        me.set_waiting(true);
+        for _ in 0..rounds {
+            cooperative_wait(interval);
+            interval = (interval * 2).min(self.max_interval);
+            if !enemy.is_active() {
+                me.set_waiting(false);
+                return Resolution::Retry; // enemy finished on its own
+            }
+            if !me.is_active() {
+                // Someone killed us while we were being polite.
+                me.set_waiting(false);
+                return Resolution::Retry; // engine notices the abort
+            }
+        }
+        me.set_waiting(false);
+        Resolution::AbortEnemy
+    }
+
+    fn name(&self) -> &str {
+        "Polka"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::state;
+    use std::time::Instant;
+
+    #[test]
+    fn equal_or_higher_karma_attacks_immediately() {
+        let me = state(1, 1);
+        let enemy = state(2, 2);
+        // Both karma 0.
+        let t0 = Instant::now();
+        assert_eq!(
+            Polka::default().resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+        assert!(t0.elapsed() < Duration::from_millis(1));
+
+        // Me richer than enemy.
+        me.add_karma();
+        me.add_karma();
+        enemy.add_karma();
+        assert_eq!(
+            Polka::default().resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+    }
+
+    #[test]
+    fn poorer_attacker_waits_then_attacks() {
+        let me = state(1, 1);
+        let enemy = state(2, 2);
+        for _ in 0..3 {
+            enemy.add_karma();
+        }
+        let cm = Polka::with_backoff(Duration::from_micros(50), Duration::from_micros(100), 16);
+        let t0 = Instant::now();
+        let res = cm.resolve(&me, &enemy, ConflictKind::WriteWrite);
+        assert_eq!(res, Resolution::AbortEnemy);
+        // 3 rounds: 50 + 100 + 100 µs minimum.
+        assert!(t0.elapsed() >= Duration::from_micros(250));
+        assert!(!me.is_waiting());
+    }
+
+    #[test]
+    fn wait_cut_short_when_enemy_finishes() {
+        let me = state(1, 1);
+        let enemy = state(2, 2);
+        for _ in 0..10 {
+            enemy.add_karma();
+        }
+        enemy.try_commit();
+        let cm = Polka::default();
+        let res = cm.resolve(&me, &enemy, ConflictKind::ReadWrite);
+        assert_eq!(res, Resolution::Retry);
+    }
+
+    #[test]
+    fn rounds_are_capped() {
+        let me = state(1, 1);
+        let enemy = state(2, 2);
+        for _ in 0..1_000 {
+            enemy.add_karma();
+        }
+        let cm = Polka::with_backoff(Duration::from_micros(10), Duration::from_micros(10), 4);
+        let t0 = Instant::now();
+        assert_eq!(
+            cm.resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+        // 4 rounds × 10 µs, with generous slack for scheduling noise.
+        assert!(t0.elapsed() < Duration::from_millis(50));
+    }
+}

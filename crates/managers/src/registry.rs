@@ -1,0 +1,72 @@
+//! Name → manager constructors for the experiment harness and CLI.
+
+use std::sync::Arc;
+
+use wtm_stm::ContentionManager;
+
+use crate::{
+    Aggressive, Ats, Backoff, Eruption, Greedy, Karma, Kindergarten, Polite, Polka, Priority,
+    RandomizedRounds, Timestamp, Timid,
+};
+
+/// The classic manager names [`make_manager`] understands
+/// (the window-based managers live in `wtm-window` and have their own
+/// registry entry points in the harness).
+pub fn classic_names() -> &'static [&'static str] {
+    &[
+        "Polka",
+        "Greedy",
+        "Priority",
+        "Karma",
+        "Backoff",
+        "Polite",
+        "Aggressive",
+        "Timid",
+        "Timestamp",
+        "RandomizedRounds",
+        "Eruption",
+        "Kindergarten",
+        "ATS",
+    ]
+}
+
+/// Construct a classic contention manager by name.
+///
+/// `num_threads` parameterizes managers that need the thread count
+/// (RandomizedRounds' rank range). Returns `None` for unknown names.
+pub fn make_manager(name: &str, num_threads: usize) -> Option<Arc<dyn ContentionManager>> {
+    Some(match name {
+        "Polka" => Arc::new(Polka::default()),
+        "Greedy" => Arc::new(Greedy),
+        "Priority" => Arc::new(Priority),
+        "Karma" => Arc::new(Karma::default()),
+        "Backoff" => Arc::new(Backoff::default()),
+        "Polite" => Arc::new(Polite::default()),
+        "Aggressive" => Arc::new(Aggressive),
+        "Timid" => Arc::new(Timid),
+        "Timestamp" => Arc::new(Timestamp::default()),
+        "RandomizedRounds" => Arc::new(RandomizedRounds::new(num_threads)),
+        "Eruption" => Arc::new(Eruption::default()),
+        "Kindergarten" => Arc::new(Kindergarten::new(num_threads)),
+        "ATS" => Arc::new(Ats::new(num_threads)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_constructs() {
+        for name in classic_names() {
+            let cm = make_manager(name, 4).unwrap_or_else(|| panic!("{name} should construct"));
+            assert_eq!(cm.name(), *name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(make_manager("NoSuchManager", 4).is_none());
+    }
+}

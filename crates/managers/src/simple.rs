@@ -1,0 +1,70 @@
+//! The two degenerate policies: always-attack and always-yield.
+//!
+//! They bracket the policy space — *Aggressive* maximizes progress of the
+//! attacker at the cost of killing long-running victims repeatedly;
+//! *Timid* can never hurt a competitor but livelocks under symmetric
+//! contention. Useful as baselines and in unit tests.
+
+use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+
+/// Always abort the enemy (DSTM's *Aggressive* policy).
+#[derive(Debug, Default)]
+pub struct Aggressive;
+
+impl ContentionManager for Aggressive {
+    fn resolve(&self, _me: &TxState, _enemy: &TxState, _kind: ConflictKind) -> Resolution {
+        Resolution::AbortEnemy
+    }
+
+    fn name(&self) -> &str {
+        "Aggressive"
+    }
+}
+
+/// Always abort self (the *Timid* policy).
+#[derive(Debug, Default)]
+pub struct Timid;
+
+impl ContentionManager for Timid {
+    fn resolve(&self, _me: &TxState, _enemy: &TxState, _kind: ConflictKind) -> Resolution {
+        Resolution::AbortSelf
+    }
+
+    fn name(&self) -> &str {
+        "Timid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::state;
+
+    #[test]
+    fn aggressive_always_attacks() {
+        let a = state(1, 1);
+        let b = state(2, 2);
+        assert_eq!(
+            Aggressive.resolve(&a, &b, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+        assert_eq!(
+            Aggressive.resolve(&b, &a, ConflictKind::ReadWrite),
+            Resolution::AbortEnemy
+        );
+    }
+
+    #[test]
+    fn timid_always_yields() {
+        let a = state(1, 1);
+        let b = state(2, 2);
+        assert_eq!(
+            Timid.resolve(&a, &b, ConflictKind::WriteWrite),
+            Resolution::AbortSelf
+        );
+        assert_eq!(
+            Timid.resolve(&b, &a, ConflictKind::WriteRead),
+            Resolution::AbortSelf
+        );
+    }
+}

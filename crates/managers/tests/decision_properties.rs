@@ -1,0 +1,112 @@
+//! Property tests over the contention-manager decision tables.
+//!
+//! For the *non-waiting* managers the decision must be a total,
+//! antisymmetric relation: in any conflict exactly one side yields, no
+//! matter which side asks first — otherwise two symmetric `resolve`
+//! calls could kill both transactions (progress loss) or neither
+//! (livelock by construction).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use proptest::prelude::*;
+
+use wtm_managers::{Priority, RandomizedRounds, Timestamp};
+use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+
+fn state(attempt_id: u64, txn_id: u64, thread: usize, ts: u64, attempt: u32) -> Arc<TxState> {
+    Arc::new(TxState::new(
+        attempt_id,
+        txn_id,
+        thread,
+        attempt,
+        ts,
+        ts + u64::from(attempt),
+        Instant::now(),
+        0,
+    ))
+}
+
+fn kinds() -> [ConflictKind; 3] {
+    [
+        ConflictKind::WriteWrite,
+        ConflictKind::ReadWrite,
+        ConflictKind::WriteRead,
+    ]
+}
+
+/// One side must attack and the mirrored call must self-abort (or vice
+/// versa) — never both attack, never both yield.
+fn assert_antisymmetric(cm: &dyn ContentionManager, a: &TxState, b: &TxState) {
+    for kind in kinds() {
+        let ab = cm.resolve(a, b, kind);
+        let ba = cm.resolve(b, a, kind);
+        match (ab, ba) {
+            (Resolution::AbortEnemy, Resolution::AbortSelf)
+            | (Resolution::AbortSelf, Resolution::AbortEnemy) => {}
+            other => panic!(
+                "{}: non-antisymmetric decision {:?} for {kind:?}",
+                cm.name(),
+                other
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn priority_is_antisymmetric(
+        ts_a in 1u64..1000, ts_b in 1u64..1000,
+        att_a in 0u32..5, att_b in 0u32..5,
+    ) {
+        let a = state(1, 1, 0, ts_a, att_a);
+        let b = state(2, 2, 1, ts_b, att_b);
+        assert_antisymmetric(&Priority, &a, &b);
+    }
+
+    #[test]
+    fn randomized_rounds_is_antisymmetric(
+        rank_a in 1u32..16, rank_b in 1u32..16,
+    ) {
+        let cm = RandomizedRounds::new(16);
+        let a = state(1, 1, 0, 5, 0);
+        let b = state(2, 2, 1, 6, 0);
+        a.set_rank(rank_a);
+        b.set_rank(rank_b);
+        assert_antisymmetric(&cm, &a, &b);
+    }
+
+    #[test]
+    fn timestamp_attack_side_is_consistent(
+        ts_a in 1u64..1000, ts_b in 1u64..1000,
+    ) {
+        // Timestamp's younger side *waits* before yielding, so full
+        // antisymmetry checks would sleep; assert only the attack rule:
+        // the older attempt always attacks immediately.
+        let cm = Timestamp::with_patience(std::time::Duration::from_micros(1));
+        let a = state(1, 1, 0, ts_a, 0);
+        let b = state(2, 2, 1, ts_b, 0);
+        let older_first = (a.attempt_ts, a.attempt_id) < (b.attempt_ts, b.attempt_id);
+        let (old, young) = if older_first { (&a, &b) } else { (&b, &a) };
+        prop_assert_eq!(
+            cm.resolve(old, young, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+    }
+
+    #[test]
+    fn priority_decision_is_stable_across_kinds(
+        ts_a in 1u64..1000, ts_b in 1u64..1000,
+    ) {
+        // Priority ignores the conflict kind: the same pair must resolve
+        // the same way for all three kinds.
+        let a = state(1, 1, 0, ts_a, 0);
+        let b = state(2, 2, 1, ts_b, 0);
+        let first = Priority.resolve(&a, &b, ConflictKind::WriteWrite);
+        for kind in kinds() {
+            prop_assert_eq!(Priority.resolve(&a, &b, kind), first);
+        }
+    }
+}

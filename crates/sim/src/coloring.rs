@@ -1,0 +1,118 @@
+//! Greedy vertex coloring.
+//!
+//! The Offline window algorithm commits "all transactions of the same
+//! color simultaneously" (§II-A): inside a frame it colors the subgraph of
+//! high-priority pending transactions and schedules one color class per
+//! time slot. Greedy coloring in largest-degree-first order uses at most
+//! `Δ + 1` colors, which is all the theory needs.
+
+use crate::graph::{ConflictGraph, TxnId};
+
+/// Color the induced subgraph on `nodes` greedily (largest degree first).
+/// Returns the color classes, each an independent set; classes are
+/// ordered largest-first so slot schedules drain the bulk early.
+pub fn greedy_coloring(graph: &ConflictGraph, nodes: &[TxnId]) -> Vec<Vec<TxnId>> {
+    if nodes.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<TxnId> = nodes.to_vec();
+    order.sort_unstable_by_key(|&t| std::cmp::Reverse(graph.degree(t)));
+
+    // color[t] for t in nodes; use a map keyed by txn id.
+    let mut color: std::collections::HashMap<TxnId, usize> = std::collections::HashMap::new();
+    let mut classes: Vec<Vec<TxnId>> = Vec::new();
+    for &t in &order {
+        let mut used = vec![false; classes.len()];
+        for &nb in graph.neighbors(t) {
+            if let Some(&c) = color.get(&nb) {
+                used[c] = true;
+            }
+        }
+        let c = used.iter().position(|&u| !u).unwrap_or(classes.len());
+        if c == classes.len() {
+            classes.push(Vec::new());
+        }
+        classes[c].push(t);
+        color.insert(t, c);
+    }
+    classes.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    classes
+}
+
+/// Check that every class is an independent set and the classes
+/// partition `nodes`. Used by tests and debug assertions.
+pub fn is_valid_coloring(graph: &ConflictGraph, nodes: &[TxnId], classes: &[Vec<TxnId>]) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    for class in classes {
+        for (x, &a) in class.iter().enumerate() {
+            if !seen.insert(a) {
+                return false;
+            }
+            for &b in &class[x + 1..] {
+                if graph.conflicts(a, b) {
+                    return false;
+                }
+            }
+        }
+    }
+    nodes.len() == seen.len() && nodes.iter().all(|t| seen.contains(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_no_classes() {
+        let g = ConflictGraph::empty(2, 2);
+        assert!(greedy_coloring(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn independent_nodes_one_class() {
+        let g = ConflictGraph::empty(3, 1);
+        let nodes = [0, 1, 2];
+        let classes = greedy_coloring(&g, &nodes);
+        assert_eq!(classes.len(), 1);
+        assert!(is_valid_coloring(&g, &nodes, &classes));
+    }
+
+    #[test]
+    fn clique_needs_one_class_per_node() {
+        let g = ConflictGraph::complete_columns(5, 1);
+        let nodes: Vec<_> = (0..5).collect();
+        let classes = greedy_coloring(&g, &nodes);
+        assert_eq!(classes.len(), 5);
+        assert!(is_valid_coloring(&g, &nodes, &classes));
+    }
+
+    #[test]
+    fn colors_bounded_by_max_degree_plus_one() {
+        for seed in 0..10 {
+            let g = ConflictGraph::per_column_random(8, 4, 0.5, seed);
+            let nodes: Vec<_> = (0..g.len() as u32).collect();
+            let classes = greedy_coloring(&g, &nodes);
+            assert!(classes.len() <= g.contention() + 1);
+            assert!(is_valid_coloring(&g, &nodes, &classes));
+        }
+    }
+
+    #[test]
+    fn subset_coloring_only_covers_subset() {
+        let g = ConflictGraph::complete_columns(4, 2);
+        let subset = [g.id(0, 0), g.id(1, 0), g.id(2, 1)];
+        let classes = greedy_coloring(&g, &subset);
+        assert!(is_valid_coloring(&g, &subset, &classes));
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn validity_checker_catches_conflict_in_class() {
+        let g = ConflictGraph::complete_columns(2, 1);
+        // Both nodes in one class conflict: invalid.
+        assert!(!is_valid_coloring(&g, &[0, 1], &[vec![0, 1]]));
+        // Duplicated node: invalid.
+        assert!(!is_valid_coloring(&g, &[0], &[vec![0], vec![0]]));
+    }
+}

@@ -1,0 +1,265 @@
+//! The step-accurate execution engine.
+//!
+//! Time advances in unit steps; every transaction needs `τ` *scheduled*
+//! steps to commit. Per step the engine:
+//!
+//! 1. determines the **issued** transactions — each thread's next
+//!    uncommitted transaction, issued as soon as its predecessor commits
+//!    (§II-A's sequential-per-thread rule);
+//! 2. asks the scheduler to **select** which issued transactions execute
+//!    this step (window schedulers select everything; one-shot holds back
+//!    future columns; Offline runs one independent set per slot);
+//! 3. resolves every conflicting selected pair through the scheduler —
+//!    each pair names a **loser**, and any transaction that lost at least
+//!    one duel aborts (its progress resets to `τ`, matching an eager STM
+//!    where a doomed transaction restarts from scratch);
+//! 4. survivors advance one step and commit when their `τ` steps are done.
+//!
+//! The engine is deterministic given the scheduler's seed, which makes
+//! makespan comparisons across schedulers exact rather than statistical.
+
+use crate::graph::{ConflictGraph, TxnId};
+use crate::sched::SimScheduler;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Threads (window height `M`).
+    pub m: usize,
+    /// Transactions per thread (window width `N`).
+    pub n: usize,
+    /// Transaction duration `τ` in steps.
+    pub tau: u32,
+    /// The constant in `Φ = phi_factor · ln(MN)` slots per frame.
+    pub phi_factor: f64,
+    /// Safety valve: abort the simulation after this many steps.
+    pub max_steps: u64,
+}
+
+impl SimConfig {
+    /// Defaults: `phi_factor = 1.0`, a generous step budget.
+    pub fn new(m: usize, n: usize, tau: u32) -> Self {
+        assert!(m >= 1 && n >= 1 && tau >= 1);
+        SimConfig {
+            m,
+            n,
+            tau,
+            phi_factor: 1.0,
+            max_steps: (tau as u64)
+                .saturating_mul((m as u64 + 16) * (n as u64 + 16))
+                .saturating_mul(64)
+                .max(1_000_000),
+        }
+    }
+
+    /// `ln(MN)` clamped below by 1.
+    pub fn ln_mn(&self) -> f64 {
+        ((self.m * self.n) as f64).ln().max(1.0)
+    }
+
+    /// Slots per frame: `max(1, ⌈phi_factor · ln(MN)⌉)`.
+    pub fn phi_slots(&self) -> u64 {
+        (self.phi_factor * self.ln_mn()).ceil().max(1.0) as u64
+    }
+
+    /// Steps per frame (`phi_slots · τ`).
+    pub fn phi_steps(&self) -> u64 {
+        self.phi_slots() * self.tau as u64
+    }
+}
+
+/// What a simulation produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOutcome {
+    /// Steps until the last commit (= the paper's makespan).
+    pub makespan: u64,
+    /// Committed transactions (always `M·N` when `all_committed`).
+    pub commits: u64,
+    /// Total aborts across the run.
+    pub aborts: u64,
+    /// Whether every transaction committed within the step budget.
+    pub all_committed: bool,
+    /// Sum over transactions of (commit step − issue step).
+    pub sum_response: u64,
+}
+
+impl SimOutcome {
+    /// Aborts per commit (Fig. 4's metric, in the simulator).
+    pub fn aborts_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            self.aborts as f64
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+
+    /// Mean response time in steps.
+    pub fn avg_response(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.sum_response as f64 / self.commits as f64
+        }
+    }
+}
+
+/// Run `sched` over `graph`. See module docs for the step semantics.
+pub fn simulate(
+    graph: &ConflictGraph,
+    cfg: &SimConfig,
+    sched: &mut dyn SimScheduler,
+) -> SimOutcome {
+    assert_eq!(graph.m(), cfg.m, "graph/config thread mismatch");
+    assert_eq!(graph.n(), cfg.n, "graph/config width mismatch");
+    let total = cfg.m * cfg.n;
+    let mut remaining: Vec<u32> = vec![cfg.tau; total];
+    let mut committed: Vec<bool> = vec![false; total];
+    let mut ever_issued: Vec<bool> = vec![false; total];
+    let mut issue_step: Vec<u64> = vec![0; total];
+    let mut next_j: Vec<usize> = vec![0; cfg.m];
+
+    let mut commits = 0u64;
+    let mut aborts = 0u64;
+    let mut sum_response = 0u64;
+    let mut makespan = 0u64;
+
+    let mut selected_mask = vec![false; total];
+    let mut step = 0u64;
+
+    while commits < total as u64 && step < cfg.max_steps {
+        // 1. Issued transactions (one per thread at most).
+        let mut issued: Vec<TxnId> = Vec::with_capacity(cfg.m);
+        for (i, &j) in next_j.iter().enumerate() {
+            if j < cfg.n {
+                let t = graph.id(i, j);
+                if !ever_issued[t as usize] {
+                    ever_issued[t as usize] = true;
+                    issue_step[t as usize] = step;
+                    remaining[t as usize] = cfg.tau;
+                }
+                issued.push(t);
+            }
+        }
+
+        // 2. Scheduler picks who runs this step.
+        let selected = sched.select(step, &issued, graph);
+        for &t in &selected {
+            debug_assert!(
+                issued.contains(&t),
+                "scheduler selected a non-issued transaction"
+            );
+            selected_mask[t as usize] = true;
+        }
+
+        // 3. Duels between conflicting selected pairs.
+        let mut losers: Vec<TxnId> = Vec::new();
+        for &a in &selected {
+            for &b in graph.neighbors(a) {
+                if b > a && selected_mask[b as usize] {
+                    losers.push(sched.loser(step, a, b));
+                }
+            }
+        }
+        let mut loser_mask = vec![false; 0];
+        if !losers.is_empty() {
+            loser_mask = vec![false; total];
+            for &l in &losers {
+                loser_mask[l as usize] = true;
+            }
+        }
+
+        // 4. Progress survivors, restart losers.
+        for &t in &selected {
+            selected_mask[t as usize] = false;
+            let ti = t as usize;
+            if !loser_mask.is_empty() && loser_mask[ti] {
+                aborts += 1;
+                remaining[ti] = cfg.tau;
+                sched.on_abort(t);
+                continue;
+            }
+            remaining[ti] -= 1;
+            if remaining[ti] == 0 {
+                committed[ti] = true;
+                commits += 1;
+                let (i, _) = graph.coords(t);
+                next_j[i] += 1;
+                makespan = step + 1;
+                sum_response += (step + 1) - issue_step[ti];
+                sched.on_commit(t, step + 1);
+            }
+        }
+        step += 1;
+    }
+
+    SimOutcome {
+        makespan,
+        commits,
+        aborts,
+        all_committed: commits == total as u64,
+        sum_response,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::FreeRandomizedScheduler;
+
+    #[test]
+    fn empty_graph_runs_fully_parallel() {
+        let g = ConflictGraph::empty(4, 3);
+        let cfg = SimConfig::new(4, 3, 5);
+        let mut s = FreeRandomizedScheduler::new(&cfg, 1);
+        let out = simulate(&g, &cfg, &mut s);
+        assert!(out.all_committed);
+        assert_eq!(out.commits, 12);
+        assert_eq!(out.aborts, 0);
+        // No conflicts: N transactions back to back, τ steps each.
+        assert_eq!(out.makespan, 3 * 5);
+    }
+
+    #[test]
+    fn single_thread_is_sequential() {
+        let g = ConflictGraph::empty(1, 10);
+        let cfg = SimConfig::new(1, 10, 3);
+        let mut s = FreeRandomizedScheduler::new(&cfg, 2);
+        let out = simulate(&g, &cfg, &mut s);
+        assert_eq!(out.makespan, 30);
+        assert_eq!(out.avg_response(), 3.0);
+    }
+
+    #[test]
+    fn clique_column_serializes() {
+        let g = ConflictGraph::complete_columns(4, 1);
+        let cfg = SimConfig::new(4, 1, 2);
+        let mut s = FreeRandomizedScheduler::new(&cfg, 3);
+        let out = simulate(&g, &cfg, &mut s);
+        assert!(out.all_committed);
+        // Four mutually conflicting txns of duration 2 cannot finish in
+        // fewer than 8 steps.
+        assert!(out.makespan >= 8, "makespan {} too small", out.makespan);
+        assert!(out.aborts > 0);
+    }
+
+    #[test]
+    fn phi_arithmetic() {
+        let cfg = SimConfig::new(8, 50, 4);
+        assert!(cfg.ln_mn() > 5.9 && cfg.ln_mn() < 6.0);
+        assert_eq!(cfg.phi_slots(), 6);
+        assert_eq!(cfg.phi_steps(), 24);
+    }
+
+    #[test]
+    fn outcome_derived_metrics() {
+        let o = SimOutcome {
+            makespan: 100,
+            commits: 10,
+            aborts: 5,
+            all_committed: true,
+            sum_response: 200,
+        };
+        assert!((o.aborts_per_commit() - 0.5).abs() < 1e-12);
+        assert!((o.avg_response() - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! # wtm-sim — deterministic discrete-time transaction-scheduling simulator
+//!
+//! The paper's theory (§II) reasons about an abstract model: an `M × N`
+//! window of unit-duration transactions over an explicit **conflict
+//! graph**, scheduled in discrete time steps. Two of its algorithms need
+//! that model directly:
+//!
+//! * **Offline** (§II-B1) resolves conflicts by greedy-coloring the
+//!   conflict graph inside each frame — impossible in a real STM (it
+//!   requires global knowledge; the paper excludes it from the DSTM2
+//!   evaluation for exactly this reason), natural in a simulator.
+//! * The makespan theorems 2.1–2.4 predict scaling shapes
+//!   (`O(τ·(C + N·log MN))` etc.) that wall-clock runs on a noisy host
+//!   cannot cleanly exhibit.
+//!
+//! This crate implements that abstract model: conflict-graph generators
+//! ([`graph`]), greedy coloring ([`coloring`]), a step-accurate execution
+//! engine ([`engine`]), and schedulers ([`sched`]) for the one-shot
+//! baseline, free-running RandomizedRounds, Greedy timestamps, and the
+//! window family (Online, Online-Dynamic, Adaptive, and the coloring-based
+//! Offline).
+//!
+//! Everything is seeded and deterministic: the same inputs produce the
+//! same makespan, which the property tests rely on.
+//!
+//! ```
+//! use wtm_sim::graph::ConflictGraph;
+//! use wtm_sim::engine::{simulate, SimConfig};
+//! use wtm_sim::sched::{OneShotScheduler, OnlineWindowScheduler, WindowMode};
+//!
+//! let g = ConflictGraph::per_column_random(8, 10, 0.5, 42);
+//! let cfg = SimConfig::new(8, 10, 1);
+//! let one_shot = simulate(&g, &cfg, &mut OneShotScheduler::new(&cfg, 1));
+//! let window = simulate(
+//!     &g,
+//!     &cfg,
+//!     &mut OnlineWindowScheduler::new(&cfg, &g, WindowMode::Dynamic, 1),
+//! );
+//! assert!(one_shot.all_committed && window.all_committed);
+//! ```
+
+pub mod coloring;
+pub mod engine;
+pub mod graph;
+pub mod sched;
+
+pub use coloring::greedy_coloring;
+pub use engine::{simulate, SimConfig, SimOutcome};
+pub use graph::ConflictGraph;
+pub use sched::{
+    FreeRandomizedScheduler, GreedyTimestampScheduler, OfflineWindowScheduler,
+    OneShotScheduler, OnlineWindowScheduler, PolkaProgressScheduler, SimScheduler, WindowMode,
+};

@@ -1,0 +1,731 @@
+//! Simulation schedulers: the baselines and the window family.
+//!
+//! | scheduler | models | select | duel rule |
+//! |---|---|---|---|
+//! | [`FreeRandomizedScheduler`] | RandomizedRounds, no window | everything issued | random rank, re-rolled on abort |
+//! | [`OneShotScheduler`] | N sequential one-shot problems | current column only | random rank |
+//! | [`GreedyTimestampScheduler`] | the Greedy contention manager | everything issued | older timestamp wins |
+//! | [`OnlineWindowScheduler`] | the paper's Online / Online-Dynamic / Adaptive | everything issued | (π₁, π₂) lexicographic |
+//! | [`OfflineWindowScheduler`] | the paper's Offline (§II-B1) | one independent set per slot, from a greedy coloring | never duels (sets are conflict-free) |
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coloring::greedy_coloring;
+use crate::engine::SimConfig;
+use crate::graph::{ConflictGraph, TxnId};
+
+/// Scheduling policy plugged into [`crate::engine::simulate`].
+pub trait SimScheduler {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+    /// Which of the `issued` transactions execute at `step`.
+    fn select(&mut self, step: u64, issued: &[TxnId], graph: &ConflictGraph) -> Vec<TxnId>;
+    /// The losing side of a duel between selected, conflicting `a` and `b`.
+    fn loser(&mut self, step: u64, a: TxnId, b: TxnId) -> TxnId;
+    /// A selected transaction lost a duel and restarted.
+    fn on_abort(&mut self, _t: TxnId) {}
+    /// A transaction committed at `step`.
+    fn on_commit(&mut self, _t: TxnId, _step: u64) {}
+}
+
+// ---------------------------------------------------------------------------
+// RandomizedRounds, free-running
+// ---------------------------------------------------------------------------
+
+/// Schneider & Wattenhofer's RandomizedRounds with no window structure:
+/// every issued transaction runs; duels go to the lower random rank.
+pub struct FreeRandomizedScheduler {
+    ranks: Vec<u32>,
+    rng: SmallRng,
+    m: u32,
+}
+
+impl FreeRandomizedScheduler {
+    /// New scheduler for a window of `cfg` shape.
+    pub fn new(cfg: &SimConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xF2EE);
+        let m = cfg.m.max(1) as u32;
+        FreeRandomizedScheduler {
+            ranks: (0..cfg.m * cfg.n).map(|_| rng.random_range(1..=m)).collect(),
+            rng,
+            m,
+        }
+    }
+}
+
+impl SimScheduler for FreeRandomizedScheduler {
+    fn name(&self) -> &'static str {
+        "RandomizedRounds"
+    }
+
+    fn select(&mut self, _step: u64, issued: &[TxnId], _graph: &ConflictGraph) -> Vec<TxnId> {
+        issued.to_vec()
+    }
+
+    fn loser(&mut self, _step: u64, a: TxnId, b: TxnId) -> TxnId {
+        if (self.ranks[a as usize], a) < (self.ranks[b as usize], b) {
+            b
+        } else {
+            a
+        }
+    }
+
+    fn on_abort(&mut self, t: TxnId) {
+        self.ranks[t as usize] = self.rng.random_range(1..=self.m);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-shot baseline
+// ---------------------------------------------------------------------------
+
+/// The trivial window decomposition the paper improves on: treat the
+/// window as `N` independent one-shot problems — column `j + 1` starts
+/// only when **all** of column `j` committed.
+pub struct OneShotScheduler {
+    inner: FreeRandomizedScheduler,
+    committed_in_col: Vec<usize>,
+    cur_col: usize,
+    m: usize,
+}
+
+impl OneShotScheduler {
+    /// New scheduler for a window of `cfg` shape.
+    pub fn new(cfg: &SimConfig, seed: u64) -> Self {
+        OneShotScheduler {
+            inner: FreeRandomizedScheduler::new(cfg, seed ^ 0x15507),
+            committed_in_col: vec![0; cfg.n],
+            cur_col: 0,
+            m: cfg.m,
+        }
+    }
+}
+
+impl SimScheduler for OneShotScheduler {
+    fn name(&self) -> &'static str {
+        "OneShot"
+    }
+
+    fn select(&mut self, _step: u64, issued: &[TxnId], graph: &ConflictGraph) -> Vec<TxnId> {
+        issued
+            .iter()
+            .copied()
+            .filter(|&t| graph.coords(t).1 == self.cur_col)
+            .collect()
+    }
+
+    fn loser(&mut self, step: u64, a: TxnId, b: TxnId) -> TxnId {
+        self.inner.loser(step, a, b)
+    }
+
+    fn on_abort(&mut self, t: TxnId) {
+        self.inner.on_abort(t);
+    }
+
+    fn on_commit(&mut self, t: TxnId, _step: u64) {
+        let col = (t as usize) % self.committed_in_col.len();
+        self.committed_in_col[col] += 1;
+        while self.cur_col < self.committed_in_col.len()
+            && self.committed_in_col[self.cur_col] == self.m
+        {
+            self.cur_col += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Greedy (timestamps)
+// ---------------------------------------------------------------------------
+
+/// The Greedy contention manager in the abstract model: age decides, the
+/// younger transaction always loses, timestamps assigned at first issue
+/// and kept across restarts.
+pub struct GreedyTimestampScheduler {
+    ts: Vec<u64>,
+    next_ts: u64,
+}
+
+impl GreedyTimestampScheduler {
+    /// New scheduler for a window of `cfg` shape.
+    pub fn new(cfg: &SimConfig) -> Self {
+        GreedyTimestampScheduler {
+            ts: vec![u64::MAX; cfg.m * cfg.n],
+            next_ts: 0,
+        }
+    }
+}
+
+impl SimScheduler for GreedyTimestampScheduler {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn select(&mut self, _step: u64, issued: &[TxnId], _graph: &ConflictGraph) -> Vec<TxnId> {
+        for &t in issued {
+            if self.ts[t as usize] == u64::MAX {
+                self.ts[t as usize] = self.next_ts;
+                self.next_ts += 1;
+            }
+        }
+        issued.to_vec()
+    }
+
+    fn loser(&mut self, _step: u64, a: TxnId, b: TxnId) -> TxnId {
+        if (self.ts[a as usize], a) < (self.ts[b as usize], b) {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Polka (karma = progress)
+// ---------------------------------------------------------------------------
+
+/// The Polka contention manager in the abstract model. Karma — the work a
+/// transaction has invested — is the number of steps its current attempt
+/// has executed; the poorer side of a duel loses. (Polka's exponential
+/// backoff has no direct analogue in a duel-per-step model: waiting *is*
+/// losing a step. The priority rule is the part that shapes schedules.)
+/// Ties break by a random rank, re-rolled on abort, to avoid the
+/// deterministic livelock of equal-progress duels.
+pub struct PolkaProgressScheduler {
+    progress: Vec<u32>,
+    ranks: Vec<u32>,
+    rng: SmallRng,
+    m: u32,
+}
+
+impl PolkaProgressScheduler {
+    /// New scheduler for a window of `cfg` shape.
+    pub fn new(cfg: &SimConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x90164);
+        let m = cfg.m.max(1) as u32;
+        PolkaProgressScheduler {
+            progress: vec![0; cfg.m * cfg.n],
+            ranks: (0..cfg.m * cfg.n).map(|_| rng.random_range(1..=m)).collect(),
+            rng,
+            m,
+        }
+    }
+}
+
+impl SimScheduler for PolkaProgressScheduler {
+    fn name(&self) -> &'static str {
+        "Polka"
+    }
+
+    fn select(&mut self, _step: u64, issued: &[TxnId], _graph: &ConflictGraph) -> Vec<TxnId> {
+        // Everyone runs; progress is credited here (one step per select).
+        for &t in issued {
+            self.progress[t as usize] = self.progress[t as usize].saturating_add(1);
+        }
+        issued.to_vec()
+    }
+
+    fn loser(&mut self, _step: u64, a: TxnId, b: TxnId) -> TxnId {
+        // Richer karma survives; the poorer side restarts.
+        let ka = (
+            std::cmp::Reverse(self.progress[a as usize]),
+            self.ranks[a as usize],
+            a,
+        );
+        let kb = (
+            std::cmp::Reverse(self.progress[b as usize]),
+            self.ranks[b as usize],
+            b,
+        );
+        if ka < kb {
+            b
+        } else {
+            a
+        }
+    }
+
+    fn on_abort(&mut self, t: TxnId) {
+        self.progress[t as usize] = 0;
+        self.ranks[t as usize] = self.rng.random_range(1..=self.m);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Window: Online / Online-Dynamic / Adaptive
+// ---------------------------------------------------------------------------
+
+/// Frame-clock driver for the window schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowMode {
+    /// Frames advance with time: frame = step / Φ_steps.
+    Static,
+    /// Frames contract: the next frame starts when every transaction
+    /// assigned to the current one has committed (§III-B).
+    Dynamic,
+}
+
+/// The paper's Online algorithm (§II-B2) and its Dynamic and Adaptive
+/// variants, in the abstract model. Each thread draws `qᵢ` from
+/// `[0, αᵢ − 1]` with `αᵢ = ⌈Cᵢ/ln(MN)⌉ ≤ N`; transaction `(i, j)` turns
+/// high priority in frame `qᵢ + (j − j_baseᵢ) + baseᵢ`; duels compare
+/// `(π₁, π₂, id)`.
+pub struct OnlineWindowScheduler {
+    phi_steps: u64,
+    n: usize,
+    m: u32,
+    ln_mn: f64,
+    mode: WindowMode,
+    adaptive: bool,
+    /// Per-thread: (c, q, base, j_base).
+    threads: Vec<ThreadSched>,
+    assigned: Vec<u64>,
+    ranks: Vec<u32>,
+    rng: SmallRng,
+    // Dynamic contraction state.
+    pending: Vec<u32>,
+    cur_frame: u64,
+}
+
+struct ThreadSched {
+    c: f64,
+    q: u64,
+    base: u64,
+    j_base: usize,
+}
+
+impl OnlineWindowScheduler {
+    /// Online with **known** contention: `Cᵢ` taken from the graph.
+    pub fn new(cfg: &SimConfig, graph: &ConflictGraph, mode: WindowMode, seed: u64) -> Self {
+        Self::build(cfg, graph, mode, seed, false)
+    }
+
+    /// Adaptive variant: starts every `Cᵢ` at 1, doubles on bad events
+    /// and re-randomizes the rest of the thread's window (§II-B3).
+    pub fn adaptive(cfg: &SimConfig, mode: WindowMode, seed: u64) -> Self {
+        let g = ConflictGraph::empty(cfg.m, cfg.n); // contention unused
+        Self::build(cfg, &g, mode, seed, true)
+    }
+
+    fn build(
+        cfg: &SimConfig,
+        graph: &ConflictGraph,
+        mode: WindowMode,
+        seed: u64,
+        adaptive: bool,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x817D07);
+        let ln_mn = cfg.ln_mn();
+        let m = cfg.m.max(1) as u32;
+        let mut threads = Vec::with_capacity(cfg.m);
+        let mut assigned = vec![0u64; cfg.m * cfg.n];
+        for i in 0..cfg.m {
+            let c = if adaptive {
+                1.0
+            } else {
+                graph.contention_of_thread(i).max(1) as f64
+            };
+            let alpha = ((c / ln_mn).ceil() as u64).clamp(1, cfg.n as u64);
+            let q = rng.random_range(0..alpha);
+            for j in 0..cfg.n {
+                assigned[i * cfg.n + j] = q + j as u64;
+            }
+            threads.push(ThreadSched {
+                c,
+                q,
+                base: 0,
+                j_base: 0,
+            });
+        }
+        let ranks = (0..cfg.m * cfg.n)
+            .map(|_| rng.random_range(1..=m))
+            .collect();
+        let mut sched = OnlineWindowScheduler {
+            phi_steps: cfg.phi_steps(),
+            n: cfg.n,
+            m,
+            ln_mn,
+            mode,
+            adaptive,
+            threads,
+            assigned,
+            ranks,
+            rng,
+            pending: Vec::new(),
+            cur_frame: 0,
+        };
+        if mode == WindowMode::Dynamic {
+            let max_f = sched.assigned.iter().copied().max().unwrap_or(0) as usize;
+            sched.pending = vec![0; max_f + 2];
+            for &f in &sched.assigned.clone() {
+                sched.pending[f as usize] += 1;
+            }
+            sched.contract();
+        }
+        sched
+    }
+
+    fn contract(&mut self) {
+        while (self.cur_frame as usize) < self.pending.len()
+            && self.pending[self.cur_frame as usize] == 0
+        {
+            self.cur_frame += 1;
+        }
+    }
+
+    fn frame_at(&self, step: u64) -> u64 {
+        match self.mode {
+            WindowMode::Static => step / self.phi_steps,
+            WindowMode::Dynamic => self.cur_frame,
+        }
+    }
+
+    fn alpha(&self, c: f64) -> u64 {
+        ((c / self.ln_mn).ceil() as u64).clamp(1, self.n as u64)
+    }
+
+    fn reassign(&mut self, t: TxnId, new_frame: u64) {
+        let old = self.assigned[t as usize];
+        self.assigned[t as usize] = new_frame;
+        if self.mode == WindowMode::Dynamic {
+            let oi = old as usize;
+            if oi < self.pending.len() && self.pending[oi] > 0 {
+                self.pending[oi] -= 1;
+            }
+            let ni = new_frame as usize;
+            if ni >= self.pending.len() {
+                self.pending.resize(ni + 1, 0);
+            }
+            self.pending[ni] += 1;
+        }
+    }
+
+    /// Contention estimate of a thread (tests).
+    pub fn contention_estimate(&self, i: usize) -> f64 {
+        self.threads[i].c
+    }
+}
+
+impl SimScheduler for OnlineWindowScheduler {
+    fn name(&self) -> &'static str {
+        match (self.adaptive, self.mode) {
+            (false, WindowMode::Static) => "Online",
+            (false, WindowMode::Dynamic) => "Online-Dynamic",
+            (true, WindowMode::Static) => "Adaptive",
+            (true, WindowMode::Dynamic) => "Adaptive-Dynamic",
+        }
+    }
+
+    fn select(&mut self, _step: u64, issued: &[TxnId], _graph: &ConflictGraph) -> Vec<TxnId> {
+        issued.to_vec() // low-priority transactions run too, just abortable
+    }
+
+    fn loser(&mut self, step: u64, a: TxnId, b: TxnId) -> TxnId {
+        let cur = self.frame_at(step);
+        let low = |t: TxnId| self.assigned[t as usize] > cur;
+        let ka = (low(a), self.ranks[a as usize], a);
+        let kb = (low(b), self.ranks[b as usize], b);
+        if ka < kb {
+            b
+        } else {
+            a
+        }
+    }
+
+    fn on_abort(&mut self, t: TxnId) {
+        self.ranks[t as usize] = self.rng.random_range(1..=self.m);
+    }
+
+    fn on_commit(&mut self, t: TxnId, step: u64) {
+        let cur = self.frame_at(step.saturating_sub(1));
+        let assigned = self.assigned[t as usize];
+        if self.mode == WindowMode::Dynamic {
+            let fi = assigned as usize;
+            if fi < self.pending.len() && self.pending[fi] > 0 {
+                self.pending[fi] -= 1;
+            }
+            self.contract();
+        }
+        // Bad event (adaptive): committed after the assigned frame ended.
+        if self.adaptive && cur > assigned {
+            let (i, j) = (t as usize / self.n, t as usize % self.n);
+            let cap = (self.m as f64) * (self.n as f64);
+            self.threads[i].c = (self.threads[i].c * 2.0).min(cap);
+            let alpha = self.alpha(self.threads[i].c);
+            let new_q = self.rng.random_range(0..alpha);
+            let new_base = cur + 1;
+            for jj in (j + 1)..self.n {
+                let tt = (i * self.n + jj) as TxnId;
+                let nf = new_base + new_q + (jj - (j + 1)) as u64;
+                self.reassign(tt, nf);
+            }
+            self.threads[i].base = new_base;
+            self.threads[i].q = new_q;
+            self.threads[i].j_base = j + 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Window: Offline (coloring)
+// ---------------------------------------------------------------------------
+
+/// The paper's Offline algorithm: inside each frame, greedy-color the
+/// high-priority pending transactions and run one color class (extended to
+/// a maximal independent set with opportunistic low-priority
+/// transactions) per `τ`-slot. Requires the conflict graph — which is why
+/// the paper evaluates it only in theory, and we only in simulation.
+pub struct OfflineWindowScheduler {
+    tau: u64,
+    phi_steps: u64,
+    assigned: Vec<u64>,
+    slot_plan: Vec<TxnId>,
+    plan_slot: u64,
+}
+
+impl OfflineWindowScheduler {
+    /// Offline with known contention (`Cᵢ` from the graph).
+    pub fn new(cfg: &SimConfig, graph: &ConflictGraph, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0FF11E);
+        let ln_mn = cfg.ln_mn();
+        let mut assigned = vec![0u64; cfg.m * cfg.n];
+        for i in 0..cfg.m {
+            let c = graph.contention_of_thread(i).max(1) as f64;
+            let alpha = ((c / ln_mn).ceil() as u64).clamp(1, cfg.n as u64);
+            let q = rng.random_range(0..alpha);
+            for j in 0..cfg.n {
+                assigned[i * cfg.n + j] = q + j as u64;
+            }
+        }
+        OfflineWindowScheduler {
+            tau: cfg.tau as u64,
+            phi_steps: cfg.phi_steps(),
+            assigned,
+            slot_plan: Vec::new(),
+            plan_slot: u64::MAX,
+        }
+    }
+}
+
+impl SimScheduler for OfflineWindowScheduler {
+    fn name(&self) -> &'static str {
+        "Offline"
+    }
+
+    fn select(&mut self, step: u64, issued: &[TxnId], graph: &ConflictGraph) -> Vec<TxnId> {
+        let slot = step / self.tau;
+        if slot != self.plan_slot {
+            self.plan_slot = slot;
+            let cur_frame = step / self.phi_steps;
+            let mut high: Vec<TxnId> = issued
+                .iter()
+                .copied()
+                .filter(|&t| self.assigned[t as usize] <= cur_frame)
+                .collect();
+            // Largest color class of the high-priority subgraph.
+            let classes = greedy_coloring(graph, &high);
+            let mut plan: Vec<TxnId> = classes.into_iter().next().unwrap_or_default();
+            // Extend to a maximal independent set with the rest of the
+            // issued transactions (low priority runs opportunistically).
+            high.clear();
+            for &t in issued {
+                if !plan.contains(&t) && plan.iter().all(|&p| !graph.conflicts(t, p)) {
+                    plan.push(t);
+                }
+            }
+            self.slot_plan = plan;
+        }
+        // Only those still issued (uncommitted) remain scheduled.
+        self.slot_plan
+            .iter()
+            .copied()
+            .filter(|t| issued.contains(t))
+            .collect()
+    }
+
+    fn loser(&mut self, _step: u64, a: TxnId, _b: TxnId) -> TxnId {
+        debug_assert!(false, "offline schedules are conflict-free by construction");
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+
+    fn run_all(m: usize, n: usize, p: f64, seed: u64) -> Vec<(String, u64, bool)> {
+        let g = ConflictGraph::per_column_random(m, n, p, seed);
+        let cfg = SimConfig::new(m, n, 2);
+        let mut outs = Vec::new();
+        let mut free = FreeRandomizedScheduler::new(&cfg, seed);
+        let mut one = OneShotScheduler::new(&cfg, seed);
+        let mut greedy = GreedyTimestampScheduler::new(&cfg);
+        let mut polka = PolkaProgressScheduler::new(&cfg, seed);
+        let mut online = OnlineWindowScheduler::new(&cfg, &g, WindowMode::Static, seed);
+        let mut online_d = OnlineWindowScheduler::new(&cfg, &g, WindowMode::Dynamic, seed);
+        let mut adaptive = OnlineWindowScheduler::adaptive(&cfg, WindowMode::Dynamic, seed);
+        let mut offline = OfflineWindowScheduler::new(&cfg, &g, seed);
+        let scheds: Vec<&mut dyn SimScheduler> = vec![
+            &mut free,
+            &mut one,
+            &mut greedy,
+            &mut polka,
+            &mut online,
+            &mut online_d,
+            &mut adaptive,
+            &mut offline,
+        ];
+        for s in scheds {
+            let name = s.name().to_string();
+            let o = simulate(&g, &cfg, s);
+            outs.push((name, o.makespan, o.all_committed));
+        }
+        outs
+    }
+
+    #[test]
+    fn every_scheduler_completes_random_windows() {
+        for seed in [1, 7, 23] {
+            for (name, makespan, done) in run_all(6, 8, 0.5, seed) {
+                assert!(done, "{name} failed to complete (seed {seed})");
+                assert!(makespan >= 16, "{name}: N·τ = 16 is a lower bound");
+            }
+        }
+    }
+
+    #[test]
+    fn every_scheduler_completes_clique_columns() {
+        let g = ConflictGraph::complete_columns(5, 4);
+        let cfg = SimConfig::new(5, 4, 1);
+        let seed = 5;
+        let mut scheds: Vec<Box<dyn SimScheduler>> = vec![
+            Box::new(FreeRandomizedScheduler::new(&cfg, seed)),
+            Box::new(OneShotScheduler::new(&cfg, seed)),
+            Box::new(GreedyTimestampScheduler::new(&cfg)),
+            Box::new(OnlineWindowScheduler::new(&cfg, &g, WindowMode::Dynamic, seed)),
+            Box::new(OfflineWindowScheduler::new(&cfg, &g, seed)),
+        ];
+        for s in scheds.iter_mut() {
+            let o = simulate(&g, &cfg, s.as_mut());
+            assert!(o.all_committed, "{} incomplete", s.name());
+            // N·τ = 4 is the universal lower bound (per-thread sequences).
+            // Note that 5·4·τ = 20 is NOT a lower bound here: schedulers
+            // that skew threads into different columns avoid the cliques
+            // entirely — the very effect the window algorithms exploit.
+            assert!(o.makespan >= 4, "{}: {}", s.name(), o.makespan);
+        }
+        // The one-shot baseline, however, cannot skew: its column barrier
+        // forces each 5-clique to serialize, so 5·4·τ = 20 binds it.
+        let mut one = OneShotScheduler::new(&cfg, seed);
+        let o = simulate(&g, &cfg, &mut one);
+        assert!(o.makespan >= 20, "one-shot must serialize cliques: {}", o.makespan);
+    }
+
+    #[test]
+    fn offline_never_duels() {
+        // If Offline's independent sets were wrong, loser() would panic in
+        // debug builds. Run a dense case to stress it.
+        let g = ConflictGraph::per_column_random(8, 6, 0.9, 3);
+        let cfg = SimConfig::new(8, 6, 3);
+        let mut s = OfflineWindowScheduler::new(&cfg, &g, 3);
+        let o = simulate(&g, &cfg, &mut s);
+        assert!(o.all_committed);
+        assert_eq!(o.aborts, 0, "offline schedules are conflict-free");
+    }
+
+    #[test]
+    fn greedy_has_no_livelock_and_priority_inversion() {
+        let g = ConflictGraph::complete_columns(6, 3);
+        let cfg = SimConfig::new(6, 3, 4);
+        let mut s = GreedyTimestampScheduler::new(&cfg);
+        let o = simulate(&g, &cfg, &mut s);
+        assert!(o.all_committed, "greedy must terminate (pending commit)");
+        // The oldest transaction always runs unobstructed, so progress is
+        // continuous; once winners move to later columns the cliques thin
+        // out. Makespan must sit between the N·τ floor and full
+        // serialization.
+        assert!(o.makespan >= 12);
+        assert!(o.makespan <= 3 * 6 * 4);
+    }
+
+    #[test]
+    fn window_beats_oneshot_on_clustered_conflicts() {
+        // The paper's motivating regime (§I-B): dense conflicts inside
+        // columns. The window algorithms shift threads apart; the one-shot
+        // baseline forces every column clique to serialize behind a
+        // barrier.
+        let mut window_wins = 0;
+        let mut trials = 0;
+        for seed in 0..5 {
+            let g = ConflictGraph::complete_columns(8, 12);
+            let cfg = SimConfig::new(8, 12, 2);
+            let one = simulate(&g, &cfg, &mut OneShotScheduler::new(&cfg, seed));
+            let win = simulate(
+                &g,
+                &cfg,
+                &mut OnlineWindowScheduler::new(&cfg, &g, WindowMode::Dynamic, seed),
+            );
+            assert!(one.all_committed && win.all_committed);
+            trials += 1;
+            if win.makespan <= one.makespan {
+                window_wins += 1;
+            }
+        }
+        assert!(
+            window_wins * 2 >= trials,
+            "window should at least match one-shot in its favourable regime ({window_wins}/{trials})"
+        );
+    }
+
+    #[test]
+    fn adaptive_raises_estimate_under_contention() {
+        let g = ConflictGraph::complete_columns(8, 8);
+        let cfg = SimConfig::new(8, 8, 2);
+        let mut s = OnlineWindowScheduler::adaptive(&cfg, WindowMode::Static, 2);
+        let o = simulate(&g, &cfg, &mut s);
+        assert!(o.all_committed);
+        let grew = (0..8).any(|i| s.contention_estimate(i) > 1.0);
+        assert!(grew, "bad events must raise some thread's estimate");
+    }
+
+    #[test]
+    fn polka_progress_prefers_invested_work() {
+        let cfg = SimConfig::new(2, 1, 4);
+        let mut s = PolkaProgressScheduler::new(&cfg, 3);
+        // Txn 0 has run 3 steps, txn 1 is fresh: 1 loses.
+        s.progress[0] = 3;
+        s.progress[1] = 0;
+        assert_eq!(s.loser(0, 0, 1), 1);
+        assert_eq!(s.loser(0, 1, 0), 1);
+        // Abort resets progress.
+        s.on_abort(1);
+        assert_eq!(s.progress[1], 0);
+    }
+
+    #[test]
+    fn polka_progress_completes_dense_windows() {
+        for seed in [2u64, 9, 31] {
+            let g = ConflictGraph::complete_columns(6, 6);
+            let cfg = SimConfig::new(6, 6, 3);
+            let mut s = PolkaProgressScheduler::new(&cfg, seed);
+            let o = simulate(&g, &cfg, &mut s);
+            assert!(o.all_committed, "Polka stuck (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn oneshot_column_barrier_is_enforced() {
+        // With 2 threads and no conflicts, one-shot still serializes
+        // columns: thread A's txn 1 cannot start before thread B finishes
+        // txn 0. Free-running finishes in N·τ; one-shot takes the same
+        // here only because both threads advance in lockstep — so use
+        // unequal progress via a conflict in column 0.
+        let mut g = ConflictGraph::empty(2, 2);
+        g.add_edge(0, 2); // (0,0) vs (1,0)
+        let cfg = SimConfig::new(2, 2, 3);
+        let one = simulate(&g, &cfg, &mut OneShotScheduler::new(&cfg, 1));
+        assert!(one.all_committed);
+        // Column 0 serializes (6 steps), then column 1 in parallel (3).
+        assert!(one.makespan >= 9, "makespan {}", one.makespan);
+    }
+}

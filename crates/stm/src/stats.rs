@@ -1,0 +1,270 @@
+//! Lock-free transaction metrics.
+//!
+//! Every worker thread owns a [`ThreadStats`] and bumps plain relaxed
+//! atomics on its hot path; the harness folds them into a
+//! [`StatsSnapshot`] at the end of a run. The snapshot computes every
+//! metric the paper reports (throughput, aborts per commit, total time) as
+//! well as the "future work" metrics of §IV that this reproduction also
+//! implements: wasted work, repeat conflicts, average committed-transaction
+//! duration, and average response time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Per-thread metric counters. All updates are `Relaxed`: the counters are
+/// only aggregated after the worker threads have been joined.
+#[derive(Debug, Default)]
+pub struct ThreadStats {
+    /// Committed transactions.
+    pub commits: AtomicU64,
+    /// Aborted attempts.
+    pub aborts: AtomicU64,
+    /// Write-write conflicts observed.
+    pub conflicts_ww: AtomicU64,
+    /// Read-write conflicts observed (reader side).
+    pub conflicts_rw: AtomicU64,
+    /// Write-read conflicts observed (writer side, visible reads).
+    pub conflicts_wr: AtomicU64,
+    /// Conflicts whose enemy logical transaction equals the previous
+    /// conflict's enemy (the paper's *repeat conflicts*).
+    pub repeat_conflicts: AtomicU64,
+    /// Nanoseconds spent in attempts that ended up aborting (*wasted work*).
+    pub wasted_ns: AtomicU64,
+    /// Nanoseconds spent in attempts that committed.
+    pub committed_ns: AtomicU64,
+    /// Nanoseconds from first attempt start to commit, summed (*response time*).
+    pub response_ns: AtomicU64,
+    /// Nanoseconds spent blocked inside contention-manager waits.
+    pub wait_ns: AtomicU64,
+    /// Objects opened (reads + writes that reached the object).
+    pub opens: AtomicU64,
+    /// Logical transaction id of the last conflict's enemy (repeat detection).
+    last_enemy: AtomicU64,
+}
+
+impl ThreadStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn record_conflict(&self, kind: crate::cm::ConflictKind, enemy_txn: u64) {
+        use crate::cm::ConflictKind::*;
+        match kind {
+            WriteWrite => self.conflicts_ww.fetch_add(1, Ordering::Relaxed),
+            ReadWrite => self.conflicts_rw.fetch_add(1, Ordering::Relaxed),
+            WriteRead => self.conflicts_wr.fetch_add(1, Ordering::Relaxed),
+        };
+        let prev = self.last_enemy.swap(enemy_txn, Ordering::Relaxed);
+        if prev == enemy_txn {
+            self.repeat_conflicts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Fold this thread's counters into an aggregate snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            conflicts_ww: self.conflicts_ww.load(Ordering::Relaxed),
+            conflicts_rw: self.conflicts_rw.load(Ordering::Relaxed),
+            conflicts_wr: self.conflicts_wr.load(Ordering::Relaxed),
+            repeat_conflicts: self.repeat_conflicts.load(Ordering::Relaxed),
+            wasted_ns: self.wasted_ns.load(Ordering::Relaxed),
+            committed_ns: self.committed_ns.load(Ordering::Relaxed),
+            response_ns: self.response_ns.load(Ordering::Relaxed),
+            wait_ns: self.wait_ns.load(Ordering::Relaxed),
+            opens: self.opens.load(Ordering::Relaxed),
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// Zero all counters (between experiment repetitions).
+    pub fn reset(&self) {
+        for c in [
+            &self.commits,
+            &self.aborts,
+            &self.conflicts_ww,
+            &self.conflicts_rw,
+            &self.conflicts_wr,
+            &self.repeat_conflicts,
+            &self.wasted_ns,
+            &self.committed_ns,
+            &self.response_ns,
+            &self.wait_ns,
+            &self.opens,
+            &self.last_enemy,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Aggregated, immutable view of a run's metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsSnapshot {
+    pub commits: u64,
+    pub aborts: u64,
+    pub conflicts_ww: u64,
+    pub conflicts_rw: u64,
+    pub conflicts_wr: u64,
+    pub repeat_conflicts: u64,
+    pub wasted_ns: u64,
+    pub committed_ns: u64,
+    pub response_ns: u64,
+    pub wait_ns: u64,
+    pub opens: u64,
+    /// Wall-clock duration of the measured interval (set by the harness).
+    pub wall: Duration,
+}
+
+impl StatsSnapshot {
+    /// Merge another snapshot into this one (summing counters, taking the
+    /// max wall time — threads run concurrently).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.conflicts_ww += other.conflicts_ww;
+        self.conflicts_rw += other.conflicts_rw;
+        self.conflicts_wr += other.conflicts_wr;
+        self.repeat_conflicts += other.repeat_conflicts;
+        self.wasted_ns += other.wasted_ns;
+        self.committed_ns += other.committed_ns;
+        self.response_ns += other.response_ns;
+        self.wait_ns += other.wait_ns;
+        self.opens += other.opens;
+        self.wall = self.wall.max(other.wall);
+    }
+
+    /// All conflicts of any kind.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts_ww + self.conflicts_rw + self.conflicts_wr
+    }
+
+    /// Committed transactions per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.commits as f64 / secs
+        }
+    }
+
+    /// The paper's Fig. 4 metric: aborted attempts per committed transaction.
+    pub fn aborts_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            self.aborts as f64
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+
+    /// Fraction of execution time spent in attempts that aborted
+    /// (the paper's *wasted work*, §IV).
+    pub fn wasted_work(&self) -> f64 {
+        let total = self.wasted_ns + self.committed_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.wasted_ns as f64 / total as f64
+        }
+    }
+
+    /// Mean duration of a committed attempt.
+    pub fn avg_committed_duration(&self) -> Duration {
+        Duration::from_nanos(self.committed_ns.checked_div(self.commits).unwrap_or(0))
+    }
+
+    /// Mean time from a logical transaction's first start to its commit
+    /// (the paper's *average response time*, §IV).
+    pub fn avg_response_time(&self) -> Duration {
+        Duration::from_nanos(self.response_ns.checked_div(self.commits).unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cm::ConflictKind;
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let t = ThreadStats::new();
+        t.commits.store(10, Ordering::Relaxed);
+        t.aborts.store(5, Ordering::Relaxed);
+        t.wasted_ns.store(500, Ordering::Relaxed);
+        t.committed_ns.store(1500, Ordering::Relaxed);
+        let s = t.snapshot();
+        assert_eq!(s.commits, 10);
+        assert_eq!(s.aborts, 5);
+        assert!((s.aborts_per_commit() - 0.5).abs() < 1e-12);
+        assert!((s.wasted_work() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_wall() {
+        let mut a = StatsSnapshot {
+            commits: 3,
+            wall: Duration::from_secs(2),
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            commits: 7,
+            wall: Duration::from_secs(1),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.commits, 10);
+        assert_eq!(a.wall, Duration::from_secs(2));
+        assert!((a.throughput() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conflict_kinds_recorded_separately() {
+        let t = ThreadStats::new();
+        t.record_conflict(ConflictKind::WriteWrite, 1);
+        t.record_conflict(ConflictKind::ReadWrite, 2);
+        t.record_conflict(ConflictKind::ReadWrite, 3);
+        t.record_conflict(ConflictKind::WriteRead, 4);
+        let s = t.snapshot();
+        assert_eq!(s.conflicts_ww, 1);
+        assert_eq!(s.conflicts_rw, 2);
+        assert_eq!(s.conflicts_wr, 1);
+        assert_eq!(s.conflicts(), 4);
+    }
+
+    #[test]
+    fn repeat_conflicts_detected() {
+        let t = ThreadStats::new();
+        t.record_conflict(ConflictKind::WriteWrite, 9);
+        t.record_conflict(ConflictKind::WriteWrite, 9); // repeat
+        t.record_conflict(ConflictKind::WriteWrite, 8); // different enemy
+        t.record_conflict(ConflictKind::WriteWrite, 9); // not consecutive
+        let s = t.snapshot();
+        assert_eq!(s.repeat_conflicts, 1);
+    }
+
+    #[test]
+    fn zero_commit_edge_cases() {
+        let s = StatsSnapshot {
+            aborts: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.aborts_per_commit(), 4.0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.avg_response_time(), Duration::ZERO);
+        assert_eq!(s.avg_committed_duration(), Duration::ZERO);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let t = ThreadStats::new();
+        t.commits.store(10, Ordering::Relaxed);
+        t.record_conflict(ConflictKind::WriteWrite, 1);
+        t.reset();
+        let s = t.snapshot();
+        assert_eq!(s, StatsSnapshot::default());
+    }
+}

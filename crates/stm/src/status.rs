@@ -1,0 +1,147 @@
+//! Transaction status word.
+//!
+//! A transaction's lifecycle is `Active → Committed` or `Active → Aborted`,
+//! decided by a single compare-and-swap on an atomic byte. The CAS is the
+//! linearization point of both commit and (enemy-initiated) abort: whichever
+//! transition lands first wins, and the loser's CAS fails. This is exactly
+//! DSTM's rule that lets any transaction abort any other *active*
+//! transaction without locks.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The three states of a transaction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TxStatus {
+    /// Still running; may be aborted by any other transaction.
+    Active = 0,
+    /// Successfully committed; its shadow copies are the current versions.
+    Committed = 1,
+    /// Aborted (by itself or an enemy); its shadow copies are discarded.
+    Aborted = 2,
+}
+
+impl TxStatus {
+    #[inline]
+    fn from_u8(v: u8) -> TxStatus {
+        match v {
+            0 => TxStatus::Active,
+            1 => TxStatus::Committed,
+            2 => TxStatus::Aborted,
+            _ => unreachable!("invalid status byte {v}"),
+        }
+    }
+
+    /// True iff the transaction finished (committed or aborted).
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self != TxStatus::Active
+    }
+}
+
+/// Atomic cell holding a [`TxStatus`].
+#[derive(Debug)]
+pub struct AtomicStatus(AtomicU8);
+
+impl Default for AtomicStatus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicStatus {
+    /// New cell in the `Active` state.
+    #[inline]
+    pub fn new() -> Self {
+        AtomicStatus(AtomicU8::new(TxStatus::Active as u8))
+    }
+
+    /// Current status (acquire: pairs with the release CAS of
+    /// [`try_transition`](Self::try_transition) so that a `Committed`
+    /// observation also sees the published shadow copies).
+    #[inline]
+    pub fn load(&self) -> TxStatus {
+        TxStatus::from_u8(self.0.load(Ordering::Acquire))
+    }
+
+    /// Attempt the `Active → to` transition. Returns `true` on success.
+    ///
+    /// `to` must be a terminal state. Uses `AcqRel` so a successful commit
+    /// publishes the transaction's writes and a successful abort observes
+    /// everything the victim did.
+    #[inline]
+    pub fn try_transition(&self, to: TxStatus) -> bool {
+        debug_assert!(to.is_terminal(), "can only transition to a terminal state");
+        self.0
+            .compare_exchange(
+                TxStatus::Active as u8,
+                to as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_active() {
+        let s = AtomicStatus::new();
+        assert_eq!(s.load(), TxStatus::Active);
+        assert!(!s.load().is_terminal());
+    }
+
+    #[test]
+    fn commit_transition_succeeds_once() {
+        let s = AtomicStatus::new();
+        assert!(s.try_transition(TxStatus::Committed));
+        assert_eq!(s.load(), TxStatus::Committed);
+        // A second transition (e.g. a racing enemy abort) must fail.
+        assert!(!s.try_transition(TxStatus::Aborted));
+        assert_eq!(s.load(), TxStatus::Committed);
+    }
+
+    #[test]
+    fn abort_transition_blocks_commit() {
+        let s = AtomicStatus::new();
+        assert!(s.try_transition(TxStatus::Aborted));
+        assert!(!s.try_transition(TxStatus::Committed));
+        assert_eq!(s.load(), TxStatus::Aborted);
+    }
+
+    #[test]
+    fn racing_transitions_exactly_one_winner() {
+        // Hammer the CAS from many threads; exactly one must win.
+        for _ in 0..50 {
+            let s = Arc::new(AtomicStatus::new());
+            let wins: usize = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for i in 0..8 {
+                    let s = Arc::clone(&s);
+                    handles.push(scope.spawn(move || {
+                        let to = if i % 2 == 0 {
+                            TxStatus::Committed
+                        } else {
+                            TxStatus::Aborted
+                        };
+                        usize::from(s.try_transition(to))
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(wins, 1);
+            assert!(s.load().is_terminal());
+        }
+    }
+
+    #[test]
+    fn terminal_predicate() {
+        assert!(TxStatus::Committed.is_terminal());
+        assert!(TxStatus::Aborted.is_terminal());
+        assert!(!TxStatus::Active.is_terminal());
+    }
+}

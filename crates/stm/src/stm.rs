@@ -1,0 +1,358 @@
+//! Engine handle, per-thread contexts, and the greedy retry loop.
+//!
+//! [`Stm`] bundles the contention manager, the logical clock, and one
+//! [`ThreadStats`] per worker. Worker thread `i` obtains a [`ThreadCtx`]
+//! via [`Stm::thread`] and runs transactions with
+//! [`ThreadCtx::atomic`]: the closure is retried until it commits, a new
+//! [`TxState`] per attempt, *immediately* after every abort — the greedy
+//! contention-management model the paper assumes ("if a transaction aborts
+//! it then immediately restarts and attempts to commit again", §II-A).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::clock::LogicalClock;
+use crate::cm::ContentionManager;
+use crate::stats::{StatsSnapshot, ThreadStats};
+use crate::txn::{TxError, TxResult, Txn};
+use crate::txstate::TxState;
+
+/// The STM engine: one per experiment run.
+pub struct Stm {
+    cm: Arc<dyn ContentionManager>,
+    clock: LogicalClock,
+    attempt_ids: AtomicU64,
+    txn_ids: AtomicU64,
+    threads: Box<[Arc<ThreadStats>]>,
+}
+
+impl Stm {
+    /// Build an engine for `num_threads` workers using contention policy `cm`.
+    pub fn new(cm: Arc<dyn ContentionManager>, num_threads: usize) -> Self {
+        assert!(num_threads >= 1, "need at least one thread");
+        Stm {
+            cm,
+            clock: LogicalClock::new(),
+            attempt_ids: AtomicU64::new(1),
+            txn_ids: AtomicU64::new(1),
+            threads: (0..num_threads)
+                .map(|_| Arc::new(ThreadStats::new()))
+                .collect(),
+        }
+    }
+
+    /// The installed contention manager.
+    pub fn cm(&self) -> &Arc<dyn ContentionManager> {
+        &self.cm
+    }
+
+    /// Number of worker slots.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The execution context for worker `thread_id` (0-based).
+    pub fn thread(&self, thread_id: usize) -> ThreadCtx<'_> {
+        assert!(
+            thread_id < self.threads.len(),
+            "thread id {thread_id} out of range ({} workers)",
+            self.threads.len()
+        );
+        ThreadCtx {
+            stm: self,
+            thread_id,
+        }
+    }
+
+    /// Metrics of one worker.
+    pub fn thread_stats(&self, thread_id: usize) -> &Arc<ThreadStats> {
+        &self.threads[thread_id]
+    }
+
+    /// Sum of all workers' metrics. `wall` is left zero — the harness
+    /// stamps the measured interval.
+    pub fn aggregate(&self) -> StatsSnapshot {
+        let mut total = StatsSnapshot::default();
+        for t in self.threads.iter() {
+            total.merge(&t.snapshot());
+        }
+        total
+    }
+
+    /// Zero all metrics (between repetitions).
+    pub fn reset_stats(&self) {
+        for t in self.threads.iter() {
+            t.reset();
+        }
+    }
+
+    /// The engine's logical clock (timestamps for Greedy/Priority).
+    pub fn clock(&self) -> &LogicalClock {
+        &self.clock
+    }
+}
+
+/// Per-worker execution context; cheap to construct, not `Send` across
+/// workers (each worker must use its own `thread_id`).
+pub struct ThreadCtx<'a> {
+    stm: &'a Stm,
+    thread_id: usize,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// This worker's index.
+    pub fn thread_id(&self) -> usize {
+        self.thread_id
+    }
+
+    /// The engine.
+    pub fn stm(&self) -> &'a Stm {
+        self.stm
+    }
+
+    pub(crate) fn cm(&self) -> &Arc<dyn ContentionManager> {
+        &self.stm.cm
+    }
+
+    pub(crate) fn stats(&self) -> &ThreadStats {
+        &self.stm.threads[self.thread_id]
+    }
+
+    /// Run `body` as a transaction, retrying until it commits, and return
+    /// its result. The greedy retry loop of the paper: no inter-attempt
+    /// delay is added by the engine itself; back-off, random window delays,
+    /// and the like are entirely the contention manager's business.
+    pub fn atomic<R>(&self, mut body: impl FnMut(&mut Txn) -> TxResult<R>) -> R {
+        match self.atomic_with_budget(usize::MAX, &mut body) {
+            Some(r) => r,
+            None => unreachable!("unbounded atomic cannot exhaust its budget"),
+        }
+    }
+
+    /// Like [`atomic`](Self::atomic) but additionally records the access
+    /// footprint of the *committed* attempt: `(object id, is_write)` in
+    /// open order. Used by the trace-driven simulation pipeline.
+    pub fn atomic_traced<R>(
+        &self,
+        mut body: impl FnMut(&mut Txn) -> TxResult<R>,
+    ) -> (R, Vec<(u64, bool)>) {
+        let mut trace = Vec::new();
+        let r = self
+            .atomic_inner(usize::MAX, &mut body, Some(&mut trace))
+            .expect("unbounded atomic cannot exhaust its budget");
+        (r, trace)
+    }
+
+    /// Like [`atomic`](Self::atomic) but gives up after `max_attempts`
+    /// aborted attempts, returning `None`. Useful in tests and in
+    /// experiment shutdown paths.
+    pub fn atomic_with_budget<R>(
+        &self,
+        max_attempts: usize,
+        body: &mut impl FnMut(&mut Txn) -> TxResult<R>,
+    ) -> Option<R> {
+        self.atomic_inner(max_attempts, body, None)
+    }
+
+    fn atomic_inner<R>(
+        &self,
+        max_attempts: usize,
+        body: &mut impl FnMut(&mut Txn) -> TxResult<R>,
+        mut trace: Option<&mut Vec<(u64, bool)>>,
+    ) -> Option<R> {
+        let txn_id = self.stm.txn_ids.fetch_add(1, Ordering::Relaxed);
+        let ts = self.stm.clock.next();
+        let first_start = Instant::now();
+        let mut karma: u64 = 0;
+        let mut attempt: u32 = 0;
+        loop {
+            let attempt_ts = if attempt == 0 {
+                ts
+            } else {
+                self.stm.clock.next()
+            };
+            let state = Arc::new(TxState::new(
+                self.stm.attempt_ids.fetch_add(1, Ordering::Relaxed),
+                txn_id,
+                self.thread_id,
+                attempt,
+                ts,
+                attempt_ts,
+                first_start,
+                karma,
+            ));
+            self.stm.cm.on_begin(&state, attempt > 0);
+            let t0 = Instant::now();
+            let mut txn = Txn::new(Arc::clone(&state), self);
+            if trace.is_some() {
+                txn.enable_tracing();
+            }
+            let outcome = match body(&mut txn) {
+                Ok(r) => txn.commit().map(|()| r),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(r) => {
+                    if let Some(sink) = trace.as_deref_mut() {
+                        *sink = txn.take_footprint();
+                    }
+                    let stats = self.stats();
+                    stats.commits.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .committed_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    stats.response_ns.fetch_add(
+                        first_start.elapsed().as_nanos() as u64,
+                        Ordering::Relaxed,
+                    );
+                    self.stm.cm.on_commit(&state);
+                    return Some(r);
+                }
+                Err(TxError::Aborted) => {
+                    // Make sure the state is terminal even if the closure
+                    // bailed without the CM aborting us (e.g. user bail-out).
+                    state.abort();
+                    let stats = self.stats();
+                    stats.aborts.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .wasted_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    karma = state.karma();
+                    self.stm.cm.on_abort(&state);
+                    attempt += 1;
+                    if attempt as usize > max_attempts {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cm::{AbortEnemyManager, AbortSelfManager};
+    use crate::tvar::TVar;
+
+    #[test]
+    fn single_thread_counter_increments() {
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let tv: TVar<u64> = TVar::new(0);
+        let ctx = stm.thread(0);
+        for _ in 0..100 {
+            ctx.atomic(|tx| {
+                let v = *tx.read(&tv)?;
+                tx.write(&tv, v + 1)
+            });
+        }
+        assert_eq!(*tv.sample(), 100);
+        let snap = stm.aggregate();
+        assert_eq!(snap.commits, 100);
+        assert_eq!(snap.aborts, 0);
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let tv: TVar<u64> = TVar::new(5);
+        let ctx = stm.thread(0);
+        let observed = ctx.atomic(|tx| {
+            tx.write(&tv, 9)?;
+            let v = *tx.read(&tv)?;
+            Ok(v)
+        });
+        assert_eq!(observed, 9);
+        assert_eq!(*tv.sample(), 9);
+    }
+
+    #[test]
+    fn modify_applies_function() {
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let tv: TVar<Vec<u32>> = TVar::new(vec![1, 2]);
+        let ctx = stm.thread(0);
+        ctx.atomic(|tx| tx.modify(&tv, |v| v.push(3)));
+        assert_eq!(*tv.sample(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multi_object_transaction_is_atomic() {
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let a: TVar<i64> = TVar::new(100);
+        let b: TVar<i64> = TVar::new(0);
+        let ctx = stm.thread(0);
+        ctx.atomic(|tx| {
+            let va = *tx.read(&a)?;
+            let vb = *tx.read(&b)?;
+            tx.write(&a, va - 30)?;
+            tx.write(&b, vb + 30)
+        });
+        assert_eq!(*a.sample() + *b.sample(), 100);
+        assert_eq!(*b.sample(), 30);
+    }
+
+    #[test]
+    fn concurrent_counter_no_lost_updates_abort_self() {
+        concurrent_counter(Arc::new(AbortSelfManager));
+    }
+
+    #[test]
+    fn concurrent_counter_no_lost_updates_abort_enemy() {
+        concurrent_counter(Arc::new(AbortEnemyManager));
+    }
+
+    fn concurrent_counter(cm: Arc<dyn ContentionManager>) {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 200;
+        let stm = Stm::new(cm, THREADS);
+        let tv: TVar<u64> = TVar::new(0);
+        std::thread::scope(|s| {
+            for i in 0..THREADS {
+                let ctx = stm.thread(i);
+                let tv = tv.clone();
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        ctx.atomic(|tx| {
+                            let v = *tx.read(&tv)?;
+                            tx.write(&tv, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(*tv.sample(), THREADS as u64 * PER_THREAD);
+        let snap = stm.aggregate();
+        assert_eq!(snap.commits, THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn budgeted_atomic_gives_up() {
+        // A transaction that always self-aborts exhausts its budget.
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let ctx = stm.thread(0);
+        let out: Option<()> = ctx.atomic_with_budget(3, &mut |tx| {
+            Err(tx.abort_self())
+        });
+        assert!(out.is_none());
+        assert!(stm.aggregate().aborts >= 3);
+    }
+
+    #[test]
+    fn stats_reset_between_runs() {
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let tv: TVar<u64> = TVar::new(0);
+        let ctx = stm.thread(0);
+        ctx.atomic(|tx| tx.write(&tv, 1));
+        assert_eq!(stm.aggregate().commits, 1);
+        stm.reset_stats();
+        assert_eq!(stm.aggregate().commits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn thread_id_out_of_range_panics() {
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let _ = stm.thread(1);
+    }
+}

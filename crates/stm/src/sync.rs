@@ -1,0 +1,225 @@
+//! Cooperative waiting helpers and a cancellable barrier.
+//!
+//! Contention managers back off by *waiting*, but on an oversubscribed
+//! machine (the paper ran 32 threads on 4 cores; this reproduction may run
+//! on fewer) a spinning waiter steals cycles from the very enemy it is
+//! waiting for. [`cooperative_wait`] therefore always yields the CPU inside
+//! its loop, and switches to a real sleep for long waits.
+//!
+//! [`CancellableBarrier`] synchronizes the start of each execution window
+//! across worker threads. Unlike `std::sync::Barrier` it can be *cancelled*
+//! so that timed experiment runs can terminate while some threads are
+//! parked at a window boundary.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Threshold above which we sleep instead of yield-spinning.
+const SLEEP_THRESHOLD: Duration = Duration::from_micros(200);
+
+/// Wait approximately `d`, always giving other threads a chance to run.
+///
+/// Short waits are yield-loops (fine-grained, keeps latency low); long
+/// waits use `thread::sleep` (releases the core entirely — important when
+/// hardware threads are oversubscribed).
+pub fn cooperative_wait(d: Duration) {
+    if d.is_zero() {
+        std::thread::yield_now();
+        return;
+    }
+    if d >= SLEEP_THRESHOLD {
+        std::thread::sleep(d);
+        return;
+    }
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+}
+
+/// Yield-wait until `pred()` is true or `timeout` elapses.
+/// Returns `true` iff the predicate fired.
+pub fn wait_until(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if pred() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Why a [`CancellableBarrier::wait`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierWait {
+    /// All parties arrived; proceed with the next window.
+    Released,
+    /// The barrier was cancelled (experiment shutting down).
+    Cancelled,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+/// A reusable barrier for `parties` threads that can be cancelled.
+///
+/// Worker threads call [`wait`](Self::wait) at every window boundary; the
+/// harness calls [`cancel`](Self::cancel) when the measurement interval
+/// ends, releasing all parked threads immediately.
+pub struct CancellableBarrier {
+    parties: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    cancelled: AtomicBool,
+}
+
+impl CancellableBarrier {
+    /// Barrier for `parties` participants (must be ≥ 1).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "barrier needs at least one party");
+        CancellableBarrier {
+            parties,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Park until all parties arrive or the barrier is cancelled.
+    pub fn wait(&self) -> BarrierWait {
+        if self.cancelled.load(Ordering::Acquire) {
+            return BarrierWait::Cancelled;
+        }
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.parties {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return BarrierWait::Released;
+        }
+        while st.generation == gen && !self.cancelled.load(Ordering::Acquire) {
+            self.cv.wait(&mut st);
+        }
+        if st.generation == gen {
+            // Cancelled while parked: take ourselves out of the count so a
+            // later (never expected, but harmless) reuse stays consistent.
+            st.arrived = st.arrived.saturating_sub(1);
+            BarrierWait::Cancelled
+        } else {
+            BarrierWait::Released
+        }
+    }
+
+    /// Release all current and future waiters with `Cancelled`.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+        let _guard = self.state.lock();
+        self.cv.notify_all();
+    }
+
+    /// True once [`cancel`](Self::cancel) was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn cooperative_wait_short_and_long() {
+        let t0 = Instant::now();
+        cooperative_wait(Duration::from_micros(20));
+        assert!(t0.elapsed() >= Duration::from_micros(20));
+
+        let t0 = Instant::now();
+        cooperative_wait(Duration::from_millis(1));
+        assert!(t0.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn wait_until_predicate_fires() {
+        let mut n = 0;
+        assert!(wait_until(Duration::from_secs(1), || {
+            n += 1;
+            n >= 3
+        }));
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        assert!(!wait_until(Duration::from_millis(5), || false));
+    }
+
+    #[test]
+    fn barrier_releases_all_parties() {
+        let b = Arc::new(CancellableBarrier::new(4));
+        let results: Vec<BarrierWait> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || b.wait())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|r| *r == BarrierWait::Released));
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let b = Arc::new(CancellableBarrier::new(2));
+        for _ in 0..10 {
+            let res: Vec<BarrierWait> = std::thread::scope(|s| {
+                let h1 = {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || b.wait())
+                };
+                let h2 = {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || b.wait())
+                };
+                vec![h1.join().unwrap(), h2.join().unwrap()]
+            });
+            assert!(res.iter().all(|r| *r == BarrierWait::Released));
+        }
+    }
+
+    #[test]
+    fn cancel_releases_parked_waiter() {
+        let b = Arc::new(CancellableBarrier::new(2));
+        let res = std::thread::scope(|s| {
+            let waiter = {
+                let b = Arc::clone(&b);
+                s.spawn(move || b.wait())
+            };
+            // Give the waiter time to park, then cancel.
+            std::thread::sleep(Duration::from_millis(10));
+            b.cancel();
+            waiter.join().unwrap()
+        });
+        assert_eq!(res, BarrierWait::Cancelled);
+        // Future waits return immediately.
+        assert_eq!(b.wait(), BarrierWait::Cancelled);
+        assert!(b.is_cancelled());
+    }
+}

@@ -1,0 +1,285 @@
+//! The transaction API: open-for-read, open-for-write, commit.
+//!
+//! Conflict handling is **eager**: the instant an open discovers a
+//! competing active transaction, the contention manager is consulted
+//! (outside the object lock) and its verdict applied. This mirrors DSTM2's
+//! eager conflict management, the configuration the paper evaluates.
+//!
+//! ## Correctness argument (opacity)
+//!
+//! With visible reads, a writer can only install itself on an object with
+//! *no other active reader or writer*; it must first wait for, or abort,
+//! every conflicting transaction. Therefore while a transaction `R` is
+//! active, no competitor can commit a change to any object `R` has read —
+//! so every value `R` observed remains part of one consistent committed
+//! snapshot, and no re-validation is needed at commit. Commit itself is a
+//! single status CAS racing against enemy aborts: exactly one side wins.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::cm::{ConflictKind, Resolution};
+use crate::stm::ThreadCtx;
+use crate::tvar::{ErasedWrite, TVar, TypedWrite};
+use crate::txstate::TxState;
+use crate::TxObject;
+
+/// Why a transactional operation could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxError {
+    /// The transaction was aborted (by itself via the contention manager,
+    /// or by an enemy). Propagate it out of the atomic closure with `?`;
+    /// the engine retries automatically.
+    Aborted,
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::Aborted => write!(f, "transaction aborted"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Result alias used throughout the transactional API.
+pub type TxResult<T> = Result<T, TxError>;
+
+/// An in-flight transaction attempt. Created by
+/// [`ThreadCtx::atomic`](crate::stm::ThreadCtx::atomic); user code receives
+/// `&mut Txn` inside the atomic closure.
+pub struct Txn<'a> {
+    state: Arc<TxState>,
+    writes: Vec<Box<dyn ErasedWrite>>,
+    ctx: &'a ThreadCtx<'a>,
+    /// When tracing, the `(object id, is_write)` access footprint of this
+    /// attempt (reads of own writes are not re-recorded).
+    footprint: Option<Vec<(u64, bool)>>,
+}
+
+impl<'a> Txn<'a> {
+    pub(crate) fn new(state: Arc<TxState>, ctx: &'a ThreadCtx<'a>) -> Self {
+        Txn {
+            state,
+            writes: Vec::new(),
+            ctx,
+            footprint: None,
+        }
+    }
+
+    pub(crate) fn enable_tracing(&mut self) {
+        self.footprint = Some(Vec::new());
+    }
+
+    pub(crate) fn take_footprint(&mut self) -> Vec<(u64, bool)> {
+        self.footprint.take().unwrap_or_default()
+    }
+
+    /// The shared record describing this attempt.
+    pub fn state(&self) -> &Arc<TxState> {
+        &self.state
+    }
+
+    /// Number of objects in the write set.
+    pub fn write_set_len(&self) -> usize {
+        self.writes.len()
+    }
+
+    #[inline]
+    fn check_alive(&self) -> TxResult<()> {
+        if self.state.is_active() {
+            Ok(())
+        } else {
+            Err(TxError::Aborted)
+        }
+    }
+
+    /// Open `tvar` for reading and return the observed version.
+    ///
+    /// The returned `Arc<T>` is a stable snapshot: it never changes even if
+    /// the object is later rewritten. If this transaction already wrote the
+    /// object, its own shadow copy is returned (read-your-writes).
+    pub fn read<T: TxObject>(&mut self, tvar: &TVar<T>) -> TxResult<Arc<T>> {
+        self.check_alive()?;
+        if let Some(idx) = self.find_write(tvar.id()) {
+            let tw = self.writes[idx]
+                .as_any()
+                .downcast_ref::<TypedWrite<T>>()
+                .expect("write-set entry type mismatch");
+            return Ok(Arc::clone(&tw.shadow));
+        }
+        loop {
+            self.check_alive()?;
+            let enemy = {
+                let mut st = tvar.inner().state.lock();
+                match &st.writer {
+                    Some(w) if w.is_active() && w.attempt_id != self.state.attempt_id => {
+                        Some(Arc::clone(w))
+                    }
+                    _ => {
+                        let val = st.effective();
+                        st.register_reader(&self.state);
+                        drop(st);
+                        self.note_open();
+                        if let Some(fp) = &mut self.footprint {
+                            fp.push((tvar.id(), false));
+                        }
+                        return Ok(val);
+                    }
+                }
+            };
+            if let Some(enemy) = enemy {
+                self.handle_conflict(&enemy, ConflictKind::ReadWrite)?;
+            }
+        }
+    }
+
+    /// Open `tvar` for writing and replace its value with `value`.
+    pub fn write<T: TxObject>(&mut self, tvar: &TVar<T>, value: T) -> TxResult<()> {
+        let idx = self.acquire(tvar)?;
+        let tw = self.writes[idx]
+            .as_any_mut()
+            .downcast_mut::<TypedWrite<T>>()
+            .expect("write-set entry type mismatch");
+        *Arc::make_mut(&mut tw.shadow) = value;
+        Ok(())
+    }
+
+    /// Open `tvar` for writing and mutate the shadow copy in place.
+    pub fn modify<T: TxObject>(
+        &mut self,
+        tvar: &TVar<T>,
+        f: impl FnOnce(&mut T),
+    ) -> TxResult<()> {
+        let idx = self.acquire(tvar)?;
+        let tw = self.writes[idx]
+            .as_any_mut()
+            .downcast_mut::<TypedWrite<T>>()
+            .expect("write-set entry type mismatch");
+        f(Arc::make_mut(&mut tw.shadow));
+        Ok(())
+    }
+
+    /// Abort this transaction voluntarily (e.g. explicit early exit in a
+    /// benchmark). The engine will retry the atomic closure.
+    pub fn abort_self(&self) -> TxError {
+        self.state.abort();
+        TxError::Aborted
+    }
+
+    fn find_write(&self, id: u64) -> Option<usize> {
+        // Write sets are small (a handful of objects); linear scan beats a
+        // hash map here.
+        self.writes.iter().position(|w| w.tvar_id() == id)
+    }
+
+    /// Acquire write ownership of `tvar`, resolving write-write and
+    /// write-read conflicts through the contention manager. Returns the
+    /// index of the write-set entry.
+    fn acquire<T: TxObject>(&mut self, tvar: &TVar<T>) -> TxResult<usize> {
+        if let Some(idx) = self.find_write(tvar.id()) {
+            return Ok(idx);
+        }
+        loop {
+            self.check_alive()?;
+            let conflict = {
+                let mut st = tvar.inner().state.lock();
+                let writer_enemy = match &st.writer {
+                    Some(w) if w.is_active() && w.attempt_id != self.state.attempt_id => {
+                        Some((Arc::clone(w), ConflictKind::WriteWrite))
+                    }
+                    _ => None,
+                };
+                match writer_enemy {
+                    Some(c) => Some(c),
+                    None => match st.conflicting_reader(&self.state) {
+                        Some(r) => Some((r, ConflictKind::WriteRead)),
+                        None => {
+                            // Clear: collapse the locator and install ourselves.
+                            let cur = st.effective();
+                            st.old = Arc::clone(&cur);
+                            st.new = None;
+                            st.writer = Some(Arc::clone(&self.state));
+                            drop(st);
+                            let shadow = Arc::new((*cur).clone());
+                            self.writes.push(Box::new(TypedWrite {
+                                tvar: tvar.clone(),
+                                shadow,
+                            }));
+                            self.note_open();
+                            if let Some(fp) = &mut self.footprint {
+                                fp.push((tvar.id(), true));
+                            }
+                            return Ok(self.writes.len() - 1);
+                        }
+                    },
+                }
+            };
+            if let Some((enemy, kind)) = conflict {
+                self.handle_conflict(&enemy, kind)?;
+            }
+        }
+    }
+
+    /// Apply the contention manager to one discovered conflict.
+    ///
+    /// On `Ok(())` the caller must re-examine the object: the enemy was
+    /// killed, finished on its own, or the manager asked for a re-check.
+    fn handle_conflict(&self, enemy: &Arc<TxState>, kind: ConflictKind) -> TxResult<()> {
+        let stats = self.ctx.stats();
+        stats.record_conflict(kind, enemy.txn_id);
+        if !enemy.is_active() {
+            return Ok(()); // resolved itself while we took the slow path
+        }
+        let t0 = Instant::now();
+        let res = self.ctx.cm().resolve(&self.state, enemy, kind);
+        let waited = t0.elapsed().as_nanos() as u64;
+        if waited > 0 {
+            stats
+                .wait_ns
+                .fetch_add(waited, std::sync::atomic::Ordering::Relaxed);
+        }
+        match res {
+            Resolution::AbortEnemy => {
+                enemy.abort();
+                Ok(())
+            }
+            Resolution::AbortSelf => {
+                self.state.abort();
+                Err(TxError::Aborted)
+            }
+            Resolution::Retry => {
+                if enemy.is_active() {
+                    std::thread::yield_now();
+                }
+                self.check_alive()
+            }
+        }
+    }
+
+    #[inline]
+    fn note_open(&self) {
+        self.state.add_karma();
+        self.ctx
+            .stats()
+            .opens
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.ctx.cm().on_open(&self.state);
+    }
+
+    /// Publish shadow copies and attempt the commit CAS.
+    pub(crate) fn commit(&mut self) -> TxResult<()> {
+        self.check_alive()?;
+        // Publish every shadow before the status CAS: a competitor that
+        // observes `Committed` must find all `new` versions in place.
+        for w in &self.writes {
+            w.publish(&self.state);
+        }
+        if self.state.try_commit() {
+            Ok(())
+        } else {
+            Err(TxError::Aborted)
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The shared per-attempt transaction record.
+//!
+//! Every transaction *attempt* gets a fresh [`TxState`] behind an `Arc`.
+//! Locators and reader lists hold clones of that `Arc`, which is what lets
+//! any thread inspect a competitor's status, priority, and age — and abort
+//! it with a single CAS. Allocating a new record per attempt (rather than
+//! resetting one) sidesteps ABA problems: a locator that still points at an
+//! old attempt sees it permanently `Aborted`.
+//!
+//! Fields that must *survive* retries of the same logical transaction (the
+//! Greedy timestamp, Karma's accumulated priority) are seeded from the
+//! logical-transaction context in [`crate::stm`] when each attempt starts.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::status::{AtomicStatus, TxStatus};
+
+/// Sentinel for [`TxState::assigned_frame`]: the transaction is not running
+/// under a window-based contention manager.
+pub const NOT_WINDOWED: u64 = u64::MAX;
+
+/// Shared record describing one attempt of one transaction.
+///
+/// Cheap to create, immutable except for the atomics. All cross-thread
+/// communication about a transaction (status, priorities, window frame)
+/// goes through this record.
+#[derive(Debug)]
+pub struct TxState {
+    /// Unique id of this attempt (engine-global).
+    pub attempt_id: u64,
+    /// Id of the logical transaction (stable across retries).
+    pub txn_id: u64,
+    /// Index of the thread running the transaction.
+    pub thread_id: usize,
+    /// Retry count: 0 for the first attempt.
+    pub attempt: u32,
+    /// Logical timestamp of the *first* attempt. Greedy and Priority order
+    /// transactions by this value: smaller = older = higher priority.
+    pub ts: u64,
+    /// Logical timestamp of *this* attempt (used by the Timestamp manager).
+    pub attempt_ts: u64,
+    /// Wall-clock start of the first attempt (response-time metric).
+    pub first_start: Instant,
+    /// Wall-clock start of this attempt (wasted-work metric).
+    pub attempt_start: Instant,
+
+    status: AtomicStatus,
+    /// Karma/Polka priority: number of objects opened, accumulated across
+    /// attempts of the logical transaction.
+    karma: AtomicU64,
+    /// Set while the transaction is blocked inside a contention manager
+    /// wait. Greedy aborts an *older* enemy iff it is waiting.
+    waiting: AtomicBool,
+    /// Window CM: frame in which this transaction turns high-priority
+    /// (`NOT_WINDOWED` when no window manager is installed).
+    assigned_frame: AtomicU64,
+    /// Window CM: the random rank π₂ ∈ [1, M], re-rolled after every abort.
+    rank: AtomicU32,
+    /// Scratch slot for contention-manager-specific data.
+    user_slot: AtomicU64,
+}
+
+impl TxState {
+    /// Create the record for a new attempt.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        attempt_id: u64,
+        txn_id: u64,
+        thread_id: usize,
+        attempt: u32,
+        ts: u64,
+        attempt_ts: u64,
+        first_start: Instant,
+        karma_carryover: u64,
+    ) -> Self {
+        TxState {
+            attempt_id,
+            txn_id,
+            thread_id,
+            attempt,
+            ts,
+            attempt_ts,
+            first_start,
+            attempt_start: Instant::now(),
+            status: AtomicStatus::new(),
+            karma: AtomicU64::new(karma_carryover),
+            waiting: AtomicBool::new(false),
+            assigned_frame: AtomicU64::new(NOT_WINDOWED),
+            rank: AtomicU32::new(0),
+            user_slot: AtomicU64::new(0),
+        }
+    }
+
+    /// Current status.
+    #[inline]
+    pub fn status(&self) -> TxStatus {
+        self.status.load()
+    }
+
+    /// True iff still `Active`.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.status() == TxStatus::Active
+    }
+
+    /// Try to abort this transaction (any thread may call this on an
+    /// enemy). Returns `true` iff this call performed the abort.
+    #[inline]
+    pub fn abort(&self) -> bool {
+        self.status.try_transition(TxStatus::Aborted)
+    }
+
+    /// Try to commit (only the owning thread calls this).
+    /// Returns `true` iff the commit CAS won.
+    #[inline]
+    pub fn try_commit(&self) -> bool {
+        self.status.try_transition(TxStatus::Committed)
+    }
+
+    // ---- contention-manager metadata ------------------------------------
+
+    /// Karma priority (objects opened, accumulated across retries).
+    #[inline]
+    pub fn karma(&self) -> u64 {
+        self.karma.load(Ordering::Relaxed)
+    }
+
+    /// Bump karma by one (called on every successful object open).
+    #[inline]
+    pub fn add_karma(&self) {
+        self.karma.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether the transaction is currently blocked in a CM wait loop.
+    #[inline]
+    pub fn is_waiting(&self) -> bool {
+        self.waiting.load(Ordering::Acquire)
+    }
+
+    /// Mark entry/exit of a CM wait loop.
+    #[inline]
+    pub fn set_waiting(&self, w: bool) {
+        self.waiting.store(w, Ordering::Release);
+    }
+
+    // ---- window-manager metadata -----------------------------------------
+
+    /// Frame in which the transaction becomes high priority, or
+    /// [`NOT_WINDOWED`].
+    #[inline]
+    pub fn assigned_frame(&self) -> u64 {
+        self.assigned_frame.load(Ordering::Acquire)
+    }
+
+    /// Set the assigned frame (window CM bookkeeping).
+    #[inline]
+    pub fn set_assigned_frame(&self, f: u64) {
+        self.assigned_frame.store(f, Ordering::Release);
+    }
+
+    /// The random rank π₂ used by the window Online algorithm.
+    #[inline]
+    pub fn rank(&self) -> u32 {
+        self.rank.load(Ordering::Acquire)
+    }
+
+    /// Re-roll π₂ (done at frame entry and after every abort).
+    #[inline]
+    pub fn set_rank(&self, r: u32) {
+        self.rank.store(r, Ordering::Release);
+    }
+
+    /// Generic scratch slot for contention managers.
+    #[inline]
+    pub fn user_slot(&self) -> u64 {
+        self.user_slot.load(Ordering::Acquire)
+    }
+
+    /// Store into the scratch slot.
+    #[inline]
+    pub fn set_user_slot(&self, v: u64) {
+        self.user_slot.store(v, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> TxState {
+        TxState::new(1, 1, 0, 0, 10, 10, Instant::now(), 0)
+    }
+
+    #[test]
+    fn fresh_state_is_active_not_windowed() {
+        let s = mk();
+        assert!(s.is_active());
+        assert_eq!(s.assigned_frame(), NOT_WINDOWED);
+        assert_eq!(s.karma(), 0);
+        assert!(!s.is_waiting());
+    }
+
+    #[test]
+    fn abort_then_commit_fails() {
+        let s = mk();
+        assert!(s.abort());
+        assert!(!s.try_commit());
+        assert_eq!(s.status(), TxStatus::Aborted);
+        // Double abort is a no-op returning false.
+        assert!(!s.abort());
+    }
+
+    #[test]
+    fn commit_then_abort_fails() {
+        let s = mk();
+        assert!(s.try_commit());
+        assert!(!s.abort());
+        assert_eq!(s.status(), TxStatus::Committed);
+    }
+
+    #[test]
+    fn karma_accumulates_with_carryover() {
+        let s = TxState::new(2, 1, 0, 1, 10, 12, Instant::now(), 7);
+        assert_eq!(s.karma(), 7);
+        s.add_karma();
+        s.add_karma();
+        assert_eq!(s.karma(), 9);
+    }
+
+    #[test]
+    fn window_fields_roundtrip() {
+        let s = mk();
+        s.set_assigned_frame(42);
+        s.set_rank(17);
+        assert_eq!(s.assigned_frame(), 42);
+        assert_eq!(s.rank(), 17);
+    }
+
+    #[test]
+    fn waiting_flag_roundtrip() {
+        let s = mk();
+        s.set_waiting(true);
+        assert!(s.is_waiting());
+        s.set_waiting(false);
+        assert!(!s.is_waiting());
+    }
+}

@@ -1,0 +1,288 @@
+//! Engine-level edge cases and stress tests: locator collapse, reader
+//! list hygiene, self-conflict freedom, commit/abort races, and metric
+//! accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wtm_stm::cm::{AbortEnemyManager, AbortSelfManager};
+use wtm_stm::sync::cooperative_wait;
+use wtm_stm::{ConflictKind, ContentionManager, Resolution, Stm, TVar, TxState};
+
+#[test]
+fn read_then_write_same_object_is_not_a_self_conflict() {
+    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    let ctx = stm.thread(0);
+    let v: TVar<u64> = TVar::new(1);
+    let out = ctx.atomic(|tx| {
+        let a = *tx.read(&v)?; // registers us as a visible reader
+        tx.write(&v, a + 1)?; // must not treat our own read as an enemy
+        let b = *tx.read(&v)?; // read-your-writes
+        Ok((a, b))
+    });
+    assert_eq!(out, (1, 2));
+    assert_eq!(*v.sample(), 2);
+    assert_eq!(stm.aggregate().aborts, 0, "no self-conflicts allowed");
+}
+
+#[test]
+fn write_then_read_then_write_accumulates_in_one_shadow() {
+    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    let ctx = stm.thread(0);
+    let v: TVar<Vec<u32>> = TVar::new(vec![]);
+    ctx.atomic(|tx| {
+        tx.modify(&v, |x| x.push(1))?;
+        let snapshot = tx.read(&v)?;
+        assert_eq!(*snapshot, vec![1]);
+        tx.modify(&v, |x| x.push(2))?;
+        Ok(())
+    });
+    assert_eq!(*v.sample(), vec![1, 2]);
+}
+
+#[test]
+fn reader_lists_do_not_grow_without_bound() {
+    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    let ctx = stm.thread(0);
+    let v: TVar<u64> = TVar::new(0);
+    for _ in 0..10_000 {
+        ctx.atomic(|tx| tx.read(&v).map(|_| ()));
+    }
+    // Registration prunes dead readers inline, so the list stays O(live).
+    assert!(
+        v.reader_count() <= 2,
+        "reader list leaked: {}",
+        v.reader_count()
+    );
+}
+
+#[test]
+fn repeated_writes_collapse_locators() {
+    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    let ctx = stm.thread(0);
+    let v: TVar<u64> = TVar::new(0);
+    for i in 1..=1000u64 {
+        ctx.atomic(|tx| tx.write(&v, i));
+        assert_eq!(*v.sample(), i);
+    }
+}
+
+/// A manager that aborts the enemy, but first records how often it was
+/// consulted — used to verify conflict plumbing.
+struct CountingManager {
+    consults: AtomicU64,
+}
+
+impl ContentionManager for CountingManager {
+    fn resolve(&self, _me: &TxState, _enemy: &TxState, _kind: ConflictKind) -> Resolution {
+        self.consults.fetch_add(1, Ordering::Relaxed);
+        Resolution::AbortEnemy
+    }
+    fn name(&self) -> &str {
+        "Counting"
+    }
+}
+
+#[test]
+fn contention_manager_is_consulted_on_real_conflicts() {
+    let cm = Arc::new(CountingManager {
+        consults: AtomicU64::new(0),
+    });
+    let stm = Stm::new(cm.clone() as Arc<dyn ContentionManager>, 2);
+    let v: TVar<u64> = TVar::new(0);
+    // Thread 0 parks inside a transaction holding `v`; thread 1 then
+    // opens `v` and must hit the conflict path.
+    let barrier = std::sync::Barrier::new(2);
+    std::thread::scope(|s| {
+        {
+            let ctx = stm.thread(0);
+            let v = v.clone();
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut first = true;
+                let _: Option<()> = ctx.atomic_with_budget(5, &mut |tx| {
+                    tx.write(&v, 7)?;
+                    if first {
+                        first = false;
+                        barrier.wait(); // signal: ownership installed
+                        cooperative_wait(Duration::from_millis(20));
+                    }
+                    Ok(())
+                });
+            });
+        }
+        {
+            let ctx = stm.thread(1);
+            let v = v.clone();
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                ctx.atomic(|tx| tx.write(&v, 9));
+            });
+        }
+    });
+    assert!(
+        cm.consults.load(Ordering::Relaxed) >= 1,
+        "the sleeping writer must have caused at least one consult"
+    );
+    let snap = stm.aggregate();
+    assert!(snap.conflicts() >= 1);
+}
+
+#[test]
+fn victim_discovers_enemy_abort_and_retries() {
+    // Aggressive manager: thread 1 kills thread 0's in-flight transaction;
+    // thread 0 must retry and still complete every increment.
+    let stm = Stm::new(Arc::new(AbortEnemyManager), 2);
+    let v: TVar<u64> = TVar::new(0);
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let ctx = stm.thread(t);
+            let v = v.clone();
+            s.spawn(move || {
+                for _ in 0..300 {
+                    ctx.atomic(|tx| {
+                        let x = *tx.read(&v)?;
+                        tx.write(&v, x + 1)
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(*v.sample(), 600);
+}
+
+#[test]
+fn wait_time_is_accounted_for_waiting_managers() {
+    /// Always waits 1 ms, then retries (forever yielding to the enemy).
+    struct Sleeper;
+    impl ContentionManager for Sleeper {
+        fn resolve(&self, _m: &TxState, _e: &TxState, _k: ConflictKind) -> Resolution {
+            cooperative_wait(Duration::from_millis(1));
+            Resolution::Retry
+        }
+        fn name(&self) -> &str {
+            "Sleeper"
+        }
+    }
+    let stm = Stm::new(Arc::new(Sleeper), 2);
+    let v: TVar<u64> = TVar::new(0);
+    let barrier = std::sync::Barrier::new(2);
+    std::thread::scope(|s| {
+        {
+            let ctx = stm.thread(0);
+            let v = v.clone();
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut first = true;
+                ctx.atomic(|tx| {
+                    tx.write(&v, 1)?;
+                    if first {
+                        first = false;
+                        barrier.wait();
+                        cooperative_wait(Duration::from_millis(10));
+                    }
+                    Ok(())
+                });
+            });
+        }
+        {
+            let ctx = stm.thread(1);
+            let v = v.clone();
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                ctx.atomic(|tx| tx.write(&v, 2));
+            });
+        }
+    });
+    let snap = stm.aggregate();
+    assert!(
+        snap.wait_ns >= 1_000_000,
+        "CM waiting must be recorded: {} ns",
+        snap.wait_ns
+    );
+}
+
+#[test]
+fn many_tvars_one_transaction() {
+    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    let ctx = stm.thread(0);
+    let vars: Vec<TVar<u64>> = (0..256).map(TVar::new).collect();
+    let sum = ctx.atomic(|tx| {
+        let mut s = 0;
+        for v in &vars {
+            s += *tx.read(v)?;
+        }
+        for v in &vars {
+            tx.modify(v, |x| *x += 1)?;
+        }
+        Ok(s)
+    });
+    assert_eq!(sum, (0..256).sum::<u64>());
+    for (i, v) in vars.iter().enumerate() {
+        assert_eq!(*v.sample(), i as u64 + 1);
+    }
+}
+
+#[test]
+fn tvar_default_and_debug() {
+    let v: TVar<u64> = TVar::default();
+    assert_eq!(*v.sample(), 0);
+    let dbg = format!("{v:?}");
+    assert!(dbg.contains("TVar"));
+}
+
+#[test]
+fn concurrent_disjoint_writes_never_conflict() {
+    let stm = Stm::new(Arc::new(AbortSelfManager), 4);
+    let vars: Arc<Vec<TVar<u64>>> = Arc::new((0..4).map(|_| TVar::new(0)).collect());
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let ctx = stm.thread(t);
+            let vars = Arc::clone(&vars);
+            s.spawn(move || {
+                for _ in 0..500 {
+                    ctx.atomic(|tx| tx.modify(&vars[t], |x| *x += 1));
+                }
+            });
+        }
+    });
+    for v in vars.iter() {
+        assert_eq!(*v.sample(), 500);
+    }
+    let snap = stm.aggregate();
+    assert_eq!(snap.conflicts(), 0, "disjoint writers must never conflict");
+    assert_eq!(snap.aborts, 0);
+}
+
+#[test]
+fn traced_atomic_records_committed_footprint() {
+    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    let ctx = stm.thread(0);
+    let a: TVar<u64> = TVar::new(0);
+    let b: TVar<u64> = TVar::new(0);
+    let (_, fp) = ctx.atomic_traced(|tx| {
+        let x = *tx.read(&a)?;
+        tx.write(&b, x + 1)?;
+        Ok(())
+    });
+    assert_eq!(fp.len(), 2);
+    assert_eq!(fp[0], (a.id(), false), "read of a recorded first");
+    assert_eq!(fp[1], (b.id(), true), "write of b recorded second");
+}
+
+#[test]
+fn traced_atomic_skips_read_after_write_duplicates() {
+    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    let ctx = stm.thread(0);
+    let a: TVar<u64> = TVar::new(3);
+    let (v, fp) = ctx.atomic_traced(|tx| {
+        tx.modify(&a, |x| *x += 1)?;
+        let v = *tx.read(&a)?; // served from the write set
+        Ok(v)
+    });
+    assert_eq!(v, 4);
+    assert_eq!(fp, vec![(a.id(), true)], "only the write is recorded");
+}

@@ -1,0 +1,271 @@
+//! Transactional chained hash map (extension).
+//!
+//! A fixed array of buckets, each a `TVar<Vec<(key, value)>>`. Contention
+//! profile: the polar opposite of the List — accesses touch exactly one
+//! bucket, so conflicts happen only on hash collisions and scale with
+//! `1/buckets`. Useful as a low-contention control workload and as the
+//! dedup table for STAMP-style genome processing.
+//!
+//! `TxHashSet` (the unit-value alias) implements [`TxIntSet`], so every
+//! harness and test that drives the paper's IntSet benchmarks can drive
+//! this structure too.
+
+use wtm_stm::{TVar, TxObject, TxResult, Txn};
+
+use crate::intset::TxIntSet;
+
+/// Transactional hash map `i64 → V` with chaining.
+pub struct TxHashMap<V: TxObject> {
+    buckets: Box<[TVar<Vec<(i64, V)>>]>,
+}
+
+impl<V: TxObject> TxHashMap<V> {
+    /// Map with `buckets` chains (rounded up to at least 1).
+    pub fn new(buckets: usize) -> Self {
+        TxHashMap {
+            buckets: (0..buckets.max(1)).map(|_| TVar::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket(&self, key: i64) -> &TVar<Vec<(i64, V)>> {
+        // Fibonacci hashing spreads sequential keys across buckets.
+        let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.buckets[(h % self.buckets.len() as u64) as usize]
+    }
+
+    /// Insert or overwrite; returns `true` if the key was new.
+    pub fn put(&self, tx: &mut Txn, key: i64, value: V) -> TxResult<bool> {
+        let bucket = self.bucket(key);
+        let chain = tx.read(bucket)?;
+        match chain.iter().position(|(k, _)| *k == key) {
+            Some(i) => {
+                tx.modify(bucket, move |c| c[i].1 = value)?;
+                Ok(false)
+            }
+            None => {
+                tx.modify(bucket, move |c| c.push((key, value)))?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Insert only if absent; returns `true` if the key was new.
+    pub fn insert(&self, tx: &mut Txn, key: i64, value: V) -> TxResult<bool> {
+        let bucket = self.bucket(key);
+        let chain = tx.read(bucket)?;
+        if chain.iter().any(|(k, _)| *k == key) {
+            return Ok(false);
+        }
+        tx.modify(bucket, move |c| c.push((key, value)))?;
+        Ok(true)
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, tx: &mut Txn, key: i64) -> TxResult<Option<V>> {
+        let chain = tx.read(self.bucket(key))?;
+        Ok(chain.iter().find(|(k, _)| *k == key).map(|(_, v)| v.clone()))
+    }
+
+    /// Membership test (cheaper than [`get`](Self::get) for big values in
+    /// spirit, same cost here).
+    pub fn contains_key(&self, tx: &mut Txn, key: i64) -> TxResult<bool> {
+        let chain = tx.read(self.bucket(key))?;
+        Ok(chain.iter().any(|(k, _)| *k == key))
+    }
+
+    /// Remove `key`; returns the removed value if present.
+    pub fn remove(&self, tx: &mut Txn, key: i64) -> TxResult<Option<V>> {
+        let bucket = self.bucket(key);
+        let chain = tx.read(bucket)?;
+        match chain.iter().position(|(k, _)| *k == key) {
+            Some(i) => {
+                let old = chain[i].1.clone();
+                tx.modify(bucket, move |c| {
+                    c.swap_remove(i);
+                })?;
+                Ok(Some(old))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Non-transactional snapshot of all `(key, value)` pairs, sorted by
+    /// key. Quiescence only.
+    pub fn snapshot(&self) -> Vec<(i64, V)> {
+        let mut out: Vec<(i64, V)> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.sample().iter().cloned().collect::<Vec<_>>())
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Non-transactional size. Quiescence only.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.sample().len()).sum()
+    }
+
+    /// True iff empty. Quiescence only.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Audit: every key hashes to the bucket that holds it, no duplicate
+    /// keys anywhere. Quiescence only.
+    pub fn check_invariants(&self) {
+        let mut seen = std::collections::HashSet::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            for (k, _) in b.sample().iter() {
+                let h = (*k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                assert_eq!(
+                    (h % self.buckets.len() as u64) as usize,
+                    i,
+                    "key {k} in wrong bucket {i}"
+                );
+                assert!(seen.insert(*k), "duplicate key {k}");
+            }
+        }
+    }
+}
+
+/// Transactional hash set over `i64`.
+pub struct TxHashSet {
+    map: TxHashMap<()>,
+}
+
+impl TxHashSet {
+    /// Set with `buckets` chains.
+    pub fn new(buckets: usize) -> Self {
+        TxHashSet {
+            map: TxHashMap::new(buckets),
+        }
+    }
+
+    /// The underlying map (audits).
+    pub fn map(&self) -> &TxHashMap<()> {
+        &self.map
+    }
+}
+
+impl TxIntSet for TxHashSet {
+    fn insert(&self, tx: &mut Txn, key: i64) -> TxResult<bool> {
+        self.map.insert(tx, key, ())
+    }
+
+    fn remove(&self, tx: &mut Txn, key: i64) -> TxResult<bool> {
+        Ok(self.map.remove(tx, key)?.is_some())
+    }
+
+    fn contains(&self, tx: &mut Txn, key: i64) -> TxResult<bool> {
+        self.map.contains_key(tx, key)
+    }
+
+    fn snapshot_keys(&self) -> Vec<i64> {
+        self.map.snapshot().into_iter().map(|(k, _)| k).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "HashSet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wtm_stm::cm::AbortSelfManager;
+    use wtm_stm::Stm;
+
+    fn stm1() -> Stm {
+        Stm::new(Arc::new(AbortSelfManager), 1)
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let stm = stm1();
+        let ctx = stm.thread(0);
+        let m: TxHashMap<String> = TxHashMap::new(8);
+        assert!(ctx.atomic(|tx| m.put(tx, 1, "a".into())));
+        assert!(!ctx.atomic(|tx| m.put(tx, 1, "b".into())), "overwrite");
+        assert_eq!(ctx.atomic(|tx| m.get(tx, 1)), Some("b".to_string()));
+        assert_eq!(ctx.atomic(|tx| m.remove(tx, 1)), Some("b".to_string()));
+        assert_eq!(ctx.atomic(|tx| m.get(tx, 1)), None);
+        assert_eq!(ctx.atomic(|tx| m.remove(tx, 1)), None);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn insert_does_not_overwrite() {
+        let stm = stm1();
+        let ctx = stm.thread(0);
+        let m: TxHashMap<u32> = TxHashMap::new(4);
+        assert!(ctx.atomic(|tx| m.insert(tx, 5, 100)));
+        assert!(!ctx.atomic(|tx| m.insert(tx, 5, 200)));
+        assert_eq!(ctx.atomic(|tx| m.get(tx, 5)), Some(100));
+    }
+
+    #[test]
+    fn collisions_chain_correctly() {
+        let stm = stm1();
+        let ctx = stm.thread(0);
+        // One bucket: everything collides.
+        let m: TxHashMap<u32> = TxHashMap::new(1);
+        for k in 0..20 {
+            assert!(ctx.atomic(|tx| m.insert(tx, k, k as u32 * 3)));
+        }
+        assert_eq!(m.len(), 20);
+        for k in 0..20 {
+            assert_eq!(ctx.atomic(|tx| m.get(tx, k)), Some(k as u32 * 3));
+        }
+        m.check_invariants();
+    }
+
+    #[test]
+    fn hashset_matches_btreeset_oracle() {
+        use rand::{Rng, SeedableRng};
+        use std::collections::BTreeSet;
+        let stm = stm1();
+        let ctx = stm.thread(0);
+        let set = TxHashSet::new(16);
+        let mut oracle = BTreeSet::new();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4242);
+        for _ in 0..800 {
+            let k: i64 = rng.random_range(0..50);
+            match rng.random_range(0..3) {
+                0 => assert_eq!(ctx.atomic(|tx| set.insert(tx, k)), oracle.insert(k)),
+                1 => assert_eq!(ctx.atomic(|tx| set.remove(tx, k)), oracle.remove(&k)),
+                _ => assert_eq!(ctx.atomic(|tx| set.contains(tx, k)), oracle.contains(&k)),
+            }
+        }
+        assert_eq!(
+            set.snapshot_keys(),
+            oracle.into_iter().collect::<Vec<_>>()
+        );
+        set.map().check_invariants();
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_under_greedy() {
+        let stm = Stm::new(Arc::new(wtm_managers::Greedy), 3);
+        let set = Arc::new(TxHashSet::new(32));
+        std::thread::scope(|s| {
+            for t in 0..3usize {
+                let ctx = stm.thread(t);
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        ctx.atomic(|tx| set.insert(tx, (t * 1000 + i) as i64).map(|_| ()));
+                    }
+                });
+            }
+        });
+        assert_eq!(set.snapshot_keys().len(), 150);
+        set.map().check_invariants();
+    }
+}

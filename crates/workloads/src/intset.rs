@@ -1,0 +1,22 @@
+//! The IntSet interface shared by List, RBTree, and SkipList.
+
+use wtm_stm::{TxResult, Txn};
+
+/// A transactional set of integers — the interface of the classic DSTM
+/// IntSet benchmarks. All three structures implement it, so the harness
+/// can drive any of them with one code path.
+pub trait TxIntSet: Send + Sync {
+    /// Insert `key`; returns `true` if the set changed.
+    fn insert(&self, tx: &mut Txn, key: i64) -> TxResult<bool>;
+    /// Remove `key`; returns `true` if the set changed.
+    fn remove(&self, tx: &mut Txn, key: i64) -> TxResult<bool>;
+    /// Membership test.
+    fn contains(&self, tx: &mut Txn, key: i64) -> TxResult<bool>;
+    /// Non-transactional snapshot of the keys, in ascending order.
+    ///
+    /// Only meaningful at quiescence (no in-flight transactions); used by
+    /// tests and between-run audits.
+    fn snapshot_keys(&self) -> Vec<i64>;
+    /// Structure name for reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,108 @@
+//! # wtm-workloads — the paper's four benchmarks over `wtm-stm`
+//!
+//! Faithful Rust counterparts of the benchmarks the paper evaluates
+//! (§III): the DSTM IntSet benchmarks — sorted linked **List**, **RBTree**,
+//! **SkipList** — and the STAMP-style **Vacation** travel-booking
+//! database. All operations run as transactions against the
+//! [`wtm_stm`] engine, so their conflict topology matches the originals:
+//!
+//! * **List**: every operation walks the sorted chain from the head, so
+//!   readers pile up on the prefix and any writer conflicts with every
+//!   concurrent walker that passed its node — the paper's high-contention
+//!   workhorse.
+//! * **RBTree**: rotations and recoloring near the root create bursts of
+//!   write contention; most of the structure is read-shared.
+//! * **SkipList**: towers spread writers across lanes, so conflict
+//!   probability is low — the benchmark where the paper's window overhead
+//!   is *visible* rather than amortized.
+//! * **Vacation**: each transaction makes several bookings across three
+//!   tables (flights/hotels/cars), mixing point queries and updates — a
+//!   "realistic application" mix.
+//!
+//! The [`generator`] module provides deterministic operation streams with
+//! the paper's contention knobs (update percentage: 20% low / 60% medium /
+//! 100% high, Fig. 5) and key-range control.
+
+pub mod generator;
+pub mod genome;
+pub mod hashmap;
+pub mod intset;
+pub mod kmeans;
+pub mod list;
+pub mod rbtree;
+pub mod skiplist;
+pub mod vacation;
+
+pub use generator::{ContentionLevel, OpKind, SetOp, SetOpGenerator};
+pub use genome::Genome;
+pub use hashmap::{TxHashMap, TxHashSet};
+pub use intset::TxIntSet;
+pub use kmeans::KMeans;
+pub use list::TxList;
+pub use rbtree::{TxRBMap, TxRBTree};
+pub use skiplist::TxSkipList;
+pub use vacation::{Vacation, VacationConfig, VacationOp, VacationOpGenerator};
+
+/// The four benchmarks of the paper, for harness dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Sorted linked list IntSet (DSTM).
+    List,
+    /// Red-black tree IntSet (DSTM).
+    RBTree,
+    /// Skip list IntSet.
+    SkipList,
+    /// STAMP-style travel-booking database.
+    Vacation,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's presentation order.
+    pub fn all() -> &'static [Benchmark] {
+        &[
+            Benchmark::List,
+            Benchmark::RBTree,
+            Benchmark::SkipList,
+            Benchmark::Vacation,
+        ]
+    }
+
+    /// Report label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::List => "List",
+            Benchmark::RBTree => "RBTree",
+            Benchmark::SkipList => "SkipList",
+            Benchmark::Vacation => "Vacation",
+        }
+    }
+
+    /// Default key range used by the harness: small for List (walks are
+    /// long and contention is the point), larger for the tree structures.
+    pub fn default_key_range(&self) -> i64 {
+        match self {
+            Benchmark::List => 64,
+            Benchmark::RBTree => 256,
+            Benchmark::SkipList => 256,
+            Benchmark::Vacation => 128,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_labels() {
+        let names: Vec<_> = Benchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["List", "RBTree", "SkipList", "Vacation"]);
+    }
+
+    #[test]
+    fn key_ranges_positive() {
+        for b in Benchmark::all() {
+            assert!(b.default_key_range() > 0);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests: the transactional data structures must behave
+//! exactly like their `std` oracles on arbitrary operation sequences, and
+//! their structural invariants must hold after every prefix.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use windowtm::stm::cm::AbortSelfManager;
+use windowtm::stm::Stm;
+use windowtm::workloads::skiplist::check_skiplist;
+use windowtm::workloads::{TxIntSet, TxList, TxRBMap, TxRBTree, TxSkipList};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    Remove(i64),
+    Contains(i64),
+}
+
+fn op_strategy(key_range: i64) -> impl Strategy<Value = Op> {
+    (0..3u8, 0..key_range).prop_map(|(k, key)| match k {
+        0 => Op::Insert(key),
+        1 => Op::Remove(key),
+        _ => Op::Contains(key),
+    })
+}
+
+fn check_set_against_oracle(set: &dyn TxIntSet, ops: &[Op]) {
+    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    let ctx = stm.thread(0);
+    let mut oracle = BTreeSet::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k) => {
+                let got = ctx.atomic(|tx| set.insert(tx, k));
+                assert_eq!(got, oracle.insert(k), "insert({k})");
+            }
+            Op::Remove(k) => {
+                let got = ctx.atomic(|tx| set.remove(tx, k));
+                assert_eq!(got, oracle.remove(&k), "remove({k})");
+            }
+            Op::Contains(k) => {
+                let got = ctx.atomic(|tx| set.contains(tx, k));
+                assert_eq!(got, oracle.contains(&k), "contains({k})");
+            }
+        }
+    }
+    assert_eq!(
+        set.snapshot_keys(),
+        oracle.iter().copied().collect::<Vec<_>>()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn list_behaves_like_btreeset(ops in proptest::collection::vec(op_strategy(32), 1..120)) {
+        let list = TxList::new();
+        check_set_against_oracle(&list, &ops);
+    }
+
+    #[test]
+    fn skiplist_behaves_like_btreeset(ops in proptest::collection::vec(op_strategy(48), 1..120)) {
+        let sl = TxSkipList::new();
+        check_set_against_oracle(&sl, &ops);
+        check_skiplist(&sl);
+    }
+
+    #[test]
+    fn rbtree_behaves_like_btreeset(ops in proptest::collection::vec(op_strategy(48), 1..150)) {
+        let tree = TxRBTree::new(64);
+        check_set_against_oracle(&tree, &ops);
+        tree.map().check_invariants();
+        tree.map().check_freelist();
+    }
+
+    #[test]
+    fn rbtree_invariants_hold_after_every_prefix(
+        ops in proptest::collection::vec(op_strategy(24), 1..60)
+    ) {
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let ctx = stm.thread(0);
+        let tree = TxRBTree::new(32);
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => { ctx.atomic(|tx| tree.insert(tx, k)); }
+                Op::Remove(k) => { ctx.atomic(|tx| tree.remove(tx, k)); }
+                Op::Contains(k) => { ctx.atomic(|tx| tree.contains(tx, k)); }
+            }
+            tree.map().check_invariants();
+            tree.map().check_freelist();
+        }
+    }
+
+    #[test]
+    fn rbmap_behaves_like_btreemap(
+        ops in proptest::collection::vec((0..3u8, 0..32i64, 0..1000u64), 1..120)
+    ) {
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let ctx = stm.thread(0);
+        let map: TxRBMap<u64> = TxRBMap::new(48);
+        let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
+        for (kind, k, v) in ops {
+            match kind {
+                0 => {
+                    let newly = ctx.atomic(|tx| map.put(tx, k, v));
+                    assert_eq!(newly, oracle.insert(k, v).is_none(), "put({k})");
+                }
+                1 => {
+                    let got = ctx.atomic(|tx| map.remove_entry(tx, k));
+                    assert_eq!(got, oracle.remove(&k), "remove({k})");
+                }
+                _ => {
+                    let got = ctx.atomic(|tx| map.get(tx, k));
+                    assert_eq!(got, oracle.get(&k).copied(), "get({k})");
+                }
+            }
+        }
+        let snap: Vec<(i64, u64)> = map.snapshot();
+        let want: Vec<(i64, u64)> = oracle.into_iter().collect();
+        assert_eq!(snap, want);
+        map.check_invariants();
+    }
+
+    #[test]
+    fn rbmap_floor_matches_btreemap_range(
+        keys in proptest::collection::btree_set(0..64i64, 0..24),
+        probe in 0..64i64
+    ) {
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let ctx = stm.thread(0);
+        let map: TxRBMap<u64> = TxRBMap::new(80);
+        for &k in &keys {
+            ctx.atomic(|tx| map.put(tx, k, k as u64 * 2));
+        }
+        let got = ctx.atomic(|tx| map.floor(tx, probe));
+        let want = keys.range(..=probe).next_back().map(|&k| (k, k as u64 * 2));
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,137 @@
+//! Workload × manager matrix tests: the full benchmark suite stays
+//! consistent under every contention-manager family, including the
+//! paper's window variants, at every contention level.
+
+use std::sync::Arc;
+
+use windowtm::harness::managers::build_manager;
+use windowtm::stm::Stm;
+use windowtm::window::{WindowConfig, WindowManager, WindowVariant};
+use windowtm::workloads::{
+    ContentionLevel, KMeans, Vacation, VacationConfig, VacationOpGenerator,
+};
+
+/// Vacation under a given manager and contention level stays referentially
+/// consistent (bookings ↔ reserved units).
+fn vacation_consistent(manager: &str, level: ContentionLevel) {
+    const THREADS: usize = 3;
+    let cfg = VacationConfig {
+        num_relations: 24,
+        num_queries: 3,
+        query_range_pct: 80,
+        update_pct: level.update_pct(),
+        seed: 7,
+    };
+    let built = build_manager(manager, THREADS, 8, 3).expect(manager);
+    let stm = Stm::new(Arc::clone(&built.cm), THREADS);
+    let v = Arc::new(Vacation::new(cfg));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let ctx = stm.thread(t);
+            let v = Arc::clone(&v);
+            s.spawn(move || {
+                let mut gen = VacationOpGenerator::new(v.config(), t);
+                for _ in 0..120 {
+                    let op = gen.next_op();
+                    ctx.atomic(|tx| v.run_op(tx, &op).map(|_| ()));
+                }
+            });
+        }
+    });
+    built.cancel();
+    v.check_consistency();
+}
+
+#[test]
+fn vacation_consistent_under_window_managers_all_levels() {
+    for manager in ["Online-Dynamic", "Adaptive", "Adaptive-Improved-Dynamic"] {
+        for level in ContentionLevel::all() {
+            vacation_consistent(manager, *level);
+        }
+    }
+}
+
+#[test]
+fn vacation_consistent_under_classic_managers() {
+    for manager in ["Polka", "Greedy", "Priority", "ATS", "Kindergarten", "Eruption"] {
+        vacation_consistent(manager, ContentionLevel::High);
+    }
+}
+
+#[test]
+fn kmeans_under_window_manager_converges() {
+    // Points (120) and clusters (4) divisible by the thread count (4), as
+    // the window barrier requires.
+    const THREADS: usize = 4;
+    let km = KMeans::new(4, 120, 5);
+    let wm = Arc::new(WindowManager::new(
+        WindowVariant::OnlineDynamic,
+        WindowConfig::new(THREADS, 31), // N = (120/4 + 4/4) per iteration
+    ));
+    let stm = Stm::new(wm.clone(), THREADS);
+    let before = km.inertia();
+    let after = km.run(&stm, 2);
+    wm.cancel();
+    assert!(after <= before + 1e-6, "{before} -> {after}");
+    assert_eq!(stm.aggregate().commits, 2 * (120 + 4) as u64);
+}
+
+#[test]
+fn kmeans_under_ats_converges() {
+    let km = KMeans::new(4, 120, 5);
+    let cm = windowtm::managers::make_manager("ATS", 3).unwrap();
+    let stm = Stm::new(cm, 3);
+    let before = km.inertia();
+    let after = km.run(&stm, 2);
+    assert!(after <= before + 1e-6);
+}
+
+#[test]
+fn hashset_concurrent_oracle_under_several_managers() {
+    use windowtm::workloads::{TxHashSet, TxIntSet};
+    for manager in ["Polka", "Greedy", "Online-Dynamic", "ATS"] {
+        const THREADS: usize = 3;
+        let built = build_manager(manager, THREADS, 8, 9).expect(manager);
+        let stm = Stm::new(Arc::clone(&built.cm), THREADS);
+        let set = Arc::new(TxHashSet::new(16));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let ctx = stm.thread(t);
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    let base = (t as i64) * 500;
+                    for k in 0..40 {
+                        ctx.atomic(|tx| set.insert(tx, base + k).map(|_| ()));
+                    }
+                    for k in (0..40).step_by(4) {
+                        ctx.atomic(|tx| set.remove(tx, base + k).map(|_| ()));
+                    }
+                });
+            }
+        });
+        built.cancel();
+        let mut expect = Vec::new();
+        for t in 0..THREADS as i64 {
+            for k in 0..40 {
+                if k % 4 != 0 {
+                    expect.push(t * 500 + k);
+                }
+            }
+        }
+        expect.sort_unstable();
+        assert_eq!(set.snapshot_keys(), expect, "diverged under {manager}");
+        set.map().check_invariants();
+    }
+}
+
+#[test]
+fn genome_assembly_under_comparison_managers() {
+    use windowtm::workloads::Genome;
+    for manager in ["Greedy", "Polka", "RandomizedRounds"] {
+        let g = Genome::new(300, 2, 31);
+        let cm = windowtm::managers::make_manager(manager, 3).unwrap();
+        let stm = Stm::new(cm, 3);
+        g.run(&stm);
+        g.verify_chain(&stm);
+    }
+}
