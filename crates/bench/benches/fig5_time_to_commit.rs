@@ -20,10 +20,7 @@ fn bench_fig5(c: &mut Criterion) {
     for bench in Benchmark::all() {
         for level in ContentionLevel::all() {
             for manager in comparison_manager_names() {
-                let id = BenchmarkId::new(
-                    format!("{}_{}", bench.name(), level.name()),
-                    manager,
-                );
+                let id = BenchmarkId::new(format!("{}_{}", bench.name(), level.name()), manager);
                 group.bench_function(id, |b| {
                     b.iter_custom(|iters| {
                         let mut total = Duration::ZERO;

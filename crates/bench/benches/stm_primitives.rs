@@ -4,8 +4,8 @@
 //! duration, is built from these costs).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use wtm_stm::cm::AbortSelfManager;
 use wtm_stm::{Stm, TVar};
@@ -72,5 +72,116 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_primitives);
+/// Run `iters` transactions on each of `threads` workers and return the
+/// wall-clock time of the whole parallel phase (thread startup excluded
+/// via a barrier). The per-iteration number criterion reports is therefore
+/// *wall time per transaction per thread* — on a perfectly scaling read
+/// path it stays flat as `threads` grows.
+fn run_mt(threads: usize, iters: u64, body: impl Fn(usize, u64) + Sync) -> Duration {
+    let barrier = Barrier::new(threads + 1);
+    let mut elapsed = Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let barrier = &barrier;
+                let body = &body;
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..iters {
+                        body(t, i);
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        elapsed = t0.elapsed();
+    });
+    elapsed
+}
+
+/// Multi-threaded microbenches of the hot paths: a shared read-only
+/// working set (the case the lock-free read path targets), disjoint
+/// write-only sets, and a mixed read-mostly transaction.
+fn bench_primitives_mt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_primitives_mt");
+    group
+        .sample_size(12)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // Read-only transactions over one shared 8-object working set.
+    for threads in [1usize, 8] {
+        let stm = Stm::new(Arc::new(AbortSelfManager), threads);
+        let vars: Vec<TVar<u64>> = (0..8u64).map(TVar::new).collect();
+        group.bench_function(BenchmarkId::new("read_only", threads), |b| {
+            b.iter_custom(|iters| {
+                run_mt(threads, iters, |t, _| {
+                    let ctx = stm.thread(t);
+                    let sum = ctx.atomic(|tx| {
+                        let mut sum = 0u64;
+                        for v in &vars {
+                            sum += *tx.read(v)?;
+                        }
+                        Ok(sum)
+                    });
+                    std::hint::black_box(sum);
+                })
+            });
+        });
+    }
+
+    // Write-only transactions over per-thread disjoint 4-object sets.
+    for threads in [1usize, 8] {
+        let stm = Stm::new(Arc::new(AbortSelfManager), threads);
+        let vars: Vec<Vec<TVar<u64>>> = (0..threads)
+            .map(|_| (0..4u64).map(TVar::new).collect())
+            .collect();
+        group.bench_function(BenchmarkId::new("write_only", threads), |b| {
+            b.iter_custom(|iters| {
+                run_mt(threads, iters, |t, i| {
+                    let ctx = stm.thread(t);
+                    let mine = &vars[t];
+                    ctx.atomic(|tx| {
+                        for v in mine {
+                            tx.write(v, i)?;
+                        }
+                        Ok(())
+                    });
+                })
+            });
+        });
+    }
+
+    // Mixed transactions: 8 shared reads plus 1 private write.
+    for threads in [1usize, 8] {
+        let stm = Stm::new(Arc::new(AbortSelfManager), threads);
+        let shared: Vec<TVar<u64>> = (0..8u64).map(TVar::new).collect();
+        let private: Vec<TVar<u64>> = (0..threads as u64).map(TVar::new).collect();
+        group.bench_function(BenchmarkId::new("mixed", threads), |b| {
+            b.iter_custom(|iters| {
+                run_mt(threads, iters, |t, _| {
+                    let ctx = stm.thread(t);
+                    let mine = &private[t];
+                    let sum = ctx.atomic(|tx| {
+                        let mut sum = 0u64;
+                        for v in &shared {
+                            sum += *tx.read(v)?;
+                        }
+                        tx.write(mine, sum)?;
+                        Ok(sum)
+                    });
+                    std::hint::black_box(sum);
+                })
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_primitives_mt);
 criterion_main!(benches);

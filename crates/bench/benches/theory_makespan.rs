@@ -21,8 +21,17 @@ fn make_sched(name: &str, cfg: &SimConfig, g: &ConflictGraph, seed: u64) -> Box<
     match name {
         "Offline" => Box::new(OfflineWindowScheduler::new(cfg, g, seed)),
         "Online" => Box::new(OnlineWindowScheduler::new(cfg, g, WindowMode::Static, seed)),
-        "Online-Dynamic" => Box::new(OnlineWindowScheduler::new(cfg, g, WindowMode::Dynamic, seed)),
-        "Adaptive" => Box::new(OnlineWindowScheduler::adaptive(cfg, WindowMode::Dynamic, seed)),
+        "Online-Dynamic" => Box::new(OnlineWindowScheduler::new(
+            cfg,
+            g,
+            WindowMode::Dynamic,
+            seed,
+        )),
+        "Adaptive" => Box::new(OnlineWindowScheduler::adaptive(
+            cfg,
+            WindowMode::Dynamic,
+            seed,
+        )),
         "OneShot" => Box::new(OneShotScheduler::new(cfg, seed)),
         "Greedy" => Box::new(GreedyTimestampScheduler::new(cfg)),
         _ => unreachable!(),
@@ -37,10 +46,7 @@ fn bench_theory(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     let graphs = [
         ("complete_columns", ConflictGraph::complete_columns(M, N)),
-        (
-            "clustered",
-            ConflictGraph::clustered(M, N, 0.8, 0.05, 99),
-        ),
+        ("clustered", ConflictGraph::clustered(M, N, 0.8, 0.05, 99)),
         (
             "resources_s16",
             ConflictGraph::from_resources(M, N, 16, 4, 0.5, 99),

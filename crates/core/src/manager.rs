@@ -240,11 +240,7 @@ impl ContentionManager for WindowManager {
             Some(run) => run.current_frame(),
             None => 0,
         };
-        let mine = (
-            Self::is_low_priority(me, cur),
-            me.rank(),
-            me.attempt_id,
-        );
+        let mine = (Self::is_low_priority(me, cur), me.rank(), me.attempt_id);
         let theirs = (
             Self::is_low_priority(enemy, cur),
             enemy.rank(),
@@ -279,7 +275,9 @@ impl ContentionManager for WindowManager {
         let mut tw = self.threads[tx.thread_id].lock();
         // τ calibration from the committed attempt's duration.
         if self.cfg.auto_calibrate {
-            let sample = (tx.attempt_start.elapsed().as_nanos() as u64).min(TAU_SAMPLE_CAP_NS);
+            let sample = wtm_stm::clockns::now()
+                .saturating_sub(tx.attempt_start_ns)
+                .min(TAU_SAMPLE_CAP_NS);
             let slot = &self.taus[tx.thread_id];
             let old = slot.load(Ordering::Relaxed);
             let new = if old == 0 {
@@ -336,7 +334,8 @@ impl ContentionManager for WindowManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
+    use wtm_stm::clockns;
 
     fn cfg_1xn(n: usize) -> WindowConfig {
         WindowConfig::new(1, n).with_fixed_tau(Duration::from_micros(10))
@@ -350,7 +349,7 @@ mod tests {
             0,
             attempt_id,
             attempt_id,
-            Instant::now(),
+            clockns::now(),
             0,
         ))
     }

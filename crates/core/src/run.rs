@@ -156,7 +156,12 @@ impl WindowRun {
 
     /// Total outstanding transactions (diagnostics).
     pub fn outstanding(&self) -> u64 {
-        self.state.lock().pending.iter().map(|&c| u64::from(c)).sum()
+        self.state
+            .lock()
+            .pending
+            .iter()
+            .map(|&c| u64::from(c))
+            .sum()
     }
 }
 

@@ -79,4 +79,3 @@ proptest! {
         prop_assert!(cfg.frame_len_ns(lo) <= cfg.frame_len_ns(hi));
     }
 }
-

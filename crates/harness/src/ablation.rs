@@ -39,7 +39,9 @@ fn throughput_with_cfg(
     let stm = Stm::new(wm.clone(), threads);
     let set: Box<dyn wtm_workloads::TxIntSet> = match bench {
         Benchmark::List => Box::new(wtm_workloads::TxList::new()),
-        Benchmark::RBTree => Box::new(wtm_workloads::TxRBTree::new(bench.default_key_range() as usize + 8)),
+        Benchmark::RBTree => Box::new(wtm_workloads::TxRBTree::new(
+            bench.default_key_range() as usize + 8,
+        )),
         Benchmark::SkipList => Box::new(wtm_workloads::TxSkipList::new()),
         Benchmark::Vacation => unreachable!("ablations use the IntSet benchmarks"),
     };
@@ -116,7 +118,9 @@ pub fn a1_frame_factor(preset: &Preset) -> Table {
 pub fn a2_window_width(preset: &Preset) -> Table {
     let threads = preset.thread_counts.last().copied().unwrap_or(2);
     let mut t = Table::new(
-        format!("A2: throughput vs window width N (SkipList, Adaptive-Improved-Dynamic, M={threads})"),
+        format!(
+            "A2: throughput vs window width N (SkipList, Adaptive-Improved-Dynamic, M={threads})"
+        ),
         "N",
         vec!["txn/s".into()],
     );
@@ -148,8 +152,7 @@ pub fn a3_dynamic_vs_static(preset: &Preset) -> Table {
     );
     for bench in [Benchmark::List, Benchmark::RBTree, Benchmark::SkipList] {
         let run = |manager: &str| {
-            let mut spec =
-                RunSpec::new(bench, manager, threads, StopRule::Timed(preset.duration));
+            let mut spec = RunSpec::new(bench, manager, threads, StopRule::Timed(preset.duration));
             spec.window_n = preset.window_n;
             run_one(&spec).stats.throughput()
         };
@@ -157,7 +160,11 @@ pub fn a3_dynamic_vs_static(preset: &Preset) -> Table {
         let dynamic = run("Online-Dynamic");
         t.push_row(
             bench.name(),
-            vec![stat, dynamic, if stat > 0.0 { dynamic / stat } else { f64::NAN }],
+            vec![
+                stat,
+                dynamic,
+                if stat > 0.0 { dynamic / stat } else { f64::NAN },
+            ],
         );
     }
     t
@@ -168,7 +175,9 @@ pub fn a4_c_sensitivity(preset: &Preset) -> Table {
     let threads = preset.thread_counts.last().copied().unwrap_or(2);
     let base_c = threads as f64;
     let mut t = Table::new(
-        format!("A4: throughput vs configured C (List, Online-Dynamic, M={threads}, true C≈{base_c})"),
+        format!(
+            "A4: throughput vs configured C (List, Online-Dynamic, M={threads}, true C≈{base_c})"
+        ),
         "C multiplier",
         vec!["txn/s".into()],
     );

@@ -15,7 +15,14 @@ fn progress(msg: &str) {
 /// thread sweep, one table per benchmark.
 pub fn fig2(preset: &Preset) -> Vec<Table> {
     let variants = wtm_window::window_names();
-    sweep_throughput(preset, &variants, "Fig 2", "window-variant throughput", false).0
+    sweep_throughput(
+        preset,
+        &variants,
+        "Fig 2",
+        "window-variant throughput",
+        false,
+    )
+    .0
 }
 
 /// Figs. 3 and 4 — the best window variants vs Polka/Greedy/Priority.
@@ -24,7 +31,13 @@ pub fn fig2(preset: &Preset) -> Vec<Table> {
 /// `(fig3 throughput tables, fig4 aborts-per-commit tables)`.
 pub fn fig34(preset: &Preset) -> (Vec<Table>, Vec<Table>) {
     let managers = comparison_manager_names();
-    sweep_throughput(preset, &managers, "Fig 3", "window vs classic throughput", true)
+    sweep_throughput(
+        preset,
+        &managers,
+        "Fig 3",
+        "window vs classic throughput",
+        true,
+    )
 }
 
 /// Shared thread-sweep driver. Returns throughput tables and (when
@@ -54,16 +67,8 @@ fn sweep_throughput(
             let mut thr_row = Vec::with_capacity(managers.len());
             let mut apc_row = Vec::with_capacity(managers.len());
             for manager in managers {
-                progress(&format!(
-                    "{fig} {} / {manager} / M={m}",
-                    bench.name()
-                ));
-                let mut spec = RunSpec::new(
-                    *bench,
-                    manager,
-                    m,
-                    StopRule::Timed(preset.duration),
-                );
+                progress(&format!("{fig} {} / {manager} / M={m}", bench.name()));
+                let mut spec = RunSpec::new(*bench, manager, m, StopRule::Timed(preset.duration));
                 spec.window_n = preset.window_n;
                 let out = run_averaged(&spec, preset.reps);
                 thr_row.push(out.stats.throughput());
@@ -147,13 +152,11 @@ pub fn fig3_ratios(tables: &[Table]) -> Table {
                 f64::NAN
             }
         };
-        let bench = t
-            .title
-            .rsplit("— ")
-            .next()
-            .unwrap_or(&t.title)
-            .to_string();
-        out.push_row(bench, vec![ratio("Polka"), ratio("Greedy"), ratio("Priority")]);
+        let bench = t.title.rsplit("— ").next().unwrap_or(&t.title).to_string();
+        out.push_row(
+            bench,
+            vec![ratio("Polka"), ratio("Greedy"), ratio("Priority")],
+        );
     }
     out
 }

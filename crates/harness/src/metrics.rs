@@ -48,8 +48,7 @@ pub fn future_work_tables(preset: &Preset) -> Vec<Table> {
         let mut resp = Vec::new();
         for manager in &managers {
             eprintln!("[windowtm] FW {} / {manager}", bench.name());
-            let mut spec =
-                RunSpec::new(*bench, manager, threads, StopRule::Timed(preset.duration));
+            let mut spec = RunSpec::new(*bench, manager, threads, StopRule::Timed(preset.duration));
             spec.window_n = preset.window_n;
             let out = run_averaged(&spec, preset.reps);
             w.push(out.stats.wasted_work());

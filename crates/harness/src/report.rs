@@ -111,7 +111,13 @@ impl Table {
         let slug: String = self
             .title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = dir.join(format!("{slug}.csv"));
         let mut f = std::fs::File::create(&path)?;
@@ -149,11 +155,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Table {
-        let mut t = Table::new(
-            "Fig X: demo",
-            "threads",
-            vec!["A".into(), "B".into()],
-        );
+        let mut t = Table::new("Fig X: demo", "threads", vec!["A".into(), "B".into()]);
         t.push_row("1", vec![1234.5678, 0.25]);
         t.push_row("32", vec![9.0, 123456.0]);
         t
@@ -164,7 +166,10 @@ mod tests {
         let s = sample().render();
         assert!(s.contains("## Fig X: demo"));
         assert!(s.contains("threads"));
-        assert!(s.contains("1234.6"), "1234.5678 renders with 1 decimal: {s}");
+        assert!(
+            s.contains("1234.6"),
+            "1234.5678 renders with 1 decimal: {s}"
+        );
         assert!(s.contains("123456"));
         // Every line after the title has the same column count feel; at
         // minimum the headers appear.

@@ -84,9 +84,7 @@ enum Workload {
 fn build_workload(spec: &RunSpec) -> Workload {
     match spec.benchmark {
         Benchmark::List => Workload::Set(Box::new(TxList::new())),
-        Benchmark::RBTree => {
-            Workload::Set(Box::new(TxRBTree::new(spec.key_range as usize + 8)))
-        }
+        Benchmark::RBTree => Workload::Set(Box::new(TxRBTree::new(spec.key_range as usize + 8))),
         Benchmark::SkipList => Workload::Set(Box::new(TxSkipList::new())),
         Benchmark::Vacation => Workload::Vacation(Box::new(Vacation::new(VacationConfig {
             num_relations: spec.key_range,

@@ -60,13 +60,23 @@ fn schedulers<'a>(
         (
             "Online",
             Box::new(move |s| {
-                Box::new(OnlineWindowScheduler::new(cfg, graph, WindowMode::Static, s))
+                Box::new(OnlineWindowScheduler::new(
+                    cfg,
+                    graph,
+                    WindowMode::Static,
+                    s,
+                ))
             }),
         ),
         (
             "Online-Dynamic",
             Box::new(move |s| {
-                Box::new(OnlineWindowScheduler::new(cfg, graph, WindowMode::Dynamic, s))
+                Box::new(OnlineWindowScheduler::new(
+                    cfg,
+                    graph,
+                    WindowMode::Dynamic,
+                    s,
+                ))
             }),
         ),
         (
@@ -98,10 +108,15 @@ fn schedulers<'a>(
 /// and the Offline/reference ratio.
 pub fn t1_makespan_scaling(preset: &Preset) -> Table {
     let m = preset.sim_m;
-    let n_sweep: Vec<usize> = [preset.sim_n / 4, preset.sim_n / 2, preset.sim_n, 2 * preset.sim_n]
-        .into_iter()
-        .filter(|&n| n >= 2)
-        .collect();
+    let n_sweep: Vec<usize> = [
+        preset.sim_n / 4,
+        preset.sim_n / 2,
+        preset.sim_n,
+        2 * preset.sim_n,
+    ]
+    .into_iter()
+    .filter(|&n| n >= 2)
+    .collect();
     let mut cols: Vec<String> = vec![
         "Offline".into(),
         "Online".into(),
@@ -163,10 +178,19 @@ pub fn t2_window_vs_oneshot(preset: &Preset) -> Table {
             Box::new(OfflineWindowScheduler::new(&cfg, &graph, s))
         });
         let dynw = mean_makespan(&graph, &cfg, |s| {
-            Box::new(OnlineWindowScheduler::new(&cfg, &graph, WindowMode::Dynamic, s))
+            Box::new(OnlineWindowScheduler::new(
+                &cfg,
+                &graph,
+                WindowMode::Dynamic,
+                s,
+            ))
         });
         let ada = mean_makespan(&graph, &cfg, |s| {
-            Box::new(OnlineWindowScheduler::adaptive(&cfg, WindowMode::Dynamic, s))
+            Box::new(OnlineWindowScheduler::adaptive(
+                &cfg,
+                WindowMode::Dynamic,
+                s,
+            ))
         });
         let gre = mean_makespan(&graph, &cfg, |_| {
             Box::new(GreedyTimestampScheduler::new(&cfg))
@@ -202,7 +226,12 @@ pub fn t3_competitive_vs_s(preset: &Preset) -> Table {
             Box::new(OfflineWindowScheduler::new(&cfg, &graph, sd))
         });
         let dynw = mean_makespan(&graph, &cfg, |sd| {
-            Box::new(OnlineWindowScheduler::new(&cfg, &graph, WindowMode::Dynamic, sd))
+            Box::new(OnlineWindowScheduler::new(
+                &cfg,
+                &graph,
+                WindowMode::Dynamic,
+                sd,
+            ))
         });
         let one = mean_makespan(&graph, &cfg, |sd| Box::new(OneShotScheduler::new(&cfg, sd)));
         t.push_row(

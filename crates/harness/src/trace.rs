@@ -107,9 +107,23 @@ fn trace_schedulers<'a>(
         Box::new(GreedyTimestampScheduler::new(cfg)),
         Box::new(PolkaProgressScheduler::new(cfg, seed)),
         Box::new(FreeRandomizedScheduler::new(cfg, seed)),
-        Box::new(OnlineWindowScheduler::new(cfg, graph, WindowMode::Static, seed)),
-        Box::new(OnlineWindowScheduler::new(cfg, graph, WindowMode::Dynamic, seed)),
-        Box::new(OnlineWindowScheduler::adaptive(cfg, WindowMode::Dynamic, seed)),
+        Box::new(OnlineWindowScheduler::new(
+            cfg,
+            graph,
+            WindowMode::Static,
+            seed,
+        )),
+        Box::new(OnlineWindowScheduler::new(
+            cfg,
+            graph,
+            WindowMode::Dynamic,
+            seed,
+        )),
+        Box::new(OnlineWindowScheduler::adaptive(
+            cfg,
+            WindowMode::Dynamic,
+            seed,
+        )),
         Box::new(OfflineWindowScheduler::new(cfg, graph, seed)),
     ]
 }

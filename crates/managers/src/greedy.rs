@@ -33,8 +33,7 @@ impl ContentionManager for Greedy {
     fn resolve(&self, me: &TxState, enemy: &TxState, _kind: ConflictKind) -> Resolution {
         // Tie-break equal timestamps by attempt id so the relation stays a
         // total order (equal ts can only happen across engines in practice).
-        let i_am_older =
-            (me.ts, me.txn_id) < (enemy.ts, enemy.txn_id);
+        let i_am_older = (me.ts, me.txn_id) < (enemy.ts, enemy.txn_id);
         if i_am_older || enemy.is_waiting() {
             return Resolution::AbortEnemy;
         }

@@ -26,7 +26,9 @@ impl Kindergarten {
     /// Manager for `num_threads` workers.
     pub fn new(num_threads: usize) -> Self {
         Kindergarten {
-            hats: (0..num_threads.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            hats: (0..num_threads.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
         }
     }
 }
@@ -50,7 +52,9 @@ impl ContentionManager for Kindergarten {
 
     fn on_commit(&self, tx: &TxState) {
         let slot = tx.thread_id % self.hats.len();
-        self.hats[slot].lock().retain(|(mine, _)| *mine != tx.txn_id);
+        self.hats[slot]
+            .lock()
+            .retain(|(mine, _)| *mine != tx.txn_id);
     }
 
     fn name(&self) -> &str {

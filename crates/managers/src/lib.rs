@@ -54,8 +54,7 @@ pub use timestamp::Timestamp;
 #[cfg(test)]
 pub(crate) mod testutil {
     use std::sync::Arc;
-    use std::time::Instant;
-    use wtm_stm::TxState;
+    use wtm_stm::{clockns, TxState};
 
     /// Build a transaction state with the given ids and timestamp.
     pub fn state(attempt_id: u64, ts: u64) -> Arc<TxState> {
@@ -66,7 +65,7 @@ pub(crate) mod testutil {
             0,
             ts,
             ts,
-            Instant::now(),
+            clockns::now(),
             0,
         ))
     }
@@ -80,7 +79,7 @@ pub(crate) mod testutil {
             attempt,
             ts,
             ts + attempt as u64,
-            Instant::now(),
+            clockns::now(),
             0,
         ))
     }

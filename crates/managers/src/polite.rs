@@ -56,9 +56,7 @@ impl ContentionManager for Polite {
         let spread = 1u64 << round.min(16);
         let factor = self.rng.lock().random_range(1..=spread);
         me.set_waiting(true);
-        cooperative_wait(Duration::from_nanos(
-            self.base.as_nanos() as u64 * factor,
-        ));
+        cooperative_wait(Duration::from_nanos(self.base.as_nanos() as u64 * factor));
         me.set_waiting(false);
         if enemy.is_active() {
             Resolution::Retry // engine re-detects; we count rounds across re-entries

@@ -34,7 +34,11 @@ impl RandomizedRounds {
         RandomizedRounds {
             m: num_threads.max(1) as u32,
             rngs: (0..num_threads.max(1))
-                .map(|i| Mutex::new(SmallRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))))
+                .map(|i| {
+                    Mutex::new(SmallRng::seed_from_u64(
+                        seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ))
+                })
                 .collect(),
         }
     }

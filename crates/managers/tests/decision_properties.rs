@@ -7,7 +7,6 @@
 //! (livelock by construction).
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use proptest::prelude::*;
 
@@ -22,7 +21,7 @@ fn state(attempt_id: u64, txn_id: u64, thread: usize, ts: u64, attempt: u32) -> 
         attempt,
         ts,
         ts + u64::from(attempt),
-        Instant::now(),
+        wtm_stm::clockns::now(),
         0,
     ))
 }

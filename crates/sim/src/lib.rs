@@ -48,6 +48,6 @@ pub use coloring::greedy_coloring;
 pub use engine::{simulate, SimConfig, SimOutcome};
 pub use graph::ConflictGraph;
 pub use sched::{
-    FreeRandomizedScheduler, GreedyTimestampScheduler, OfflineWindowScheduler,
-    OneShotScheduler, OnlineWindowScheduler, PolkaProgressScheduler, SimScheduler, WindowMode,
+    FreeRandomizedScheduler, GreedyTimestampScheduler, OfflineWindowScheduler, OneShotScheduler,
+    OnlineWindowScheduler, PolkaProgressScheduler, SimScheduler, WindowMode,
 };

@@ -47,7 +47,9 @@ impl FreeRandomizedScheduler {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xF2EE);
         let m = cfg.m.max(1) as u32;
         FreeRandomizedScheduler {
-            ranks: (0..cfg.m * cfg.n).map(|_| rng.random_range(1..=m)).collect(),
+            ranks: (0..cfg.m * cfg.n)
+                .map(|_| rng.random_range(1..=m))
+                .collect(),
             rng,
             m,
         }
@@ -205,7 +207,9 @@ impl PolkaProgressScheduler {
         let m = cfg.m.max(1) as u32;
         PolkaProgressScheduler {
             progress: vec![0; cfg.m * cfg.n],
-            ranks: (0..cfg.m * cfg.n).map(|_| rng.random_range(1..=m)).collect(),
+            ranks: (0..cfg.m * cfg.n)
+                .map(|_| rng.random_range(1..=m))
+                .collect(),
             rng,
             m,
         }
@@ -602,7 +606,12 @@ mod tests {
             Box::new(FreeRandomizedScheduler::new(&cfg, seed)),
             Box::new(OneShotScheduler::new(&cfg, seed)),
             Box::new(GreedyTimestampScheduler::new(&cfg)),
-            Box::new(OnlineWindowScheduler::new(&cfg, &g, WindowMode::Dynamic, seed)),
+            Box::new(OnlineWindowScheduler::new(
+                &cfg,
+                &g,
+                WindowMode::Dynamic,
+                seed,
+            )),
             Box::new(OfflineWindowScheduler::new(&cfg, &g, seed)),
         ];
         for s in scheds.iter_mut() {
@@ -618,7 +627,11 @@ mod tests {
         // forces each 5-clique to serialize, so 5·4·τ = 20 binds it.
         let mut one = OneShotScheduler::new(&cfg, seed);
         let o = simulate(&g, &cfg, &mut one);
-        assert!(o.makespan >= 20, "one-shot must serialize cliques: {}", o.makespan);
+        assert!(
+            o.makespan >= 20,
+            "one-shot must serialize cliques: {}",
+            o.makespan
+        );
     }
 
     #[test]

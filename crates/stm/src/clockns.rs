@@ -1,0 +1,124 @@
+//! Cheap monotonic nanosecond timestamps for the hot loop.
+//!
+//! The retry loop stamps every attempt (wasted-work, committed-duration,
+//! and response-time metrics) and the window manager samples τ from those
+//! stamps. Calling `Instant::now()` for each of them costs a vDSO
+//! `clock_gettime` per call — several of which used to land on every
+//! attempt. [`now`] replaces them with one coarse-but-monotonic source:
+//!
+//! * on `x86_64`, a calibrated `rdtsc` (~a few ns per call, invariant-TSC
+//!   assumed, as on every CPU from the last decade);
+//! * elsewhere, `Instant` deltas against a process-global epoch.
+//!
+//! The result is *coarse* in the sense that it trades clock-domain
+//! guarantees for speed: cross-core TSC skew of a few tens of ns is
+//! acceptable because the values only feed statistics and τ calibration,
+//! never correctness decisions. Code that genuinely sleeps or enforces
+//! deadlines (the contention managers' back-off waits) keeps using
+//! `Instant`.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds elapsed since the first use of this module.
+///
+/// Monotonic per thread; across threads it may disagree by the TSC skew of
+/// the machine (typically well under a microsecond). Statistics only.
+#[inline]
+pub fn now() -> u64 {
+    imp::now()
+}
+
+/// Process-global epoch for the fallback path and for TSC calibration.
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::epoch;
+    use std::sync::OnceLock;
+
+    /// ns-per-tick scale and the tick value at calibration time.
+    struct Calib {
+        tsc0: u64,
+        ns0: u64,
+        ns_per_tick: f64,
+    }
+
+    #[inline]
+    fn rdtsc() -> u64 {
+        // SAFETY: `_rdtsc` has no preconditions on x86_64.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    fn calib() -> &'static Calib {
+        static CALIB: OnceLock<Calib> = OnceLock::new();
+        CALIB.get_or_init(|| {
+            // Measure the tick rate against Instant over a short busy window.
+            // 2 ms keeps the relative calibration error well under 0.1%.
+            let epoch = epoch();
+            let t0 = std::time::Instant::now();
+            let c0 = rdtsc();
+            while t0.elapsed() < std::time::Duration::from_millis(2) {
+                std::hint::spin_loop();
+            }
+            let c1 = rdtsc();
+            let dt = t0.elapsed();
+            let ticks = (c1.wrapping_sub(c0)).max(1);
+            Calib {
+                tsc0: c0,
+                ns0: (t0.duration_since(*epoch)).as_nanos() as u64,
+                ns_per_tick: dt.as_nanos() as f64 / ticks as f64,
+            }
+        })
+    }
+
+    #[inline]
+    pub fn now() -> u64 {
+        let c = calib();
+        let ticks = rdtsc().wrapping_sub(c.tsc0);
+        c.ns0 + (ticks as f64 * c.ns_per_tick) as u64
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod imp {
+    use super::epoch;
+
+    #[inline]
+    pub fn now() -> u64 {
+        epoch().elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn now_is_monotonic_on_one_thread() {
+        let mut prev = now();
+        for _ in 0..10_000 {
+            let t = now();
+            assert!(t >= prev, "clock went backwards: {prev} -> {t}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn now_tracks_wall_time() {
+        let a = now();
+        std::thread::sleep(Duration::from_millis(20));
+        let b = now();
+        let dt = b - a;
+        // Within [10ms, 500ms]: generous bounds that survive loaded CI
+        // machines while still catching a broken calibration (off by 10x).
+        assert!(
+            (10_000_000..500_000_000).contains(&dt),
+            "20ms sleep measured as {dt} ns"
+        );
+    }
+}

@@ -107,10 +107,10 @@ impl ContentionManager for AbortEnemyManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Instant;
+    use crate::clockns;
 
     fn state(id: u64) -> TxState {
-        TxState::new(id, id, 0, 0, id, id, Instant::now(), 0)
+        TxState::new(id, id, 0, 0, id, id, clockns::now(), 0)
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! A tiny vector with inline storage for the transaction write set.
+//!
+//! Write sets are almost always a handful of objects (the paper's
+//! workloads average 2–6 writes per transaction), so the first
+//! [`INLINE_CAP`] entries live inside the `Txn` itself and the common case
+//! allocates nothing; only larger transactions spill into a heap `Vec`.
+//! Implemented with safe code (`Option` per inline cell — the entries are
+//! boxes, so the niche makes each cell pointer-sized anyway).
+
+/// Number of entries stored inline before spilling to the heap.
+pub(crate) const INLINE_CAP: usize = 8;
+
+pub(crate) struct InlineVec<T> {
+    inline: [Option<T>; INLINE_CAP],
+    spill: Vec<T>,
+    len: usize,
+}
+
+impl<T> InlineVec<T> {
+    pub(crate) fn new() -> Self {
+        InlineVec {
+            inline: std::array::from_fn(|_| None),
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, value: T) {
+        if self.len < INLINE_CAP {
+            self.inline[self.len] = Some(value);
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, idx: usize) -> Option<&T> {
+        if idx >= self.len {
+            None
+        } else if idx < INLINE_CAP {
+            self.inline[idx].as_ref()
+        } else {
+            self.spill.get(idx - INLINE_CAP)
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, idx: usize) -> Option<&mut T> {
+        if idx >= self.len {
+            None
+        } else if idx < INLINE_CAP {
+            self.inline[idx].as_mut()
+        } else {
+            self.spill.get_mut(idx - INLINE_CAP)
+        }
+    }
+
+    /// Iterate in insertion order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline[..self.len.min(INLINE_CAP)]
+            .iter()
+            .filter_map(Option::as_ref)
+            .chain(self.spill.iter())
+    }
+
+    /// Index of the first element matching `pred`.
+    #[inline]
+    pub(crate) fn position(&self, pred: impl FnMut(&T) -> bool) -> Option<usize> {
+        self.iter().position(pred)
+    }
+}
+
+impl<T> std::ops::Index<usize> for InlineVec<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, idx: usize) -> &T {
+        self.get(idx).expect("InlineVec index out of bounds")
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for InlineVec<T> {
+    #[inline]
+    fn index_mut(&mut self, idx: usize) -> &mut T {
+        self.get_mut(idx).expect("InlineVec index out of bounds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_across_the_spill_boundary() {
+        let mut v: InlineVec<String> = InlineVec::new();
+        for i in 0..INLINE_CAP + 5 {
+            v.push(format!("e{i}"));
+            assert_eq!(v.len(), i + 1);
+        }
+        for i in 0..INLINE_CAP + 5 {
+            assert_eq!(v[i], format!("e{i}"));
+        }
+        assert!(v.get(INLINE_CAP + 5).is_none());
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut v: InlineVec<usize> = InlineVec::new();
+        for i in 0..INLINE_CAP * 2 {
+            v.push(i);
+        }
+        let collected: Vec<usize> = v.iter().copied().collect();
+        assert_eq!(collected, (0..INLINE_CAP * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn position_finds_inline_and_spilled() {
+        let mut v: InlineVec<u32> = InlineVec::new();
+        for i in 0..INLINE_CAP as u32 + 3 {
+            v.push(i * 10);
+        }
+        assert_eq!(v.position(|&x| x == 0), Some(0));
+        assert_eq!(v.position(|&x| x == 70), Some(7));
+        assert_eq!(v.position(|&x| x == 100), Some(10)); // spilled
+        assert_eq!(v.position(|&x| x == 5), None);
+    }
+
+    #[test]
+    fn index_mut_updates_in_place() {
+        let mut v: InlineVec<u32> = InlineVec::new();
+        for i in 0..INLINE_CAP as u32 + 1 {
+            v.push(i);
+        }
+        v[0] += 100;
+        v[INLINE_CAP] += 100;
+        assert_eq!(v[0], 100);
+        assert_eq!(v[INLINE_CAP], 100 + INLINE_CAP as u32);
+    }
+}

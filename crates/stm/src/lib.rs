@@ -51,10 +51,15 @@
 //! | [`stm`] | the engine handle, per-thread contexts, the retry loop |
 //! | [`stats`] | lock-free per-thread metrics and snapshots |
 //! | [`clock`] | the global logical clock used for timestamps |
+//! | [`clockns`] | cheap coarse nanosecond timestamps for metrics |
+//! | [`slots`] | global reader-slot indices and the attempt registry |
 //! | [`sync`] | cancellable barrier and cooperative waiting helpers |
 
 pub mod clock;
+pub mod clockns;
 pub mod cm;
+mod inline_vec;
+pub mod slots;
 pub mod stats;
 pub mod status;
 pub mod stm;
@@ -65,6 +70,7 @@ pub mod txstate;
 
 pub use clock::LogicalClock;
 pub use cm::{ConflictKind, ContentionManager, Resolution};
+pub use slots::reserve_reader_slots;
 pub use stats::{StatsSnapshot, ThreadStats};
 pub use status::TxStatus;
 pub use stm::{Stm, ThreadCtx};

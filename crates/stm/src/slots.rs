@@ -1,0 +1,353 @@
+//! Global reader-slot indices and the per-thread transaction registry.
+//!
+//! The lock-free read path (see [`crate::tvar`]) gives every OS thread a
+//! small, stable *slot index*. A `TVar` carries one atomic word per slot
+//! index; a reader registers itself on an object by storing its attempt id
+//! into its slot — one `SeqCst` store, no lock, no allocation. A writer
+//! discovers read-write conflicts by scanning those words.
+//!
+//! A slot value alone is just a number, so liveness is decided against the
+//! **registry**: each slot index has a record publishing the attempt the
+//! thread is currently running (`current` id plus the `Arc<TxState>` a
+//! contention manager needs). A slot word matches a *live* reader iff its
+//! value equals the registry's `current` id for that index and the
+//! registered state is still `Active`. Attempt ids are process-global and
+//! never reused, so a stale slot can never be mistaken for a live one —
+//! even across engine instances or after a slot index is recycled by
+//! another thread.
+//!
+//! Indices are allocated from a bitmap, lowest-free-first, and released by
+//! a thread-local destructor when the thread exits, so long-running
+//! processes stay within a compact index range. Threads beyond
+//! [`MAX_SLOTS`] (or created after a `TVar` sized its slot array) simply
+//! fall back to the mutex-protected overflow reader list — slower, never
+//! wrong.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::txstate::TxState;
+
+/// Upper bound on concurrently registered OS threads with fast-path slots.
+pub const MAX_SLOTS: usize = 256;
+
+/// Slot arrays are never smaller than this, so processes that create
+/// `TVar`s before spawning workers still get fast-path coverage for a
+/// typical thread count.
+const MIN_CAPACITY: usize = 16;
+
+/// Sentinel index for threads without a slot (bitmap exhausted).
+pub(crate) const NO_SLOT: usize = usize::MAX;
+
+// ---------------------------------------------------------------------------
+// Attempt ids
+// ---------------------------------------------------------------------------
+
+/// Process-global attempt id source. Ids start at 1; 0 is the "empty slot"
+/// sentinel. Handed out in thread-local blocks so the hot loop does not
+/// contend on one cache line.
+static NEXT_ATTEMPT_BLOCK: AtomicU64 = AtomicU64::new(1);
+
+const ATTEMPT_BLOCK: u64 = 1 << 12;
+
+thread_local! {
+    /// (next id, end of block) for this thread.
+    static ATTEMPT_IDS: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+/// A fresh, process-globally unique attempt id (never 0, never reused).
+pub(crate) fn next_attempt_id() -> u64 {
+    ATTEMPT_IDS.with(|c| {
+        let (next, end) = c.get();
+        if next < end {
+            c.set((next + 1, end));
+            next
+        } else {
+            let start = NEXT_ATTEMPT_BLOCK.fetch_add(ATTEMPT_BLOCK, Ordering::Relaxed);
+            c.set((start + 1, start + ATTEMPT_BLOCK));
+            start
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Slot index allocation
+// ---------------------------------------------------------------------------
+
+const BITMAP_WORDS: usize = MAX_SLOTS / 64;
+static SLOT_BITMAP: [AtomicU64; BITMAP_WORDS] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const W: AtomicU64 = AtomicU64::new(0);
+    [W; BITMAP_WORDS]
+};
+
+/// High-water mark of `index + 1` over all slot indices ever allocated.
+static SLOT_HWM: AtomicUsize = AtomicUsize::new(0);
+
+/// Capacity floor requested via [`reserve_reader_slots`].
+static SLOT_FLOOR: AtomicUsize = AtomicUsize::new(MIN_CAPACITY);
+
+/// Raise the slot-array capacity floor for `TVar`s created from now on.
+///
+/// [`crate::Stm::new`] calls this with its worker count, so engines built
+/// before their workload allocate enough fast-path slots for every worker.
+pub fn reserve_reader_slots(n: usize) {
+    SLOT_FLOOR.fetch_max(n.min(MAX_SLOTS), Ordering::Relaxed);
+}
+
+/// Number of slot words a freshly created `TVar` should carry.
+pub(crate) fn slot_capacity() -> usize {
+    SLOT_FLOOR
+        .load(Ordering::Relaxed)
+        .max(SLOT_HWM.load(Ordering::Relaxed))
+        .min(MAX_SLOTS)
+}
+
+fn alloc_index() -> usize {
+    for (w, word) in SLOT_BITMAP.iter().enumerate() {
+        let mut cur = word.load(Ordering::Relaxed);
+        while cur != u64::MAX {
+            let bit = cur.trailing_ones() as usize;
+            match word.compare_exchange_weak(
+                cur,
+                cur | (1 << bit),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let idx = w * 64 + bit;
+                    SLOT_HWM.fetch_max(idx + 1, Ordering::Relaxed);
+                    return idx;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+    NO_SLOT
+}
+
+fn free_index(idx: usize) {
+    let (w, bit) = (idx / 64, idx % 64);
+    SLOT_BITMAP[w].fetch_and(!(1 << bit), Ordering::AcqRel);
+}
+
+struct SlotGuard {
+    idx: usize,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        if self.idx != NO_SLOT {
+            // The thread is exiting: nothing of it can still be live, but a
+            // scanner could be holding our registry record. Clearing
+            // `current` first makes every stale slot word verifiably dead.
+            unpublish(self.idx);
+            free_index(self.idx);
+        }
+    }
+}
+
+thread_local! {
+    static MY_SLOT: SlotGuard = SlotGuard { idx: alloc_index() };
+}
+
+/// This OS thread's slot index, allocated on first use ([`NO_SLOT`] if the
+/// bitmap is exhausted or the thread is shutting down).
+pub(crate) fn my_slot_index() -> usize {
+    MY_SLOT.try_with(|g| g.idx).unwrap_or(NO_SLOT)
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct ThreadRec {
+    /// Attempt id currently running on this slot's thread (0 = none).
+    current: AtomicU64,
+    /// Scanners holding (or about to validate) a reference to `state`.
+    guards: AtomicU64,
+    /// The matching state, for contention-manager hand-off; owns one
+    /// strong count while non-null. Guarded-pointer protocol (the same
+    /// Dekker handshake as the `TVar` snapshot cell): the owner clears
+    /// `current` *before* spinning on `guards`, a scanner bumps `guards`
+    /// *before* re-checking `current`, so the pointer is never freed while
+    /// a scanner that saw a matching `current` is still dereferencing it.
+    state: AtomicPtr<TxState>,
+}
+
+impl ThreadRec {
+    const fn new() -> Self {
+        ThreadRec {
+            current: AtomicU64::new(0),
+            guards: AtomicU64::new(0),
+            state: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+}
+
+static REGISTRY: [ThreadRec; MAX_SLOTS] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const R: ThreadRec = ThreadRec::new();
+    [R; MAX_SLOTS]
+};
+
+/// Publish `state` as the attempt currently running on slot `idx`.
+///
+/// Must happen before the attempt's first object access: a writer that
+/// finds our slot word on an object must be able to resolve it here.
+pub(crate) fn publish(idx: usize, state: &Arc<TxState>) {
+    if idx >= MAX_SLOTS {
+        return;
+    }
+    let rec = &REGISTRY[idx];
+    let raw = Arc::into_raw(Arc::clone(state)).cast_mut();
+    let prev = rec.state.swap(raw, Ordering::AcqRel);
+    // The owner always unpublishes before the next publish; a leftover
+    // pointer can only mean a bug, but never leak it.
+    debug_assert!(prev.is_null(), "publish over a still-published state");
+    if !prev.is_null() {
+        unsafe { drop(Arc::from_raw(prev)) };
+    }
+    rec.current.store(state.attempt_id, Ordering::SeqCst);
+}
+
+/// Withdraw the attempt published on slot `idx` (attempt over). Releases
+/// the registry's strong reference so the state can return to the pool.
+pub(crate) fn unpublish(idx: usize) {
+    if idx >= MAX_SLOTS {
+        return;
+    }
+    let rec = &REGISTRY[idx];
+    rec.current.store(0, Ordering::SeqCst);
+    // Dekker handshake with `live_reader`: after `current` is cleared, any
+    // scanner that could still dereference the pointer already holds a
+    // guard, so waiting for zero guards makes the swap safe.
+    let mut spins = 0u32;
+    while rec.guards.load(Ordering::SeqCst) != 0 {
+        spins += 1;
+        if spins > 64 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+    let prev = rec.state.swap(std::ptr::null_mut(), Ordering::AcqRel);
+    if !prev.is_null() {
+        unsafe { drop(Arc::from_raw(prev)) };
+    }
+}
+
+/// Resolve a slot word: the state for attempt `attempt_id` on slot `idx`,
+/// if that attempt is still the one running there. The caller still has to
+/// check `is_active()` — a returned state may have just committed/aborted.
+pub(crate) fn live_reader(idx: usize, attempt_id: u64) -> Option<Arc<TxState>> {
+    if idx >= MAX_SLOTS {
+        return None;
+    }
+    let rec = &REGISTRY[idx];
+    if rec.current.load(Ordering::SeqCst) != attempt_id {
+        return None;
+    }
+    rec.guards.fetch_add(1, Ordering::SeqCst);
+    // Re-check under the guard: if `current` still matches, the owner's
+    // unpublish has not passed its guard wait, so the pointer is live. A
+    // republish racing in between can surface a *newer* attempt's pointer;
+    // the id filter below rejects it (attempt ids are never reused).
+    let got = if rec.current.load(Ordering::SeqCst) == attempt_id {
+        let raw = rec.state.load(Ordering::Acquire);
+        if raw.is_null() {
+            None
+        } else {
+            unsafe {
+                Arc::increment_strong_count(raw);
+                Some(Arc::from_raw(raw))
+            }
+        }
+    } else {
+        None
+    };
+    rec.guards.fetch_sub(1, Ordering::SeqCst);
+    got.filter(|s| s.attempt_id == attempt_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clockns;
+
+    fn state(attempt_id: u64) -> Arc<TxState> {
+        Arc::new(TxState::new(
+            attempt_id,
+            attempt_id,
+            0,
+            0,
+            attempt_id,
+            attempt_id,
+            clockns::now(),
+            0,
+        ))
+    }
+
+    #[test]
+    fn attempt_ids_are_unique_across_threads() {
+        let mut all: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| (0..1000).map(|_| next_attempt_id()).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        all.sort_unstable();
+        let before = all.len();
+        all.dedup();
+        assert_eq!(before, all.len(), "attempt ids must never repeat");
+        assert!(all.iter().all(|&a| a != 0), "0 is the empty-slot sentinel");
+    }
+
+    #[test]
+    fn slot_indices_are_distinct_while_threads_live() {
+        let barrier = std::sync::Barrier::new(4);
+        let indices: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        let idx = my_slot_index();
+                        barrier.wait(); // hold all four slots concurrently
+                        idx
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "live threads share a slot: {indices:?}");
+    }
+
+    #[test]
+    fn registry_roundtrip_and_staleness() {
+        let idx = my_slot_index();
+        assert_ne!(idx, NO_SLOT);
+        let st = state(next_attempt_id());
+        publish(idx, &st);
+        let got = live_reader(idx, st.attempt_id).expect("published reader is live");
+        assert_eq!(got.attempt_id, st.attempt_id);
+        // A different attempt id on the same slot is dead.
+        assert!(live_reader(idx, st.attempt_id + 1).is_none());
+        unpublish(idx);
+        assert!(live_reader(idx, st.attempt_id).is_none());
+    }
+
+    #[test]
+    fn reserve_raises_capacity() {
+        reserve_reader_slots(33);
+        assert!(slot_capacity() >= 33);
+        // Clamped to the hard bound.
+        reserve_reader_slots(100_000);
+        assert!(slot_capacity() <= MAX_SLOTS);
+    }
+}

@@ -7,13 +7,23 @@
 //! [`TxState`] per attempt, *immediately* after every abort — the greedy
 //! contention-management model the paper assumes ("if a transaction aborts
 //! it then immediately restarts and attempts to commit again", §II-A).
+//!
+//! The retry loop is allocation-lean: the `TxState` allocation is recycled
+//! through a per-thread pool whenever nothing else still references the
+//! previous attempt (`Arc::get_mut` proves exclusivity — a locator or
+//! registry clone in flight forces a fresh allocation, so recycling can
+//! never resurrect an attempt some competitor still sees). Attempt ids
+//! come from the process-global source in [`crate::slots`] — never reused,
+//! so recycled records are indistinguishable from fresh ones. Timestamps
+//! use the coarse [`crate::clockns`] clock: one call at transaction start
+//! and one per attempt end instead of several `Instant::now()` syscalls.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use crate::clock::LogicalClock;
+use crate::clockns;
 use crate::cm::ContentionManager;
+use crate::slots;
 use crate::stats::{StatsSnapshot, ThreadStats};
 use crate::txn::{TxError, TxResult, Txn};
 use crate::txstate::TxState;
@@ -22,8 +32,6 @@ use crate::txstate::TxState;
 pub struct Stm {
     cm: Arc<dyn ContentionManager>,
     clock: LogicalClock,
-    attempt_ids: AtomicU64,
-    txn_ids: AtomicU64,
     threads: Box<[Arc<ThreadStats>]>,
 }
 
@@ -31,11 +39,12 @@ impl Stm {
     /// Build an engine for `num_threads` workers using contention policy `cm`.
     pub fn new(cm: Arc<dyn ContentionManager>, num_threads: usize) -> Self {
         assert!(num_threads >= 1, "need at least one thread");
+        // Make sure TVars created from here on carry a fast-path reader
+        // slot for every worker this engine will run.
+        slots::reserve_reader_slots(num_threads);
         Stm {
             cm,
             clock: LogicalClock::new(),
-            attempt_ids: AtomicU64::new(1),
-            txn_ids: AtomicU64::new(1),
             threads: (0..num_threads)
                 .map(|_| Arc::new(ThreadStats::new()))
                 .collect(),
@@ -93,6 +102,63 @@ impl Stm {
     }
 }
 
+thread_local! {
+    /// One recycled `TxState` allocation per OS thread. `None` while an
+    /// attempt is running (or before the first attempt on this thread).
+    static STATE_POOL: std::cell::Cell<Option<Arc<TxState>>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// A `TxState` for the next attempt: the pooled allocation reset in place
+/// when nothing else references it, a fresh allocation otherwise.
+#[allow(clippy::too_many_arguments)]
+fn state_for_attempt(
+    attempt_id: u64,
+    txn_id: u64,
+    thread_id: usize,
+    attempt: u32,
+    ts: u64,
+    attempt_ts: u64,
+    first_start_ns: u64,
+    karma: u64,
+) -> Arc<TxState> {
+    let pooled = STATE_POOL.with(|p| p.take());
+    if let Some(mut arc) = pooled {
+        if let Some(st) = Arc::get_mut(&mut arc) {
+            st.reset_for_attempt(
+                attempt_id,
+                txn_id,
+                thread_id,
+                attempt,
+                ts,
+                attempt_ts,
+                first_start_ns,
+                karma,
+            );
+            return arc;
+        }
+        // A locator (or a scanner's transient clone) still holds the old
+        // attempt: it must keep seeing that attempt's terminal status, so
+        // the allocation cannot be reused. Drop our reference instead.
+    }
+    Arc::new(TxState::new(
+        attempt_id,
+        txn_id,
+        thread_id,
+        attempt,
+        ts,
+        attempt_ts,
+        first_start_ns,
+        karma,
+    ))
+}
+
+/// Return a finished attempt's state to this thread's pool.
+fn release_state(state: Arc<TxState>) {
+    // `try_with`: during thread teardown the pool may already be gone.
+    let _ = STATE_POOL.try_with(|p| p.set(Some(state)));
+}
+
 /// Per-worker execution context; cheap to construct, not `Send` across
 /// workers (each worker must use its own `thread_id`).
 pub struct ThreadCtx<'a> {
@@ -147,6 +213,10 @@ impl<'a> ThreadCtx<'a> {
     /// Like [`atomic`](Self::atomic) but gives up after `max_attempts`
     /// aborted attempts, returning `None`. Useful in tests and in
     /// experiment shutdown paths.
+    ///
+    /// The body always runs at least once (a budget of 0 behaves like a
+    /// budget of 1); for `max_attempts >= 1` the closure runs *exactly*
+    /// `max_attempts` times before giving up.
     pub fn atomic_with_budget<R>(
         &self,
         max_attempts: usize,
@@ -161,9 +231,12 @@ impl<'a> ThreadCtx<'a> {
         body: &mut impl FnMut(&mut Txn) -> TxResult<R>,
         mut trace: Option<&mut Vec<(u64, bool)>>,
     ) -> Option<R> {
-        let txn_id = self.stm.txn_ids.fetch_add(1, Ordering::Relaxed);
         let ts = self.stm.clock.next();
-        let first_start = Instant::now();
+        let first_start_ns = clockns::now();
+        let slot_idx = slots::my_slot_index();
+        // The logical-transaction id is simply the first attempt's id:
+        // globally unique, and saves a second id counter on the hot path.
+        let mut txn_id = 0;
         let mut karma: u64 = 0;
         let mut attempt: u32 = 0;
         loop {
@@ -172,19 +245,26 @@ impl<'a> ThreadCtx<'a> {
             } else {
                 self.stm.clock.next()
             };
-            let state = Arc::new(TxState::new(
-                self.stm.attempt_ids.fetch_add(1, Ordering::Relaxed),
+            let attempt_id = slots::next_attempt_id();
+            if attempt == 0 {
+                txn_id = attempt_id;
+            }
+            let state = state_for_attempt(
+                attempt_id,
                 txn_id,
                 self.thread_id,
                 attempt,
                 ts,
                 attempt_ts,
-                first_start,
+                first_start_ns,
                 karma,
-            ));
+            );
             self.stm.cm.on_begin(&state, attempt > 0);
-            let t0 = Instant::now();
-            let mut txn = Txn::new(Arc::clone(&state), self);
+            // Make the attempt resolvable by writers scanning reader-slot
+            // words; must precede the first object access in `body`.
+            slots::publish(slot_idx, &state);
+            let t0 = state.attempt_start_ns;
+            let mut txn = Txn::new(Arc::clone(&state), self, slot_idx);
             if trace.is_some() {
                 txn.enable_tracing();
             }
@@ -192,36 +272,60 @@ impl<'a> ThreadCtx<'a> {
                 Ok(r) => txn.commit().map(|()| r),
                 Err(e) => Err(e),
             };
+            // Withdraw from the registry before pooling: the registry's
+            // clone would otherwise keep the allocation non-exclusive.
+            slots::unpublish(slot_idx);
+            let opens = txn.opens_count();
             match outcome {
                 Ok(r) => {
                     if let Some(sink) = trace.as_deref_mut() {
                         *sink = txn.take_footprint();
                     }
+                    drop(txn);
                     let stats = self.stats();
-                    stats.commits.fetch_add(1, Ordering::Relaxed);
+                    if opens > 0 {
+                        stats
+                            .opens
+                            .fetch_add(opens, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    stats
+                        .commits
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let now = clockns::now();
                     stats
                         .committed_ns
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        .fetch_add(now.saturating_sub(t0), std::sync::atomic::Ordering::Relaxed);
                     stats.response_ns.fetch_add(
-                        first_start.elapsed().as_nanos() as u64,
-                        Ordering::Relaxed,
+                        now.saturating_sub(first_start_ns),
+                        std::sync::atomic::Ordering::Relaxed,
                     );
                     self.stm.cm.on_commit(&state);
+                    release_state(state);
                     return Some(r);
                 }
                 Err(TxError::Aborted) => {
                     // Make sure the state is terminal even if the closure
                     // bailed without the CM aborting us (e.g. user bail-out).
                     state.abort();
+                    drop(txn);
                     let stats = self.stats();
-                    stats.aborts.fetch_add(1, Ordering::Relaxed);
+                    if opens > 0 {
+                        stats
+                            .opens
+                            .fetch_add(opens, std::sync::atomic::Ordering::Relaxed);
+                    }
                     stats
-                        .wasted_ns
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        .aborts
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    stats.wasted_ns.fetch_add(
+                        clockns::now().saturating_sub(t0),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
                     karma = state.karma();
                     self.stm.cm.on_abort(&state);
+                    release_state(state);
                     attempt += 1;
-                    if attempt as usize > max_attempts {
+                    if attempt as usize >= max_attempts {
                         return None;
                     }
                 }
@@ -331,11 +435,60 @@ mod tests {
         // A transaction that always self-aborts exhausts its budget.
         let stm = Stm::new(Arc::new(AbortSelfManager), 1);
         let ctx = stm.thread(0);
+        let out: Option<()> = ctx.atomic_with_budget(3, &mut |tx| Err(tx.abort_self()));
+        assert!(out.is_none());
+        assert!(stm.aggregate().aborts >= 3);
+    }
+
+    #[test]
+    fn budget_is_an_exact_attempt_count() {
+        // Regression: `attempt > max_attempts` used to allow
+        // `max_attempts + 1` runs of the body.
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let ctx = stm.thread(0);
+        let mut runs = 0u64;
         let out: Option<()> = ctx.atomic_with_budget(3, &mut |tx| {
+            runs += 1;
             Err(tx.abort_self())
         });
         assert!(out.is_none());
-        assert!(stm.aggregate().aborts >= 3);
+        assert_eq!(runs, 3, "budget of 3 must run the body exactly 3 times");
+        assert_eq!(stm.aggregate().aborts, 3);
+
+        // Budget 0 still runs the body once (do-while semantics relied on
+        // by rollback tests).
+        let mut runs0 = 0u64;
+        let out0: Option<()> = ctx.atomic_with_budget(0, &mut |tx| {
+            runs0 += 1;
+            Err(tx.abort_self())
+        });
+        assert!(out0.is_none());
+        assert_eq!(runs0, 1);
+    }
+
+    #[test]
+    fn txstate_pool_recycles_read_only_states() {
+        // After a read-only commit nothing references the TxState, so the
+        // next attempt on this thread must reuse the allocation. Cover
+        // every slot index so the read takes the fast path regardless of
+        // which harness thread runs this test (the overflow list would
+        // hold a `Weak` and legitimately block recycling).
+        slots::reserve_reader_slots(slots::MAX_SLOTS);
+        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let tv: TVar<u64> = TVar::new(7);
+        let ctx = stm.thread(0);
+        ctx.atomic(|tx| tx.read(&tv).map(|v| *v)); // prime the pool
+        let mut first = 0usize;
+        ctx.atomic(|tx| {
+            first = Arc::as_ptr(tx.state()) as usize;
+            tx.read(&tv).map(|v| *v)
+        });
+        let mut second = 0usize;
+        ctx.atomic(|tx| {
+            second = Arc::as_ptr(tx.state()) as usize;
+            tx.read(&tv).map(|v| *v)
+        });
+        assert_eq!(first, second, "read-only TxState must be recycled");
     }
 
     #[test]

@@ -13,20 +13,53 @@
 //! [`crate::status`]), this interpretation is race-free: whoever reads the
 //! locator after the CAS sees the right version.
 //!
-//! Reads are **visible**: readers enroll in the object's reader list, so
-//! writers discover read-write conflicts eagerly — the configuration the
-//! paper uses ("default shadow factory and visible reads", §III).
+//! Reads are **visible**: readers enroll on the object, so writers discover
+//! read-write conflicts eagerly — the configuration the paper uses
+//! ("default shadow factory and visible reads", §III).
+//!
+//! ## The lock-free read path
+//!
+//! Uncontended reads — the overwhelming majority in the paper's read-mostly
+//! workloads — never touch the object mutex. Two pieces make that work:
+//!
+//! * **Reader slots.** Each object carries one atomic word per global
+//!   thread-slot index (see [`crate::slots`]). A reader registers by
+//!   storing its attempt id into its own word: one `SeqCst` store replaces
+//!   the old lock + `Vec<Weak>` enrollment. A writer scans the words after
+//!   raising `seq` (below); the `SeqCst` store/scan pair is a Dekker-style
+//!   handshake — either the reader observes the writer's odd `seq` and
+//!   falls back to the mutex, or the writer's scan observes the reader's
+//!   slot and reports the conflict. Slot words hold plain ids; liveness is
+//!   decided against the registry, and because attempt ids are never
+//!   reused a stale word can never impersonate a live reader. Threads
+//!   without a slot (bitmap exhausted, or the object's array was sized
+//!   before the thread appeared) use the mutex-protected overflow list —
+//!   slower, never wrong.
+//!
+//! * **A guarded seqlock snapshot.** `seq` is even exactly while no writer
+//!   is installed, and then `snapshot` points at the same version as the
+//!   locator's `old` (the cell owns one strong count of it). A fast read
+//!   checks `seq`, raises `guards`, re-checks `seq`, and only then clones
+//!   the snapshot `Arc`. A writer flips `seq` odd *before* it may swap the
+//!   snapshot and spins until `guards` drains to zero, so it can never
+//!   drop the strong count a reader is in the middle of cloning (a plain
+//!   seqlock retry-loop would: `Arc::clone` dereferences the count). The
+//!   odd period lasts for the writer's whole ownership; the next
+//!   locator-collapse restores the even state.
 //!
 //! Lock discipline: each object has one short `parking_lot::Mutex`; the
 //! engine never calls a contention manager, blocks, or takes another
-//! object's lock while holding it.
+//! object's lock while holding it. `lock_snapshot`/`unlock_snapshot` are
+//! only called with the object mutex held, so `seq` transitions are
+//! serialized.
 
 use std::any::Any;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
+use crate::slots;
 use crate::status::TxStatus;
 use crate::txstate::TxState;
 use crate::TxObject;
@@ -58,20 +91,45 @@ impl<T: TxObject + std::fmt::Debug> std::fmt::Debug for TVar<T> {
 
 pub(crate) struct TVarInner<T: TxObject> {
     pub(crate) id: u64,
+    /// Seqlock word: even ⇔ no writer installed ∧ `snapshot` matches the
+    /// locator's `old`. Flipped only under the object mutex.
+    seq: AtomicU64,
+    /// Number of fast readers currently between their `seq` re-check and
+    /// the completion of their snapshot clone. A writer drains this to
+    /// zero right after flipping `seq` odd.
+    guards: AtomicU64,
+    /// One owned strong count of the version fast readers clone.
+    /// Valid (never null) for the whole life of the object.
+    snapshot: AtomicPtr<T>,
+    /// One reader-registration word per global thread-slot index
+    /// (0 = empty, otherwise the attempt id of a — possibly finished —
+    /// reader). Sized at creation from [`slots::slot_capacity`].
+    reader_slots: Box<[AtomicU64]>,
     pub(crate) state: Mutex<ObjState<T>>,
 }
 
-/// A registered visible reader.
+impl<T: TxObject> Drop for TVarInner<T> {
+    fn drop(&mut self) {
+        // Release the snapshot cell's strong count.
+        let p = *self.snapshot.get_mut();
+        // SAFETY: `snapshot` always holds a pointer produced by
+        // `Arc::into_raw` whose count the cell owns.
+        unsafe { drop(Arc::from_raw(p)) };
+    }
+}
+
+/// A registered visible reader on the overflow list.
 pub(crate) struct ReaderEntry {
     pub(crate) attempt_id: u64,
     pub(crate) tx: Weak<TxState>,
 }
 
-/// The locator plus the visible-reader list, all behind the object lock.
+/// The locator plus the overflow reader list, all behind the object lock.
 pub(crate) struct ObjState<T: TxObject> {
     pub(crate) writer: Option<Arc<TxState>>,
     pub(crate) old: Arc<T>,
     pub(crate) new: Option<Arc<T>>,
+    /// Visible readers without a fast-path slot. Rare; pruned on access.
     pub(crate) readers: Vec<ReaderEntry>,
 }
 
@@ -87,16 +145,15 @@ impl<T: TxObject> ObjState<T> {
         }
     }
 
-    /// Drop reader entries whose transactions are no longer active.
+    /// Drop overflow entries whose transactions are no longer active.
     pub(crate) fn prune_readers(&mut self) {
         self.readers.retain(|r| {
-            r.tx
-                .upgrade()
+            r.tx.upgrade()
                 .is_some_and(|tx| tx.status() == TxStatus::Active)
         });
     }
 
-    /// Register `tx` as a visible reader (idempotent per attempt).
+    /// Register `tx` on the overflow list (idempotent per attempt).
     pub(crate) fn register_reader(&mut self, tx: &Arc<TxState>) {
         self.prune_readers();
         if !self.readers.iter().any(|r| r.attempt_id == tx.attempt_id) {
@@ -107,29 +164,168 @@ impl<T: TxObject> ObjState<T> {
         }
     }
 
-    /// First active reader that is not `me`, if any.
-    pub(crate) fn conflicting_reader(&mut self, me: &TxState) -> Option<Arc<TxState>> {
+    /// First active overflow reader that is not `me`, if any.
+    fn conflicting_overflow_reader(&mut self, me: &TxState) -> Option<Arc<TxState>> {
         self.prune_readers();
         self.readers
             .iter()
             .filter(|r| r.attempt_id != me.attempt_id)
-            .find_map(|r| {
-                r.tx
-                    .upgrade()
-                    .filter(|tx| tx.status() == TxStatus::Active)
-            })
+            .find_map(|r| r.tx.upgrade().filter(|tx| tx.status() == TxStatus::Active))
+    }
+}
+
+impl<T: TxObject> TVarInner<T> {
+    /// Lock-free read attempt for the reader on slot `slot_idx` running
+    /// attempt `attempt_id`. Registers the reader and, if no writer is
+    /// installed, returns the current version. `None` means "take the
+    /// mutex path" (writer installed, snapshot mid-swap, or no slot).
+    #[inline]
+    pub(crate) fn fast_read(&self, slot_idx: usize, attempt_id: u64) -> Option<Arc<T>> {
+        let slot = self.reader_slots.get(slot_idx)?;
+        // Register. Skipping the store when our id is already in place is
+        // sound: the first store performed the Dekker handshake, and the
+        // word can only have been overwritten by a *later* event that a
+        // writer's scan orders correctly anyway.
+        if slot.load(Ordering::Relaxed) != attempt_id {
+            slot.store(attempt_id, Ordering::SeqCst);
+        }
+        let s = self.seq.load(Ordering::SeqCst);
+        if s & 1 != 0 {
+            return None; // writer installed → mutex path
+        }
+        self.guards.fetch_add(1, Ordering::SeqCst);
+        let result = if self.seq.load(Ordering::SeqCst) == s {
+            let p = self.snapshot.load(Ordering::Acquire);
+            // SAFETY: `seq` was even at the re-check while our guard was
+            // raised, so any writer that wants to swap/drop the snapshot
+            // is still spinning on `guards` — the pointee and its strong
+            // count stay alive until our `fetch_sub` below.
+            unsafe {
+                Arc::increment_strong_count(p);
+                Some(Arc::from_raw(p))
+            }
+        } else {
+            None
+        };
+        self.guards.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    /// Begin a writer period: flip `seq` odd and wait out in-flight fast
+    /// readers. Caller must hold the object mutex and `seq` must be even
+    /// (i.e. no writer currently installed).
+    pub(crate) fn lock_snapshot(&self) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        while self.guards.load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// End a writer period: point the snapshot at `val` (the locator's
+    /// freshly collapsed `old`) and flip `seq` back to even. Caller must
+    /// hold the object mutex and `seq` must be odd.
+    pub(crate) fn unlock_snapshot(&self, val: &Arc<T>) {
+        let fresh = Arc::into_raw(Arc::clone(val)).cast_mut();
+        let prev = self.snapshot.swap(fresh, Ordering::AcqRel);
+        // SAFETY: guards drained to zero when this odd period began and
+        // fast readers re-checking `seq` while it is odd never touch the
+        // pointer, so nobody else can be cloning `prev` now.
+        unsafe { drop(Arc::from_raw(prev)) };
+        self.seq.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Abandon a just-started writer period without having installed a
+    /// writer (conflict found): flip `seq` back to even, snapshot intact.
+    pub(crate) fn unlock_snapshot_unchanged(&self) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// First live reader that is not `me`: scans the slot words, then the
+    /// overflow list. Caller must hold the object mutex, and — for the
+    /// Dekker handshake with [`Self::fast_read`] — must have flipped `seq`
+    /// odd first. Verifiably stale slot words are cleared along the way.
+    pub(crate) fn conflicting_reader(
+        &self,
+        st: &mut ObjState<T>,
+        me: &TxState,
+    ) -> Option<Arc<TxState>> {
+        for (idx, slot) in self.reader_slots.iter().enumerate() {
+            let a = slot.load(Ordering::SeqCst);
+            if a == 0 || a == me.attempt_id {
+                continue;
+            }
+            match slots::live_reader(idx, a) {
+                Some(tx) if tx.is_active() => return Some(tx),
+                _ => {
+                    // Attempt `a` is over (or no longer on this slot):
+                    // clear the word so future scans stay cheap. CAS so a
+                    // newly arrived reader's store is never wiped.
+                    let _ = slot.compare_exchange(a, 0, Ordering::SeqCst, Ordering::SeqCst);
+                }
+            }
+        }
+        st.conflicting_overflow_reader(me)
+    }
+
+    /// Diagnostic snapshot of the hot-path state for opacity-violation
+    /// reports (debug builds only).
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_dump(&self, slot_idx: usize, attempt_id: u64) -> String {
+        let seq = self.seq.load(Ordering::SeqCst);
+        let word = self
+            .reader_slots
+            .get(slot_idx)
+            .map(|s| s.load(Ordering::SeqCst));
+        let live = slots::live_reader(slot_idx, attempt_id).map(|tx| tx.is_active());
+        let st = self.state.try_lock().map(|st| {
+            (
+                st.writer
+                    .as_ref()
+                    .map(|w| (w.attempt_id, format!("{:?}", w.status()))),
+                st.readers.len(),
+            )
+        });
+        format!(
+            "seq={seq} my_word={word:?} my_registry_live={live:?} locator={st:?} \
+             slot_idx={slot_idx} attempt={attempt_id}"
+        )
+    }
+
+    /// Register a reader through the mutex path (no slot, or fast path
+    /// declined). Caller must hold the object mutex.
+    pub(crate) fn register_reader_locked(
+        &self,
+        st: &mut ObjState<T>,
+        slot_idx: usize,
+        tx: &Arc<TxState>,
+    ) {
+        if let Some(slot) = self.reader_slots.get(slot_idx) {
+            if slot.load(Ordering::Relaxed) != tx.attempt_id {
+                slot.store(tx.attempt_id, Ordering::SeqCst);
+            }
+        } else {
+            st.register_reader(tx);
+        }
     }
 }
 
 impl<T: TxObject> TVar<T> {
     /// Create a new transactional object with initial value `value`.
     pub fn new(value: T) -> Self {
+        let old = Arc::new(value);
+        let snapshot = Arc::into_raw(Arc::clone(&old)).cast_mut();
         TVar {
             inner: Arc::new(TVarInner {
                 id: NEXT_TVAR_ID.fetch_add(1, Ordering::Relaxed),
+                seq: AtomicU64::new(0),
+                guards: AtomicU64::new(0),
+                snapshot: AtomicPtr::new(snapshot),
+                reader_slots: (0..slots::slot_capacity())
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
                 state: Mutex::new(ObjState {
                     writer: None,
-                    old: Arc::new(value),
+                    old,
                     new: None,
                     readers: Vec::new(),
                 }),
@@ -146,28 +342,73 @@ impl<T: TxObject> TVar<T> {
     ///
     /// Safe at any time but only *meaningful* when no transaction is
     /// mutating the object (e.g. validation between experiment phases).
+    /// Takes the lock-free snapshot when no writer is installed.
     pub fn sample(&self) -> Arc<T> {
-        self.inner.state.lock().effective()
+        let inner = &*self.inner;
+        let s = inner.seq.load(Ordering::SeqCst);
+        if s & 1 == 0 {
+            inner.guards.fetch_add(1, Ordering::SeqCst);
+            let r = if inner.seq.load(Ordering::SeqCst) == s {
+                let p = inner.snapshot.load(Ordering::Acquire);
+                // SAFETY: same argument as in `fast_read`.
+                unsafe {
+                    Arc::increment_strong_count(p);
+                    Some(Arc::from_raw(p))
+                }
+            } else {
+                None
+            };
+            inner.guards.fetch_sub(1, Ordering::SeqCst);
+            if let Some(v) = r {
+                return v;
+            }
+        }
+        inner.state.lock().effective()
     }
 
     /// Non-transactional replacement of the value. Intended for
     /// initialization and between-run resets; it discards any in-flight
-    /// writer by overwriting the locator wholesale.
+    /// writer by overwriting the locator wholesale and wipes all reader
+    /// registrations (in-flight readers are *not* aborted — don't race
+    /// this against live transactions).
     pub fn store_direct(&self, value: T) {
-        let mut st = self.inner.state.lock();
+        let inner = &*self.inner;
+        let mut st = inner.state.lock();
+        if st.writer.is_none() {
+            // No writer installed ⇒ seq currently even; claim the odd
+            // period ourselves. (With a writer installed seq is already
+            // odd from its acquire — unlock below folds both cases.)
+            inner.lock_snapshot();
+        }
         st.writer = None;
         st.old = Arc::new(value);
         st.new = None;
         st.readers.clear();
+        for slot in inner.reader_slots.iter() {
+            slot.store(0, Ordering::SeqCst);
+        }
+        inner.unlock_snapshot(&st.old);
     }
 
     pub(crate) fn inner(&self) -> &TVarInner<T> {
         &self.inner
     }
 
-    /// Number of registered (possibly stale) readers — diagnostics only.
+    /// Number of currently *live* registered readers — diagnostics only.
     pub fn reader_count(&self) -> usize {
-        self.inner.state.lock().readers.len()
+        let inner = &*self.inner;
+        let mut st = inner.state.lock();
+        let live_slots = inner
+            .reader_slots
+            .iter()
+            .enumerate()
+            .filter(|(idx, slot)| {
+                let a = slot.load(Ordering::SeqCst);
+                a != 0 && slots::live_reader(*idx, a).is_some_and(|tx| tx.is_active())
+            })
+            .count();
+        st.prune_readers();
+        live_slots + st.readers.len()
     }
 }
 
@@ -181,7 +422,7 @@ impl<T: TxObject + Default> Default for TVar<T> {
 // Type-erased write-set entries
 // ---------------------------------------------------------------------------
 
-/// A write-set entry, type-erased so one `Vec` can hold writes to objects
+/// A write-set entry, type-erased so one list can hold writes to objects
 /// of different types.
 pub(crate) trait ErasedWrite: Send {
     /// Id of the written object (write-set lookups).
@@ -227,10 +468,30 @@ impl<T: TxObject> ErasedWrite for TypedWrite<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Instant;
+    use crate::clockns;
+    use crate::slots::MAX_SLOTS;
 
     fn state(id: u64) -> Arc<TxState> {
-        Arc::new(TxState::new(id, id, 0, 0, id, id, Instant::now(), 0))
+        Arc::new(TxState::new(id, id, 0, 0, id, id, clockns::now(), 0))
+    }
+
+    /// A state with a fresh, globally unique attempt id, published on this
+    /// thread's slot so the slot-scan paths treat it as live.
+    fn published_state() -> (usize, Arc<TxState>) {
+        let idx = slots::my_slot_index();
+        assert_ne!(idx, crate::slots::NO_SLOT);
+        let id = slots::next_attempt_id();
+        let st = state(id);
+        slots::publish(idx, &st);
+        (idx, st)
+    }
+
+    /// TVars created by these tests must cover every possible slot index,
+    /// or fast-path assertions would depend on which worker thread the
+    /// test harness runs them on.
+    fn covered_tvar(v: u32) -> TVar<u32> {
+        crate::slots::reserve_reader_slots(MAX_SLOTS);
+        TVar::new(v)
     }
 
     #[test]
@@ -257,6 +518,7 @@ mod tests {
         let w = state(1);
         {
             let mut st = tv.inner().state.lock();
+            tv.inner().lock_snapshot();
             st.writer = Some(Arc::clone(&w));
             st.new = Some(Arc::new(20));
         }
@@ -270,6 +532,7 @@ mod tests {
         let w2 = state(2);
         {
             let mut st = tv2.inner().state.lock();
+            tv2.inner().lock_snapshot();
             st.writer = Some(Arc::clone(&w2));
             st.new = Some(Arc::new(20));
         }
@@ -278,7 +541,78 @@ mod tests {
     }
 
     #[test]
-    fn reader_registration_is_idempotent_and_pruned() {
+    fn fast_read_registers_and_returns_snapshot() {
+        let tv = covered_tvar(33);
+        let (idx, st) = published_state();
+        let v = tv
+            .inner()
+            .fast_read(idx, st.attempt_id)
+            .expect("no writer installed → fast path must succeed");
+        assert_eq!(*v, 33);
+        assert_eq!(tv.reader_count(), 1, "fast read must register visibly");
+        // Re-reading does not double-register.
+        let _ = tv.inner().fast_read(idx, st.attempt_id);
+        assert_eq!(tv.reader_count(), 1);
+        slots::unpublish(idx);
+        assert_eq!(tv.reader_count(), 0, "unpublished attempt is not live");
+    }
+
+    #[test]
+    fn fast_read_declines_while_writer_installed() {
+        let tv = covered_tvar(5);
+        let w = state(900);
+        {
+            let mut st = tv.inner().state.lock();
+            tv.inner().lock_snapshot();
+            st.writer = Some(Arc::clone(&w));
+        }
+        let (idx, st) = published_state();
+        assert!(
+            tv.inner().fast_read(idx, st.attempt_id).is_none(),
+            "odd seq (writer installed) must force the mutex path"
+        );
+        // Collapse back: writer aborted, locator folds to old.
+        {
+            let mut obj = tv.inner().state.lock();
+            w.abort();
+            obj.writer = None;
+            obj.new = None;
+            let cur = Arc::clone(&obj.old);
+            tv.inner().unlock_snapshot(&cur);
+        }
+        assert_eq!(*tv.inner().fast_read(idx, st.attempt_id).unwrap(), 5);
+        slots::unpublish(idx);
+    }
+
+    #[test]
+    fn conflicting_reader_sees_slot_registrations() {
+        let tv = covered_tvar(0);
+        let (idx, reader) = published_state();
+        assert!(tv.inner().fast_read(idx, reader.attempt_id).is_some());
+
+        let me = state(slots::next_attempt_id());
+        let mut st = tv.inner().state.lock();
+        let c = tv
+            .inner()
+            .conflicting_reader(&mut st, &me)
+            .expect("live slot reader must conflict");
+        assert_eq!(c.attempt_id, reader.attempt_id);
+
+        // The reader itself must not conflict with its own registration.
+        assert!(tv.inner().conflicting_reader(&mut st, &reader).is_none());
+
+        // Once the attempt is over it is stale, and the scan clears it.
+        drop(st);
+        reader.try_commit();
+        slots::unpublish(idx);
+        let mut st = tv.inner().state.lock();
+        assert!(tv.inner().conflicting_reader(&mut st, &me).is_none());
+        drop(st);
+        assert_eq!(tv.reader_count(), 0);
+    }
+
+    #[test]
+    fn overflow_registration_is_idempotent_and_pruned() {
         let tv: TVar<u32> = TVar::new(0);
         let r = state(1);
         {
@@ -296,40 +630,30 @@ mod tests {
     }
 
     #[test]
-    fn dropped_reader_is_pruned() {
-        let tv: TVar<u32> = TVar::new(0);
-        {
-            let r = state(3);
-            tv.inner().state.lock().register_reader(&r);
-            assert_eq!(tv.reader_count(), 1);
-        } // r dropped here
-        tv.inner().state.lock().prune_readers();
-        assert_eq!(tv.reader_count(), 0);
-    }
-
-    #[test]
-    fn conflicting_reader_skips_self_and_inactive() {
+    fn conflicting_reader_covers_the_overflow_list() {
         let tv: TVar<u32> = TVar::new(0);
         let me = state(1);
         let other = state(2);
         let done = state(3);
         done.try_commit();
-        {
-            let mut st = tv.inner().state.lock();
-            st.register_reader(&me);
-            st.register_reader(&other);
-            // `done` committed before registration would normally not be
-            // registered, but insert it to test filtering.
-            st.readers.push(ReaderEntry {
-                attempt_id: done.attempt_id,
-                tx: Arc::downgrade(&done),
-            });
-            let c = st.conflicting_reader(&me).expect("other should conflict");
-            assert_eq!(c.attempt_id, other.attempt_id);
-            // From `other`'s perspective, `me` conflicts.
-            let c2 = st.conflicting_reader(&other).expect("me should conflict");
-            assert_eq!(c2.attempt_id, me.attempt_id);
-        }
+        let mut st = tv.inner().state.lock();
+        st.register_reader(&me);
+        st.register_reader(&other);
+        // A terminal attempt on the list must be filtered out.
+        st.readers.push(ReaderEntry {
+            attempt_id: done.attempt_id,
+            tx: Arc::downgrade(&done),
+        });
+        let c = tv
+            .inner()
+            .conflicting_reader(&mut st, &me)
+            .expect("other should conflict");
+        assert_eq!(c.attempt_id, other.attempt_id);
+        let c2 = tv
+            .inner()
+            .conflicting_reader(&mut st, &other)
+            .expect("me should conflict");
+        assert_eq!(c2.attempt_id, me.attempt_id);
     }
 
     #[test]
@@ -338,6 +662,7 @@ mod tests {
         let w1 = state(1);
         {
             let mut st = tv.inner().state.lock();
+            tv.inner().lock_snapshot();
             st.writer = Some(Arc::clone(&w1));
         }
         let entry = TypedWrite {
@@ -352,6 +677,7 @@ mod tests {
         let w2 = state(2);
         {
             let mut st = tv2.inner().state.lock();
+            tv2.inner().lock_snapshot();
             st.writer = Some(Arc::clone(&w2));
         }
         let stale = TypedWrite {
@@ -363,16 +689,22 @@ mod tests {
     }
 
     #[test]
-    fn store_direct_resets_locator() {
-        let tv: TVar<u32> = TVar::new(1);
+    fn store_direct_resets_locator_and_slots() {
+        let tv = covered_tvar(1);
+        let (idx, reader) = published_state();
+        assert!(tv.inner().fast_read(idx, reader.attempt_id).is_some());
         let w = state(1);
         {
             let mut st = tv.inner().state.lock();
+            tv.inner().lock_snapshot();
             st.writer = Some(w);
             st.new = Some(Arc::new(50));
         }
         tv.store_direct(7);
         assert_eq!(*tv.sample(), 7);
         assert_eq!(tv.reader_count(), 0);
+        // Fast path works again after the reset.
+        assert_eq!(*tv.inner().fast_read(idx, reader.attempt_id).unwrap(), 7);
+        slots::unpublish(idx);
     }
 }

@@ -5,6 +5,13 @@
 //! (outside the object lock) and its verdict applied. This mirrors DSTM2's
 //! eager conflict management, the configuration the paper evaluates.
 //!
+//! Reads take the lock-free path in [`crate::tvar`] first: register in the
+//! object's reader-slot word, then clone the seqlock-guarded snapshot. The
+//! object mutex is only taken when a writer is installed (the contended
+//! case, where the contention manager gets involved anyway) or the thread
+//! has no slot. Either way the read is *visible* before the value is
+//! returned, so the eager conflict semantics are identical on both paths.
+//!
 //! ## Correctness argument (opacity)
 //!
 //! With visible reads, a writer can only install itself on an object with
@@ -14,11 +21,17 @@
 //! so every value `R` observed remains part of one consistent committed
 //! snapshot, and no re-validation is needed at commit. Commit itself is a
 //! single status CAS racing against enemy aborts: exactly one side wins.
+//! The fast read path preserves the writer side of this argument through
+//! the slot-scan handshake: a reader is globally visible (`SeqCst` slot
+//! store) *before* it checks the seqlock word, and a writer flips the
+//! seqlock word *before* it scans the slots — so a reader that obtained a
+//! snapshot lock-free is always seen by any later writer.
 
 use std::sync::Arc;
-use std::time::Instant;
 
+use crate::clockns;
 use crate::cm::{ConflictKind, Resolution};
+use crate::inline_vec::InlineVec;
 use crate::stm::ThreadCtx;
 use crate::tvar::{ErasedWrite, TVar, TypedWrite};
 use crate::txstate::TxState;
@@ -51,20 +64,63 @@ pub type TxResult<T> = Result<T, TxError>;
 /// `&mut Txn` inside the atomic closure.
 pub struct Txn<'a> {
     state: Arc<TxState>,
-    writes: Vec<Box<dyn ErasedWrite>>,
+    writes: InlineVec<Box<dyn ErasedWrite>>,
     ctx: &'a ThreadCtx<'a>,
+    /// This thread's global reader-slot index ([`crate::slots::NO_SLOT`]
+    /// when the thread has none — mutex-path reads only).
+    slot_idx: usize,
+    /// Objects opened this attempt; flushed to the stats once at attempt
+    /// end instead of one atomic RMW per open.
+    opens: u64,
     /// When tracing, the `(object id, is_write)` access footprint of this
     /// attempt (reads of own writes are not re-recorded).
     footprint: Option<Vec<(u64, bool)>>,
+    /// Debug-only opacity self-check: `(tvar id, version ptr, via fast
+    /// path)` per first read. A re-read observing a different version
+    /// within one attempt is an opacity violation and panics immediately,
+    /// instead of letting the workload detonate later.
+    #[cfg(debug_assertions)]
+    read_versions: Vec<(u64, usize, bool)>,
 }
 
 impl<'a> Txn<'a> {
-    pub(crate) fn new(state: Arc<TxState>, ctx: &'a ThreadCtx<'a>) -> Self {
+    pub(crate) fn new(state: Arc<TxState>, ctx: &'a ThreadCtx<'a>, slot_idx: usize) -> Self {
         Txn {
             state,
-            writes: Vec::new(),
+            writes: InlineVec::new(),
             ctx,
+            slot_idx,
+            opens: 0,
             footprint: None,
+            #[cfg(debug_assertions)]
+            read_versions: Vec::new(),
+        }
+    }
+
+    /// Record a read and verify it is consistent with any earlier read of
+    /// the same object in this attempt (debug builds only).
+    #[cfg(debug_assertions)]
+    fn check_read_version<T: TxObject>(&mut self, tvar: &TVar<T>, val: &Arc<T>, fast: bool) {
+        let ptr = Arc::as_ptr(val) as *const () as usize;
+        if let Some((_, seen, seen_fast)) = self
+            .read_versions
+            .iter()
+            .find(|(id, _, _)| *id == tvar.id())
+        {
+            if *seen != ptr {
+                panic!(
+                    "opacity violation: attempt {} re-read tvar {} and observed a \
+                     different version (first via {} path, now via {} path); {}",
+                    self.state.attempt_id,
+                    tvar.id(),
+                    if *seen_fast { "fast" } else { "mutex" },
+                    if fast { "fast" } else { "mutex" },
+                    tvar.inner()
+                        .debug_dump(self.slot_idx, self.state.attempt_id),
+                );
+            }
+        } else {
+            self.read_versions.push((tvar.id(), ptr, fast));
         }
     }
 
@@ -74,6 +130,11 @@ impl<'a> Txn<'a> {
 
     pub(crate) fn take_footprint(&mut self) -> Vec<(u64, bool)> {
         self.footprint.take().unwrap_or_default()
+    }
+
+    /// Objects opened during this attempt (batched `opens` statistic).
+    pub(crate) fn opens_count(&self) -> u64 {
+        self.opens
     }
 
     /// The shared record describing this attempt.
@@ -109,6 +170,23 @@ impl<'a> Txn<'a> {
                 .expect("write-set entry type mismatch");
             return Ok(Arc::clone(&tw.shadow));
         }
+        // Lock-free fast path: slot registration + guarded snapshot clone.
+        if let Some(val) = tvar.inner().fast_read(self.slot_idx, self.state.attempt_id) {
+            // Doomed-reader validation: an enemy writer aborts us *before*
+            // committing over our read set, so being Active *after* the
+            // snapshot clone proves `val` is consistent with every earlier
+            // read. Without this, an abort landing between the entry
+            // `check_alive` and the clone lets a doomed transaction mix
+            // pre- and post-commit versions (a zombie read).
+            self.check_alive()?;
+            self.note_open();
+            if let Some(fp) = &mut self.footprint {
+                fp.push((tvar.id(), false));
+            }
+            #[cfg(debug_assertions)]
+            self.check_read_version(tvar, &val, true);
+            return Ok(val);
+        }
         loop {
             self.check_alive()?;
             let enemy = {
@@ -118,13 +196,29 @@ impl<'a> Txn<'a> {
                         Some(Arc::clone(w))
                     }
                     _ => {
-                        let val = st.effective();
-                        st.register_reader(&self.state);
+                        if st.writer.is_some() {
+                            // Terminal writer: fold its outcome into `old`
+                            // and re-arm the fast path for everyone.
+                            let cur = st.effective();
+                            st.old = cur;
+                            st.new = None;
+                            st.writer = None;
+                            tvar.inner().unlock_snapshot(&st.old);
+                        }
+                        let val = Arc::clone(&st.old);
+                        tvar.inner()
+                            .register_reader_locked(&mut st, self.slot_idx, &self.state);
                         drop(st);
+                        // Doomed-reader validation (see fast path above): the
+                        // entry `check_alive` races with an enemy's abort, so
+                        // re-validate now that the value is in hand.
+                        self.check_alive()?;
                         self.note_open();
                         if let Some(fp) = &mut self.footprint {
                             fp.push((tvar.id(), false));
                         }
+                        #[cfg(debug_assertions)]
+                        self.check_read_version(tvar, &val, false);
                         return Ok(val);
                     }
                 }
@@ -147,11 +241,7 @@ impl<'a> Txn<'a> {
     }
 
     /// Open `tvar` for writing and mutate the shadow copy in place.
-    pub fn modify<T: TxObject>(
-        &mut self,
-        tvar: &TVar<T>,
-        f: impl FnOnce(&mut T),
-    ) -> TxResult<()> {
+    pub fn modify<T: TxObject>(&mut self, tvar: &TVar<T>, f: impl FnOnce(&mut T)) -> TxResult<()> {
         let idx = self.acquire(tvar)?;
         let tw = self.writes[idx]
             .as_any_mut()
@@ -171,7 +261,7 @@ impl<'a> Txn<'a> {
     fn find_write(&self, id: u64) -> Option<usize> {
         // Write sets are small (a handful of objects); linear scan beats a
         // hash map here.
-        self.writes.iter().position(|w| w.tvar_id() == id)
+        self.writes.position(|w| w.tvar_id() == id)
     }
 
     /// Acquire write ownership of `tvar`, resolving write-write and
@@ -193,27 +283,51 @@ impl<'a> Txn<'a> {
                 };
                 match writer_enemy {
                     Some(c) => Some(c),
-                    None => match st.conflicting_reader(&self.state) {
-                        Some(r) => Some((r, ConflictKind::WriteRead)),
-                        None => {
-                            // Clear: collapse the locator and install ourselves.
-                            let cur = st.effective();
-                            st.old = Arc::clone(&cur);
-                            st.new = None;
-                            st.writer = Some(Arc::clone(&self.state));
-                            drop(st);
-                            let shadow = Arc::new((*cur).clone());
-                            self.writes.push(Box::new(TypedWrite {
-                                tvar: tvar.clone(),
-                                shadow,
-                            }));
-                            self.note_open();
-                            if let Some(fp) = &mut self.footprint {
-                                fp.push((tvar.id(), true));
-                            }
-                            return Ok(self.writes.len() - 1);
+                    None => {
+                        // `seq` is even iff no writer is installed; flip it
+                        // odd *before* the reader scan (Dekker handshake)
+                        // and keep it odd for our whole ownership. With a
+                        // terminal writer still installed it is already
+                        // odd from that writer's period — flipping again
+                        // would wrongly re-open the fast path.
+                        let was_unlocked = st.writer.is_none();
+                        if was_unlocked {
+                            tvar.inner().lock_snapshot();
                         }
-                    },
+                        match tvar.inner().conflicting_reader(&mut st, &self.state) {
+                            Some(r) => {
+                                if was_unlocked {
+                                    tvar.inner().unlock_snapshot_unchanged();
+                                }
+                                Some((r, ConflictKind::WriteRead))
+                            }
+                            None => {
+                                // Clear: collapse the locator, install ourselves.
+                                let cur = st.effective();
+                                st.old = Arc::clone(&cur);
+                                st.new = None;
+                                st.writer = Some(Arc::clone(&self.state));
+                                drop(st);
+                                let shadow = Arc::new((*cur).clone());
+                                self.writes.push(Box::new(TypedWrite {
+                                    tvar: tvar.clone(),
+                                    shadow,
+                                }));
+                                // Doomed-writer validation: if an enemy
+                                // aborted us after the entry `check_alive`,
+                                // the collapsed `cur` we based the shadow on
+                                // may postdate our abort and be inconsistent
+                                // with earlier reads. We stay installed as a
+                                // terminal writer; readers collapse past us.
+                                self.check_alive()?;
+                                self.note_open();
+                                if let Some(fp) = &mut self.footprint {
+                                    fp.push((tvar.id(), true));
+                                }
+                                return Ok(self.writes.len() - 1);
+                            }
+                        }
+                    }
                 }
             };
             if let Some((enemy, kind)) = conflict {
@@ -232,9 +346,9 @@ impl<'a> Txn<'a> {
         if !enemy.is_active() {
             return Ok(()); // resolved itself while we took the slow path
         }
-        let t0 = Instant::now();
+        let t0 = clockns::now();
         let res = self.ctx.cm().resolve(&self.state, enemy, kind);
-        let waited = t0.elapsed().as_nanos() as u64;
+        let waited = clockns::now().saturating_sub(t0);
         if waited > 0 {
             stats
                 .wait_ns
@@ -259,12 +373,9 @@ impl<'a> Txn<'a> {
     }
 
     #[inline]
-    fn note_open(&self) {
+    fn note_open(&mut self) {
         self.state.add_karma();
-        self.ctx
-            .stats()
-            .opens
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.opens += 1;
         self.ctx.cm().on_open(&self.state);
     }
 
@@ -273,7 +384,7 @@ impl<'a> Txn<'a> {
         self.check_alive()?;
         // Publish every shadow before the status CAS: a competitor that
         // observes `Committed` must find all `new` versions in place.
-        for w in &self.writes {
+        for w in self.writes.iter() {
             w.publish(&self.state);
         }
         if self.state.try_commit() {

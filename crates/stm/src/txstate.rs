@@ -1,19 +1,30 @@
 //! The shared per-attempt transaction record.
 //!
-//! Every transaction *attempt* gets a fresh [`TxState`] behind an `Arc`.
-//! Locators and reader lists hold clones of that `Arc`, which is what lets
-//! any thread inspect a competitor's status, priority, and age — and abort
-//! it with a single CAS. Allocating a new record per attempt (rather than
-//! resetting one) sidesteps ABA problems: a locator that still points at an
-//! old attempt sees it permanently `Aborted`.
+//! Every transaction *attempt* runs under a [`TxState`] behind an `Arc`.
+//! Locators and the reader registry hold clones of that `Arc`, which is
+//! what lets any thread inspect a competitor's status, priority, and age —
+//! and abort it with a single CAS.
+//!
+//! Attempt identity is the `attempt_id`: process-globally unique and never
+//! reused, so any stale reference (a locator pointing at an old writer, a
+//! reader-slot word from a finished attempt) is detectable by id mismatch.
+//! The *allocation* behind a `TxState` may be recycled by the per-thread
+//! pool in [`crate::stm`], but only via [`reset_for_attempt`]
+//! (`Arc::get_mut`), i.e. only when no other reference exists — a locator
+//! that still points at an old attempt therefore sees it permanently
+//! `Aborted`/`Committed`, exactly as if the record were freshly allocated.
 //!
 //! Fields that must *survive* retries of the same logical transaction (the
 //! Greedy timestamp, Karma's accumulated priority) are seeded from the
 //! logical-transaction context in [`crate::stm`] when each attempt starts.
+//!
+//! Timestamps (`first_start_ns`, `attempt_start_ns`) are nanoseconds from
+//! the cheap coarse clock in [`crate::clockns`]; they feed metrics and τ
+//! calibration only.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::time::Instant;
 
+use crate::clockns;
 use crate::status::{AtomicStatus, TxStatus};
 
 /// Sentinel for [`TxState::assigned_frame`]: the transaction is not running
@@ -27,7 +38,7 @@ pub const NOT_WINDOWED: u64 = u64::MAX;
 /// goes through this record.
 #[derive(Debug)]
 pub struct TxState {
-    /// Unique id of this attempt (engine-global).
+    /// Unique id of this attempt (process-global, never reused, never 0).
     pub attempt_id: u64,
     /// Id of the logical transaction (stable across retries).
     pub txn_id: u64,
@@ -40,10 +51,10 @@ pub struct TxState {
     pub ts: u64,
     /// Logical timestamp of *this* attempt (used by the Timestamp manager).
     pub attempt_ts: u64,
-    /// Wall-clock start of the first attempt (response-time metric).
-    pub first_start: Instant,
-    /// Wall-clock start of this attempt (wasted-work metric).
-    pub attempt_start: Instant,
+    /// Coarse-clock start of the first attempt (response-time metric).
+    pub first_start_ns: u64,
+    /// Coarse-clock start of this attempt (wasted-work metric, τ samples).
+    pub attempt_start_ns: u64,
 
     status: AtomicStatus,
     /// Karma/Polka priority: number of objects opened, accumulated across
@@ -71,7 +82,7 @@ impl TxState {
         attempt: u32,
         ts: u64,
         attempt_ts: u64,
-        first_start: Instant,
+        first_start_ns: u64,
         karma_carryover: u64,
     ) -> Self {
         TxState {
@@ -81,8 +92,14 @@ impl TxState {
             attempt,
             ts,
             attempt_ts,
-            first_start,
-            attempt_start: Instant::now(),
+            first_start_ns,
+            // The first attempt starts when the transaction does; only
+            // retries need a fresh clock read.
+            attempt_start_ns: if attempt == 0 {
+                first_start_ns
+            } else {
+                clockns::now()
+            },
             status: AtomicStatus::new(),
             karma: AtomicU64::new(karma_carryover),
             waiting: AtomicBool::new(false),
@@ -90,6 +107,43 @@ impl TxState {
             rank: AtomicU32::new(0),
             user_slot: AtomicU64::new(0),
         }
+    }
+
+    /// Reinitialize a recycled record for a fresh attempt.
+    ///
+    /// Requires exclusive access (`Arc::get_mut`): the caller proves no
+    /// locator, registry entry, or contention manager still references the
+    /// old attempt, so rewriting the identity fields cannot confuse anyone.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn reset_for_attempt(
+        &mut self,
+        attempt_id: u64,
+        txn_id: u64,
+        thread_id: usize,
+        attempt: u32,
+        ts: u64,
+        attempt_ts: u64,
+        first_start_ns: u64,
+        karma_carryover: u64,
+    ) {
+        self.attempt_id = attempt_id;
+        self.txn_id = txn_id;
+        self.thread_id = thread_id;
+        self.attempt = attempt;
+        self.ts = ts;
+        self.attempt_ts = attempt_ts;
+        self.first_start_ns = first_start_ns;
+        self.attempt_start_ns = if attempt == 0 {
+            first_start_ns
+        } else {
+            clockns::now()
+        };
+        self.status = AtomicStatus::new();
+        self.karma = AtomicU64::new(karma_carryover);
+        self.waiting = AtomicBool::new(false);
+        self.assigned_frame = AtomicU64::new(NOT_WINDOWED);
+        self.rank = AtomicU32::new(0);
+        self.user_slot = AtomicU64::new(0);
     }
 
     /// Current status.
@@ -189,7 +243,7 @@ mod tests {
     use super::*;
 
     fn mk() -> TxState {
-        TxState::new(1, 1, 0, 0, 10, 10, Instant::now(), 0)
+        TxState::new(1, 1, 0, 0, 10, 10, clockns::now(), 0)
     }
 
     #[test]
@@ -221,7 +275,7 @@ mod tests {
 
     #[test]
     fn karma_accumulates_with_carryover() {
-        let s = TxState::new(2, 1, 0, 1, 10, 12, Instant::now(), 7);
+        let s = TxState::new(2, 1, 0, 1, 10, 12, clockns::now(), 7);
         assert_eq!(s.karma(), 7);
         s.add_karma();
         s.add_karma();
@@ -243,6 +297,27 @@ mod tests {
         s.set_waiting(true);
         assert!(s.is_waiting());
         s.set_waiting(false);
+        assert!(!s.is_waiting());
+    }
+
+    #[test]
+    fn reset_restores_a_terminal_recycled_state() {
+        let mut s = TxState::new(5, 5, 1, 2, 30, 32, clockns::now(), 4);
+        s.add_karma();
+        s.set_assigned_frame(9);
+        s.set_rank(3);
+        s.set_waiting(true);
+        assert!(s.try_commit());
+        s.reset_for_attempt(77, 70, 2, 0, 40, 40, clockns::now(), 1);
+        assert_eq!(s.attempt_id, 77);
+        assert_eq!(s.txn_id, 70);
+        assert_eq!(s.thread_id, 2);
+        assert_eq!(s.attempt, 0);
+        assert_eq!(s.ts, 40);
+        assert!(s.is_active(), "reset must restore Active");
+        assert_eq!(s.karma(), 1);
+        assert_eq!(s.assigned_frame(), NOT_WINDOWED);
+        assert_eq!(s.rank(), 0);
         assert!(!s.is_waiting());
     }
 }

@@ -60,7 +60,7 @@ impl Genome {
     /// noticeable probability — the birthday bound — and break
     /// reassembly, as it would for real STAMP genome too.)
     pub fn new(length: usize, duplication: usize, seed: u64) -> Self {
-        assert!(length >= K + 1);
+        assert!(length > K);
         assert!(
             length < 1 << (2 * (K - 1) - 2),
             "length too close to the 4^(K-1) prefix space"

@@ -16,8 +16,11 @@ use crate::intset::TxIntSet;
 
 /// Transactional hash map `i64 → V` with chaining.
 pub struct TxHashMap<V: TxObject> {
-    buckets: Box<[TVar<Vec<(i64, V)>>]>,
+    buckets: Box<[Bucket<V>]>,
 }
+
+/// One chained bucket: a transactional vector of `(key, value)` pairs.
+type Bucket<V> = TVar<Vec<(i64, V)>>;
 
 impl<V: TxObject> TxHashMap<V> {
     /// Map with `buckets` chains (rounded up to at least 1).
@@ -68,7 +71,10 @@ impl<V: TxObject> TxHashMap<V> {
     /// Look up `key`.
     pub fn get(&self, tx: &mut Txn, key: i64) -> TxResult<Option<V>> {
         let chain = tx.read(self.bucket(key))?;
-        Ok(chain.iter().find(|(k, _)| *k == key).map(|(_, v)| v.clone()))
+        Ok(chain
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone()))
     }
 
     /// Membership test (cheaper than [`get`](Self::get) for big values in
@@ -243,10 +249,7 @@ mod tests {
                 _ => assert_eq!(ctx.atomic(|tx| set.contains(tx, k)), oracle.contains(&k)),
             }
         }
-        assert_eq!(
-            set.snapshot_keys(),
-            oracle.into_iter().collect::<Vec<_>>()
-        );
+        assert_eq!(set.snapshot_keys(), oracle.into_iter().collect::<Vec<_>>());
         set.map().check_invariants();
     }
 

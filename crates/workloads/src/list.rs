@@ -180,8 +180,8 @@ mod tests {
 
     #[test]
     fn matches_btreeset_oracle() {
-        use std::collections::BTreeSet;
         use rand::{Rng, SeedableRng};
+        use std::collections::BTreeSet;
         let stm = stm1();
         let ctx = stm.thread(0);
         let list = TxList::new();

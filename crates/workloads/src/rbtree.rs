@@ -61,7 +61,11 @@ impl<V: TxObject + Default> TxRBMap<V> {
                     left: NIL,
                     right: NIL,
                     parent: NIL,
-                    free_next: if i + 1 < capacity { (i + 1) as u32 } else { NIL },
+                    free_next: if i + 1 < capacity {
+                        (i + 1) as u32
+                    } else {
+                        NIL
+                    },
                     in_use: false,
                 })
             })
@@ -141,7 +145,8 @@ impl<V: TxObject> TxRBMap<V> {
     fn alloc(&self, tx: &mut Txn, key: i64, value: V, parent: u32) -> TxResult<u32> {
         let slot = *tx.read(&self.free_head)?;
         assert_ne!(
-            slot, NIL,
+            slot,
+            NIL,
             "TxRBMap arena exhausted (capacity {}); size it for the key range",
             self.nodes.len()
         );
@@ -618,10 +623,7 @@ impl<V: TxObject> TxRBMap<V> {
         while f != NIL {
             free.push(f);
             f = self.node(f).sample().free_next;
-            assert!(
-                free.len() <= self.nodes.len(),
-                "free list cycle detected"
-            );
+            assert!(free.len() <= self.nodes.len(), "free list cycle detected");
         }
         let mut all: Vec<u32> = live.iter().chain(free.iter()).copied().collect();
         all.sort_unstable();
@@ -774,10 +776,7 @@ mod tests {
                 t.map().check_freelist();
             }
         }
-        assert_eq!(
-            t.snapshot_keys(),
-            oracle.into_iter().collect::<Vec<_>>()
-        );
+        assert_eq!(t.snapshot_keys(), oracle.into_iter().collect::<Vec<_>>());
         t.map().check_invariants();
         t.map().check_freelist();
     }
@@ -797,10 +796,7 @@ mod tests {
         assert_eq!(ctx.atomic(|tx| m.floor(tx, 15)), Some((10, 102)));
         assert_eq!(ctx.atomic(|tx| m.floor(tx, 20)), Some((20, 200)));
         assert_eq!(ctx.atomic(|tx| m.floor(tx, 5)), None);
-        assert_eq!(
-            ctx.atomic(|tx| m.remove_entry(tx, 10)),
-            Some(102)
-        );
+        assert_eq!(ctx.atomic(|tx| m.remove_entry(tx, 10)), Some(102));
         assert_eq!(ctx.atomic(|tx| m.get(tx, 10)), None);
     }
 

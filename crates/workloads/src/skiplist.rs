@@ -64,11 +64,7 @@ impl TxSkipList {
     /// Per-level predecessors of `key`: `preds[l]` is the last node at
     /// level `l` with `node.key < key`, as `(handle, observed value)`.
     #[allow(clippy::type_complexity)]
-    fn find_preds(
-        &self,
-        tx: &mut Txn,
-        key: i64,
-    ) -> TxResult<Vec<(TVar<SkipNode>, Arc<SkipNode>)>> {
+    fn find_preds(&self, tx: &mut Txn, key: i64) -> TxResult<Vec<(TVar<SkipNode>, Arc<SkipNode>)>> {
         let mut preds: Vec<(TVar<SkipNode>, Arc<SkipNode>)> = Vec::with_capacity(MAX_LEVEL);
         let mut pred = self.head.clone();
         let mut pred_val = tx.read(&pred)?;
@@ -181,10 +177,7 @@ pub fn check_skiplist(sl: &TxSkipList) {
     let base: std::collections::BTreeSet<i64> = level_keys[0].iter().copied().collect();
     for (lvl, keys) in level_keys.iter().enumerate().skip(1) {
         for k in keys {
-            assert!(
-                base.contains(k),
-                "level {lvl} key {k} missing from level 0"
-            );
+            assert!(base.contains(k), "level {lvl} key {k} missing from level 0");
         }
     }
 }
@@ -259,10 +252,7 @@ mod tests {
                 _ => assert_eq!(ctx.atomic(|tx| sl.contains(tx, k)), oracle.contains(&k)),
             }
         }
-        assert_eq!(
-            sl.snapshot_keys(),
-            oracle.into_iter().collect::<Vec<_>>()
-        );
+        assert_eq!(sl.snapshot_keys(), oracle.into_iter().collect::<Vec<_>>());
         check_skiplist(&sl);
     }
 

@@ -409,11 +409,7 @@ mod tests {
         let ctx = stm.thread(0);
         let op = VacationOp::MakeReservation {
             customer: 5,
-            queries: vec![
-                (ResKind::Car, 0),
-                (ResKind::Car, 1),
-                (ResKind::Room, 2),
-            ],
+            queries: vec![(ResKind::Car, 0), (ResKind::Car, 1), (ResKind::Room, 2)],
         };
         assert!(ctx.atomic(|tx| v.run_op(tx, &op)));
         assert_eq!(v.total_bookings(), 2, "one car + one room");

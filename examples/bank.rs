@@ -90,10 +90,7 @@ fn main() {
         WindowVariant::OnlineDynamic,
         WindowVariant::AdaptiveImprovedDynamic,
     ] {
-        let wm = Arc::new(WindowManager::new(
-            variant,
-            WindowConfig::new(THREADS, 50),
-        ));
+        let wm = Arc::new(WindowManager::new(variant, WindowConfig::new(THREADS, 50)));
         run(wm.clone(), Some(wm));
     }
     println!("\nall runs conserved the total balance ✓");

@@ -7,7 +7,6 @@
 //! cargo run --release --example genome_demo
 //! ```
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use windowtm::managers;

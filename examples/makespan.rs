@@ -28,9 +28,23 @@ fn main() {
         Box::new(FreeRandomizedScheduler::new(&cfg, seed)),
         Box::new(GreedyTimestampScheduler::new(&cfg)),
         Box::new(OfflineWindowScheduler::new(&cfg, &g, seed)),
-        Box::new(OnlineWindowScheduler::new(&cfg, &g, WindowMode::Static, seed)),
-        Box::new(OnlineWindowScheduler::new(&cfg, &g, WindowMode::Dynamic, seed)),
-        Box::new(OnlineWindowScheduler::adaptive(&cfg, WindowMode::Dynamic, seed)),
+        Box::new(OnlineWindowScheduler::new(
+            &cfg,
+            &g,
+            WindowMode::Static,
+            seed,
+        )),
+        Box::new(OnlineWindowScheduler::new(
+            &cfg,
+            &g,
+            WindowMode::Dynamic,
+            seed,
+        )),
+        Box::new(OnlineWindowScheduler::adaptive(
+            &cfg,
+            WindowMode::Dynamic,
+            seed,
+        )),
     ];
 
     println!(

@@ -26,7 +26,11 @@ fn offline_makespan_within_theorem_bound_constant() {
     for (m, n, p) in [(8, 16, 1.0), (16, 24, 0.5), (32, 16, 0.25), (4, 40, 1.0)] {
         let graph = ConflictGraph::per_column_random(m, n, p, 42);
         let cfg = SimConfig::new(m, n, 3);
-        let out = run(&graph, &cfg, &mut OfflineWindowScheduler::new(&cfg, &graph, 1));
+        let out = run(
+            &graph,
+            &cfg,
+            &mut OfflineWindowScheduler::new(&cfg, &graph, 1),
+        );
         let bound = cfg.tau as f64 * (graph.contention() as f64 + n as f64 * cfg.ln_mn());
         let ratio = out.makespan as f64 / bound;
         assert!(
@@ -68,7 +72,11 @@ fn makespan_never_beats_the_sequential_floor() {
         run(&graph, &cfg, &mut OneShotScheduler::new(&cfg, 4)),
         run(&graph, &cfg, &mut FreeRandomizedScheduler::new(&cfg, 4)),
         run(&graph, &cfg, &mut GreedyTimestampScheduler::new(&cfg)),
-        run(&graph, &cfg, &mut OfflineWindowScheduler::new(&cfg, &graph, 4)),
+        run(
+            &graph,
+            &cfg,
+            &mut OfflineWindowScheduler::new(&cfg, &graph, 4),
+        ),
         run(
             &graph,
             &cfg,
@@ -110,7 +118,11 @@ fn offline_produces_zero_aborts_always() {
     for seed in 0..5 {
         let graph = ConflictGraph::clustered(10, 10, 0.8, 0.1, seed);
         let cfg = SimConfig::new(10, 10, 2);
-        let out = run(&graph, &cfg, &mut OfflineWindowScheduler::new(&cfg, &graph, seed));
+        let out = run(
+            &graph,
+            &cfg,
+            &mut OfflineWindowScheduler::new(&cfg, &graph, seed),
+        );
         assert_eq!(out.aborts, 0, "coloring schedules cannot conflict");
     }
 }

@@ -7,9 +7,7 @@ use std::sync::Arc;
 use windowtm::harness::managers::build_manager;
 use windowtm::stm::Stm;
 use windowtm::window::{WindowConfig, WindowManager, WindowVariant};
-use windowtm::workloads::{
-    ContentionLevel, KMeans, Vacation, VacationConfig, VacationOpGenerator,
-};
+use windowtm::workloads::{ContentionLevel, KMeans, Vacation, VacationConfig, VacationOpGenerator};
 
 /// Vacation under a given manager and contention level stays referentially
 /// consistent (bookings ↔ reserved units).
@@ -53,7 +51,14 @@ fn vacation_consistent_under_window_managers_all_levels() {
 
 #[test]
 fn vacation_consistent_under_classic_managers() {
-    for manager in ["Polka", "Greedy", "Priority", "ATS", "Kindergarten", "Eruption"] {
+    for manager in [
+        "Polka",
+        "Greedy",
+        "Priority",
+        "ATS",
+        "Kindergarten",
+        "Eruption",
+    ] {
         vacation_consistent(manager, ContentionLevel::High);
     }
 }

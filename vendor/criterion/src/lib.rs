@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of criterion's API the workspace's benches use —
+//! [`Criterion::benchmark_group`], group knobs (`sample_size`,
+//! `warm_up_time`, `measurement_time`), [`Bencher::iter`] /
+//! [`Bencher::iter_custom`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! wall-clock sampler instead of criterion's statistical machinery.
+//!
+//! Reporting: one line per benchmark (`group/id  mean … min … (N
+//! samples)`), and when the `BENCH_JSON` environment variable names a
+//! file, one JSON object per line is appended to it:
+//! `{"group":…,"bench":…,"mean_ns":…,"min_ns":…,"samples":…}` — which is
+//! how `BENCH_*.json` baselines in this repo are produced.
+
+// Vendored stand-in: exempt from the workspace's clippy gate.
+#![allow(clippy::all)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirror of criterion's CLI-config hook; accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Identifier `function_name/parameter` for one benchmark in a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId { id: s.clone() }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total target measurement duration (split across samples).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mode: Mode::Calibrate,
+            iters: 1,
+            measured: Duration::ZERO,
+        };
+
+        // Calibration: find an iteration count that takes roughly
+        // `measurement_time / sample_size` per sample.
+        let per_sample = self.measurement_time.div_f64(self.sample_size as f64);
+        let mut iters: u64 = 1;
+        loop {
+            b.mode = Mode::Calibrate;
+            b.iters = iters;
+            b.measured = Duration::ZERO;
+            f(&mut b);
+            if b.measured >= per_sample.div_f64(8.0).min(Duration::from_millis(20))
+                || iters >= 1 << 40
+            {
+                let per_iter = b.measured.as_secs_f64() / iters as f64;
+                if per_iter > 0.0 {
+                    let want = (per_sample.as_secs_f64() / per_iter).max(1.0);
+                    iters = want.min(1e12) as u64;
+                }
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+
+        // Warm-up.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            b.mode = Mode::Calibrate;
+            b.iters = iters.min(1000).max(1);
+            b.measured = Duration::ZERO;
+            f(&mut b);
+        }
+
+        // Measurement.
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.mode = Mode::Measure;
+            b.iters = iters;
+            b.measured = Duration::ZERO;
+            f(&mut b);
+            samples_ns.push(b.measured.as_nanos() as f64 / iters as f64);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+
+        println!(
+            "bench {:<44} mean {:>12} min {:>12}  ({} samples x {} iters)",
+            format!("{}/{}", self.name, id.id),
+            fmt_ns(mean),
+            fmt_ns(min),
+            samples_ns.len(),
+            iters
+        );
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                let line = format!(
+                    "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters\":{}}}\n",
+                    self.name, id.id, mean, min, samples_ns.len(), iters
+                );
+                let _ = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut fh| fh.write_all(line.as_bytes()));
+            }
+        }
+        self
+    }
+
+    /// End the group (report separation only; statistics are per-bench).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+/// Timing harness passed to the benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    measured: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `iters` times per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = &self.mode; // one code path: timing loop is identical
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.measured = t0.elapsed();
+    }
+
+    /// Hand the iteration count to `routine`, which returns the measured
+    /// duration itself (excluding per-iteration setup).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.measured = routine(self.iters);
+    }
+}
+
+/// Define a benchmark-group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("selftest");
+            g.sample_size(3)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(10));
+            g.bench_function(BenchmarkId::new("count", 1), |b| {
+                b.iter(|| {
+                    ran += 1;
+                    ran
+                })
+            });
+            g.finish();
+        }
+        assert!(ran > 3, "routine must have run during sampling: {ran}");
+    }
+
+    #[test]
+    fn iter_custom_receives_iters() {
+        let mut c = Criterion::default();
+        let mut max_iters = 0u64;
+        let mut g = c.benchmark_group("selftest_custom");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                max_iters = max_iters.max(iters);
+                // Pretend each iteration took 1µs.
+                Duration::from_micros(iters)
+            })
+        });
+        g.finish();
+        assert!(max_iters >= 1);
+    }
+}

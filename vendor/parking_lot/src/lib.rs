@@ -1,0 +1,189 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *subset* of `parking_lot`'s API it actually uses — a
+//! non-poisoning [`Mutex`] with guard-based locking and a [`Condvar`] that
+//! waits on a `&mut MutexGuard` — implemented on top of `std::sync`.
+//! Semantics match `parking_lot` where the two differ from `std`:
+//!
+//! * `lock()` returns the guard directly (no `Result`); a panic while a
+//!   lock is held does **not** poison it for other threads.
+//! * `Condvar::wait` takes `&mut MutexGuard` and re-acquires in place.
+//!
+//! Performance of `std::sync::Mutex` on Linux (futex-based) is close
+//! enough to `parking_lot` for the workloads here; the STM engine's hot
+//! path avoids this lock entirely (see `wtm-stm`'s snapshot read path).
+
+// Vendored stand-in: exempt from the workspace's clippy gate.
+#![allow(clippy::all)]
+
+use std::sync;
+
+/// A mutual-exclusion primitive. Unlike `std::sync::Mutex` it never
+/// poisons: if a holder panics, the next `lock()` simply proceeds.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex protecting `value`.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the protected value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(match self.0.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }))
+    }
+
+    /// Try to acquire the lock without blocking.
+    #[inline]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard(Some(p.into_inner()))),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Internally holds an `Option` so [`Condvar::wait`] can move the std
+/// guard out and back while re-acquiring; the option is `Some` at every
+/// point user code can observe.
+pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable for use with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    #[inline]
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically release the guard's mutex and park until notified; the
+    /// mutex is re-acquired (in place) before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present outside wait");
+        let reacquired = match self.0.wait(inner) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.0 = Some(reacquired);
+    }
+
+    /// Wake one parked waiter.
+    #[inline]
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every parked waiter.
+    #[inline]
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn lock_roundtrip() {
+        let m = Mutex::new(5);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Mutex::new(());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn no_poisoning_after_panic() {
+        let m = Arc::new(Mutex::new(1));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1); // would panic on a poisoned std mutex
+    }
+
+    #[test]
+    fn condvar_wait_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut started = m.lock();
+            while !*started {
+                cv.wait(&mut started);
+            }
+            true
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(h.join().unwrap());
+    }
+}

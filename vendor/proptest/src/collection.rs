@@ -1,0 +1,94 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Generate vectors of `element` values with length in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.rng().random_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with up to `size` elements.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generate sets of `element` values; `size` bounds the number of
+/// *insertions*, so duplicates may make the set smaller (same behavior
+/// real proptest allows for the lower bound of distinct elements).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "empty size range");
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = rng.rng().random_range(self.size.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_and_bounds() {
+        let s = vec(0i64..50, 3..9);
+        let mut rng = TestRng::for_test("vec_respects_length_and_bounds");
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((3..9).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..50).contains(x)));
+        }
+    }
+
+    #[test]
+    fn btree_set_bounded_and_sorted() {
+        let s = btree_set(0i64..64, 0..24);
+        let mut rng = TestRng::for_test("btree_set_bounded_and_sorted");
+        for _ in 0..500 {
+            let set = s.generate(&mut rng);
+            assert!(set.len() < 24);
+            assert!(set.iter().all(|x| (0..64).contains(x)));
+        }
+    }
+
+    #[test]
+    fn vec_of_tuples_composes() {
+        let s = vec((0..3u8, 0..32i64, 0..1000u64), 1..10);
+        let mut rng = TestRng::for_test("vec_of_tuples_composes");
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! `SmallRng`: xoshiro256++, the small fast generator family the real
+//! `rand` crate uses on 64-bit platforms.
+
+use crate::{Rng, SeedableRng};
+
+/// A small, fast, non-cryptographic PRNG (xoshiro256++ 1.0).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+impl Rng for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // The all-zero state is the one fixed point of xoshiro; nudge it.
+        if s == [0, 0, 0, 0] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        SmallRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_xoshiro_sequence() {
+        // Reference vector: state {1,2,3,4} per the xoshiro256++ authors.
+        let mut rng = SmallRng { s: [1, 2, 3, 4] };
+        let got: Vec<u64> = (0..2).map(|_| rng.next_u64()).collect();
+        assert_eq!(got, vec![41943041, 58720359]);
+    }
+
+    #[test]
+    fn zero_seed_does_not_stick() {
+        let mut rng = SmallRng::from_seed([0u8; 32]);
+        assert_ne!(rng.next_u64(), 0);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+}
