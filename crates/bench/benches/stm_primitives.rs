@@ -10,7 +10,19 @@ use std::time::{Duration, Instant};
 use wtm_stm::cm::AbortSelfManager;
 use wtm_stm::{Stm, TVar};
 
+/// `WTM_TRACE=1` turns event recording on for the whole bench run, to
+/// measure tracing's runtime-on overhead. Only meaningful when the emit
+/// sites are compiled in (default features; the `figs` feature pulls in
+/// the harness, which enables `wtm-stm/trace`). Without it, this measures
+/// compiled-in/runtime-off; with `--no-default-features`, compiled-out.
+fn init_trace_from_env() {
+    if std::env::var("WTM_TRACE").is_ok_and(|v| v == "1") {
+        wtm_trace::set_enabled(true);
+    }
+}
+
 fn bench_primitives(c: &mut Criterion) {
+    init_trace_from_env();
     let mut group = c.benchmark_group("stm_primitives");
     group
         .sample_size(20)

@@ -46,6 +46,12 @@ pub struct WindowConfig {
     /// RNG seed for the random delays `qᵢ` and ranks π₂ (per-thread
     /// streams are derived from it).
     pub seed: u64,
+    /// Upper bound a thread waits at a window barrier before concluding
+    /// the window is misconfigured (`m` ≠ the number of threads actually
+    /// running transactions), recording an error, and degrading to free
+    /// mode. Generous on purpose: a healthy window boundary completes in
+    /// microseconds, so only a genuine mismatch ever hits this.
+    pub barrier_timeout: Duration,
 }
 
 impl WindowConfig {
@@ -61,6 +67,7 @@ impl WindowConfig {
             auto_calibrate: true,
             ci_alpha: 0.7,
             seed: 0x5EED_CAFE,
+            barrier_timeout: Duration::from_secs(5),
         }
     }
 
@@ -73,6 +80,12 @@ impl WindowConfig {
     /// Override the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Override the barrier timeout (tests shrink it to fail fast).
+    pub fn with_barrier_timeout(mut self, t: Duration) -> Self {
+        self.barrier_timeout = t;
         self
     }
 

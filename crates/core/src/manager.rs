@@ -52,7 +52,10 @@ struct RunSlot {
 
 /// See module docs. One instance drives all `M` worker threads of an
 /// [`wtm_stm::Stm`]; `cfg.m` **must** equal the number of threads actively
-/// running transactions, otherwise the window barrier never releases.
+/// running transactions. A mismatch no longer deadlocks: window barriers
+/// are timed ([`WindowConfig::barrier_timeout`]), and a timeout cancels
+/// the window machinery, records a descriptive error (see
+/// [`Self::window_error`]), and degrades every thread to free mode.
 pub struct WindowManager {
     cfg: WindowConfig,
     variant: WindowVariant,
@@ -63,6 +66,8 @@ pub struct WindowManager {
     /// thread's `ThreadWindow`.
     taus: Box<[AtomicU64]>,
     runs: Mutex<RunSlot>,
+    /// First barrier-timeout diagnostic, kept for callers to surface.
+    last_error: Mutex<Option<String>>,
 }
 
 impl WindowManager {
@@ -89,6 +94,7 @@ impl WindowManager {
                 generation: 0,
                 run: initial_run,
             }),
+            last_error: Mutex::new(None),
             cfg,
             variant,
         }
@@ -109,6 +115,14 @@ impl WindowManager {
     /// an experiment's measurement interval ends, before joining workers.
     pub fn cancel(&self) {
         self.barrier.cancel();
+    }
+
+    /// The diagnostic recorded when a window barrier timed out — a
+    /// configuration mismatch between `cfg.m` and the number of threads
+    /// actually running transactions. `None` while the window machinery
+    /// is healthy.
+    pub fn window_error(&self) -> Option<String> {
+        self.last_error.lock().clone()
     }
 
     /// Current contention estimate of a thread (diagnostics/tests).
@@ -155,10 +169,68 @@ impl WindowManager {
         Arc::clone(&slot.run)
     }
 
+    /// One barrier phase of the window protocol, with a deadline. A thread
+    /// that waits out `cfg.barrier_timeout` concludes the window is
+    /// misconfigured (`cfg.m` ≠ number of running threads), records a
+    /// descriptive error, and cancels the barrier so the remaining parked
+    /// threads fail fast too instead of hanging until their own deadlines.
+    fn window_barrier(&self, thread_id: usize, phase: u64) -> BarrierWait {
+        #[cfg(not(feature = "trace"))]
+        let _ = (thread_id, phase);
+        #[cfg(feature = "trace")]
+        let t0 = wtm_stm::clockns::now();
+        let res = self.barrier.wait_timeout(self.cfg.barrier_timeout);
+        #[cfg(feature = "trace")]
+        if wtm_trace::enabled() {
+            let now = wtm_stm::clockns::now();
+            let outcome = match res {
+                BarrierWait::Released => wtm_trace::BARRIER_RELEASED,
+                BarrierWait::Cancelled => wtm_trace::BARRIER_CANCELLED,
+                BarrierWait::TimedOut => wtm_trace::BARRIER_TIMED_OUT,
+            };
+            wtm_trace::emit(wtm_trace::Event::span(
+                wtm_trace::EventKind::BarrierWait,
+                now,
+                now.saturating_sub(t0),
+                thread_id as u32,
+                phase,
+                outcome,
+            ));
+        }
+        if res == BarrierWait::TimedOut {
+            self.fail_window(thread_id, phase);
+        }
+        res
+    }
+
+    /// Record the barrier-timeout diagnostic (first one wins) and cancel
+    /// the window machinery so every thread degrades to free mode.
+    fn fail_window(&self, thread_id: usize, phase: u64) {
+        // We already withdrew our own arrival; count ourselves back in for
+        // the message. Racing timeouts make this approximate — it is a
+        // diagnostic, not an invariant.
+        let arrived = (self.barrier.arrived() + 1).min(self.cfg.m);
+        let msg = format!(
+            "window barrier timed out after {:?} (thread {thread_id}, phase {phase}): \
+             only {arrived} of m = {} threads reached the window boundary. \
+             WindowConfig.m must equal the number of threads running transactions; \
+             continuing in free mode (RandomizedRounds).",
+            self.cfg.barrier_timeout, self.cfg.m,
+        );
+        {
+            let mut err = self.last_error.lock();
+            if err.is_none() {
+                eprintln!("wtm-window: {msg}");
+                *err = Some(msg);
+            }
+        }
+        self.barrier.cancel();
+    }
+
     /// Window-boundary protocol: barrier → roll `qᵢ`, register assignments
     /// → barrier → go.
     fn begin_window(&self, tw: &mut ThreadWindow) {
-        if tw.free_mode || self.barrier.wait() == BarrierWait::Cancelled {
+        if tw.free_mode || self.window_barrier(tw.id, 0) != BarrierWait::Released {
             self.enter_free_mode(tw);
             return;
         }
@@ -178,12 +250,21 @@ impl WindowManager {
         run.register_all((0..self.cfg.n as u64).map(|j| tw.q + j));
         // Second phase: nobody executes until everyone registered, so the
         // dynamic frame clock sees the complete pending table.
-        let released = self.barrier.wait() == BarrierWait::Released;
+        let released = self.window_barrier(tw.id, 1) == BarrierWait::Released;
         run.seal_registration();
         tw.run = Some(run);
         if !released {
             self.enter_free_mode(tw);
+            return;
         }
+        #[cfg(feature = "trace")]
+        wtm_trace::emit(wtm_trace::Event::instant(
+            wtm_trace::EventKind::WindowStart,
+            wtm_stm::clockns::now(),
+            tw.id as u32,
+            tw.windows_done,
+            tw.q,
+        ));
     }
 
     fn enter_free_mode(&self, tw: &mut ThreadWindow) {
@@ -257,6 +338,13 @@ impl ContentionManager for WindowManager {
     }
 
     fn on_begin(&self, tx: &Arc<TxState>, is_retry: bool) {
+        assert!(
+            tx.thread_id < self.cfg.m,
+            "WindowManager is configured for m = {} threads but thread id {} began a \
+             transaction; WindowConfig.m must equal the Stm thread count",
+            self.cfg.m,
+            tx.thread_id
+        );
         let mut tw = self.threads[tx.thread_id].lock();
         if !is_retry {
             if tw.j >= self.cfg.n || tw.run.is_none() {
@@ -269,6 +357,16 @@ impl ContentionManager for WindowManager {
         // and after every abort").
         let rank = tw.rng.random_range(1..=self.cfg.m as u32);
         tx.set_rank(rank);
+        #[cfg(feature = "trace")]
+        if !is_retry {
+            wtm_trace::emit(wtm_trace::Event::instant(
+                wtm_trace::EventKind::FrameAssign,
+                wtm_stm::clockns::now(),
+                tw.id as u32,
+                tw.cur_assigned,
+                u64::from(rank),
+            ));
+        }
     }
 
     fn on_commit(&self, tx: &TxState) {
@@ -507,6 +605,62 @@ mod tests {
         wm.on_begin(&tx, false);
         let run = wm.current_run(0).unwrap();
         assert!(run.current_frame() > 1_000, "free-mode frames race ahead");
+    }
+
+    #[test]
+    fn m_mismatch_fails_fast_into_free_mode() {
+        use wtm_stm::{Stm, TVar};
+        // The config promises 4 threads but only 3 run transactions.
+        // Before the timed barrier this deadlocked forever at the first
+        // window boundary; now every thread must finish in free mode well
+        // within the configured timeout budget, and the mismatch must be
+        // recorded as a descriptive error.
+        const THREADS: usize = 3;
+        const PER_THREAD: u64 = 8;
+        let cfg = WindowConfig::new(4, 4)
+            .with_seed(5)
+            .with_barrier_timeout(Duration::from_millis(200));
+        let wm = Arc::new(WindowManager::new(WindowVariant::Online, cfg));
+        let stm = Stm::new(wm.clone(), THREADS);
+        let tv: TVar<u64> = TVar::new(0);
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let ctx = stm.thread(t);
+                let tv = tv.clone();
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        ctx.atomic(|tx| {
+                            let v = *tx.read(&tv)?;
+                            tx.write(&tv, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(*tv.sample(), THREADS as u64 * PER_THREAD);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "mismatch must fail fast, not hang: took {:?}",
+            t0.elapsed()
+        );
+        let err = wm.window_error().expect("the mismatch must be recorded");
+        assert!(
+            err.contains("m = 4"),
+            "error must name the configured m: {err}"
+        );
+        assert!(
+            err.contains("timed out"),
+            "error must say what happened: {err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "thread id 7")]
+    fn out_of_range_thread_id_rejected() {
+        let wm = WindowManager::new(WindowVariant::Online, cfg_1xn(4));
+        let tx = state_on(7, 1);
+        wm.on_begin(&tx, false);
     }
 
     #[test]

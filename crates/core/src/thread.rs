@@ -15,6 +15,8 @@ use crate::run::WindowRun;
 
 /// Mutable per-thread window state (see module docs).
 pub(crate) struct ThreadWindow {
+    /// Owning thread's id (diagnostics and trace events).
+    pub id: usize,
     /// Contention estimate `Cᵢ`.
     pub c: f64,
     /// Random delay (in frames) for the current schedule segment.
@@ -43,6 +45,7 @@ pub(crate) struct ThreadWindow {
 impl ThreadWindow {
     pub(crate) fn new(thread_id: usize, seed: u64, c_init: f64, n: usize) -> Self {
         ThreadWindow {
+            id: thread_id,
             c: c_init,
             q: 0,
             // Start "at the end of a window" so the first transaction

@@ -104,6 +104,7 @@ pub fn fig5(preset: &Preset) -> Vec<Table> {
         );
         for level in ContentionLevel::all() {
             let mut row = Vec::with_capacity(managers.len());
+            let mut row_truncated = false;
             for manager in &managers {
                 progress(&format!(
                     "Fig 5 {} / {manager} / {}",
@@ -119,9 +120,19 @@ pub fn fig5(preset: &Preset) -> Vec<Table> {
                 spec.update_pct = level.update_pct();
                 spec.window_n = preset.window_n;
                 let out = run_averaged(&spec, preset.reps);
+                if out.truncated {
+                    row_truncated = true;
+                }
                 row.push(out.total_time.as_secs_f64());
             }
-            t.push_row(level.name(), row);
+            // A truncated cell's time is a lower bound, not a measurement;
+            // the row label says so instead of silently mixing the two.
+            let label = if row_truncated {
+                format!("{} (truncated)", level.name())
+            } else {
+                level.name().to_string()
+            };
+            t.push_row(label, row);
         }
         tables.push(t);
     }
@@ -196,6 +207,28 @@ mod tests {
         assert!(f4[0].title.contains("Fig 4"));
         let ratios = fig3_ratios(&f3);
         assert_eq!(ratios.rows.len(), 4);
+    }
+
+    #[test]
+    fn fig3_ratios_surface_missing_baselines_as_na() {
+        // Synthetic Fig 3 table with a zero Polka column and no Priority
+        // column at all: those ratios are undefined and must surface as
+        // "n/a" in reports, never as NaN.
+        let mut t = Table::new(
+            "Fig 3: synthetic — List",
+            "threads",
+            vec!["Online-Dynamic".into(), "Polka".into(), "Greedy".into()],
+        );
+        t.push_row("8", vec![1000.0, 0.0, 500.0]);
+        let ratios = fig3_ratios(&[t]);
+        assert_eq!(ratios.get(0, "vs Greedy"), Some(2.0));
+        assert!(ratios.get(0, "vs Polka").unwrap().is_nan());
+        assert!(ratios.get(0, "vs Priority").unwrap().is_nan());
+        let rendered = ratios.render();
+        assert!(!rendered.contains("NaN"), "{rendered}");
+        assert!(rendered.contains("n/a"), "{rendered}");
+        let csv = ratios.to_csv();
+        assert!(!csv.contains("NaN"), "{csv}");
     }
 
     #[test]

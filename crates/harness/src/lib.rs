@@ -26,6 +26,7 @@ pub mod report;
 pub mod runner;
 pub mod theory;
 pub mod trace;
+pub mod tracer;
 
 pub use managers::{all_manager_names, build_manager, BuiltManager};
 pub use preset::Preset;

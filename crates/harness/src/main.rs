@@ -1,12 +1,14 @@
 //! `windowtm` — regenerate the paper's figures from the command line.
 //!
 //! ```text
-//! windowtm <fig2|fig3|fig4|fig5|theory|trace|ablation|metrics|all> \
+//! windowtm <fig2|fig3|fig4|fig5|theory|trace|simtrace|ablation|metrics|all> \
 //!          [--quick|--medium|--paper|--smoke] [--out DIR]
 //! ```
 //!
 //! Tables print to stdout and are also written as CSV into `--out`
-//! (default `results/`).
+//! (default `results/`). `trace` runs instrumented cells and additionally
+//! writes Chrome-trace JSON (Perfetto-loadable) into `--out`; `simtrace`
+//! is the T4 window-simulator schedule trace.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,10 +20,11 @@ use wtm_harness::preset::Preset;
 use wtm_harness::report::Table;
 use wtm_harness::theory::makespan_tables;
 use wtm_harness::trace::trace_tables;
+use wtm_harness::tracer::trace_report;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: windowtm <fig2|fig3|fig4|fig5|theory|trace|ablation|metrics|all> [--quick|--medium|--paper|--smoke] [--out DIR]"
+        "usage: windowtm <fig2|fig3|fig4|fig5|theory|trace|simtrace|ablation|metrics|all> [--quick|--medium|--paper|--smoke] [--out DIR]"
     );
     ExitCode::from(2)
 }
@@ -84,7 +87,8 @@ fn main() -> ExitCode {
         "fig5" => emit(&fig5(&preset), &out_dir),
         "theory" => emit(&makespan_tables(&preset), &out_dir),
         "ablation" => emit(&ablation_tables(&preset), &out_dir),
-        "trace" => emit(&trace_tables(&preset), &out_dir),
+        "trace" => emit(&trace_report(&preset, &out_dir), &out_dir),
+        "simtrace" => emit(&trace_tables(&preset), &out_dir),
         "metrics" => emit(&future_work_tables(&preset), &out_dir),
         "all" => {
             emit(&fig2(&preset), &out_dir);
@@ -97,6 +101,7 @@ fn main() -> ExitCode {
             emit(&trace_tables(&preset), &out_dir);
             emit(&ablation_tables(&preset), &out_dir);
             emit(&future_work_tables(&preset), &out_dir);
+            emit(&trace_report(&preset, &out_dir), &out_dir);
         }
         _ => return usage(),
     }

@@ -98,7 +98,12 @@ impl Table {
         for (r, label) in self.rows.iter().enumerate() {
             let _ = write!(out, "{}", csv_escape(label));
             for c in 0..self.columns.len() {
-                let _ = write!(out, ",{}", self.cells[r][c]);
+                let v = self.cells[r][c];
+                if v.is_finite() {
+                    let _ = write!(out, ",{v}");
+                } else {
+                    let _ = write!(out, ",n/a");
+                }
             }
             let _ = writeln!(out);
         }
@@ -128,7 +133,9 @@ impl Table {
 
 fn format_cell(v: f64) -> String {
     if !v.is_finite() {
-        return "-".to_string();
+        // NaN/±inf mean "no data for this cell" (e.g. a ratio against a
+        // missing baseline) — never let them leak into a report as "NaN".
+        return "n/a".to_string();
     }
     let a = v.abs();
     if a >= 10_000.0 {
@@ -214,5 +221,20 @@ mod tests {
     fn mismatched_row_rejected() {
         let mut t = sample();
         t.push_row("x", vec![1.0]);
+    }
+
+    #[test]
+    fn non_finite_cells_render_as_na() {
+        let mut t = Table::new("Fig Y: gaps", "threads", vec!["A".into(), "B".into()]);
+        t.push_row("1", vec![f64::NAN, 2.0]);
+        t.push_row("2", vec![f64::INFINITY, f64::NEG_INFINITY]);
+        let s = t.render();
+        assert!(!s.contains("NaN"), "NaN must never appear in a report: {s}");
+        assert!(!s.contains("inf"), "inf must never appear in a report: {s}");
+        assert!(s.contains("n/a"));
+        let csv = t.to_csv();
+        assert!(!csv.contains("NaN") && !csv.contains("inf"), "{csv}");
+        assert!(csv.lines().nth(1).unwrap().starts_with("1,n/a,2"));
+        assert_eq!(csv.lines().nth(2).unwrap(), "2,n/a,n/a");
     }
 }

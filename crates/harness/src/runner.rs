@@ -49,6 +49,16 @@ pub struct RunSpec {
     /// `N`, transactions per thread per window (window managers only).
     pub window_n: usize,
     pub seed: u64,
+    /// Hard wall-clock cap on a [`StopRule::Budget`] run. A pathological
+    /// manager/benchmark combination that cannot reach the commit budget
+    /// used to hang the harness forever; now the run stops here, reports
+    /// the partial stats, and the outcome is flagged
+    /// [`RunOutcome::truncated`]. Generous by default — a healthy budget
+    /// run finishes orders of magnitude sooner.
+    pub safety_deadline: Duration,
+    /// Record transaction events into the `wtm-trace` ring buffers for
+    /// the measured interval (prepopulation is never traced).
+    pub trace: bool,
 }
 
 impl RunSpec {
@@ -63,6 +73,8 @@ impl RunSpec {
             update_pct: 100, // Figs. 2–4 use the high-contention config
             window_n: 50,    // the paper's N
             seed: 0xBEEF,
+            safety_deadline: Duration::from_secs(60),
+            trace: false,
         }
     }
 }
@@ -74,6 +86,9 @@ pub struct RunOutcome {
     pub stats: StatsSnapshot,
     /// Wall time from the start barrier to the last worker exit.
     pub total_time: Duration,
+    /// A budget run hit [`RunSpec::safety_deadline`] before committing its
+    /// budget; `stats` are partial and reports must flag the row.
+    pub truncated: bool,
 }
 
 enum Workload {
@@ -128,15 +143,24 @@ pub fn run_one(spec: &RunSpec) -> RunOutcome {
     }
 
     let stop = AtomicBool::new(false);
+    let truncated = AtomicBool::new(false);
     let remaining = AtomicI64::new(match spec.stop {
-        StopRule::Budget(b) => b as i64,
+        StopRule::Budget(b) => b.min(i64::MAX as u64) as i64,
         StopRule::Timed(_) => i64::MAX,
     });
+    // Budget runs used to have no deadline at all: if the budget was
+    // unreachable, the harness hung silently forever. The safety deadline
+    // bounds them; hitting it marks the outcome as truncated.
     let deadline_after = match spec.stop {
         StopRule::Timed(d) => Some(d),
-        StopRule::Budget(_) => None,
+        StopRule::Budget(_) => Some(spec.safety_deadline),
     };
+    let budget_rule = matches!(spec.stop, StopRule::Budget(_));
     let start_barrier = Barrier::new(spec.threads + 1);
+
+    if spec.trace {
+        wtm_trace::set_enabled(true);
+    }
 
     let mut total_time = Duration::ZERO;
     std::thread::scope(|s| {
@@ -144,6 +168,7 @@ pub fn run_one(spec: &RunSpec) -> RunOutcome {
         for t in 0..spec.threads {
             let ctx = stm.thread(t);
             let stop = &stop;
+            let truncated = &truncated;
             let remaining = &remaining;
             let start_barrier = &start_barrier;
             let workload = &workload;
@@ -166,6 +191,9 @@ pub fn run_one(spec: &RunSpec) -> RunOutcome {
                     }
                     if let Some(dl) = deadline {
                         if Instant::now() >= dl {
+                            if budget_rule {
+                                truncated.store(true, Ordering::Relaxed);
+                            }
                             stop.store(true, Ordering::Relaxed);
                             break;
                         }
@@ -198,6 +226,22 @@ pub fn run_one(spec: &RunSpec) -> RunOutcome {
         }
     });
 
+    if spec.trace {
+        wtm_trace::set_enabled(false);
+    }
+
+    let truncated = truncated.load(Ordering::Relaxed);
+    if truncated {
+        eprintln!(
+            "wtm-harness: budget run ({:?} on {}, {} threads) hit its safety deadline \
+             ({:?}) before committing the budget; reporting partial stats",
+            spec.benchmark.name(),
+            spec.manager,
+            spec.threads,
+            spec.safety_deadline,
+        );
+    }
+
     let mut stats = stm.aggregate();
     stats.wall = match spec.stop {
         // The common measured interval; workers stop within one
@@ -205,7 +249,11 @@ pub fn run_one(spec: &RunSpec) -> RunOutcome {
         StopRule::Timed(d) => d,
         StopRule::Budget(_) => total_time,
     };
-    RunOutcome { stats, total_time }
+    RunOutcome {
+        stats,
+        total_time,
+        truncated,
+    }
 }
 
 /// Run `reps` repetitions (distinct seeds) and average commits/aborts;
@@ -231,6 +279,7 @@ pub fn run_averaged(spec: &RunSpec, reps: usize) -> RunOutcome {
                     m
                 },
                 total_time: acc.total_time + out.total_time,
+                truncated: acc.truncated || out.truncated,
             },
         });
     }
@@ -296,6 +345,35 @@ mod tests {
         spec.stop = StopRule::Budget(150);
         let out = run_one(&spec);
         assert!(out.stats.commits >= 140);
+    }
+
+    #[test]
+    fn budget_run_hits_safety_deadline_and_reports_partial() {
+        // An effectively unreachable budget: without the safety deadline
+        // this run would hang forever.
+        let mut spec = quick_spec(Benchmark::List, "Greedy", 2);
+        spec.stop = StopRule::Budget(u64::MAX / 2);
+        spec.safety_deadline = Duration::from_millis(100);
+        let t0 = Instant::now();
+        let out = run_one(&spec);
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "run must stop at the safety deadline, took {:?}",
+            t0.elapsed()
+        );
+        assert!(out.truncated, "deadline-hit run must be flagged");
+        assert!(
+            out.stats.commits > 0,
+            "partial stats must still be reported"
+        );
+    }
+
+    #[test]
+    fn completed_budget_run_is_not_truncated() {
+        let mut spec = quick_spec(Benchmark::RBTree, "Polka", 2);
+        spec.stop = StopRule::Budget(200);
+        let out = run_one(&spec);
+        assert!(!out.truncated);
     }
 
     #[test]

@@ -264,6 +264,14 @@ impl<'a> ThreadCtx<'a> {
             // words; must precede the first object access in `body`.
             slots::publish(slot_idx, &state);
             let t0 = state.attempt_start_ns;
+            #[cfg(feature = "trace")]
+            wtm_trace::emit(wtm_trace::Event::instant(
+                wtm_trace::EventKind::TxBegin,
+                t0,
+                self.thread_id as u32,
+                txn_id,
+                attempt as u64,
+            ));
             let mut txn = Txn::new(Arc::clone(&state), self, slot_idx);
             if trace.is_some() {
                 txn.enable_tracing();
@@ -299,6 +307,15 @@ impl<'a> ThreadCtx<'a> {
                         now.saturating_sub(first_start_ns),
                         std::sync::atomic::Ordering::Relaxed,
                     );
+                    #[cfg(feature = "trace")]
+                    wtm_trace::emit(wtm_trace::Event::span(
+                        wtm_trace::EventKind::Commit,
+                        now,
+                        now.saturating_sub(t0),
+                        self.thread_id as u32,
+                        txn_id,
+                        attempt as u64,
+                    ));
                     self.stm.cm.on_commit(&state);
                     release_state(state);
                     return Some(r);
@@ -306,7 +323,17 @@ impl<'a> ThreadCtx<'a> {
                 Err(TxError::Aborted) => {
                     // Make sure the state is terminal even if the closure
                     // bailed without the CM aborting us (e.g. user bail-out).
-                    state.abort();
+                    let engine_bail = state.abort();
+                    // `engine_bail` = nobody else aborted us and the body
+                    // returned a bare `Err`: a user bail-out by taxonomy.
+                    #[cfg(feature = "trace")]
+                    let reason = if engine_bail {
+                        wtm_trace::ABORT_USER
+                    } else {
+                        txn.abort_reason()
+                    };
+                    #[cfg(not(feature = "trace"))]
+                    let _ = engine_bail;
                     drop(txn);
                     let stats = self.stats();
                     if opens > 0 {
@@ -317,10 +344,19 @@ impl<'a> ThreadCtx<'a> {
                     stats
                         .aborts
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    stats.wasted_ns.fetch_add(
-                        clockns::now().saturating_sub(t0),
-                        std::sync::atomic::Ordering::Relaxed,
-                    );
+                    let now = clockns::now();
+                    stats
+                        .wasted_ns
+                        .fetch_add(now.saturating_sub(t0), std::sync::atomic::Ordering::Relaxed);
+                    #[cfg(feature = "trace")]
+                    wtm_trace::emit(wtm_trace::Event::span(
+                        wtm_trace::EventKind::Abort,
+                        now,
+                        now.saturating_sub(t0),
+                        self.thread_id as u32,
+                        txn_id,
+                        reason,
+                    ));
                     karma = state.karma();
                     self.stm.cm.on_abort(&state);
                     release_state(state);

@@ -61,6 +61,12 @@ pub enum BarrierWait {
     Released,
     /// The barrier was cancelled (experiment shutting down).
     Cancelled,
+    /// A [`CancellableBarrier::wait_timeout`] deadline elapsed before all
+    /// parties arrived — typically a party-count misconfiguration (fewer
+    /// threads than the barrier expects). The timed-out waiter withdrew
+    /// its arrival, so the barrier stays consistent for the remaining
+    /// parties.
+    TimedOut,
 }
 
 struct BarrierState {
@@ -125,6 +131,57 @@ impl CancellableBarrier {
         } else {
             BarrierWait::Released
         }
+    }
+
+    /// Like [`wait`](Self::wait) but give up after `timeout`.
+    ///
+    /// Returns [`BarrierWait::TimedOut`] if the other parties did not all
+    /// arrive in time; the caller withdrew from the arrival count, so
+    /// parties that show up later still synchronize correctly among
+    /// themselves. A release or cancellation racing the deadline wins over
+    /// the timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> BarrierWait {
+        if self.cancelled.load(Ordering::Acquire) {
+            return BarrierWait::Cancelled;
+        }
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.parties {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return BarrierWait::Released;
+        }
+        let deadline = Instant::now() + timeout;
+        while st.generation == gen && !self.cancelled.load(Ordering::Acquire) {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() || self.cv.wait_for(&mut st, remaining).timed_out() {
+                // Re-check under the lock: a release/cancel that raced the
+                // timeout takes precedence.
+                if st.generation != gen {
+                    return BarrierWait::Released;
+                }
+                st.arrived = st.arrived.saturating_sub(1);
+                return if self.cancelled.load(Ordering::Acquire) {
+                    BarrierWait::Cancelled
+                } else {
+                    BarrierWait::TimedOut
+                };
+            }
+        }
+        if st.generation == gen {
+            st.arrived = st.arrived.saturating_sub(1);
+            BarrierWait::Cancelled
+        } else {
+            BarrierWait::Released
+        }
+    }
+
+    /// Parties currently parked at the barrier (diagnostics: the error
+    /// message for a timed-out window names how many threads showed up).
+    pub fn arrived(&self) -> usize {
+        self.state.lock().arrived
     }
 
     /// Release all current and future waiters with `Cancelled`.
@@ -221,5 +278,103 @@ mod tests {
         // Future waits return immediately.
         assert_eq!(b.wait(), BarrierWait::Cancelled);
         assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_wakes_current_and_future_waiters() {
+        let b = Arc::new(CancellableBarrier::new(8));
+        let results: Vec<BarrierWait> = std::thread::scope(|s| {
+            // Three waiters park *before* the cancel…
+            let early: Vec<_> = (0..3)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || b.wait())
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(10));
+            b.cancel();
+            // …and three more arrive only *after* it.
+            let late: Vec<_> = (0..3)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || b.wait())
+                })
+                .collect();
+            early
+                .into_iter()
+                .chain(late)
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(
+            results.iter().all(|r| *r == BarrierWait::Cancelled),
+            "cancel must release both parked and future waiters: {results:?}"
+        );
+        // Timed waits observe the cancellation too.
+        assert_eq!(
+            b.wait_timeout(Duration::from_secs(5)),
+            BarrierWait::Cancelled
+        );
+    }
+
+    #[test]
+    fn wait_timeout_times_out_when_parties_missing() {
+        let b = CancellableBarrier::new(2);
+        let t0 = Instant::now();
+        let res = b.wait_timeout(Duration::from_millis(20));
+        assert_eq!(res, BarrierWait::TimedOut);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        // The timed-out waiter withdrew its arrival…
+        assert_eq!(b.arrived(), 0);
+        // …so a later full complement still releases normally.
+        let b = Arc::new(b);
+        let results: Vec<BarrierWait> = std::thread::scope(|s| {
+            (0..2)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || b.wait_timeout(Duration::from_secs(5)))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(results.iter().all(|r| *r == BarrierWait::Released));
+    }
+
+    #[test]
+    fn wait_timeout_releases_when_all_arrive() {
+        let b = Arc::new(CancellableBarrier::new(3));
+        let results: Vec<BarrierWait> = std::thread::scope(|s| {
+            (0..3)
+                .map(|i| {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || {
+                        // Stagger arrivals; all still make the deadline.
+                        std::thread::sleep(Duration::from_millis(2 * i));
+                        b.wait_timeout(Duration::from_secs(5))
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(results.iter().all(|r| *r == BarrierWait::Released));
+    }
+
+    #[test]
+    fn wait_timeout_cancelled_while_parked() {
+        let b = Arc::new(CancellableBarrier::new(2));
+        let res = std::thread::scope(|s| {
+            let waiter = {
+                let b = Arc::clone(&b);
+                s.spawn(move || b.wait_timeout(Duration::from_secs(30)))
+            };
+            std::thread::sleep(Duration::from_millis(10));
+            b.cancel();
+            waiter.join().unwrap()
+        });
+        assert_eq!(res, BarrierWait::Cancelled);
     }
 }

@@ -312,6 +312,20 @@ impl<T: TxObject> TVarInner<T> {
 impl<T: TxObject> TVar<T> {
     /// Create a new transactional object with initial value `value`.
     pub fn new(value: T) -> Self {
+        Self::with_slot_count(value, slots::slot_capacity())
+    }
+
+    /// Test-only: a TVar whose fast-path slot array has exactly
+    /// `slot_count` entries regardless of the global capacity. Threads
+    /// with higher slot indices are forced onto the mutex/overflow path,
+    /// which is what production code hits when the thread count exceeds
+    /// the slot capacity a TVar was created under.
+    #[cfg(test)]
+    pub(crate) fn new_with_slots_for_test(value: T, slot_count: usize) -> Self {
+        Self::with_slot_count(value, slot_count)
+    }
+
+    fn with_slot_count(value: T, slot_count: usize) -> Self {
         let old = Arc::new(value);
         let snapshot = Arc::into_raw(Arc::clone(&old)).cast_mut();
         TVar {
@@ -320,9 +334,7 @@ impl<T: TxObject> TVar<T> {
                 seq: AtomicU64::new(0),
                 guards: AtomicU64::new(0),
                 snapshot: AtomicPtr::new(snapshot),
-                reader_slots: (0..slots::slot_capacity())
-                    .map(|_| AtomicU64::new(0))
-                    .collect(),
+                reader_slots: (0..slot_count).map(|_| AtomicU64::new(0)).collect(),
                 state: Mutex::new(ObjState {
                     writer: None,
                     old,
@@ -654,6 +666,75 @@ mod tests {
             .conflicting_reader(&mut st, &other)
             .expect("me should conflict");
         assert_eq!(c2.attempt_id, me.attempt_id);
+    }
+
+    #[test]
+    fn no_slot_tvar_forces_overflow_path_with_same_conflicts() {
+        // A TVar built with zero fast-path slots models the situation where
+        // a thread's slot index exceeds the capacity the TVar was created
+        // under: every access must take the mutex/overflow path.
+        let tv = TVar::new_with_slots_for_test(7u32, 0);
+        let (idx, reader) = published_state();
+        assert!(
+            tv.inner().fast_read(idx, reader.attempt_id).is_none(),
+            "no slot for this thread → fast path must decline"
+        );
+        {
+            let mut st = tv.inner().state.lock();
+            tv.inner().register_reader_locked(&mut st, idx, &reader);
+            assert_eq!(
+                st.readers.len(),
+                1,
+                "registration must fall back to the overflow list"
+            );
+            // Idempotent, like the slot path.
+            tv.inner().register_reader_locked(&mut st, idx, &reader);
+            assert_eq!(st.readers.len(), 1);
+        }
+        // A writer scanning for conflicts must find the overflow reader
+        // exactly as it would find a slot reader.
+        let writer = state(slots::next_attempt_id());
+        let mut st = tv.inner().state.lock();
+        tv.inner().lock_snapshot();
+        let enemy = tv.inner().conflicting_reader(&mut st, &writer);
+        tv.inner().unlock_snapshot_unchanged();
+        assert_eq!(
+            enemy.map(|e| e.attempt_id),
+            Some(reader.attempt_id),
+            "overflow reader must raise the same conflict as a slot reader"
+        );
+        // The reader does not conflict with itself on the overflow list.
+        assert!(tv.inner().conflicting_reader(&mut st, &reader).is_none());
+        drop(st);
+        slots::unpublish(idx);
+    }
+
+    #[test]
+    fn engine_preserves_atomicity_on_overflow_only_tvar() {
+        use crate::cm::AbortEnemyManager;
+        use crate::stm::Stm;
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 200;
+        let stm = Stm::new(Arc::new(AbortEnemyManager), THREADS);
+        // Zero slots: every read from every thread is an overflow reader,
+        // as when the thread count exceeds the reader-slot capacity.
+        let tv = TVar::new_with_slots_for_test(0u64, 0);
+        std::thread::scope(|s| {
+            for i in 0..THREADS {
+                let ctx = stm.thread(i);
+                let tv = tv.clone();
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        ctx.atomic(|tx| {
+                            let v = *tx.read(&tv)?;
+                            tx.write(&tv, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(*tv.sample(), THREADS as u64 * PER_THREAD);
+        assert_eq!(stm.aggregate().commits, THREADS as u64 * PER_THREAD);
     }
 
     #[test]

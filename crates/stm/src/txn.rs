@@ -81,6 +81,10 @@ pub struct Txn<'a> {
     /// instead of letting the workload detonate later.
     #[cfg(debug_assertions)]
     read_versions: Vec<(u64, usize, bool)>,
+    /// Trace taxonomy of how this attempt died. Defaults to "killed by an
+    /// enemy"; refined at the abort site (CM self-abort, user bail-out).
+    #[cfg(feature = "trace")]
+    abort_reason: std::cell::Cell<u64>,
 }
 
 impl<'a> Txn<'a> {
@@ -94,7 +98,15 @@ impl<'a> Txn<'a> {
             footprint: None,
             #[cfg(debug_assertions)]
             read_versions: Vec::new(),
+            #[cfg(feature = "trace")]
+            abort_reason: std::cell::Cell::new(wtm_trace::ABORT_KILLED),
         }
+    }
+
+    /// How this attempt aborted (trace taxonomy; see `wtm_trace::ABORT_*`).
+    #[cfg(feature = "trace")]
+    pub(crate) fn abort_reason(&self) -> u64 {
+        self.abort_reason.get()
     }
 
     /// Record a read and verify it is consistent with any earlier read of
@@ -255,6 +267,8 @@ impl<'a> Txn<'a> {
     /// benchmark). The engine will retry the atomic closure.
     pub fn abort_self(&self) -> TxError {
         self.state.abort();
+        #[cfg(feature = "trace")]
+        self.abort_reason.set(wtm_trace::ABORT_USER);
         TxError::Aborted
     }
 
@@ -356,19 +370,72 @@ impl<'a> Txn<'a> {
         }
         match res {
             Resolution::AbortEnemy => {
-                enemy.abort();
+                let killed = enemy.abort();
+                #[cfg(not(feature = "trace"))]
+                let _ = killed;
+                #[cfg(feature = "trace")]
+                self.trace_conflict(enemy, kind, wtm_trace::VERDICT_ABORT_ENEMY, killed, waited);
                 Ok(())
             }
             Resolution::AbortSelf => {
                 self.state.abort();
+                #[cfg(feature = "trace")]
+                {
+                    self.abort_reason.set(wtm_trace::ABORT_CM_SELF);
+                    self.trace_conflict(enemy, kind, wtm_trace::VERDICT_ABORT_SELF, true, waited);
+                }
                 Err(TxError::Aborted)
             }
             Resolution::Retry => {
+                #[cfg(feature = "trace")]
+                self.trace_conflict(enemy, kind, wtm_trace::VERDICT_RETRY, false, waited);
                 if enemy.is_active() {
                     std::thread::yield_now();
                 }
                 self.check_alive()
             }
+        }
+    }
+
+    /// Emit the conflict (and, for non-trivial waits, the wait span) of
+    /// one `handle_conflict` resolution.
+    #[cfg(feature = "trace")]
+    fn trace_conflict(
+        &self,
+        enemy: &Arc<TxState>,
+        kind: ConflictKind,
+        verdict: u64,
+        killed: bool,
+        waited: u64,
+    ) {
+        if !wtm_trace::enabled() {
+            return;
+        }
+        let now = clockns::now();
+        let tid = self.state.thread_id as u32;
+        let kind_code = match kind {
+            ConflictKind::WriteWrite => 0,
+            ConflictKind::ReadWrite => 1,
+            ConflictKind::WriteRead => 2,
+        };
+        wtm_trace::emit(wtm_trace::Event::instant(
+            wtm_trace::EventKind::Conflict,
+            now,
+            tid,
+            enemy.thread_id as u64,
+            wtm_trace::pack_conflict(kind_code, verdict, killed),
+        ));
+        // Sub-µs "waits" are just the resolve call itself; only real
+        // contention-manager stalls (back-off, Polka spins) are spans.
+        if waited >= 1_000 {
+            wtm_trace::emit(wtm_trace::Event::span(
+                wtm_trace::EventKind::Wait,
+                now,
+                waited,
+                tid,
+                enemy.thread_id as u64,
+                0,
+            ));
         }
     }
 

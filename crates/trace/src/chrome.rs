@@ -1,0 +1,328 @@
+//! Chrome-trace (Trace Event Format) JSON export, loadable in
+//! `chrome://tracing` and <https://ui.perfetto.dev>.
+//!
+//! Span events ([`EventKind::Commit`], `Abort`, `Wait`, `BarrierWait`)
+//! become `"ph":"X"` complete events — the duration is carried in the
+//! terminal event itself, so no begin/end matching is needed. Point events
+//! become `"ph":"i"` thread-scoped instants. Timestamps are microseconds
+//! (the format's unit) derived from the coarse-clock nanoseconds.
+//!
+//! [`validate_json`] is a minimal recursive-descent JSON checker used by
+//! the trace smoke tests: the build environment is offline and
+//! dependency-free, so "the exported JSON parses" is asserted in-repo.
+
+use std::fmt::Write as _;
+
+use crate::{abort_reason_name, unpack_conflict, Event, EventKind};
+
+fn conflict_kind_name(kind: u64) -> &'static str {
+    match kind {
+        0 => "WW",
+        1 => "RW",
+        2 => "WR",
+        _ => "??",
+    }
+}
+
+fn verdict_name(verdict: u64) -> &'static str {
+    match verdict {
+        crate::VERDICT_ABORT_ENEMY => "abort-enemy",
+        crate::VERDICT_ABORT_SELF => "abort-self",
+        crate::VERDICT_RETRY => "retry",
+        _ => "??",
+    }
+}
+
+fn barrier_outcome_name(outcome: u64) -> &'static str {
+    match outcome {
+        crate::BARRIER_RELEASED => "released",
+        crate::BARRIER_CANCELLED => "cancelled",
+        crate::BARRIER_TIMED_OUT => "timed-out",
+        _ => "??",
+    }
+}
+
+/// Microseconds with sub-µs precision, as the format expects.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+fn push_common(out: &mut String, name: &str, ph: &str, ts_ns: u64, tid: u32) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"wtm\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":0,\"tid\":{tid}",
+        us(ts_ns)
+    );
+}
+
+/// Render a drained event stream as a Chrome-trace JSON document.
+/// `metadata` becomes the top-level `otherData` object (manager name,
+/// benchmark, …); keys and values must not need JSON escaping (plain
+/// ASCII identifiers).
+pub fn to_chrome_json(events: &[Event], metadata: &[(&str, &str)]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        match ev.kind {
+            EventKind::Commit | EventKind::Abort | EventKind::Wait | EventKind::BarrierWait => {
+                let start = ev.ts_ns.saturating_sub(ev.dur_ns);
+                push_common(&mut out, ev.kind.name(), "X", start, ev.tid);
+                let _ = write!(out, ",\"dur\":{}", us(ev.dur_ns));
+                match ev.kind {
+                    EventKind::Commit => {
+                        let _ = write!(out, ",\"args\":{{\"txn\":{},\"attempt\":{}}}", ev.a, ev.b);
+                    }
+                    EventKind::Abort => {
+                        let _ = write!(
+                            out,
+                            ",\"args\":{{\"txn\":{},\"reason\":\"{}\"}}",
+                            ev.a,
+                            abort_reason_name(ev.b)
+                        );
+                    }
+                    EventKind::Wait => {
+                        let _ = write!(out, ",\"args\":{{\"enemy_tid\":{}}}", ev.a);
+                    }
+                    EventKind::BarrierWait => {
+                        let _ = write!(
+                            out,
+                            ",\"args\":{{\"phase\":{},\"outcome\":\"{}\"}}",
+                            ev.a,
+                            barrier_outcome_name(ev.b)
+                        );
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            EventKind::Conflict => {
+                let (kind, verdict, killed) = unpack_conflict(ev.b);
+                push_common(&mut out, "conflict", "i", ev.ts_ns, ev.tid);
+                let _ = write!(
+                    out,
+                    ",\"s\":\"t\",\"args\":{{\"enemy_tid\":{},\"kind\":\"{}\",\"verdict\":\"{}\",\"killed\":{}}}",
+                    ev.a,
+                    conflict_kind_name(kind),
+                    verdict_name(verdict),
+                    killed
+                );
+            }
+            EventKind::TxBegin | EventKind::FrameAssign | EventKind::WindowStart => {
+                push_common(&mut out, ev.kind.name(), "i", ev.ts_ns, ev.tid);
+                let (ka, kb) = match ev.kind {
+                    EventKind::TxBegin => ("txn", "attempt"),
+                    EventKind::FrameAssign => ("frame", "rank"),
+                    _ => ("window", "q"),
+                };
+                let _ = write!(
+                    out,
+                    ",\"s\":\"t\",\"args\":{{\"{ka}\":{},\"{kb}\":{}}}",
+                    ev.a, ev.b
+                );
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+    for (i, (k, v)) in metadata.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{k}\":\"{v}\"");
+    }
+    out.push_str("}}");
+    out
+}
+
+// ---- minimal JSON validation --------------------------------------------
+
+/// Check that `s` is one well-formed JSON value (object/array/string/
+/// number/bool/null) with nothing but whitespace after it.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        other => Err(format!("unexpected {other:?} at byte {}", *pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'{')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?} at {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'[')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or ']', got {other:?} at {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'"')?;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map_err(|e| format!("bad number {text:?}: {e}"))?;
+    Ok(())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pack_conflict, ABORT_KILLED, VERDICT_ABORT_ENEMY};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::instant(EventKind::TxBegin, 1_000, 0, 41, 0),
+            Event::instant(
+                EventKind::Conflict,
+                1_500,
+                0,
+                1,
+                pack_conflict(0, VERDICT_ABORT_ENEMY, true),
+            ),
+            Event::span(EventKind::Commit, 2_000, 900, 0, 41, 0),
+            Event::span(EventKind::Abort, 2_500, 400, 1, 42, ABORT_KILLED),
+            Event::span(EventKind::Wait, 3_000, 100, 1, 0, 0),
+            Event::span(EventKind::BarrierWait, 4_000, 500, 1, 0, 0),
+            Event::instant(EventKind::FrameAssign, 4_100, 1, 3, 2),
+            Event::instant(EventKind::WindowStart, 4_200, 1, 1, 0),
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_json_with_all_kinds() {
+        let json = to_chrome_json(&sample_events(), &[("manager", "Polka"), ("bench", "List")]);
+        validate_json(&json).expect("chrome export must parse");
+        assert!(json.contains("\"name\":\"commit\""));
+        assert!(json.contains("\"reason\":\"killed\""));
+        assert!(json.contains("\"verdict\":\"abort-enemy\""));
+        assert!(json.contains("\"manager\":\"Polka\""));
+        // Complete events carry ts = start (end − dur) in µs.
+        assert!(
+            json.contains("\"ts\":1.100"),
+            "commit starts at 1.1µs: {json}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_still_valid() {
+        let json = to_chrome_json(&[], &[]);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate_json("{\"a\":[1,2.5,-3e2,true,false,null,\"x\\\"y\"]}").unwrap();
+        validate_json("  [ ]  ").unwrap();
+        assert!(validate_json("{\"a\":1,}").is_err());
+        assert!(validate_json("{\"a\" 1}").is_err());
+        assert!(validate_json("[1,2] trailing").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("01a").is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Collector: turn a drained event stream into aggregate structures —
+//! who-killed-whom conflict matrices and log-bucketed latency histograms.
+
+use crate::{unpack_conflict, Event, EventKind, VERDICT_ABORT_ENEMY, VERDICT_ABORT_SELF};
+
+/// `M × M` matrix of resolved conflicts: `kills[killer][victim]` counts how
+/// often the contention manager let thread `killer`'s transaction abort
+/// thread `victim`'s. Both verdicts feed it: `AbortEnemy` makes the
+/// emitting thread the killer; `AbortSelf` makes the *enemy* the killer
+/// (the emitting transaction stepped aside because of it).
+#[derive(Debug, Clone)]
+pub struct ConflictMatrix {
+    pub threads: usize,
+    kills: Vec<u64>,
+}
+
+impl ConflictMatrix {
+    /// Build from a drained event stream. Threads outside `0..threads`
+    /// (none in practice) are ignored.
+    pub fn from_events(events: &[Event], threads: usize) -> Self {
+        let mut m = ConflictMatrix {
+            threads,
+            kills: vec![0; threads * threads],
+        };
+        for ev in events {
+            if ev.kind != EventKind::Conflict {
+                continue;
+            }
+            let (_kind, verdict, killed) = unpack_conflict(ev.b);
+            if !killed {
+                continue;
+            }
+            let (killer, victim) = match verdict {
+                VERDICT_ABORT_ENEMY => (ev.tid as usize, ev.a as usize),
+                VERDICT_ABORT_SELF => (ev.a as usize, ev.tid as usize),
+                _ => continue,
+            };
+            if killer < threads && victim < threads {
+                m.kills[killer * threads + victim] += 1;
+            }
+        }
+        m
+    }
+
+    /// Kill count of `killer` over `victim`.
+    pub fn get(&self, killer: usize, victim: usize) -> u64 {
+        self.kills[killer * self.threads + victim]
+    }
+
+    /// Total kills recorded.
+    pub fn total(&self) -> u64 {
+        self.kills.iter().sum()
+    }
+}
+
+/// Power-of-two-bucketed histogram of nanosecond durations: bucket `i`
+/// counts values `v` with `⌊log₂ v⌋ = i` (0 ns lands in bucket 0).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; 64],
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Record one duration.
+    pub fn record(&mut self, ns: u64) {
+        let idx = if ns <= 1 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Count in bucket `i` (values in `[2^i, 2^(i+1))`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Index of the highest non-empty bucket, if any value was recorded.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+
+    /// Mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Human label for a bucket's upper bound: `"<2µs"` etc.
+    pub fn bucket_label(i: usize) -> String {
+        let hi = 1u128 << (i + 1);
+        if hi < 1_000 {
+            format!("<{hi}ns")
+        } else if hi < 1_000_000 {
+            format!("<{:.1}µs", hi as f64 / 1e3)
+        } else if hi < 1_000_000_000 {
+            format!("<{:.1}ms", hi as f64 / 1e6)
+        } else {
+            format!("<{:.1}s", hi as f64 / 1e9)
+        }
+    }
+}
+
+/// Latency histograms of the span-bearing event kinds.
+#[derive(Debug, Clone, Default)]
+pub struct Histograms {
+    pub commit: LogHistogram,
+    pub abort: LogHistogram,
+    pub wait: LogHistogram,
+    pub barrier: LogHistogram,
+}
+
+impl Histograms {
+    /// Build from a drained event stream.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut h = Histograms::default();
+        for ev in events {
+            match ev.kind {
+                EventKind::Commit => h.commit.record(ev.dur_ns),
+                EventKind::Abort => h.abort.record(ev.dur_ns),
+                EventKind::Wait => h.wait.record(ev.dur_ns),
+                EventKind::BarrierWait => h.barrier.record(ev.dur_ns),
+                _ => {}
+            }
+        }
+        h
+    }
+
+    /// The four histograms with their column names.
+    pub fn named(&self) -> [(&'static str, &LogHistogram); 4] {
+        [
+            ("commit", &self.commit),
+            ("abort", &self.abort),
+            ("cm-wait", &self.wait),
+            ("barrier", &self.barrier),
+        ]
+    }
+}
+
+/// Event counts per kind — the cheap sanity view of a trace.
+pub fn counts_by_kind(events: &[Event]) -> [(EventKind, u64); 8] {
+    let mut out = EventKind::ALL.map(|k| (k, 0u64));
+    for ev in events {
+        out[ev.kind as usize].1 += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pack_conflict, VERDICT_RETRY};
+
+    fn conflict(tid: u32, enemy: u64, verdict: u64, killed: bool) -> Event {
+        Event::instant(
+            EventKind::Conflict,
+            0,
+            tid,
+            enemy,
+            pack_conflict(0, verdict, killed),
+        )
+    }
+
+    #[test]
+    fn matrix_attributes_kills_to_the_winner() {
+        let events = vec![
+            // Thread 0 kills thread 1 directly.
+            conflict(0, 1, VERDICT_ABORT_ENEMY, true),
+            // Thread 2 steps aside for thread 0: the kill is 0 → 2.
+            conflict(2, 0, VERDICT_ABORT_SELF, true),
+            // A retry verdict and an unsuccessful kill count nothing.
+            conflict(1, 0, VERDICT_RETRY, false),
+            conflict(1, 0, VERDICT_ABORT_ENEMY, false),
+        ];
+        let m = ConflictMatrix::from_events(&events, 3);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(0, 2), 1);
+        assert_eq!(m.get(1, 0), 0);
+        assert_eq!(m.total(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = LogHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.bucket(0), 2, "0 and 1 share bucket 0");
+        assert_eq!(h.bucket(1), 2, "2 and 3 in bucket 1");
+        assert_eq!(h.bucket(10), 1);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.max_ns, 1024);
+        assert_eq!(h.max_bucket(), Some(10));
+        assert!(h.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn bucket_labels_scale_units() {
+        assert_eq!(LogHistogram::bucket_label(0), "<2ns");
+        assert!(LogHistogram::bucket_label(10).ends_with("µs"));
+        assert!(LogHistogram::bucket_label(20).ends_with("ms"));
+        assert!(LogHistogram::bucket_label(30).ends_with('s'));
+    }
+
+    #[test]
+    fn histograms_route_kinds() {
+        let events = vec![
+            Event::span(EventKind::Commit, 10, 5, 0, 0, 0),
+            Event::span(EventKind::Abort, 10, 7, 0, 0, 0),
+            Event::span(EventKind::Wait, 10, 9, 0, 0, 0),
+            Event::span(EventKind::BarrierWait, 10, 11, 0, 0, 0),
+            Event::instant(EventKind::TxBegin, 10, 0, 0, 0),
+        ];
+        let h = Histograms::from_events(&events);
+        assert_eq!(h.commit.count, 1);
+        assert_eq!(h.abort.count, 1);
+        assert_eq!(h.wait.count, 1);
+        assert_eq!(h.barrier.count, 1);
+        let counts = counts_by_kind(&events);
+        assert_eq!(counts[EventKind::TxBegin as usize].1, 1);
+        assert_eq!(counts[EventKind::Commit as usize].1, 1);
+    }
+}

@@ -93,6 +93,18 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True iff the wait ended by timeout rather than notification.
+    #[inline]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable for use with [`Mutex`].
 #[derive(Debug, Default)]
 pub struct Condvar(sync::Condvar);
@@ -113,6 +125,27 @@ impl Condvar {
             Err(p) => p.into_inner(),
         };
         guard.0 = Some(reacquired);
+    }
+
+    /// Like [`wait`](Self::wait) but gives up after `timeout`. Mirrors
+    /// `parking_lot::Condvar::wait_for`: the mutex is re-acquired before
+    /// returning either way, and the result says whether the wait timed
+    /// out (which does *not* preclude a racing notification).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present outside wait");
+        let (reacquired, res) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.0 = Some(reacquired);
+        WaitTimeoutResult(res.timed_out())
     }
 
     /// Wake one parked waiter.
