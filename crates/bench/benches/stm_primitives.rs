@@ -4,10 +4,10 @@
 //! duration, is built from these costs).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::sync::{Arc, Barrier};
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use wtm_stm::cm::AbortSelfManager;
+use wtm_stm::CmDispatch;
 use wtm_stm::{Stm, TVar};
 
 /// `WTM_TRACE=1` turns event recording on for the whole bench run, to
@@ -31,7 +31,7 @@ fn bench_primitives(c: &mut Criterion) {
 
     // Read-only transactions of varying read-set size.
     for reads in [1usize, 8, 64] {
-        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
         let vars: Vec<TVar<u64>> = (0..reads as u64).map(TVar::new).collect();
         group.bench_function(BenchmarkId::new("read_only_txn", reads), |b| {
             let ctx = stm.thread(0);
@@ -49,7 +49,7 @@ fn bench_primitives(c: &mut Criterion) {
 
     // Write transactions of varying write-set size.
     for writes in [1usize, 8, 32] {
-        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
         let vars: Vec<TVar<u64>> = (0..writes as u64).map(TVar::new).collect();
         group.bench_function(BenchmarkId::new("write_txn", writes), |b| {
             let ctx = stm.thread(0);
@@ -68,7 +68,7 @@ fn bench_primitives(c: &mut Criterion) {
 
     // Read-modify-write on one hot variable (the txn of the List bench).
     {
-        let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
         let v: TVar<u64> = TVar::new(0);
         group.bench_function("increment_txn", |b| {
             let ctx = stm.thread(0);
@@ -78,6 +78,89 @@ fn bench_primitives(c: &mut Criterion) {
                     tx.write(&v, x + 1)
                 })
             });
+        });
+    }
+
+    group.finish();
+}
+
+/// Write/commit-path microbenches: where the write-set entry lives
+/// (inline vs boxed), what a spill past the inline capacity costs, and
+/// what an aborted attempt costs end-to-end.
+fn bench_commit_path(c: &mut Criterion) {
+    init_trace_from_env();
+    let mut group = c.benchmark_group("commit_path");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // One small (<= 24-byte) value per transaction: the inline write-entry
+    // sweet spot (u64-sized values are the List/RBTree node case).
+    {
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
+        let v: TVar<[u8; 16]> = TVar::new([0u8; 16]);
+        group.bench_function("commit_small", |b| {
+            let ctx = stm.thread(0);
+            let mut n = 0u8;
+            b.iter(|| {
+                n = n.wrapping_add(1);
+                ctx.atomic(|tx| tx.write(&v, [n; 16]))
+            });
+        });
+    }
+
+    // One large (> 24-byte) value per transaction: must take the boxed
+    // spill path; the gap to commit_small is the price of the box.
+    {
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
+        let v: TVar<[u64; 8]> = TVar::new([0u64; 8]);
+        group.bench_function("commit_large", |b| {
+            let ctx = stm.thread(0);
+            let mut n = 0u64;
+            b.iter(|| {
+                n = n.wrapping_add(1);
+                ctx.atomic(|tx| tx.write(&v, [n; 8]))
+            });
+        });
+    }
+
+    // Write set larger than the inline capacity (8): the overflow entries
+    // land in the write set's heap spill vector.
+    {
+        const SPILL: usize = 12;
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
+        let vars: Vec<TVar<u64>> = (0..SPILL as u64).map(TVar::new).collect();
+        group.bench_function("write_set_spill", |b| {
+            let ctx = stm.thread(0);
+            let mut n = 0u64;
+            b.iter(|| {
+                n += 1;
+                ctx.atomic(|tx| {
+                    for v in &vars {
+                        tx.write(v, n)?;
+                    }
+                    Ok(())
+                })
+            });
+        });
+    }
+
+    // A write attempt that self-aborts: measures the abort bookkeeping and
+    // the locator restore (the old version must stay visible).
+    {
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
+        let v: TVar<u64> = TVar::new(7);
+        group.bench_function("abort_restore", |b| {
+            let ctx = stm.thread(0);
+            b.iter(|| {
+                let out: Option<()> = ctx.atomic_with_budget(1, &mut |tx| {
+                    tx.write(&v, 99)?;
+                    Err(tx.abort_self())
+                });
+                std::hint::black_box(out)
+            });
+            assert_eq!(*v.sample(), 7, "aborted writes must not be visible");
         });
     }
 
@@ -127,7 +210,7 @@ fn bench_primitives_mt(c: &mut Criterion) {
 
     // Read-only transactions over one shared 8-object working set.
     for threads in [1usize, 8] {
-        let stm = Stm::new(Arc::new(AbortSelfManager), threads);
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, threads);
         let vars: Vec<TVar<u64>> = (0..8u64).map(TVar::new).collect();
         group.bench_function(BenchmarkId::new("read_only", threads), |b| {
             b.iter_custom(|iters| {
@@ -148,7 +231,7 @@ fn bench_primitives_mt(c: &mut Criterion) {
 
     // Write-only transactions over per-thread disjoint 4-object sets.
     for threads in [1usize, 8] {
-        let stm = Stm::new(Arc::new(AbortSelfManager), threads);
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, threads);
         let vars: Vec<Vec<TVar<u64>>> = (0..threads)
             .map(|_| (0..4u64).map(TVar::new).collect())
             .collect();
@@ -170,7 +253,7 @@ fn bench_primitives_mt(c: &mut Criterion) {
 
     // Mixed transactions: 8 shared reads plus 1 private write.
     for threads in [1usize, 8] {
-        let stm = Stm::new(Arc::new(AbortSelfManager), threads);
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, threads);
         let shared: Vec<TVar<u64>> = (0..8u64).map(TVar::new).collect();
         let private: Vec<TVar<u64>> = (0..threads as u64).map(TVar::new).collect();
         group.bench_function(BenchmarkId::new("mixed", threads), |b| {
@@ -195,5 +278,10 @@ fn bench_primitives_mt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_primitives, bench_primitives_mt);
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_commit_path,
+    bench_primitives_mt
+);
 criterion_main!(benches);

@@ -46,7 +46,7 @@ fn throughput_with_cfg(
         Benchmark::Vacation => unreachable!("ablations use the IntSet benchmarks"),
     };
     {
-        let boot = Stm::new(Arc::new(wtm_stm::cm::AbortSelfManager), 1);
+        let boot = Stm::with_dispatch(wtm_stm::CmDispatch::AbortSelf, 1);
         let ctx = boot.thread(0);
         let mut k = 0;
         while k < bench.default_key_range() {

@@ -2,14 +2,16 @@
 
 use std::sync::Arc;
 
-use wtm_stm::ContentionManager;
+use wtm_stm::{CmDispatch, ContentionManager};
 use wtm_window::{WindowConfig, WindowManager};
 
 /// A constructed manager, with the window handle kept separately so the
 /// runner can cancel window barriers at shutdown.
 pub struct BuiltManager {
-    /// The manager to install into the engine.
-    pub cm: Arc<dyn ContentionManager>,
+    /// The manager to install into the engine: classic managers dispatch
+    /// monomorphically through their [`CmDispatch`] variant; window
+    /// managers ride the `Dyn` extensibility fallback.
+    pub cm: CmDispatch,
     /// Present iff the manager is window-based.
     pub window: Option<Arc<WindowManager>>,
 }
@@ -51,12 +53,12 @@ pub fn build_manager(
     window_n: usize,
     seed: u64,
 ) -> Option<BuiltManager> {
-    if let Some(cm) = wtm_managers::make_manager(name, threads) {
+    if let Some(cm) = wtm_managers::make_dispatch(name, threads) {
         return Some(BuiltManager { cm, window: None });
     }
     let cfg = WindowConfig::new(threads, window_n).with_seed(seed);
     wtm_window::make_window_manager(name, cfg).map(|wm| BuiltManager {
-        cm: wm.clone(),
+        cm: CmDispatch::Dyn(wm.clone() as Arc<dyn ContentionManager>),
         window: Some(wm),
     })
 }

@@ -13,7 +13,7 @@
 //! deadlock a window barrier expecting `M` parties).
 
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use wtm_stm::{StatsSnapshot, Stm, TxResult, Txn};
@@ -114,7 +114,7 @@ fn build_workload(spec: &RunSpec) -> Workload {
 /// Fill an IntSet to ~50% occupancy through a throwaway single-threaded
 /// engine (see module docs).
 fn prepopulate(set: &dyn TxIntSet, key_range: i64) {
-    let stm = Stm::new(Arc::new(wtm_stm::cm::AbortSelfManager), 1);
+    let stm = Stm::with_dispatch(wtm_stm::CmDispatch::AbortSelf, 1);
     let ctx = stm.thread(0);
     let mut k = 0;
     while k < key_range {
@@ -135,7 +135,7 @@ fn run_set_op(set: &dyn TxIntSet, tx: &mut Txn, kind: OpKind, key: i64) -> TxRes
 pub fn run_one(spec: &RunSpec) -> RunOutcome {
     let built = build_manager(&spec.manager, spec.threads, spec.window_n, spec.seed)
         .unwrap_or_else(|| panic!("unknown manager {:?}", spec.manager));
-    let stm = Stm::new(Arc::clone(&built.cm), spec.threads);
+    let stm = Stm::with_dispatch(built.cm.clone(), spec.threads);
 
     let workload = build_workload(spec);
     if let Workload::Set(set) = &workload {

@@ -17,15 +17,13 @@
 //! benchmarks the footprint is the search path, which depends only weakly
 //! on interleaving at 50% occupancy.
 
-use std::sync::Arc;
-
 use wtm_sim::engine::{simulate, SimConfig};
 use wtm_sim::graph::ConflictGraph;
 use wtm_sim::sched::{
     FreeRandomizedScheduler, GreedyTimestampScheduler, OfflineWindowScheduler, OneShotScheduler,
     OnlineWindowScheduler, PolkaProgressScheduler, SimScheduler, WindowMode,
 };
-use wtm_stm::cm::AbortSelfManager;
+use wtm_stm::CmDispatch;
 use wtm_stm::Stm;
 use wtm_workloads::{
     Benchmark, OpKind, SetOpGenerator, TxIntSet, TxList, TxRBTree, TxSkipList, Vacation,
@@ -38,7 +36,7 @@ use crate::report::Table;
 /// Capture the conflict graph of one `m × n` window of `bench`
 /// operations, in the paper's high-contention configuration.
 pub fn capture_window_graph(bench: Benchmark, m: usize, n: usize, seed: u64) -> ConflictGraph {
-    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
     let ctx = stm.thread(0);
     let key_range = bench.default_key_range();
     let mut footprints: Vec<Vec<(u64, bool)>> = vec![Vec::new(); m * n];

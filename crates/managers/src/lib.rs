@@ -1,7 +1,12 @@
-//! # wtm-managers — classic STM contention managers
+//! # wtm-managers — classic STM contention managers (compatibility shell)
 //!
-//! The comparison baselines of the paper (§III-A) plus the wider family
-//! they come from:
+//! The manager implementations moved into the engine crate
+//! ([`wtm_stm::managers`]) so the engine's hot hooks can dispatch to them
+//! monomorphically through [`wtm_stm::CmDispatch`] instead of a virtual
+//! call per conflict. This crate re-exports them under their old paths so
+//! existing `wtm_managers::Polka`-style imports keep working.
+//!
+//! The family, briefly (see the engine crate for full docs):
 //!
 //! * [`Polka`] — the "published best" manager the paper compares against:
 //!   Karma priorities combined with exponential backoff
@@ -17,70 +22,16 @@
 //!   also the conflict-resolution subroutine inside the paper's window
 //!   Online algorithm.
 //!
-//! All managers implement [`wtm_stm::ContentionManager`] and are safe to
-//! share across every worker thread of one [`wtm_stm::Stm`].
-//!
 //! The [`registry`] module maps manager names to constructors for the
-//! experiment harness.
+//! experiment harness; [`registry::make_dispatch`] builds the monomorphic
+//! [`wtm_stm::CmDispatch`] form.
 
-pub mod ats;
-pub mod backoff;
-pub mod eruption;
-pub mod greedy;
-pub mod karma;
-pub mod kindergarten;
-pub mod polite;
-pub mod polka;
-pub mod priority;
-pub mod randomized;
-pub mod registry;
-pub mod simple;
-pub mod timestamp;
+pub use wtm_stm::managers::{
+    ats, backoff, eruption, greedy, karma, kindergarten, polite, polka, priority, randomized,
+    registry, simple, timestamp,
+};
 
-pub use ats::Ats;
-pub use backoff::Backoff;
-pub use eruption::Eruption;
-pub use greedy::Greedy;
-pub use karma::Karma;
-pub use kindergarten::Kindergarten;
-pub use polite::Polite;
-pub use polka::Polka;
-pub use priority::Priority;
-pub use randomized::RandomizedRounds;
-pub use registry::{classic_names, make_manager};
-pub use simple::{Aggressive, Timid};
-pub use timestamp::Timestamp;
-
-#[cfg(test)]
-pub(crate) mod testutil {
-    use std::sync::Arc;
-    use wtm_stm::{clockns, TxState};
-
-    /// Build a transaction state with the given ids and timestamp.
-    pub fn state(attempt_id: u64, ts: u64) -> Arc<TxState> {
-        Arc::new(TxState::new(
-            attempt_id,
-            attempt_id,
-            0,
-            0,
-            ts,
-            ts,
-            clockns::now(),
-            0,
-        ))
-    }
-
-    /// Build a state on a specific thread with a retry count.
-    pub fn state_on(thread: usize, attempt_id: u64, ts: u64, attempt: u32) -> Arc<TxState> {
-        Arc::new(TxState::new(
-            attempt_id,
-            attempt_id,
-            thread,
-            attempt,
-            ts,
-            ts + attempt as u64,
-            clockns::now(),
-            0,
-        ))
-    }
-}
+pub use wtm_stm::managers::{
+    classic_names, make_dispatch, make_manager, Aggressive, Ats, Backoff, Eruption, Greedy, Karma,
+    Kindergarten, Polite, Polka, Priority, RandomizedRounds, Timestamp, Timid,
+};

@@ -1,0 +1,250 @@
+//! Monomorphic contention-manager dispatch.
+//!
+//! Every conflict used to pay a virtual call through
+//! `Arc<dyn ContentionManager>`, and so did the per-attempt hooks
+//! (`on_begin`, `on_open`, `on_commit`, `on_abort`) — five indirect calls
+//! on the hot path even for trivial managers whose verdict is a couple of
+//! field comparisons. [`CmDispatch`] replaces the fat pointer with an enum
+//! over the built-in managers: the `match` compiles to a jump table and
+//! each arm is a direct, inlinable call into the concrete manager.
+//! Out-of-tree managers still work through the [`CmDispatch::Dyn`]
+//! fallback, which keeps the old virtual dispatch behind one branch.
+//!
+//! ## Dispatch table
+//!
+//! | hook        | overridden by                                  | everyone else |
+//! |-------------|-------------------------------------------------|---------------|
+//! | `resolve`   | every manager                                   | —             |
+//! | `on_begin`  | Polite, RandomizedRounds, Eruption, ATS, `Dyn`  | no-op         |
+//! | `on_open`   | `Dyn` only                                      | no-op         |
+//! | `on_commit` | Kindergarten, ATS, `Dyn`                        | no-op         |
+//! | `on_abort`  | ATS, `Dyn`                                      | no-op         |
+//!
+//! `on_open` runs once per object open — the hottest hook of all — and no
+//! built-in manager implements it, so it compiles down to a single
+//! "is this the Dyn fallback?" branch.
+//!
+//! Stateful managers sit behind an `Arc` inside their variant, so cloning
+//! a `CmDispatch` shares manager state exactly like cloning the old
+//! `Arc<dyn ContentionManager>` did.
+
+use std::sync::Arc;
+
+use crate::cm::{AbortEnemyManager, AbortSelfManager, ConflictKind, ContentionManager, Resolution};
+use crate::managers::{
+    Ats, Backoff, Eruption, Greedy, Karma, Kindergarten, Polite, Polka, Priority, RandomizedRounds,
+    Timestamp,
+};
+use crate::txstate::TxState;
+
+/// A contention manager the engine can call without virtual dispatch.
+///
+/// Built-in managers get their own variant (zero-sized policies are held
+/// by value, stateful ones behind an `Arc`); anything else rides in
+/// [`CmDispatch::Dyn`] at the old virtual-call cost.
+#[derive(Clone)]
+pub enum CmDispatch {
+    /// Always sacrifice the caller ([`AbortSelfManager`], alias Timid).
+    AbortSelf,
+    /// Always kill the competitor ([`AbortEnemyManager`], alias Aggressive).
+    AbortEnemy,
+    /// The classic Aggressive policy.
+    Aggressive,
+    /// The classic Timid policy.
+    Timid,
+    /// Timestamp-ordered, never waits for a waiting enemy.
+    Greedy,
+    /// Static priority = start time; younger yields.
+    Priority,
+    /// Timestamp with bounded waiting.
+    Timestamp(Arc<Timestamp>),
+    /// Exponential backoff.
+    Backoff(Arc<Backoff>),
+    /// Karma priorities (opens accumulated across retries).
+    Karma(Arc<Karma>),
+    /// Karma + exponential backoff (the paper's published-best baseline).
+    Polka(Arc<Polka>),
+    /// Bounded politeness then aggression.
+    Polite(Arc<Polite>),
+    /// Schneider & Wattenhofer's randomized-rounds manager.
+    RandomizedRounds(Arc<RandomizedRounds>),
+    /// Pressure propagation along conflict chains.
+    Eruption(Arc<Eruption>),
+    /// One-on-one alternation ledger.
+    Kindergarten(Arc<Kindergarten>),
+    /// Adaptive transaction scheduling.
+    Ats(Arc<Ats>),
+    /// Extensibility fallback: any other [`ContentionManager`] behind the
+    /// old virtual dispatch.
+    Dyn(Arc<dyn ContentionManager>),
+}
+
+impl CmDispatch {
+    /// Decide the outcome of a conflict (see
+    /// [`ContentionManager::resolve`]).
+    #[inline]
+    pub fn resolve(&self, me: &TxState, enemy: &TxState, kind: ConflictKind) -> Resolution {
+        match self {
+            CmDispatch::AbortSelf => Resolution::AbortSelf,
+            CmDispatch::AbortEnemy => Resolution::AbortEnemy,
+            CmDispatch::Aggressive => Resolution::AbortEnemy,
+            CmDispatch::Timid => Resolution::AbortSelf,
+            CmDispatch::Greedy => Greedy.resolve(me, enemy, kind),
+            CmDispatch::Priority => Priority.resolve(me, enemy, kind),
+            CmDispatch::Timestamp(m) => m.resolve(me, enemy, kind),
+            CmDispatch::Backoff(m) => m.resolve(me, enemy, kind),
+            CmDispatch::Karma(m) => m.resolve(me, enemy, kind),
+            CmDispatch::Polka(m) => m.resolve(me, enemy, kind),
+            CmDispatch::Polite(m) => m.resolve(me, enemy, kind),
+            CmDispatch::RandomizedRounds(m) => m.resolve(me, enemy, kind),
+            CmDispatch::Eruption(m) => m.resolve(me, enemy, kind),
+            CmDispatch::Kindergarten(m) => m.resolve(me, enemy, kind),
+            CmDispatch::Ats(m) => m.resolve(me, enemy, kind),
+            CmDispatch::Dyn(m) => m.resolve(me, enemy, kind),
+        }
+    }
+
+    /// A new attempt is starting (see [`ContentionManager::on_begin`]).
+    #[inline]
+    pub fn on_begin(&self, tx: &Arc<TxState>, is_retry: bool) {
+        match self {
+            CmDispatch::Polite(m) => m.on_begin(tx, is_retry),
+            CmDispatch::RandomizedRounds(m) => m.on_begin(tx, is_retry),
+            CmDispatch::Eruption(m) => m.on_begin(tx, is_retry),
+            CmDispatch::Ats(m) => m.on_begin(tx, is_retry),
+            CmDispatch::Dyn(m) => m.on_begin(tx, is_retry),
+            _ => {}
+        }
+    }
+
+    /// An object was opened (see [`ContentionManager::on_open`]). No
+    /// built-in manager hooks this, so the non-`Dyn` cost is one branch.
+    #[inline]
+    pub fn on_open(&self, tx: &TxState) {
+        if let CmDispatch::Dyn(m) = self {
+            m.on_open(tx);
+        }
+    }
+
+    /// The transaction committed (see [`ContentionManager::on_commit`]).
+    #[inline]
+    pub fn on_commit(&self, tx: &TxState) {
+        match self {
+            CmDispatch::Kindergarten(m) => m.on_commit(tx),
+            CmDispatch::Ats(m) => m.on_commit(tx),
+            CmDispatch::Dyn(m) => m.on_commit(tx),
+            _ => {}
+        }
+    }
+
+    /// This attempt aborted (see [`ContentionManager::on_abort`]).
+    #[inline]
+    pub fn on_abort(&self, tx: &TxState) {
+        match self {
+            CmDispatch::Ats(m) => m.on_abort(tx),
+            CmDispatch::Dyn(m) => m.on_abort(tx),
+            _ => {}
+        }
+    }
+
+    /// Human-readable policy name (used in experiment reports).
+    pub fn name(&self) -> &str {
+        match self {
+            CmDispatch::AbortSelf => "AbortSelf",
+            CmDispatch::AbortEnemy => "AbortEnemy",
+            CmDispatch::Aggressive => "Aggressive",
+            CmDispatch::Timid => "Timid",
+            CmDispatch::Greedy => "Greedy",
+            CmDispatch::Priority => "Priority",
+            CmDispatch::Timestamp(m) => m.name(),
+            CmDispatch::Backoff(m) => m.name(),
+            CmDispatch::Karma(m) => m.name(),
+            CmDispatch::Polka(m) => m.name(),
+            CmDispatch::Polite(m) => m.name(),
+            CmDispatch::RandomizedRounds(m) => m.name(),
+            CmDispatch::Eruption(m) => m.name(),
+            CmDispatch::Kindergarten(m) => m.name(),
+            CmDispatch::Ats(m) => m.name(),
+            CmDispatch::Dyn(m) => m.name(),
+        }
+    }
+}
+
+impl From<Arc<dyn ContentionManager>> for CmDispatch {
+    fn from(cm: Arc<dyn ContentionManager>) -> Self {
+        CmDispatch::Dyn(cm)
+    }
+}
+
+impl From<AbortSelfManager> for CmDispatch {
+    fn from(_: AbortSelfManager) -> Self {
+        CmDispatch::AbortSelf
+    }
+}
+
+impl From<AbortEnemyManager> for CmDispatch {
+    fn from(_: AbortEnemyManager) -> Self {
+        CmDispatch::AbortEnemy
+    }
+}
+
+impl std::fmt::Debug for CmDispatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CmDispatch({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clockns;
+
+    fn state(id: u64, ts: u64) -> Arc<TxState> {
+        Arc::new(TxState::new(id, id, 0, 0, ts, ts, clockns::now(), 0))
+    }
+
+    #[test]
+    fn enum_verdicts_match_trait_verdicts() {
+        // Every classic manager must behave identically whether reached
+        // through its enum variant or through the Dyn fallback.
+        for name in crate::managers::classic_names() {
+            let dispatch = crate::managers::make_dispatch(name, 4).unwrap();
+            let dynamic = CmDispatch::Dyn(crate::managers::make_manager(name, 4).unwrap());
+            assert_eq!(dispatch.name(), dynamic.name(), "{name}");
+            // Deterministic managers must agree on a clear-cut case:
+            // an old transaction (ts=1) vs a young one (ts=1000).
+            if matches!(*name, "Greedy" | "Priority" | "Aggressive" | "Timid") {
+                let old = state(1, 1);
+                let young = state(2, 1000);
+                let via_enum = dispatch.resolve(&old, &young, ConflictKind::WriteWrite);
+                let via_dyn = dynamic.resolve(&old, &young, ConflictKind::WriteWrite);
+                assert_eq!(via_enum, via_dyn, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_managers_have_fixed_verdicts() {
+        let me = state(1, 1);
+        let enemy = state(2, 2);
+        assert_eq!(
+            CmDispatch::AbortSelf.resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortSelf
+        );
+        assert_eq!(
+            CmDispatch::AbortEnemy.resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+        assert_eq!(CmDispatch::AbortSelf.name(), "AbortSelf");
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert!(matches!(
+            CmDispatch::from(AbortSelfManager),
+            CmDispatch::AbortSelf
+        ));
+        let dynamic: Arc<dyn ContentionManager> = Arc::new(AbortEnemyManager);
+        assert!(matches!(CmDispatch::from(dynamic), CmDispatch::Dyn(_)));
+    }
+}

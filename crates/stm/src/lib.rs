@@ -46,6 +46,8 @@
 //! | [`status`] | transaction status word and its CAS rules |
 //! | [`txstate`] | the shared per-attempt transaction record ([`TxState`]) |
 //! | [`cm`] | the [`ContentionManager`] trait, [`Resolution`], [`ConflictKind`] |
+//! | [`dispatch`] | [`CmDispatch`]: enum dispatch over the built-in managers |
+//! | [`managers`] | the classic contention managers (Polka, Greedy, …) |
 //! | [`tvar`] | transactional objects and the locator protocol |
 //! | [`txn`] | the transaction API: read/write/modify/commit |
 //! | [`stm`] | the engine handle, per-thread contexts, the retry loop |
@@ -58,7 +60,9 @@
 pub mod clock;
 pub mod clockns;
 pub mod cm;
+pub mod dispatch;
 mod inline_vec;
+pub mod managers;
 pub mod slots;
 pub mod stats;
 pub mod status;
@@ -67,9 +71,11 @@ pub mod sync;
 pub mod tvar;
 pub mod txn;
 pub mod txstate;
+mod writeset;
 
 pub use clock::LogicalClock;
 pub use cm::{ConflictKind, ContentionManager, Resolution};
+pub use dispatch::CmDispatch;
 pub use slots::reserve_reader_slots;
 pub use stats::{StatsSnapshot, ThreadStats};
 pub use status::TxStatus;

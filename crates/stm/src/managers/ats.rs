@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+use crate::{ConflictKind, ContentionManager, Resolution, TxState};
 
 /// See module docs.
 pub struct Ats {
@@ -122,7 +122,7 @@ impl ContentionManager for Ats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{state, state_on};
+    use crate::managers::testutil::{state, state_on};
 
     #[test]
     fn ci_rises_on_abort_and_decays_on_commit() {
@@ -178,8 +178,8 @@ mod tests {
 
     #[test]
     fn end_to_end_under_stm() {
+        use crate::{Stm, TVar};
         use std::sync::Arc;
-        use wtm_stm::{Stm, TVar};
         let ats = Arc::new(Ats::with_params(3, 0.5, 0.05));
         let stm = Stm::new(ats, 3);
         let counter: TVar<u64> = TVar::new(0);

@@ -10,8 +10,8 @@
 
 use std::time::Duration;
 
-use wtm_stm::sync::cooperative_wait;
-use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+use crate::sync::cooperative_wait;
+use crate::{ConflictKind, ContentionManager, Resolution, TxState};
 
 /// See module docs.
 #[derive(Debug)]
@@ -66,7 +66,7 @@ impl ContentionManager for Eruption {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::state;
+    use crate::managers::testutil::state;
 
     #[test]
     fn higher_pressure_attacks() {

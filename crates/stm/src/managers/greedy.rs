@@ -17,8 +17,8 @@
 //! Waiting cannot deadlock: only younger transactions wait, so any wait
 //! chain strictly decreases in age and the oldest never waits.
 
-use wtm_stm::sync::wait_until;
-use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+use crate::sync::wait_until;
+use crate::{ConflictKind, ContentionManager, Resolution, TxState};
 
 /// Upper bound on one blocking episode inside `resolve`; the engine
 /// re-detects the conflict and re-enters, so this only bounds the latency
@@ -52,7 +52,7 @@ impl ContentionManager for Greedy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::state;
+    use crate::managers::testutil::state;
 
     #[test]
     fn older_aborts_younger() {

@@ -10,8 +10,8 @@
 
 use std::time::Duration;
 
-use wtm_stm::sync::cooperative_wait;
-use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+use crate::sync::cooperative_wait;
+use crate::{ConflictKind, ContentionManager, Resolution, TxState};
 
 /// See module docs.
 #[derive(Debug)]
@@ -56,7 +56,7 @@ impl ContentionManager for Karma {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{state, state_on};
+    use crate::managers::testutil::{state, state_on};
 
     #[test]
     fn equal_karma_attacks() {

@@ -9,7 +9,7 @@
 
 use parking_lot::Mutex;
 
-use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+use crate::{ConflictKind, ContentionManager, Resolution, TxState};
 
 /// A `(my logical txn, enemy logical txn)` pair we already yielded to.
 type HatPair = (u64, u64);
@@ -65,7 +65,7 @@ impl ContentionManager for Kindergarten {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{state, state_on};
+    use crate::managers::testutil::{state, state_on};
 
     #[test]
     fn first_conflict_yields_second_attacks() {

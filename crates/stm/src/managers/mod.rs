@@ -1,0 +1,93 @@
+//! Classic STM contention managers.
+//!
+//! The comparison baselines of the paper (§III-A) plus the wider family
+//! they come from:
+//!
+//! * [`Polka`] — the "published best" manager the paper compares against:
+//!   Karma priorities combined with exponential backoff
+//!   (Scherer & Scott, PODC 2005).
+//! * [`Greedy`] — the first manager with provable properties: decides by
+//!   static timestamps, never waits for a waiting enemy
+//!   (Guerraoui, Herlihy & Pochon, PODC 2005).
+//! * [`Priority`] — the simple static-priority manager of the paper:
+//!   priority is the start time; the younger transaction yields.
+//! * [`Karma`], [`Backoff`], [`Polite`], [`Aggressive`], [`Timid`],
+//!   [`Timestamp`] — the classic DSTM policy family.
+//! * [`RandomizedRounds`] — Schneider & Wattenhofer's randomized manager,
+//!   also the conflict-resolution subroutine inside the paper's window
+//!   Online algorithm.
+//!
+//! The managers live *inside* `wtm-stm` (they moved here from the old
+//! `wtm-managers` crate, which now just re-exports this module) so the
+//! engine can dispatch to them through the monomorphic
+//! [`CmDispatch`](crate::dispatch::CmDispatch) enum instead of a virtual
+//! call per conflict — see `crate::dispatch` for the dispatch table.
+//!
+//! All managers implement [`crate::ContentionManager`] and are safe to
+//! share across every worker thread of one [`crate::Stm`].
+//!
+//! The [`registry`] module maps manager names to constructors for the
+//! experiment harness.
+
+pub mod ats;
+pub mod backoff;
+pub mod eruption;
+pub mod greedy;
+pub mod karma;
+pub mod kindergarten;
+pub mod polite;
+pub mod polka;
+pub mod priority;
+pub mod randomized;
+pub mod registry;
+pub mod simple;
+pub mod timestamp;
+
+pub use ats::Ats;
+pub use backoff::Backoff;
+pub use eruption::Eruption;
+pub use greedy::Greedy;
+pub use karma::Karma;
+pub use kindergarten::Kindergarten;
+pub use polite::Polite;
+pub use polka::Polka;
+pub use priority::Priority;
+pub use randomized::RandomizedRounds;
+pub use registry::{classic_names, make_dispatch, make_manager};
+pub use simple::{Aggressive, Timid};
+pub use timestamp::Timestamp;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::Arc;
+
+    use crate::{clockns, TxState};
+
+    /// Build a transaction state with the given ids and timestamp.
+    pub fn state(attempt_id: u64, ts: u64) -> Arc<TxState> {
+        Arc::new(TxState::new(
+            attempt_id,
+            attempt_id,
+            0,
+            0,
+            ts,
+            ts,
+            clockns::now(),
+            0,
+        ))
+    }
+
+    /// Build a state on a specific thread with a retry count.
+    pub fn state_on(thread: usize, attempt_id: u64, ts: u64, attempt: u32) -> Arc<TxState> {
+        Arc::new(TxState::new(
+            attempt_id,
+            attempt_id,
+            thread,
+            attempt,
+            ts,
+            ts + attempt as u64,
+            clockns::now(),
+            0,
+        ))
+    }
+}

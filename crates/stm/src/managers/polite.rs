@@ -11,9 +11,9 @@ use std::time::Duration;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::sync::cooperative_wait;
+use crate::{ConflictKind, ContentionManager, Resolution, TxState};
 use parking_lot::Mutex;
-use wtm_stm::sync::cooperative_wait;
-use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
 
 /// See module docs.
 pub struct Polite {
@@ -78,7 +78,7 @@ impl ContentionManager for Polite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::state;
+    use crate::managers::testutil::state;
 
     #[test]
     fn attacks_after_round_budget() {

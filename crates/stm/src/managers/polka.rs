@@ -18,8 +18,8 @@
 
 use std::time::Duration;
 
-use wtm_stm::sync::cooperative_wait;
-use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+use crate::sync::cooperative_wait;
+use crate::{ConflictKind, ContentionManager, Resolution, TxState};
 
 /// Polka contention manager. Construct with [`Polka::default`] or tune the
 /// backoff via [`Polka::with_backoff`].
@@ -90,7 +90,7 @@ impl ContentionManager for Polka {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::state;
+    use crate::managers::testutil::state;
     use std::time::Instant;
 
     #[test]

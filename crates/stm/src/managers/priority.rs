@@ -9,7 +9,7 @@
 //! themselves, which is exactly the behaviour the paper's Fig. 4 shows as
 //! a high aborts-per-commit ratio.
 
-use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+use crate::{ConflictKind, ContentionManager, Resolution, TxState};
 
 /// See module docs.
 #[derive(Debug, Default)]
@@ -32,7 +32,7 @@ impl ContentionManager for Priority {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::state;
+    use crate::managers::testutil::state;
 
     #[test]
     fn older_wins_younger_dies() {
@@ -67,7 +67,7 @@ mod tests {
     fn priority_survives_retries() {
         // A retry keeps the original timestamp, so an old transaction's
         // retry still beats a younger first attempt.
-        let old_retry = crate::testutil::state_on(0, 3, 5, 4);
+        let old_retry = crate::managers::testutil::state_on(0, 3, 5, 4);
         let young = state(2, 9);
         assert_eq!(
             Priority.resolve(&old_retry, &young, ConflictKind::WriteWrite),

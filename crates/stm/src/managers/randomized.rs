@@ -15,7 +15,7 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+use crate::{ConflictKind, ContentionManager, Resolution, TxState};
 
 /// See module docs.
 pub struct RandomizedRounds {
@@ -70,7 +70,7 @@ impl ContentionManager for RandomizedRounds {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{state, state_on};
+    use crate::managers::testutil::{state, state_on};
 
     #[test]
     fn lower_rank_wins() {

@@ -2,9 +2,10 @@
 
 use std::sync::Arc;
 
-use wtm_stm::ContentionManager;
+use crate::ContentionManager;
 
-use crate::{
+use crate::dispatch::CmDispatch;
+use crate::managers::{
     Aggressive, Ats, Backoff, Eruption, Greedy, Karma, Kindergarten, Polite, Polka, Priority,
     RandomizedRounds, Timestamp, Timid,
 };
@@ -49,6 +50,31 @@ pub fn make_manager(name: &str, num_threads: usize) -> Option<Arc<dyn Contention
         "Eruption" => Arc::new(Eruption::default()),
         "Kindergarten" => Arc::new(Kindergarten::new(num_threads)),
         "ATS" => Arc::new(Ats::new(num_threads)),
+        _ => return None,
+    })
+}
+
+/// Construct a classic contention manager by name as a [`CmDispatch`],
+/// so the engine's hot hooks dispatch monomorphically (no virtual calls).
+///
+/// Same name set as [`make_manager`]; returns `None` for unknown names.
+pub fn make_dispatch(name: &str, num_threads: usize) -> Option<CmDispatch> {
+    Some(match name {
+        "Polka" => CmDispatch::Polka(Arc::new(Polka::default())),
+        "Greedy" => CmDispatch::Greedy,
+        "Priority" => CmDispatch::Priority,
+        "Karma" => CmDispatch::Karma(Arc::new(Karma::default())),
+        "Backoff" => CmDispatch::Backoff(Arc::new(Backoff::default())),
+        "Polite" => CmDispatch::Polite(Arc::new(Polite::default())),
+        "Aggressive" => CmDispatch::Aggressive,
+        "Timid" => CmDispatch::Timid,
+        "Timestamp" => CmDispatch::Timestamp(Arc::new(Timestamp::default())),
+        "RandomizedRounds" => {
+            CmDispatch::RandomizedRounds(Arc::new(RandomizedRounds::new(num_threads)))
+        }
+        "Eruption" => CmDispatch::Eruption(Arc::new(Eruption::default())),
+        "Kindergarten" => CmDispatch::Kindergarten(Arc::new(Kindergarten::new(num_threads))),
+        "ATS" => CmDispatch::Ats(Arc::new(Ats::new(num_threads))),
         _ => return None,
     })
 }

@@ -5,7 +5,7 @@
 //! *Timid* can never hurt a competitor but livelocks under symmetric
 //! contention. Useful as baselines and in unit tests.
 
-use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+use crate::{ConflictKind, ContentionManager, Resolution, TxState};
 
 /// Always abort the enemy (DSTM's *Aggressive* policy).
 #[derive(Debug, Default)]
@@ -38,7 +38,7 @@ impl ContentionManager for Timid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::state;
+    use crate::managers::testutil::state;
 
     #[test]
     fn aggressive_always_attacks() {

@@ -9,8 +9,8 @@
 
 use std::time::Duration;
 
-use wtm_stm::sync::wait_until;
-use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
+use crate::sync::wait_until;
+use crate::{ConflictKind, ContentionManager, Resolution, TxState};
 
 /// See module docs.
 #[derive(Debug)]
@@ -57,7 +57,7 @@ impl ContentionManager for Timestamp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::state;
+    use crate::managers::testutil::state;
 
     #[test]
     fn older_attempt_attacks() {

@@ -195,6 +195,10 @@ static REGISTRY: [ThreadRec; MAX_SLOTS] = {
 ///
 /// Must happen before the attempt's first object access: a writer that
 /// finds our slot word on an object must be able to resolve it here.
+/// Production code always goes through [`republish`] (which withdraws
+/// whatever the slot still holds in the same guard drain); the split
+/// publish remains for unit tests that drive the registry directly.
+#[cfg(test)]
 pub(crate) fn publish(idx: usize, state: &Arc<TxState>) {
     if idx >= MAX_SLOTS {
         return;
@@ -235,6 +239,42 @@ pub(crate) fn unpublish(idx: usize) {
     if !prev.is_null() {
         unsafe { drop(Arc::from_raw(prev)) };
     }
+}
+
+/// Replace the attempt published on slot `idx` with `state` in one step:
+/// the fused form of `unpublish(idx)` + `publish(idx, state)` the engine
+/// uses both between back-to-back attempts of one retry loop and at the
+/// start of every transaction (the commit path leaves its attempt
+/// published rather than withdrawing it). One guard drain and one pointer
+/// swap instead of two of each, and the registry's reference to the
+/// *previous* attempt is released here — which is exactly what lets the
+/// caller return that attempt's `TxState` to the allocation pool.
+pub(crate) fn republish(idx: usize, state: &Arc<TxState>) {
+    if idx >= MAX_SLOTS {
+        return;
+    }
+    let rec = &REGISTRY[idx];
+    rec.current.store(0, Ordering::SeqCst);
+    // Same Dekker handshake as `unpublish`: once `current` is cleared,
+    // only scanners already holding a guard may still dereference the old
+    // pointer, so draining `guards` makes the swap safe. (A scanner that
+    // catches the *new* pointer under the old attempt id is rejected by
+    // `live_reader`'s id filter — attempt ids are never reused.)
+    let mut spins = 0u32;
+    while rec.guards.load(Ordering::SeqCst) != 0 {
+        spins += 1;
+        if spins > 64 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+    let raw = Arc::into_raw(Arc::clone(state)).cast_mut();
+    let prev = rec.state.swap(raw, Ordering::AcqRel);
+    if !prev.is_null() {
+        unsafe { drop(Arc::from_raw(prev)) };
+    }
+    rec.current.store(state.attempt_id, Ordering::SeqCst);
 }
 
 /// Resolve a slot word: the state for attempt `attempt_id` on slot `idx`,
@@ -340,6 +380,25 @@ mod tests {
         assert!(live_reader(idx, st.attempt_id + 1).is_none());
         unpublish(idx);
         assert!(live_reader(idx, st.attempt_id).is_none());
+    }
+
+    #[test]
+    fn republish_swaps_attempts_and_releases_the_old_state() {
+        let idx = my_slot_index();
+        assert_ne!(idx, NO_SLOT);
+        let first = state(next_attempt_id());
+        publish(idx, &first);
+        assert_eq!(Arc::strong_count(&first), 2, "registry holds a clone");
+        let second = state(next_attempt_id());
+        republish(idx, &second);
+        // Old attempt: released and no longer resolvable.
+        assert_eq!(Arc::strong_count(&first), 1);
+        assert!(live_reader(idx, first.attempt_id).is_none());
+        // New attempt: live, exactly as after a fresh publish.
+        let got = live_reader(idx, second.attempt_id).expect("republished attempt is live");
+        assert_eq!(got.attempt_id, second.attempt_id);
+        unpublish(idx);
+        assert!(live_reader(idx, second.attempt_id).is_none());
     }
 
     #[test]

@@ -18,11 +18,13 @@
 //! use the coarse [`crate::clockns`] clock: one call at transaction start
 //! and one per attempt end instead of several `Instant::now()` syscalls.
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use crate::clock::LogicalClock;
 use crate::clockns;
 use crate::cm::ContentionManager;
+use crate::dispatch::CmDispatch;
 use crate::slots;
 use crate::stats::{StatsSnapshot, ThreadStats};
 use crate::txn::{TxError, TxResult, Txn};
@@ -30,20 +32,31 @@ use crate::txstate::TxState;
 
 /// The STM engine: one per experiment run.
 pub struct Stm {
-    cm: Arc<dyn ContentionManager>,
+    cm: CmDispatch,
     clock: LogicalClock,
     threads: Box<[Arc<ThreadStats>]>,
 }
 
 impl Stm {
-    /// Build an engine for `num_threads` workers using contention policy `cm`.
+    /// Build an engine for `num_threads` workers using contention policy
+    /// `cm`, dispatched virtually (the extensibility path — any
+    /// [`ContentionManager`] works). Built-in managers run faster through
+    /// [`Stm::with_dispatch`], which dispatches monomorphically.
     pub fn new(cm: Arc<dyn ContentionManager>, num_threads: usize) -> Self {
+        Self::with_dispatch(CmDispatch::Dyn(cm), num_threads)
+    }
+
+    /// Build an engine for `num_threads` workers with a [`CmDispatch`]
+    /// contention policy: built-in managers are called directly on the hot
+    /// hooks (no virtual dispatch). Use [`crate::managers::make_dispatch`]
+    /// to construct one by name.
+    pub fn with_dispatch(cm: impl Into<CmDispatch>, num_threads: usize) -> Self {
         assert!(num_threads >= 1, "need at least one thread");
         // Make sure TVars created from here on carry a fast-path reader
         // slot for every worker this engine will run.
         slots::reserve_reader_slots(num_threads);
         Stm {
-            cm,
+            cm: cm.into(),
             clock: LogicalClock::new(),
             threads: (0..num_threads)
                 .map(|_| Arc::new(ThreadStats::new()))
@@ -52,7 +65,7 @@ impl Stm {
     }
 
     /// The installed contention manager.
-    pub fn cm(&self) -> &Arc<dyn ContentionManager> {
+    pub fn cm(&self) -> &CmDispatch {
         &self.cm
     }
 
@@ -71,6 +84,12 @@ impl Stm {
         ThreadCtx {
             stm: self,
             thread_id,
+            pend_commits: Cell::new(0),
+            pend_t0_sum: Cell::new(0),
+            pend_first_sum: Cell::new(0),
+            trace_buf: Cell::new(None),
+            #[cfg(debug_assertions)]
+            read_versions_buf: Cell::new(None),
         }
     }
 
@@ -103,10 +122,24 @@ impl Stm {
 }
 
 thread_local! {
-    /// One recycled `TxState` allocation per OS thread. `None` while an
-    /// attempt is running (or before the first attempt on this thread).
-    static STATE_POOL: std::cell::Cell<Option<Arc<TxState>>> =
-        const { std::cell::Cell::new(None) };
+    /// Recycled `TxState` allocations for this OS thread. Three slots, not
+    /// one, because a released state can still be shared for a while: the
+    /// registry keeps its reference until the *next* transaction's
+    /// republish, and a multi-object committer stays installed in each
+    /// written locator until a later access collapses it. A state parks
+    /// here until those references drain (typically within the next
+    /// transaction or two) while the other slots serve the interim
+    /// transactions — steady-state loops, including ones that interleave
+    /// single- and multi-object writers, then cycle a bounded set of
+    /// allocations and never touch the heap (see the `write_path_allocs`
+    /// integration test).
+    static STATE_POOL: [std::cell::Cell<Option<Arc<TxState>>>; 3] = const {
+        [
+            std::cell::Cell::new(None),
+            std::cell::Cell::new(None),
+            std::cell::Cell::new(None),
+        ]
+    };
 }
 
 /// A `TxState` for the next attempt: the pooled allocation reset in place
@@ -122,24 +155,34 @@ fn state_for_attempt(
     first_start_ns: u64,
     karma: u64,
 ) -> Arc<TxState> {
-    let pooled = STATE_POOL.with(|p| p.take());
-    if let Some(mut arc) = pooled {
-        if let Some(st) = Arc::get_mut(&mut arc) {
-            st.reset_for_attempt(
-                attempt_id,
-                txn_id,
-                thread_id,
-                attempt,
-                ts,
-                attempt_ts,
-                first_start_ns,
-                karma,
-            );
-            return arc;
+    let pooled = STATE_POOL.with(|p| {
+        for slot in p {
+            if let Some(mut arc) = slot.take() {
+                if Arc::get_mut(&mut arc).is_some() {
+                    return Some(arc);
+                }
+                // A locator (or a scanner's transient clone) still holds
+                // this attempt: it must keep seeing the attempt's terminal
+                // status, so the allocation cannot be reused *yet*. Leave
+                // it parked until those references drain.
+                slot.set(Some(arc));
+            }
         }
-        // A locator (or a scanner's transient clone) still holds the old
-        // attempt: it must keep seeing that attempt's terminal status, so
-        // the allocation cannot be reused. Drop our reference instead.
+        None
+    });
+    if let Some(mut arc) = pooled {
+        let st = Arc::get_mut(&mut arc).expect("pooled state became shared");
+        st.reset_for_attempt(
+            attempt_id,
+            txn_id,
+            thread_id,
+            attempt,
+            ts,
+            attempt_ts,
+            first_start_ns,
+            karma,
+        );
+        return arc;
     }
     Arc::new(TxState::new(
         attempt_id,
@@ -156,14 +199,50 @@ fn state_for_attempt(
 /// Return a finished attempt's state to this thread's pool.
 fn release_state(state: Arc<TxState>) {
     // `try_with`: during thread teardown the pool may already be gone.
-    let _ = STATE_POOL.try_with(|p| p.set(Some(state)));
+    let _ = STATE_POOL.try_with(|p| {
+        let mut state = Some(state);
+        for slot in p {
+            let cur = slot.take();
+            if cur.is_none() {
+                slot.set(state.take());
+                break;
+            }
+            slot.set(cur);
+        }
+        // Every slot parked (deep retry chains): drop the extra state.
+    });
 }
 
-/// Per-worker execution context; cheap to construct, not `Send` across
-/// workers (each worker must use its own `thread_id`).
+/// Per-worker execution context; cheap to construct, one per worker
+/// (each worker must use its own `thread_id`).
 pub struct ThreadCtx<'a> {
     stm: &'a Stm,
     thread_id: usize,
+    /// Commits whose commit-time clock read was elided: count plus the
+    /// sums of their attempt-start and first-start stamps. Settled into
+    /// the stats at this thread's next clock read (the next transaction's
+    /// start, or the next abort) or at context drop — a TL2 "GV5"-style
+    /// lazy bump that trades one clock read per commit for a small,
+    /// bounded overestimate of their durations (the inter-transaction
+    /// gap). Tracing builds never pend: events need exact stamps.
+    pend_commits: Cell<u64>,
+    pend_t0_sum: Cell<u64>,
+    pend_first_sum: Cell<u64>,
+    /// Pooled footprint buffer for traced attempts: an aborted attempt's
+    /// buffer comes back here and the next attempt reuses its capacity.
+    trace_buf: Cell<Option<Vec<(u64, bool)>>>,
+    /// Pooled buffer for the debug-only opacity self-check in `Txn`.
+    #[cfg(debug_assertions)]
+    read_versions_buf: Cell<Option<Vec<(u64, usize, bool)>>>,
+}
+
+impl Drop for ThreadCtx<'_> {
+    fn drop(&mut self) {
+        if self.pend_commits.get() > 0 {
+            self.settle_pending_commits(clockns::now());
+        }
+        self.stats().flush_pending();
+    }
 }
 
 impl<'a> ThreadCtx<'a> {
@@ -177,12 +256,75 @@ impl<'a> ThreadCtx<'a> {
         self.stm
     }
 
-    pub(crate) fn cm(&self) -> &Arc<dyn ContentionManager> {
+    pub(crate) fn cm(&self) -> &CmDispatch {
         &self.stm.cm
     }
 
     pub(crate) fn stats(&self) -> &ThreadStats {
         &self.stm.threads[self.thread_id]
+    }
+
+    /// Queue a commit for lazy duration accounting (its commit-time clock
+    /// read was elided). Trace builds read the clock eagerly at every
+    /// commit (events need real timestamps), so nothing pends there.
+    #[cfg_attr(feature = "trace", allow(dead_code))]
+    #[inline]
+    fn pend_commit(&self, t0: u64, first_start_ns: u64) {
+        self.pend_commits.set(self.pend_commits.get() + 1);
+        self.pend_t0_sum.set(self.pend_t0_sum.get() + t0);
+        self.pend_first_sum
+            .set(self.pend_first_sum.get() + first_start_ns);
+    }
+
+    /// Account all queued commits as if they committed at `now`.
+    #[inline]
+    fn settle_pending_commits(&self, now: u64) {
+        let n = self.pend_commits.get();
+        if n == 0 {
+            return;
+        }
+        self.pend_commits.set(0);
+        let committed = (n * now).saturating_sub(self.pend_t0_sum.replace(0));
+        let response = (n * now).saturating_sub(self.pend_first_sum.replace(0));
+        self.stats().stage_lazy_durations(committed, response);
+    }
+
+    /// Take the pooled footprint buffer (cleared), or a fresh one.
+    pub(crate) fn take_trace_buf(&self) -> Vec<(u64, bool)> {
+        match self.trace_buf.take() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Return a footprint buffer to the pool for the next attempt.
+    pub(crate) fn put_trace_buf(&self, buf: Vec<(u64, bool)>) {
+        if buf.capacity() > 0 {
+            self.trace_buf.set(Some(buf));
+        }
+    }
+
+    /// Take the pooled opacity-check buffer (cleared), or a fresh one.
+    #[cfg(debug_assertions)]
+    pub(crate) fn take_read_versions_buf(&self) -> Vec<(u64, usize, bool)> {
+        match self.read_versions_buf.take() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Return an opacity-check buffer to the pool for the next attempt.
+    #[cfg(debug_assertions)]
+    pub(crate) fn put_read_versions_buf(&self, buf: Vec<(u64, usize, bool)>) {
+        if buf.capacity() > 0 {
+            self.read_versions_buf.set(Some(buf));
+        }
     }
 
     /// Run `body` as a transaction, retrying until it commits, and return
@@ -233,12 +375,19 @@ impl<'a> ThreadCtx<'a> {
     ) -> Option<R> {
         let ts = self.stm.clock.next();
         let first_start_ns = clockns::now();
+        // A clock read is in hand: account any earlier commits whose
+        // commit-time read was elided.
+        self.settle_pending_commits(first_start_ns);
         let slot_idx = slots::my_slot_index();
         // The logical-transaction id is simply the first attempt's id:
         // globally unique, and saves a second id counter on the hot path.
         let mut txn_id = 0;
         let mut karma: u64 = 0;
         let mut attempt: u32 = 0;
+        // The previous (aborted) attempt's state: the registry still
+        // references it until the next attempt's `republish`, after which
+        // it can return to the allocation pool.
+        let mut prev_state: Option<Arc<TxState>> = None;
         loop {
             let attempt_ts = if attempt == 0 {
                 ts
@@ -261,8 +410,19 @@ impl<'a> ThreadCtx<'a> {
             );
             self.stm.cm.on_begin(&state, attempt > 0);
             // Make the attempt resolvable by writers scanning reader-slot
-            // words; must precede the first object access in `body`.
-            slots::publish(slot_idx, &state);
+            // words; must precede the first object access in `body`. The
+            // fused republish withdraws whatever the slot still publishes —
+            // the previous attempt of this retry loop, or the *committed*
+            // attempt of the previous `atomic` call (the commit path leaves
+            // it published rather than paying a withdraw of its own; stale
+            // registry entries are harmless because scanners check
+            // `is_active`) — and installs the new attempt in one guard
+            // drain instead of two.
+            slots::republish(slot_idx, &state);
+            if let Some(prev) = prev_state.take() {
+                // The registry's reference is gone now: poolable.
+                release_state(prev);
+            }
             let t0 = state.attempt_start_ns;
             #[cfg(feature = "trace")]
             wtm_trace::emit(wtm_trace::Event::instant(
@@ -280,42 +440,51 @@ impl<'a> ThreadCtx<'a> {
                 Ok(r) => txn.commit().map(|()| r),
                 Err(e) => Err(e),
             };
-            // Withdraw from the registry before pooling: the registry's
-            // clone would otherwise keep the allocation non-exclusive.
-            slots::unpublish(slot_idx);
             let opens = txn.opens_count();
             match outcome {
                 Ok(r) => {
+                    // The committed attempt stays published: this thread's
+                    // next transaction withdraws it as part of its own
+                    // republish, saving a full guard-drain + swap here. The
+                    // parked state stays shared for one extra transaction
+                    // (the pool holds two slots exactly so this costs no
+                    // allocation).
                     if let Some(sink) = trace.as_deref_mut() {
                         *sink = txn.take_footprint();
                     }
+                    txn.release_buffers();
                     drop(txn);
                     let stats = self.stats();
-                    if opens > 0 {
-                        stats
-                            .opens
-                            .fetch_add(opens, std::sync::atomic::Ordering::Relaxed);
-                    }
-                    stats
-                        .commits
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let now = clockns::now();
-                    stats
-                        .committed_ns
-                        .fetch_add(now.saturating_sub(t0), std::sync::atomic::Ordering::Relaxed);
-                    stats.response_ns.fetch_add(
-                        now.saturating_sub(first_start_ns),
-                        std::sync::atomic::Ordering::Relaxed,
-                    );
+                    // Elide the commit-time clock read: the durations are
+                    // settled lazily at this thread's next clock read (a
+                    // TL2 GV5-style deferred bump). Tracing builds keep
+                    // the eager read for exact event stamps.
+                    #[cfg(not(feature = "trace"))]
+                    let flush_due = {
+                        self.pend_commit(t0, first_start_ns);
+                        stats.stage_commit(opens, 0, 0)
+                    };
                     #[cfg(feature = "trace")]
-                    wtm_trace::emit(wtm_trace::Event::span(
-                        wtm_trace::EventKind::Commit,
-                        now,
-                        now.saturating_sub(t0),
-                        self.thread_id as u32,
-                        txn_id,
-                        attempt as u64,
-                    ));
+                    let flush_due = {
+                        let now = clockns::now();
+                        self.settle_pending_commits(now);
+                        wtm_trace::emit(wtm_trace::Event::span(
+                            wtm_trace::EventKind::Commit,
+                            now,
+                            now.saturating_sub(t0),
+                            self.thread_id as u32,
+                            txn_id,
+                            attempt as u64,
+                        ));
+                        stats.stage_commit(
+                            opens,
+                            now.saturating_sub(t0),
+                            now.saturating_sub(first_start_ns),
+                        )
+                    };
+                    if flush_due {
+                        stats.flush_pending();
+                    }
                     self.stm.cm.on_commit(&state);
                     release_state(state);
                     return Some(r);
@@ -334,20 +503,18 @@ impl<'a> ThreadCtx<'a> {
                     };
                     #[cfg(not(feature = "trace"))]
                     let _ = engine_bail;
+                    // Roll back eagerly: fold the abort into every still-
+                    // owned locator so enemies stop seeing this attempt
+                    // and its allocation can recycle.
+                    txn.release_write_set();
+                    txn.release_buffers();
                     drop(txn);
                     let stats = self.stats();
-                    if opens > 0 {
-                        stats
-                            .opens
-                            .fetch_add(opens, std::sync::atomic::Ordering::Relaxed);
-                    }
-                    stats
-                        .aborts
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let now = clockns::now();
-                    stats
-                        .wasted_ns
-                        .fetch_add(now.saturating_sub(t0), std::sync::atomic::Ordering::Relaxed);
+                    self.settle_pending_commits(now);
+                    if stats.stage_abort(opens, now.saturating_sub(t0)) {
+                        stats.flush_pending();
+                    }
                     #[cfg(feature = "trace")]
                     wtm_trace::emit(wtm_trace::Event::span(
                         wtm_trace::EventKind::Abort,
@@ -359,11 +526,16 @@ impl<'a> ThreadCtx<'a> {
                     ));
                     karma = state.karma();
                     self.stm.cm.on_abort(&state);
-                    release_state(state);
                     attempt += 1;
                     if attempt as usize >= max_attempts {
+                        slots::unpublish(slot_idx);
+                        release_state(state);
                         return None;
                     }
+                    // Keep the state: the registry still references it;
+                    // the next iteration's republish releases that and the
+                    // allocation returns to the pool.
+                    prev_state = Some(state);
                 }
             }
         }
@@ -513,18 +685,27 @@ mod tests {
         let stm = Stm::new(Arc::new(AbortSelfManager), 1);
         let tv: TVar<u64> = TVar::new(7);
         let ctx = stm.thread(0);
-        ctx.atomic(|tx| tx.read(&tv).map(|v| *v)); // prime the pool
-        let mut first = 0usize;
-        ctx.atomic(|tx| {
-            first = Arc::as_ptr(tx.state()) as usize;
-            tx.read(&tv).map(|v| *v)
-        });
-        let mut second = 0usize;
-        ctx.atomic(|tx| {
-            second = Arc::as_ptr(tx.state()) as usize;
-            tx.read(&tv).map(|v| *v)
-        });
-        assert_eq!(first, second, "read-only TxState must be recycled");
+        for _ in 0..4 {
+            ctx.atomic(|tx| tx.read(&tv).map(|v| *v)); // prime the pool
+        }
+        // The registry keeps each attempt's state referenced until the next
+        // transaction's republish, so a steady read-only loop alternates
+        // between (at most) two pooled allocations instead of reusing one.
+        let mut ptrs = Vec::new();
+        for _ in 0..8 {
+            ctx.atomic(|tx| {
+                ptrs.push(Arc::as_ptr(tx.state()) as usize);
+                tx.read(&tv).map(|v| *v)
+            });
+        }
+        let mut distinct = ptrs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(
+            distinct.len() <= 2,
+            "read-only TxStates must be recycled (saw {} distinct allocations in 8 txns)",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -543,5 +724,108 @@ mod tests {
     fn thread_id_out_of_range_panics() {
         let stm = Stm::new(Arc::new(AbortSelfManager), 1);
         let _ = stm.thread(1);
+    }
+
+    #[test]
+    fn write_txn_txstate_recycles_through_the_pool() {
+        // The fused single-object commit collapses the locator (dropping
+        // its TxState reference) and the registry's reference is released
+        // by the next transaction's republish — so a steady loop of write
+        // transactions cycles through a bounded set of TxState allocations
+        // (the two pool slots) instead of allocating per transaction.
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
+        let tv: TVar<u64> = TVar::new(0);
+        let ctx = stm.thread(0);
+        for i in 0..4 {
+            ctx.atomic(|tx| tx.write(&tv, i)); // prime the pool
+        }
+        let mut ptrs = Vec::new();
+        for i in 0..8u64 {
+            ctx.atomic(|tx| {
+                ptrs.push(Arc::as_ptr(tx.state()) as usize);
+                tx.write(&tv, i)
+            });
+        }
+        let mut distinct = ptrs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(
+            distinct.len() <= 2,
+            "write-txn TxStates must be recycled (saw {} distinct allocations in 8 txns)",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn consecutive_traced_attempts_reuse_the_footprint_buffer() {
+        // Seed the per-thread pool with a buffer of recognizable capacity,
+        // then run a traced transaction whose first attempt aborts: the
+        // aborted attempt's footprint returns to the pool and the retry
+        // must pick up the very same allocation — as must the committed
+        // footprint handed back to the caller.
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
+        let ctx = stm.thread(0);
+        let seed: Vec<(u64, bool)> = Vec::with_capacity(64);
+        let seed_ptr = seed.as_ptr() as usize;
+        ctx.put_trace_buf(seed);
+        let tvs: Vec<TVar<u64>> = (0..4).map(TVar::new).collect();
+        let mut attempts = 0;
+        let (_, fp) = ctx.atomic_traced(|tx| {
+            for tv in &tvs {
+                tx.read(tv)?;
+            }
+            attempts += 1;
+            if attempts == 1 {
+                return Err(tx.abort_self());
+            }
+            Ok(())
+        });
+        assert_eq!(attempts, 2);
+        assert_eq!(fp.len(), tvs.len());
+        assert_eq!(fp.capacity(), 64, "pooled capacity must carry over");
+        assert_eq!(
+            fp.as_ptr() as usize,
+            seed_ptr,
+            "both attempts must reuse the pooled buffer allocation"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn read_versions_pool_clears_on_take() {
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
+        let ctx = stm.thread(0);
+        let mut seed: Vec<(u64, usize, bool)> = Vec::with_capacity(32);
+        seed.push((1, 2, true)); // stale content must not leak into reuse
+        let seed_ptr = seed.as_ptr() as usize;
+        ctx.put_read_versions_buf(seed);
+        let got = ctx.take_read_versions_buf();
+        assert_eq!(got.as_ptr() as usize, seed_ptr);
+        assert!(got.is_empty(), "pooled buffer must be cleared on take");
+        assert_eq!(got.capacity(), 32);
+    }
+
+    #[test]
+    fn staged_stats_are_exact_when_budget_truncates_below_flush_k() {
+        // StopRule::Budget regression: a run shorter than the flush batch
+        // (k = STATS_FLUSH_EVERY) must still report exact counts, because
+        // snapshot() folds the staged deltas in.
+        let n = (crate::stats::STATS_FLUSH_EVERY / 2).max(1);
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
+        let tv: TVar<u64> = TVar::new(0);
+        let ctx = stm.thread(0);
+        for _ in 0..n {
+            ctx.atomic(|tx| {
+                let v = *tx.read(&tv)?;
+                tx.write(&tv, v + 1)
+            });
+        }
+        // One aborted attempt under budget exhaustion stages an abort too.
+        let mut body = |tx: &mut Txn| -> TxResult<()> { Err(tx.abort_self()) };
+        assert!(ctx.atomic_with_budget(1, &mut body).is_none());
+        let snap = stm.aggregate();
+        assert_eq!(snap.commits, n, "commits staged below k must be visible");
+        assert_eq!(snap.aborts, 1, "aborts staged below k must be visible");
+        assert_eq!(*tv.sample(), n);
     }
 }

@@ -131,6 +131,12 @@ pub(crate) struct ObjState<T: TxObject> {
     pub(crate) new: Option<Arc<T>>,
     /// Visible readers without a fast-path slot. Rare; pruned on access.
     pub(crate) readers: Vec<ReaderEntry>,
+    /// A retired version kept for recycling: locator collapses stash the
+    /// displaced `Arc` here (when its strong count has dropped to one) and
+    /// the next publish reuses the allocation via `Arc::get_mut` +
+    /// `clone_from` instead of `Arc::new`. Purely an allocation cache —
+    /// never read as a value.
+    pub(crate) spare: Option<Arc<T>>,
 }
 
 impl<T: TxObject> ObjState<T> {
@@ -161,6 +167,28 @@ impl<T: TxObject> ObjState<T> {
                 attempt_id: tx.attempt_id,
                 tx: Arc::downgrade(tx),
             });
+        }
+    }
+
+    /// Stash a version `Arc` displaced by a locator collapse for later
+    /// recycling, if the cache is empty and the `Arc` is not an alias of
+    /// the surviving version. (An `Arc` still shared with readers is fine
+    /// to stash — `Arc::get_mut` at recycle time refuses it.)
+    #[inline]
+    pub(crate) fn retire(&mut self, prev: Arc<T>) {
+        if self.spare.is_none() && !Arc::ptr_eq(&prev, &self.old) {
+            self.spare = Some(prev);
+        }
+    }
+
+    /// Take the spare version `Arc` for recycling if it is unshared; used
+    /// by the boxed write path to build its shadow copy without a fresh
+    /// allocation.
+    #[inline]
+    pub(crate) fn take_unshared_spare(&mut self) -> Option<Arc<T>> {
+        match self.spare.take() {
+            Some(a) if Arc::strong_count(&a) == 1 => Some(a),
+            _ => None,
         }
     }
 
@@ -291,6 +319,114 @@ impl<T: TxObject> TVarInner<T> {
         )
     }
 
+    /// Fold `me`'s terminal outcome into the locator, if `me` is still the
+    /// installed writer. Called by the owner itself right after its status
+    /// CAS on the *abort* rollback path: committed → `new` becomes the
+    /// version; aborted → `old` stays. Collapsing eagerly (instead of
+    /// leaving it to the next accessor) re-arms the lock-free read path
+    /// immediately and drops the locator's `TxState` reference, so the
+    /// attempt's allocation is recyclable by the very next transaction.
+    /// (Multi-object *commits* skip this and leave the collapse to the
+    /// next accessor — see `Txn::commit` — because an extra lock round per
+    /// object costs more than lazy collapse does.)
+    ///
+    /// Races are benign: a competitor that collapses first (its own
+    /// read/acquire path folds terminal writers too) leaves `writer` empty
+    /// and this becomes a no-op.
+    pub(crate) fn collapse_terminal(&self, me: &TxState) {
+        let mut st = self.state.lock();
+        let mine = st
+            .writer
+            .as_ref()
+            .is_some_and(|w| w.attempt_id == me.attempt_id);
+        if !mine {
+            return;
+        }
+        debug_assert!(me.status() != TxStatus::Active);
+        let cur = st.effective();
+        let prev = std::mem::replace(&mut st.old, cur);
+        let orphan = st.new.take();
+        st.writer = None;
+        self.unlock_snapshot(&st.old);
+        st.retire(prev);
+        if let Some(orphan) = orphan {
+            st.retire(orphan);
+        }
+    }
+
+    /// Single-object commit, fused: publish `value`, decide the
+    /// transaction's fate with its status CAS, and collapse the locator —
+    /// all under one acquisition of the object lock. Only sound when this
+    /// object is the transaction's *entire* write set: the status CAS is
+    /// what makes multi-object commits atomic, so a multi-entry write set
+    /// must stage every `new` version before the CAS (the two-pass path).
+    ///
+    /// Returns the CAS verdict (`true` = committed). On `false` (an enemy
+    /// aborted us first) the locator is left untouched; the abort path's
+    /// rollback collapses it.
+    pub(crate) fn commit_value_fused(&self, value: &T, me: &TxState) -> bool {
+        let mut st = self.state.lock();
+        let still_owner = st
+            .writer
+            .as_ref()
+            .is_some_and(|w| w.attempt_id == me.attempt_id);
+        if !still_owner {
+            // Only a terminal writer can be collapsed past, so we were
+            // already aborted; the CAS below just confirms it.
+            return me.try_commit();
+        }
+        if !me.try_commit() {
+            return false;
+        }
+        // Committed while holding the lock: install the value directly as
+        // the current version (recycling the retired version's allocation)
+        // and re-arm the lock-free read path.
+        let arc = match st.spare.take() {
+            Some(mut a) => match Arc::get_mut(&mut a) {
+                Some(slot) => {
+                    slot.clone_from(value);
+                    a
+                }
+                None => Arc::new(value.clone()),
+            },
+            None => Arc::new(value.clone()),
+        };
+        let prev = std::mem::replace(&mut st.old, arc);
+        st.new = None;
+        st.writer = None;
+        self.unlock_snapshot(&st.old);
+        st.retire(prev);
+        true
+    }
+
+    /// Commit-time publish of an inline write-set value: install `value`
+    /// as the locator's `new` version iff `me` still owns the object,
+    /// recycling the spare version `Arc` when it is unshared so the
+    /// steady-state publish performs no heap allocation.
+    pub(crate) fn publish_value(&self, value: &T, me: &TxState) {
+        let mut st = self.state.lock();
+        let still_owner = st
+            .writer
+            .as_ref()
+            .is_some_and(|w| w.attempt_id == me.attempt_id);
+        if !still_owner {
+            return;
+        }
+        let arc = match st.spare.take() {
+            Some(mut a) => match Arc::get_mut(&mut a) {
+                Some(slot) => {
+                    slot.clone_from(value);
+                    a
+                }
+                // Still shared with a reader snapshot: give up on this one
+                // (dropping it sheds our count) and allocate.
+                None => Arc::new(value.clone()),
+            },
+            None => Arc::new(value.clone()),
+        };
+        st.new = Some(arc);
+    }
+
     /// Register a reader through the mutex path (no slot, or fast path
     /// declined). Caller must hold the object mutex.
     pub(crate) fn register_reader_locked(
@@ -340,6 +476,7 @@ impl<T: TxObject> TVar<T> {
                     old,
                     new: None,
                     readers: Vec::new(),
+                    spare: None,
                 }),
             }),
         }
@@ -395,6 +532,7 @@ impl<T: TxObject> TVar<T> {
         st.writer = None;
         st.old = Arc::new(value);
         st.new = None;
+        st.spare = None;
         st.readers.clear();
         for slot in inner.reader_slots.iter() {
             slot.store(0, Ordering::SeqCst);
@@ -437,11 +575,16 @@ impl<T: TxObject + Default> Default for TVar<T> {
 /// A write-set entry, type-erased so one list can hold writes to objects
 /// of different types.
 pub(crate) trait ErasedWrite: Send {
-    /// Id of the written object (write-set lookups).
-    fn tvar_id(&self) -> u64;
     /// Install the shadow copy as the locator's `new` version, iff the
     /// committing transaction still owns the object.
     fn publish(&self, me: &TxState);
+    /// Fold `me`'s terminal outcome into the locator
+    /// ([`TVarInner::collapse_terminal`]).
+    fn release(&self, me: &TxState);
+    /// Single-entry fused commit ([`TVarInner::commit_value_fused`]):
+    /// publish + status CAS + collapse under one object lock. Only called
+    /// when this entry is the transaction's entire write set.
+    fn commit_fused(&self, me: &TxState) -> bool;
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
@@ -453,8 +596,29 @@ pub(crate) struct TypedWrite<T: TxObject> {
 }
 
 impl<T: TxObject> ErasedWrite for TypedWrite<T> {
-    fn tvar_id(&self) -> u64 {
-        self.tvar.id()
+    fn release(&self, me: &TxState) {
+        self.tvar.inner().collapse_terminal(me);
+    }
+
+    fn commit_fused(&self, me: &TxState) -> bool {
+        let inner = self.tvar.inner();
+        let mut st = inner.state.lock();
+        let still_owner = st
+            .writer
+            .as_ref()
+            .is_some_and(|w| w.attempt_id == me.attempt_id);
+        if !still_owner {
+            return me.try_commit();
+        }
+        if !me.try_commit() {
+            return false;
+        }
+        let prev = std::mem::replace(&mut st.old, Arc::clone(&self.shadow));
+        st.new = None;
+        st.writer = None;
+        inner.unlock_snapshot(&st.old);
+        st.retire(prev);
+        true
     }
 
     fn publish(&self, me: &TxState) {

@@ -33,8 +33,9 @@ use crate::clockns;
 use crate::cm::{ConflictKind, Resolution};
 use crate::inline_vec::InlineVec;
 use crate::stm::ThreadCtx;
-use crate::tvar::{ErasedWrite, TVar, TypedWrite};
+use crate::tvar::TVar;
 use crate::txstate::TxState;
+use crate::writeset::WriteEntry;
 use crate::TxObject;
 
 /// Why a transactional operation could not complete.
@@ -64,7 +65,7 @@ pub type TxResult<T> = Result<T, TxError>;
 /// `&mut Txn` inside the atomic closure.
 pub struct Txn<'a> {
     state: Arc<TxState>,
-    writes: InlineVec<Box<dyn ErasedWrite>>,
+    writes: InlineVec<WriteEntry>,
     ctx: &'a ThreadCtx<'a>,
     /// This thread's global reader-slot index ([`crate::slots::NO_SLOT`]
     /// when the thread has none — mutex-path reads only).
@@ -97,10 +98,22 @@ impl<'a> Txn<'a> {
             opens: 0,
             footprint: None,
             #[cfg(debug_assertions)]
-            read_versions: Vec::new(),
+            read_versions: ctx.take_read_versions_buf(),
             #[cfg(feature = "trace")]
             abort_reason: std::cell::Cell::new(wtm_trace::ABORT_KILLED),
         }
+    }
+
+    /// Return the pooled per-attempt buffers to the thread context so the
+    /// next attempt reuses their capacity. Called by the engine right
+    /// before the `Txn` is dropped.
+    pub(crate) fn release_buffers(&mut self) {
+        if let Some(fp) = self.footprint.take() {
+            self.ctx.put_trace_buf(fp);
+        }
+        #[cfg(debug_assertions)]
+        self.ctx
+            .put_read_versions_buf(std::mem::take(&mut self.read_versions));
     }
 
     /// How this attempt aborted (trace taxonomy; see `wtm_trace::ABORT_*`).
@@ -137,7 +150,7 @@ impl<'a> Txn<'a> {
     }
 
     pub(crate) fn enable_tracing(&mut self) {
-        self.footprint = Some(Vec::new());
+        self.footprint = Some(self.ctx.take_trace_buf());
     }
 
     pub(crate) fn take_footprint(&mut self) -> Vec<(u64, bool)> {
@@ -176,11 +189,7 @@ impl<'a> Txn<'a> {
     pub fn read<T: TxObject>(&mut self, tvar: &TVar<T>) -> TxResult<Arc<T>> {
         self.check_alive()?;
         if let Some(idx) = self.find_write(tvar.id()) {
-            let tw = self.writes[idx]
-                .as_any()
-                .downcast_ref::<TypedWrite<T>>()
-                .expect("write-set entry type mismatch");
-            return Ok(Arc::clone(&tw.shadow));
+            return Ok(self.writes[idx].read_snapshot::<T>());
         }
         // Lock-free fast path: slot registration + guarded snapshot clone.
         if let Some(val) = tvar.inner().fast_read(self.slot_idx, self.state.attempt_id) {
@@ -210,12 +219,18 @@ impl<'a> Txn<'a> {
                     _ => {
                         if st.writer.is_some() {
                             // Terminal writer: fold its outcome into `old`
-                            // and re-arm the fast path for everyone.
+                            // and re-arm the fast path for everyone. The
+                            // displaced version (and an aborted writer's
+                            // orphaned shadow) go to the recycling slot.
                             let cur = st.effective();
-                            st.old = cur;
-                            st.new = None;
+                            let prev = std::mem::replace(&mut st.old, cur);
+                            let orphan = st.new.take();
                             st.writer = None;
                             tvar.inner().unlock_snapshot(&st.old);
+                            st.retire(prev);
+                            if let Some(orphan) = orphan {
+                                st.retire(orphan);
+                            }
                         }
                         let val = Arc::clone(&st.old);
                         tvar.inner()
@@ -243,23 +258,15 @@ impl<'a> Txn<'a> {
 
     /// Open `tvar` for writing and replace its value with `value`.
     pub fn write<T: TxObject>(&mut self, tvar: &TVar<T>, value: T) -> TxResult<()> {
-        let idx = self.acquire(tvar)?;
-        let tw = self.writes[idx]
-            .as_any_mut()
-            .downcast_mut::<TypedWrite<T>>()
-            .expect("write-set entry type mismatch");
-        *Arc::make_mut(&mut tw.shadow) = value;
-        Ok(())
+        // Hand the value to `acquire` so a fresh open stores it directly
+        // instead of cloning the current version only to overwrite it.
+        self.acquire(tvar, Some(value)).map(|_| ())
     }
 
     /// Open `tvar` for writing and mutate the shadow copy in place.
     pub fn modify<T: TxObject>(&mut self, tvar: &TVar<T>, f: impl FnOnce(&mut T)) -> TxResult<()> {
-        let idx = self.acquire(tvar)?;
-        let tw = self.writes[idx]
-            .as_any_mut()
-            .downcast_mut::<TypedWrite<T>>()
-            .expect("write-set entry type mismatch");
-        f(Arc::make_mut(&mut tw.shadow));
+        let idx = self.acquire(tvar, None)?;
+        self.writes[idx].modify_value::<T>(f);
         Ok(())
     }
 
@@ -280,9 +287,14 @@ impl<'a> Txn<'a> {
 
     /// Acquire write ownership of `tvar`, resolving write-write and
     /// write-read conflicts through the contention manager. Returns the
-    /// index of the write-set entry.
-    fn acquire<T: TxObject>(&mut self, tvar: &TVar<T>) -> TxResult<usize> {
+    /// index of the write-set entry. When `value` is given it becomes the
+    /// entry's value; otherwise the entry starts as a clone of the current
+    /// version (open-for-modify).
+    fn acquire<T: TxObject>(&mut self, tvar: &TVar<T>, mut value: Option<T>) -> TxResult<usize> {
         if let Some(idx) = self.find_write(tvar.id()) {
+            if let Some(v) = value {
+                self.writes[idx].set_value(v);
+            }
             return Ok(idx);
         }
         loop {
@@ -316,17 +328,67 @@ impl<'a> Txn<'a> {
                                 Some((r, ConflictKind::WriteRead))
                             }
                             None => {
-                                // Clear: collapse the locator, install ourselves.
-                                let cur = st.effective();
-                                st.old = Arc::clone(&cur);
-                                st.new = None;
+                                // Clear: collapse any terminal writer, then
+                                // install ourselves. With no writer (the
+                                // common case) `old` already is the current
+                                // version and the collapse dance is skipped.
+                                if st.writer.is_some() {
+                                    let cur = st.effective();
+                                    let prev = std::mem::replace(&mut st.old, cur);
+                                    let orphan = st.new.take();
+                                    st.retire(prev);
+                                    if let Some(orphan) = orphan {
+                                        st.retire(orphan);
+                                    }
+                                }
                                 st.writer = Some(Arc::clone(&self.state));
+                                // Only open-for-modify needs the current
+                                // version as a clone source; a plain write
+                                // overwrites it wholesale.
+                                let cur = if value.is_some() {
+                                    None
+                                } else {
+                                    Some(Arc::clone(&st.old))
+                                };
+                                // Large types spill to a boxed shadow copy;
+                                // reuse the retired version's allocation
+                                // for it when possible.
+                                let spare = if WriteEntry::fits_inline::<T>() {
+                                    None
+                                } else {
+                                    st.take_unshared_spare()
+                                };
                                 drop(st);
-                                let shadow = Arc::new((*cur).clone());
-                                self.writes.push(Box::new(TypedWrite {
-                                    tvar: tvar.clone(),
-                                    shadow,
-                                }));
+                                let entry = if WriteEntry::fits_inline::<T>() {
+                                    let v = match value.take() {
+                                        Some(v) => v,
+                                        None => (*cur.expect("open-for-modify keeps cur")).clone(),
+                                    };
+                                    WriteEntry::new_inline(tvar.clone(), v)
+                                } else {
+                                    let shadow = match spare {
+                                        Some(mut a) => {
+                                            let slot = Arc::get_mut(&mut a)
+                                                .expect("spare taken only when unshared");
+                                            match value.take() {
+                                                Some(v) => *slot = v,
+                                                None => slot.clone_from(
+                                                    cur.as_ref()
+                                                        .expect("open-for-modify keeps cur"),
+                                                ),
+                                            }
+                                            a
+                                        }
+                                        None => match value.take() {
+                                            Some(v) => Arc::new(v),
+                                            None => Arc::new(
+                                                (*cur.expect("open-for-modify keeps cur")).clone(),
+                                            ),
+                                        },
+                                    };
+                                    WriteEntry::new_boxed(tvar.clone(), shadow)
+                                };
+                                self.writes.push(entry);
                                 // Doomed-writer validation: if an enemy
                                 // aborted us after the entry `check_alive`,
                                 // the collapsed `cur` we based the shadow on
@@ -449,8 +511,25 @@ impl<'a> Txn<'a> {
     /// Publish shadow copies and attempt the commit CAS.
     pub(crate) fn commit(&mut self) -> TxResult<()> {
         self.check_alive()?;
-        // Publish every shadow before the status CAS: a competitor that
-        // observes `Committed` must find all `new` versions in place.
+        // Single-object write set (the dominant case: counters, single-node
+        // structure updates): publish + status CAS + locator collapse fused
+        // under ONE acquisition of the object lock. Besides saving two lock
+        // rounds, the collapse re-arms the lock-free read path and drops
+        // the locator's reference to this attempt, so its `TxState`
+        // allocation promptly returns to the pool.
+        if self.writes.len() == 1 {
+            return if self.writes[0].commit_fused(&self.state) {
+                Ok(())
+            } else {
+                Err(TxError::Aborted)
+            };
+        }
+        // Multi-object: publish every shadow before the status CAS — a
+        // competitor that observes `Committed` must find every `new`
+        // version in place. The locators are left to collapse lazily at
+        // their next access, which amortizes into a lock round that access
+        // pays anyway (an eager per-object collapse here costs an *extra*
+        // lock + seqlock re-arm per object).
         for w in self.writes.iter() {
             w.publish(&self.state);
         }
@@ -458,6 +537,15 @@ impl<'a> Txn<'a> {
             Ok(())
         } else {
             Err(TxError::Aborted)
+        }
+    }
+
+    /// Collapse every written locator after this attempt turned terminal
+    /// (committed or aborted). No-op per entry if a competitor collapsed
+    /// the locator first.
+    pub(crate) fn release_write_set(&self) {
+        for w in self.writes.iter() {
+            w.release(&self.state);
         }
     }
 }

@@ -1,0 +1,377 @@
+//! Write-set entries with inline value storage.
+//!
+//! A write-set entry used to be a `Box<dyn ErasedWrite>`: one heap
+//! allocation per written object per attempt, plus a virtual call for
+//! every write-set scan and publish. [`WriteEntry`] removes both for the
+//! common case: values whose payload fits [`INLINE_BUF_BYTES`] (any `T`
+//! with size ≤ 24 bytes and alignment ≤ 8 — every List/RBTree/SkipList
+//! node payload and counter in the paper's workloads) are stored *in the
+//! entry itself*, next to the object handle, with monomorphized
+//! publish/drop fn pointers taking the place of the vtable. Larger or
+//! over-aligned types spill to the old boxed representation.
+//!
+//! At commit, an inline entry publishes through
+//! `TVarInner::publish_value`, which recycles the object's retired
+//! version `Arc` (the `spare` slot of the locator) instead of allocating
+//! a fresh one — so a steady-state small-value commit performs **zero**
+//! heap allocations end to end (asserted by the `write_path_allocs`
+//! integration test).
+//!
+//! The id of the written object is hoisted into the entry header, so
+//! write-set lookups (`Txn::find_write`) scan a plain `u64` field instead
+//! of making one virtual `tvar_id()` call per entry.
+
+use std::any::TypeId;
+use std::mem::{align_of, size_of, MaybeUninit};
+use std::sync::Arc;
+
+use crate::tvar::{ErasedWrite, TVar, TypedWrite};
+use crate::txstate::TxState;
+use crate::TxObject;
+
+/// Size of the inline payload buffer: the object handle (8 bytes) plus up
+/// to 24 bytes of value.
+pub(crate) const INLINE_BUF_BYTES: usize = 32;
+
+/// Maximum alignment the inline buffer guarantees.
+pub(crate) const INLINE_ALIGN: usize = 8;
+
+/// Inline storage: `[u64; 4]` gives 32 bytes at alignment 8.
+type InlineBuf = MaybeUninit<[u64; 4]>;
+
+/// What actually lives in the inline buffer for a value of type `T`.
+struct InlinePayload<T: TxObject> {
+    tvar: TVar<T>,
+    value: T,
+}
+
+/// An entry of a transaction's write set.
+pub(crate) struct WriteEntry {
+    tvar_id: u64,
+    kind: EntryKind,
+}
+
+enum EntryKind {
+    Inline(InlineWrite),
+    Boxed(Box<dyn ErasedWrite>),
+}
+
+/// A type-erased inline entry: the monomorphized operations plus the raw
+/// payload bytes. The fn pointers are the "vtable", stored flat in the
+/// entry (no static to indirect through).
+struct InlineWrite {
+    /// Identity of the payload type, for checked downcasts. A fn pointer
+    /// rather than a stored `TypeId` value so the entry stays `const`-free.
+    type_id: fn() -> TypeId,
+    /// Publish the inline value as the locator's `new` version.
+    publish: unsafe fn(*const InlineBuf, &TxState),
+    /// Fold the transaction's terminal outcome into the locator.
+    release: unsafe fn(*const InlineBuf, &TxState),
+    /// Single-entry fused commit: publish + status CAS + collapse under
+    /// one object lock.
+    commit_fused: unsafe fn(*const InlineBuf, &TxState) -> bool,
+    /// Drop the payload in place.
+    drop_in_place: unsafe fn(*mut InlineBuf),
+    buf: InlineBuf,
+}
+
+// SAFETY: the payload is always an `InlinePayload<T>` with `T: TxObject`
+// (so `TVar<T>` and `T` are both `Send`); the fn pointers carry no state.
+unsafe impl Send for InlineWrite {}
+
+impl Drop for InlineWrite {
+    fn drop(&mut self) {
+        // SAFETY: `buf` holds a valid `InlinePayload` of the type these
+        // monomorphized fns were instantiated with; after this the entry
+        // is gone, so nothing reads the buffer again.
+        unsafe { (self.drop_in_place)(&mut self.buf) };
+    }
+}
+
+unsafe fn publish_impl<T: TxObject>(buf: *const InlineBuf, me: &TxState) {
+    // SAFETY (caller): `buf` holds a live `InlinePayload<T>`.
+    let payload = unsafe { &*buf.cast::<InlinePayload<T>>() };
+    payload.tvar.inner().publish_value(&payload.value, me);
+}
+
+unsafe fn release_impl<T: TxObject>(buf: *const InlineBuf, me: &TxState) {
+    // SAFETY (caller): `buf` holds a live `InlinePayload<T>`.
+    let payload = unsafe { &*buf.cast::<InlinePayload<T>>() };
+    payload.tvar.inner().collapse_terminal(me);
+}
+
+unsafe fn commit_fused_impl<T: TxObject>(buf: *const InlineBuf, me: &TxState) -> bool {
+    // SAFETY (caller): `buf` holds a live `InlinePayload<T>`.
+    let payload = unsafe { &*buf.cast::<InlinePayload<T>>() };
+    payload.tvar.inner().commit_value_fused(&payload.value, me)
+}
+
+unsafe fn drop_impl<T: TxObject>(buf: *mut InlineBuf) {
+    // SAFETY (caller): `buf` holds a live `InlinePayload<T>`, never read
+    // again after this call.
+    unsafe { std::ptr::drop_in_place(buf.cast::<InlinePayload<T>>()) };
+}
+
+impl WriteEntry {
+    /// Whether values of type `T` are stored inline (true iff the payload
+    /// fits the buffer and needs no stricter alignment).
+    #[inline]
+    pub(crate) fn fits_inline<T: TxObject>() -> bool {
+        size_of::<InlinePayload<T>>() <= INLINE_BUF_BYTES
+            && align_of::<InlinePayload<T>>() <= INLINE_ALIGN
+    }
+
+    /// Build an inline entry. Caller must have checked
+    /// [`fits_inline`](Self::fits_inline).
+    pub(crate) fn new_inline<T: TxObject>(tvar: TVar<T>, value: T) -> Self {
+        debug_assert!(Self::fits_inline::<T>());
+        let tvar_id = tvar.id();
+        let mut buf: InlineBuf = MaybeUninit::uninit();
+        // SAFETY: fits_inline guarantees size and alignment; the buffer is
+        // exclusively ours and the payload is dropped exactly once (in
+        // `InlineWrite::drop` or when replaced).
+        unsafe {
+            buf.as_mut_ptr()
+                .cast::<InlinePayload<T>>()
+                .write(InlinePayload { tvar, value });
+        }
+        WriteEntry {
+            tvar_id,
+            kind: EntryKind::Inline(InlineWrite {
+                type_id: TypeId::of::<T>,
+                publish: publish_impl::<T>,
+                release: release_impl::<T>,
+                commit_fused: commit_fused_impl::<T>,
+                drop_in_place: drop_impl::<T>,
+                buf,
+            }),
+        }
+    }
+
+    /// Build a boxed entry for a type too large (or over-aligned) to
+    /// store inline.
+    pub(crate) fn new_boxed<T: TxObject>(tvar: TVar<T>, shadow: Arc<T>) -> Self {
+        WriteEntry {
+            tvar_id: tvar.id(),
+            kind: EntryKind::Boxed(Box::new(TypedWrite { tvar, shadow })),
+        }
+    }
+
+    /// Id of the written object (plain field — no virtual call).
+    #[inline]
+    pub(crate) fn tvar_id(&self) -> u64 {
+        self.tvar_id
+    }
+
+    /// True iff this entry stores its value inline (test introspection).
+    #[cfg(test)]
+    pub(crate) fn is_inline(&self) -> bool {
+        matches!(self.kind, EntryKind::Inline(_))
+    }
+
+    /// The inline payload, if this entry is inline *and* of type `T`.
+    #[inline]
+    fn payload<T: TxObject>(&self) -> Option<&InlinePayload<T>> {
+        match &self.kind {
+            EntryKind::Inline(iw) if (iw.type_id)() == TypeId::of::<T>() => {
+                // SAFETY: the type-id check proves the buffer holds an
+                // `InlinePayload<T>`.
+                Some(unsafe { &*iw.buf.as_ptr().cast::<InlinePayload<T>>() })
+            }
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn payload_mut<T: TxObject>(&mut self) -> Option<&mut InlinePayload<T>> {
+        match &mut self.kind {
+            EntryKind::Inline(iw) if (iw.type_id)() == TypeId::of::<T>() => {
+                // SAFETY: as in `payload`, plus we hold `&mut self`.
+                Some(unsafe { &mut *iw.buf.as_mut_ptr().cast::<InlinePayload<T>>() })
+            }
+            _ => None,
+        }
+    }
+
+    /// Read-your-writes: a stable snapshot of the value this entry holds.
+    ///
+    /// For a boxed entry this is the shadow `Arc` itself; for an inline
+    /// entry a snapshot is materialized on demand (rare — the benchmarks'
+    /// transactions read *before* writing). Either way the returned `Arc`
+    /// never changes under the caller: later writes to the object go to
+    /// the inline value or clone-on-write through `Arc::make_mut`.
+    pub(crate) fn read_snapshot<T: TxObject>(&self) -> Arc<T> {
+        if let Some(p) = self.payload::<T>() {
+            return Arc::new(p.value.clone());
+        }
+        match &self.kind {
+            EntryKind::Boxed(b) => Arc::clone(
+                &b.as_any()
+                    .downcast_ref::<TypedWrite<T>>()
+                    .expect("write-set entry type mismatch")
+                    .shadow,
+            ),
+            EntryKind::Inline(_) => panic!("write-set entry type mismatch"),
+        }
+    }
+
+    /// Replace the entry's value.
+    pub(crate) fn set_value<T: TxObject>(&mut self, value: T) {
+        if let Some(p) = self.payload_mut::<T>() {
+            p.value = value;
+            return;
+        }
+        match &mut self.kind {
+            EntryKind::Boxed(b) => {
+                let tw = b
+                    .as_any_mut()
+                    .downcast_mut::<TypedWrite<T>>()
+                    .expect("write-set entry type mismatch");
+                *Arc::make_mut(&mut tw.shadow) = value;
+            }
+            EntryKind::Inline(_) => panic!("write-set entry type mismatch"),
+        }
+    }
+
+    /// Mutate the entry's value in place.
+    pub(crate) fn modify_value<T: TxObject>(&mut self, f: impl FnOnce(&mut T)) {
+        if let Some(p) = self.payload_mut::<T>() {
+            f(&mut p.value);
+            return;
+        }
+        match &mut self.kind {
+            EntryKind::Boxed(b) => {
+                let tw = b
+                    .as_any_mut()
+                    .downcast_mut::<TypedWrite<T>>()
+                    .expect("write-set entry type mismatch");
+                f(Arc::make_mut(&mut tw.shadow));
+            }
+            EntryKind::Inline(_) => panic!("write-set entry type mismatch"),
+        }
+    }
+
+    /// Install the entry's value as the locator's `new` version, iff the
+    /// committing transaction still owns the object.
+    #[inline]
+    pub(crate) fn publish(&self, me: &TxState) {
+        match &self.kind {
+            // SAFETY: `buf` holds a live `InlinePayload` of the type the
+            // fn was instantiated with.
+            EntryKind::Inline(iw) => unsafe { (iw.publish)(&iw.buf, me) },
+            EntryKind::Boxed(b) => b.publish(me),
+        }
+    }
+
+    /// Fold the (terminal) transaction's outcome into the locator:
+    /// [`crate::tvar::TVarInner::collapse_terminal`]. Called once per entry
+    /// right after the owner's status CAS on the abort rollback path.
+    #[inline]
+    pub(crate) fn release(&self, me: &TxState) {
+        match &self.kind {
+            // SAFETY: `buf` holds a live `InlinePayload` of the type the
+            // fn was instantiated with.
+            EntryKind::Inline(iw) => unsafe { (iw.release)(&iw.buf, me) },
+            EntryKind::Boxed(b) => b.release(me),
+        }
+    }
+
+    /// Single-entry fused commit: publish this entry's value, perform the
+    /// transaction's status CAS, and collapse the locator, all under one
+    /// acquisition of the object lock
+    /// ([`crate::tvar::TVarInner::commit_value_fused`]). Only sound when
+    /// this entry is the transaction's entire write set. Returns the CAS
+    /// verdict.
+    #[inline]
+    pub(crate) fn commit_fused(&self, me: &TxState) -> bool {
+        match &self.kind {
+            // SAFETY: `buf` holds a live `InlinePayload` of the type the
+            // fn was instantiated with.
+            EntryKind::Inline(iw) => unsafe { (iw.commit_fused)(&iw.buf, me) },
+            EntryKind::Boxed(b) => b.commit_fused(me),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clockns;
+
+    #[test]
+    fn inline_threshold_is_24_value_bytes() {
+        assert!(WriteEntry::fits_inline::<u64>());
+        assert!(WriteEntry::fits_inline::<[u8; 24]>());
+        assert!(WriteEntry::fits_inline::<[u8; 1]>());
+        assert!(WriteEntry::fits_inline::<()>());
+        assert!(!WriteEntry::fits_inline::<[u8; 25]>());
+        assert!(!WriteEntry::fits_inline::<[u64; 4]>());
+        // Vec<T> is 24 bytes of header: inline (its heap payload is its
+        // own business, same as under the boxed representation).
+        assert!(WriteEntry::fits_inline::<Vec<u32>>());
+    }
+
+    #[test]
+    fn inline_entry_roundtrips_value_and_drops_it() {
+        // A droppable payload (Vec) exercises drop_in_place.
+        let tv: TVar<Vec<u32>> = TVar::new(vec![1]);
+        let mut e = WriteEntry::new_inline(tv.clone(), vec![1, 2]);
+        assert!(e.is_inline());
+        assert_eq!(e.tvar_id(), tv.id());
+        assert_eq!(*e.read_snapshot::<Vec<u32>>(), vec![1, 2]);
+        e.set_value::<Vec<u32>>(vec![9]);
+        e.modify_value::<Vec<u32>>(|v| v.push(10));
+        assert_eq!(*e.read_snapshot::<Vec<u32>>(), vec![9, 10]);
+        drop(e); // must drop the inline Vec (Miri/asan would catch a leak)
+    }
+
+    #[test]
+    fn boxed_entry_roundtrips_value() {
+        let tv: TVar<[u64; 8]> = TVar::new([0; 8]);
+        let mut e = WriteEntry::new_boxed(tv.clone(), Arc::new([1u64; 8]));
+        assert!(!e.is_inline());
+        assert_eq!(e.tvar_id(), tv.id());
+        e.set_value([2u64; 8]);
+        e.modify_value::<[u64; 8]>(|v| v[0] = 7);
+        let snap = e.read_snapshot::<[u64; 8]>();
+        assert_eq!(snap[0], 7);
+        assert_eq!(snap[1], 2);
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_later_writes() {
+        let tv: TVar<u64> = TVar::new(0);
+        let mut e = WriteEntry::new_inline(tv, 5u64);
+        let snap = e.read_snapshot::<u64>();
+        e.set_value(6u64);
+        assert_eq!(*snap, 5, "snapshot must not see later writes");
+        assert_eq!(*e.read_snapshot::<u64>(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn wrong_type_downcast_panics() {
+        let tv: TVar<u64> = TVar::new(0);
+        let e = WriteEntry::new_inline(tv, 1u64);
+        let _ = e.read_snapshot::<u32>();
+    }
+
+    #[test]
+    fn publish_installs_only_while_owner() {
+        let tv: TVar<u64> = TVar::new(3);
+        let me = Arc::new(TxState::new(11, 11, 0, 0, 1, 1, clockns::now(), 0));
+        let e = WriteEntry::new_inline(tv.clone(), 42u64);
+        // Not the owner: publish is a no-op.
+        e.publish(&me);
+        assert_eq!(*tv.sample(), 3);
+        // Install ourselves as the writer, then publish and commit.
+        {
+            let mut st = tv.inner().state.lock();
+            tv.inner().lock_snapshot();
+            st.writer = Some(Arc::clone(&me));
+        }
+        e.publish(&me);
+        assert!(me.try_commit());
+        assert_eq!(*tv.sample(), 42);
+    }
+}

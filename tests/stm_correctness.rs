@@ -17,7 +17,7 @@ const THREADS: usize = 3;
 /// conflicts, so every manager's full decision logic fires.
 fn counter_torture(manager: &str, per_thread: u64) {
     let built = build_manager(manager, THREADS, 8, 7).expect(manager);
-    let stm = Stm::new(Arc::clone(&built.cm), THREADS);
+    let stm = Stm::with_dispatch(built.cm.clone(), THREADS);
     let counter: TVar<u64> = TVar::new(0);
     std::thread::scope(|s| {
         for t in 0..THREADS {
@@ -56,7 +56,7 @@ fn bank_conservation(manager: &str) {
     const ACCOUNTS: usize = 8;
     const INITIAL: i64 = 100;
     let built = build_manager(manager, THREADS, 8, 13).expect(manager);
-    let stm = Stm::new(Arc::clone(&built.cm), THREADS);
+    let stm = Stm::with_dispatch(built.cm.clone(), THREADS);
     let accounts: Arc<Vec<TVar<i64>>> =
         Arc::new((0..ACCOUNTS).map(|_| TVar::new(INITIAL)).collect());
     std::thread::scope(|s| {
@@ -108,7 +108,7 @@ fn bank_conserves_total_under_every_manager() {
 /// bug, not an ordering artifact.
 fn disjoint_sets_match_oracle(set: &dyn TxIntSet, manager: &str) {
     let built = build_manager(manager, THREADS, 8, 21).expect(manager);
-    let stm = Stm::new(Arc::clone(&built.cm), THREADS);
+    let stm = Stm::with_dispatch(built.cm.clone(), THREADS);
     std::thread::scope(|s| {
         for t in 0..THREADS {
             let ctx = stm.thread(t);
@@ -174,7 +174,7 @@ fn skiplist_matches_oracle_under_comparison_managers() {
 #[test]
 fn readers_never_observe_torn_pairs() {
     let built = build_manager("Greedy", 2, 8, 3).unwrap();
-    let stm = Stm::new(Arc::clone(&built.cm), 2);
+    let stm = Stm::with_dispatch(built.cm.clone(), 2);
     let a: TVar<u64> = TVar::new(0);
     let b: TVar<u64> = TVar::new(0);
     std::thread::scope(|s| {
@@ -213,7 +213,7 @@ fn readers_never_observe_torn_pairs() {
 #[test]
 fn aborted_transactions_leave_no_trace() {
     let built = build_manager("Polka", 1, 8, 5).unwrap();
-    let stm = Stm::new(Arc::clone(&built.cm), 1);
+    let stm = Stm::with_dispatch(built.cm.clone(), 1);
     let ctx = stm.thread(0);
     let v1: TVar<u64> = TVar::new(10);
     let v2: TVar<u64> = TVar::new(20);

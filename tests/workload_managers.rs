@@ -21,7 +21,7 @@ fn vacation_consistent(manager: &str, level: ContentionLevel) {
         seed: 7,
     };
     let built = build_manager(manager, THREADS, 8, 3).expect(manager);
-    let stm = Stm::new(Arc::clone(&built.cm), THREADS);
+    let stm = Stm::with_dispatch(built.cm.clone(), THREADS);
     let v = Arc::new(Vacation::new(cfg));
     std::thread::scope(|s| {
         for t in 0..THREADS {
@@ -97,7 +97,7 @@ fn hashset_concurrent_oracle_under_several_managers() {
     for manager in ["Polka", "Greedy", "Online-Dynamic", "ATS"] {
         const THREADS: usize = 3;
         let built = build_manager(manager, THREADS, 8, 9).expect(manager);
-        let stm = Stm::new(Arc::clone(&built.cm), THREADS);
+        let stm = Stm::with_dispatch(built.cm.clone(), THREADS);
         let set = Arc::new(TxHashSet::new(16));
         std::thread::scope(|s| {
             for t in 0..THREADS {

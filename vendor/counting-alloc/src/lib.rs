@@ -1,0 +1,85 @@
+//! A [`GlobalAlloc`] wrapper around the system allocator that counts
+//! allocations and deallocations **per thread**.
+//!
+//! Intended for allocation-regression tests: install [`CountingAlloc`] as
+//! the test binary's `#[global_allocator]`, call [`reset`] after a warmup
+//! phase, run the code under test, and assert [`allocs`]/[`deallocs`] are
+//! zero. Counters are thread-local, so allocations made by other test
+//! threads (the libtest harness runs tests concurrently) never pollute
+//! the measurement.
+//!
+//! The counters are const-initialised `Cell<u64>`s: reading or bumping
+//! them never allocates and never registers a TLS destructor, so the
+//! bookkeeping itself is invisible to the thing being measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static DEALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System-allocator wrapper that bumps per-thread counters on every
+/// allocator call. `realloc` counts as one allocation *and* one
+/// deallocation (it may move the block).
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get().wrapping_add(1)));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get().wrapping_add(1)));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.with(|c| c.set(c.get().wrapping_add(1)));
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get().wrapping_add(1)));
+        DEALLOCS.with(|c| c.set(c.get().wrapping_add(1)));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Zero this thread's counters.
+pub fn reset() {
+    ALLOCS.with(|c| c.set(0));
+    DEALLOCS.with(|c| c.set(0));
+}
+
+/// Allocations made by this thread since the last [`reset`].
+pub fn allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// Deallocations made by this thread since the last [`reset`].
+pub fn deallocs() -> u64 {
+    DEALLOCS.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    // NOTE: these tests exercise the counting logic only; they do not
+    // install CountingAlloc as the global allocator (a crate's own unit
+    // tests share the harness allocator). The wtm-stm integration test
+    // `write_path_allocs.rs` does the real end-to-end installation.
+    use super::*;
+
+    #[test]
+    fn counters_start_zero_and_reset() {
+        reset();
+        assert_eq!(allocs(), 0);
+        assert_eq!(deallocs(), 0);
+        ALLOCS.with(|c| c.set(3));
+        assert_eq!(allocs(), 3);
+        reset();
+        assert_eq!(allocs(), 0);
+    }
+}
