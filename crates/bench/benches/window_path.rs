@@ -1,0 +1,154 @@
+//! Microbenchmarks of the window-CM hot path (PR 4: the lock-free
+//! rewrite). Three layers:
+//!
+//! * `resolve_*` — one conflict resolution against a cached frame clock
+//!   (static and dynamic drivers): the cost every conflict pays.
+//! * `hooks_commit_loop` — the mid-window `on_begin` → commit →
+//!   `on_commit` cycle at a window width large enough that boundary work
+//!   (barrier + registration) is amortized to noise: the per-transaction
+//!   window overhead of Fig. 5.
+//! * `e2e_list_online_dynamic` — a Fig. 5 cell: Online-Dynamic on the
+//!   List workload at high contention, fixed transaction budget.
+//!
+//! `BENCH_window_path.json` at the repo root holds paired interleaved
+//! before/after numbers for these shapes (collected with the
+//! `window_path_probe` example, which shares this file's loop bodies).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wtm_bench::scale;
+use wtm_stm::{clockns, ConflictKind, ContentionManager, Stm, TxState};
+use wtm_window::{WindowConfig, WindowManager, WindowVariant};
+use wtm_workloads::{OpKind, SetOpGenerator, TxIntSet, TxList};
+
+fn state_on(thread: usize, attempt_id: u64) -> Arc<TxState> {
+    Arc::new(TxState::new(
+        attempt_id,
+        attempt_id,
+        thread,
+        0,
+        attempt_id,
+        attempt_id,
+        clockns::now(),
+        0,
+    ))
+}
+
+/// A manager mid-window with one begun high-priority transaction and one
+/// synthetic low-priority enemy: the resolve microbench fixture.
+fn resolve_fixture(variant: WindowVariant) -> (WindowManager, Arc<TxState>, Arc<TxState>) {
+    let cfg = WindowConfig::new(1, 1024).with_fixed_tau(Duration::from_micros(10));
+    let wm = WindowManager::new(variant, cfg);
+    let me = state_on(0, 1);
+    wm.on_begin(&me, false); // frame 0 → high priority immediately
+    let enemy = state_on(0, 2);
+    enemy.set_assigned_frame(1 << 40); // far future → low priority
+    enemy.set_rank(1);
+    (wm, me, enemy)
+}
+
+fn bench_window_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_path");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for (label, variant) in [
+        ("resolve_static", WindowVariant::Online),
+        ("resolve_dynamic", WindowVariant::OnlineDynamic),
+    ] {
+        group.bench_function(label, |b| {
+            let (wm, me, enemy) = resolve_fixture(variant);
+            b.iter(|| wm.resolve(black_box(&me), black_box(&enemy), ConflictKind::WriteWrite));
+        });
+    }
+
+    // Steady-state hook cycle: m = 1 keeps the barrier trivial, the large
+    // N keeps window boundaries rare (one per 50k transactions).
+    group.bench_function("hooks_commit_loop", |b| {
+        let cfg = WindowConfig::new(1, 50_000).with_fixed_tau(Duration::from_micros(10));
+        let wm = WindowManager::new(WindowVariant::OnlineDynamic, cfg);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let tx = state_on(0, id);
+            wm.on_begin(&tx, false);
+            tx.try_commit();
+            wm.on_commit(&tx);
+        });
+    });
+
+    group.bench_function("abort_hook", |b| {
+        let cfg = WindowConfig::new(1, 1024).with_fixed_tau(Duration::from_micros(10));
+        let wm = WindowManager::new(WindowVariant::AdaptiveImprovedDynamic, cfg);
+        let tx = state_on(0, 1);
+        wm.on_begin(&tx, false);
+        b.iter(|| wm.on_abort(black_box(&tx)));
+    });
+
+    group.finish();
+
+    let mut e2e = c.benchmark_group("window_path_e2e");
+    e2e.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    // A Fig. 5 cell: Online-Dynamic, List workload, every thread hammering
+    // the same 64-key range (high contention).
+    e2e.bench_function("list_online_dynamic", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += run_list_budget(scale::THREADS, scale::BUDGET);
+            }
+            total
+        });
+    });
+    e2e.finish();
+}
+
+/// Run a fixed List-transaction budget under Online-Dynamic; returns the
+/// wall time (the fig5 `time to commit a budget` shape).
+fn run_list_budget(threads: usize, budget: u64) -> Duration {
+    let cfg = WindowConfig::new(threads, scale::WINDOW_N);
+    let wm = Arc::new(WindowManager::new(WindowVariant::OnlineDynamic, cfg));
+    let stm = Stm::new(wm.clone(), threads);
+    let list = TxList::new();
+    {
+        let boot = Stm::new(Arc::new(wtm_stm::cm::AbortSelfManager), 1);
+        let ctx = boot.thread(0);
+        let mut k = 0;
+        while k < 64 {
+            ctx.atomic(|tx| list.insert(tx, k).map(|_| ()));
+            k += 2;
+        }
+    }
+    let remaining = std::sync::atomic::AtomicI64::new(budget as i64);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let ctx = stm.thread(t);
+            let list = &list;
+            let remaining = &remaining;
+            let wm = &wm;
+            s.spawn(move || {
+                let mut gen = SetOpGenerator::new(7, t, 64, 100);
+                while remaining.fetch_sub(1, std::sync::atomic::Ordering::Relaxed) > 0 {
+                    let op = gen.next_op();
+                    ctx.atomic(|tx| match op.kind {
+                        OpKind::Insert => list.insert(tx, op.key).map(|_| ()),
+                        OpKind::Remove => list.remove(tx, op.key).map(|_| ()),
+                        OpKind::Contains => list.contains(tx, op.key).map(|_| ()),
+                    });
+                }
+                wm.cancel();
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+criterion_group!(benches, bench_window_path);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Criterion-stand-in probe for the window-CM hot path. Prints one JSON
+//! row per bench — `{group, bench, mean_ns, min_ns}` — in the format
+//! `BENCH_window_path.json` aggregates.
+//!
+//! This file intentionally uses only public API that exists at the
+//! 'before' commit too, so the exact same source runs in a worktree
+//! pinned there: copy it into that tree's `crates/bench/examples/` and
+//! run `cargo run --release -p wtm-bench --example window_path_probe`
+//! in both trees, interleaved, to collect paired samples.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wtm_bench::scale;
+use wtm_stm::{clockns, ConflictKind, ContentionManager, Stm, TxState};
+use wtm_window::{WindowConfig, WindowManager, WindowVariant};
+use wtm_workloads::{OpKind, SetOpGenerator, TxIntSet, TxList};
+
+fn state_on(thread: usize, attempt_id: u64) -> Arc<TxState> {
+    Arc::new(TxState::new(
+        attempt_id,
+        attempt_id,
+        thread,
+        0,
+        attempt_id,
+        attempt_id,
+        clockns::now(),
+        0,
+    ))
+}
+
+/// Mean-over-samples / fastest-sample, like a criterion summary.
+fn sample<F: FnMut()>(samples: usize, iters: u64, mut body: F) -> (f64, f64) {
+    // One warm-up sample, discarded.
+    for _ in 0..iters {
+        body();
+    }
+    let mut per_op = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            body();
+        }
+        per_op.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    let mean = per_op.iter().sum::<f64>() / per_op.len() as f64;
+    let min = per_op.iter().cloned().fold(f64::INFINITY, f64::min);
+    (mean, min)
+}
+
+fn row(group: &str, bench: &str, mean_ns: f64, min_ns: f64) {
+    println!(
+        "{{\"group\": \"{group}\", \"bench\": \"{bench}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}",
+        mean_ns, min_ns
+    );
+}
+
+fn resolve_fixture(variant: WindowVariant) -> (WindowManager, Arc<TxState>, Arc<TxState>) {
+    let cfg = WindowConfig::new(1, 1024).with_fixed_tau(Duration::from_micros(10));
+    let wm = WindowManager::new(variant, cfg);
+    let me = state_on(0, 1);
+    wm.on_begin(&me, false);
+    let enemy = state_on(0, 2);
+    enemy.set_assigned_frame(1 << 40); // far future → low priority
+    enemy.set_rank(1);
+    (wm, me, enemy)
+}
+
+fn run_list_budget(threads: usize, budget: u64, key_range: i64) -> Duration {
+    let cfg = WindowConfig::new(threads, scale::WINDOW_N);
+    let wm = Arc::new(WindowManager::new(WindowVariant::OnlineDynamic, cfg));
+    let stm = Stm::new(wm.clone(), threads);
+    let list = TxList::new();
+    {
+        let boot = Stm::new(Arc::new(wtm_stm::cm::AbortSelfManager), 1);
+        let ctx = boot.thread(0);
+        let mut k = 0;
+        while k < key_range {
+            ctx.atomic(|tx| list.insert(tx, k).map(|_| ()));
+            k += 2;
+        }
+    }
+    let remaining = std::sync::atomic::AtomicI64::new(budget as i64);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let ctx = stm.thread(t);
+            let list = &list;
+            let remaining = &remaining;
+            let wm = &wm;
+            s.spawn(move || {
+                let mut gen = SetOpGenerator::new(7, t, key_range, 100);
+                while remaining.fetch_sub(1, std::sync::atomic::Ordering::Relaxed) > 0 {
+                    let op = gen.next_op();
+                    ctx.atomic(|tx| match op.kind {
+                        OpKind::Insert => list.insert(tx, op.key).map(|_| ()),
+                        OpKind::Remove => list.remove(tx, op.key).map(|_| ()),
+                        OpKind::Contains => list.contains(tx, op.key).map(|_| ()),
+                    });
+                }
+                wm.cancel();
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+fn main() {
+    for (label, variant) in [
+        ("resolve_static", WindowVariant::Online),
+        ("resolve_dynamic", WindowVariant::OnlineDynamic),
+    ] {
+        let (wm, me, enemy) = resolve_fixture(variant);
+        let (mean, min) = sample(15, 200_000, || {
+            std::hint::black_box(wm.resolve(
+                std::hint::black_box(&me),
+                std::hint::black_box(&enemy),
+                ConflictKind::WriteWrite,
+            ));
+        });
+        row("window_path", label, mean, min);
+    }
+
+    {
+        // Steady-state begin/commit cycle. The window is wider than the
+        // total iteration count (1 warm-up + 15 measured samples of 10k),
+        // so the only window boundary — and its frame-table allocation +
+        // batch registration — lands in the warm-up sample; what's
+        // measured is the per-transaction hook cost alone.
+        let cfg = WindowConfig::new(1, 200_000).with_fixed_tau(Duration::from_micros(10));
+        let wm = WindowManager::new(WindowVariant::OnlineDynamic, cfg);
+        let mut id = 0u64;
+        let (mean, min) = sample(15, 10_000, || {
+            id += 1;
+            let tx = state_on(0, id);
+            wm.on_begin(&tx, false);
+            tx.try_commit();
+            wm.on_commit(&tx);
+        });
+        row("window_path", "hooks_commit_loop", mean, min);
+    }
+
+    {
+        let cfg = WindowConfig::new(1, 1024).with_fixed_tau(Duration::from_micros(10));
+        let wm = WindowManager::new(WindowVariant::AdaptiveImprovedDynamic, cfg);
+        let tx = state_on(0, 1);
+        wm.on_begin(&tx, false);
+        let (mean, min) = sample(15, 200_000, || {
+            wm.on_abort(std::hint::black_box(&tx));
+        });
+        row("window_path", "abort_hook", mean, min);
+    }
+
+    {
+        // E2e Fig. 5 cell: Online-Dynamic, List, contended 64-key range.
+        // The budget is sized so one run is tens of milliseconds — long
+        // enough that scheduler quanta on an oversubscribed host average
+        // out. mean/min are ns per transaction (wall · threads / budget
+        // would double-count idle cores; wall / budget is the figure's
+        // time-to-commit shape).
+        const BUDGET: u64 = 20_000;
+        let mut per_txn = Vec::new();
+        run_list_budget(scale::THREADS, BUDGET, 64); // warm-up
+        for _ in 0..5 {
+            let wall = run_list_budget(scale::THREADS, BUDGET, 64);
+            per_txn.push(wall.as_nanos() as f64 / BUDGET as f64);
+        }
+        let mean = per_txn.iter().sum::<f64>() / per_txn.len() as f64;
+        let min = per_txn.iter().cloned().fold(f64::INFINITY, f64::min);
+        row("window_path_e2e", "list_online_dynamic", mean, min);
+    }
+}

@@ -70,6 +70,7 @@
 //! ```
 
 pub mod config;
+pub mod lockstat;
 pub mod manager;
 pub mod registry;
 pub mod run;

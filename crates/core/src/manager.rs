@@ -22,6 +22,37 @@
 //! * **calibration** — frame lengths are `Φ = c · ln(MN) · τ̂` where `τ̂`
 //!   is an EWMA of committed attempt durations, so "frame ≈ Θ(ln MN)
 //!   transaction durations" holds without knowing τ a priori.
+//!
+//! ## The lock-free hot path
+//!
+//! Fig. 5 charges the window algorithms for their *per-transaction
+//! overhead*; an implementation that pays a mutex round-trip per hook
+//! inflates exactly the quantity under study. The four steady-state hooks
+//! are therefore lock-free end to end:
+//!
+//! * **`resolve`** reads the current frame through a raw [`WindowRun`]
+//!   pointer cached in the transaction's [`TxState`] at `on_begin` — one
+//!   relaxed load of the pointer bits plus one atomic/coarse-clock read,
+//!   no lock, no `Arc` refcount traffic. Safety: `resolve` is only ever
+//!   invoked by the owning thread on its own `TxState` (the STM engine
+//!   calls `cm.resolve(&self.state, …)` from the conflicting attempt
+//!   itself), the owner's [`crate::thread::ThreadWindow::run`] `Arc` keeps
+//!   the pointee alive, and that `Arc` is only replaced inside the owner's
+//!   own `on_begin` — which can never run concurrently with the owner's
+//!   `resolve`.
+//! * **`on_begin` / `on_commit`** enter the owner-private
+//!   [`crate::thread::ThreadCell`] (an `UnsafeCell` with a debug-only
+//!   ownership tripwire — no lock in release builds) and talk to the
+//!   frame clock through its wait-free registration/contraction API.
+//! * **`on_abort`** is two atomic f64 operations on the
+//!   contention-intensity cell and touches neither the `ThreadWindow` nor
+//!   any lock.
+//!
+//! Mutexes remain only at window *boundaries* (creating the next
+//! generation's frame clock, publishing the diagnostic mirrors) and on
+//! the barrier-timeout failure path. [`crate::lockstat`] counts every
+//! acquisition so the steady-state zero-lock property is asserted by a
+//! test rather than claimed by a comment.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,8 +65,9 @@ use wtm_stm::txstate::NOT_WINDOWED;
 use wtm_stm::{ConflictKind, ContentionManager, Resolution, TxState};
 
 use crate::config::{AdaptiveMode, WindowConfig};
+use crate::lockstat;
 use crate::run::WindowRun;
-use crate::thread::ThreadWindow;
+use crate::thread::{ThreadCell, ThreadWindow};
 use crate::WindowVariant;
 
 /// Cap on a single calibration sample so one descheduled attempt cannot
@@ -60,12 +92,18 @@ pub struct WindowManager {
     cfg: WindowConfig,
     variant: WindowVariant,
     barrier: CancellableBarrier,
-    threads: Box<[Mutex<ThreadWindow>]>,
+    threads: Box<[ThreadCell]>,
     /// Per-thread τ estimates (ns), written by owners, read when a new
-    /// window run is created. Atomics so run creation never locks another
-    /// thread's `ThreadWindow`.
+    /// window run is created. Atomics so run creation never touches
+    /// another thread's state.
     taus: Box<[AtomicU64]>,
     runs: Mutex<RunSlot>,
+    /// The shared free-mode frame clock: a static run with 1 ns frames,
+    /// created once so free-mode entry allocates nothing and every thread
+    /// caches the same immortal pointer. Its frame index is astronomically
+    /// large immediately, so free-mode transactions are always high
+    /// priority and the manager degenerates to RandomizedRounds.
+    free_run: Arc<WindowRun>,
     /// First barrier-timeout diagnostic, kept for callers to surface.
     last_error: Mutex<Option<String>>,
 }
@@ -73,13 +111,16 @@ pub struct WindowManager {
 impl WindowManager {
     /// Build a manager for `variant` with the given window configuration.
     pub fn new(variant: WindowVariant, cfg: WindowConfig) -> Self {
+        // Pay the coarse clock's one-time calibration here, not inside the
+        // first window's frame computation.
+        wtm_stm::clockns::warmup();
         let c_init = match variant.adaptive_mode() {
             AdaptiveMode::Known => cfg.c_init,
             AdaptiveMode::Doubling => 1.0,
             AdaptiveMode::ContentionIntensity => 1.0,
         };
-        let threads: Box<[Mutex<ThreadWindow>]> = (0..cfg.m)
-            .map(|t| Mutex::new(ThreadWindow::new(t, cfg.seed, c_init, cfg.n)))
+        let threads: Box<[ThreadCell]> = (0..cfg.m)
+            .map(|t| ThreadCell::new(t, cfg.seed, c_init, cfg.n))
             .collect();
         let initial_run = Arc::new(WindowRun::new(
             variant.dynamic_frames(),
@@ -94,6 +135,7 @@ impl WindowManager {
                 generation: 0,
                 run: initial_run,
             }),
+            free_run: Arc::new(WindowRun::new(false, 1, 1)),
             last_error: Mutex::new(None),
             cfg,
             variant,
@@ -122,18 +164,24 @@ impl WindowManager {
     /// actually running transactions. `None` while the window machinery
     /// is healthy.
     pub fn window_error(&self) -> Option<String> {
+        lockstat::bump();
         self.last_error.lock().clone()
     }
 
-    /// Current contention estimate of a thread (diagnostics/tests).
+    /// Current contention estimate of a thread (diagnostics/tests; reads
+    /// the mirror published at the last window boundary).
     pub fn contention_estimate(&self, thread_id: usize) -> f64 {
-        self.threads[thread_id].lock().c
+        self.threads[thread_id].c_mirror.load(Ordering::Acquire)
+    }
+
+    /// Current contention-intensity EWMA of a thread (diagnostics/tests).
+    pub fn contention_intensity(&self, thread_id: usize) -> f64 {
+        self.threads[thread_id].ci.load(Ordering::Acquire)
     }
 
     /// Number of completed windows on a thread (diagnostics/tests).
     pub fn windows_completed(&self, thread_id: usize) -> u64 {
-        let tw = self.threads[thread_id].lock();
-        tw.windows_done.saturating_sub(u64::from(tw.j < self.cfg.n))
+        self.threads[thread_id].windows_done.load(Ordering::Acquire)
     }
 
     /// Mean τ estimate across threads, falling back to the configured
@@ -156,7 +204,10 @@ impl WindowManager {
     }
 
     /// Get (or create) the frame clock for barrier generation `generation`.
+    /// Window-boundary only: the lock here is once per window per thread,
+    /// never per transaction.
     fn run_for_generation(&self, generation: u64) -> Arc<WindowRun> {
+        lockstat::bump();
         let mut slot = self.runs.lock();
         if slot.generation < generation {
             slot.run = Arc::new(WindowRun::new(
@@ -218,6 +269,7 @@ impl WindowManager {
             self.cfg.barrier_timeout, self.cfg.m,
         );
         {
+            lockstat::bump();
             let mut err = self.last_error.lock();
             if err.is_none() {
                 eprintln!("wtm-window: {msg}");
@@ -229,9 +281,9 @@ impl WindowManager {
 
     /// Window-boundary protocol: barrier → roll `qᵢ`, register assignments
     /// → barrier → go.
-    fn begin_window(&self, tw: &mut ThreadWindow) {
+    fn begin_window(&self, cell: &ThreadCell, tw: &mut ThreadWindow) {
         if tw.free_mode || self.window_barrier(tw.id, 0) != BarrierWait::Released {
-            self.enter_free_mode(tw);
+            self.enter_free_mode(cell, tw);
             return;
         }
         tw.windows_done += 1;
@@ -242,41 +294,51 @@ impl WindowManager {
         match self.variant.adaptive_mode() {
             AdaptiveMode::Known => tw.c = self.cfg.c_init,
             AdaptiveMode::Doubling => tw.c = 1.0, // fresh guess per window (§II-B3)
-            AdaptiveMode::ContentionIntensity => tw.c = self.c_from_ci(tw.ci),
+            AdaptiveMode::ContentionIntensity => {
+                tw.c = self.c_from_ci(cell.ci.load(Ordering::Relaxed))
+            }
         }
         let alpha = self.cfg.alpha_for(tw.c);
         tw.q = tw.rng.random_range(0..alpha);
         let run = self.run_for_generation(tw.windows_done);
+        // Whole schedule segment in one wait-free batch (one high-water
+        // publication instead of N).
         run.register_all((0..self.cfg.n as u64).map(|j| tw.q + j));
         // Second phase: nobody executes until everyone registered, so the
         // dynamic frame clock sees the complete pending table.
         let released = self.window_barrier(tw.id, 1) == BarrierWait::Released;
         run.seal_registration();
         tw.run = Some(run);
+        cell.publish_boundary(tw.run.clone(), tw.c, tw.windows_done - 1);
         if !released {
-            self.enter_free_mode(tw);
-            return;
+            self.enter_free_mode(cell, tw);
+        } else {
+            #[cfg(feature = "trace")]
+            wtm_trace::emit(wtm_trace::Event::instant(
+                wtm_trace::EventKind::WindowStart,
+                wtm_stm::clockns::now(),
+                tw.id as u32,
+                tw.windows_done,
+                tw.q,
+            ));
         }
-        #[cfg(feature = "trace")]
-        wtm_trace::emit(wtm_trace::Event::instant(
-            wtm_trace::EventKind::WindowStart,
-            wtm_stm::clockns::now(),
-            tw.id as u32,
-            tw.windows_done,
-            tw.q,
-        ));
     }
 
-    fn enter_free_mode(&self, tw: &mut ThreadWindow) {
+    fn enter_free_mode(&self, cell: &ThreadCell, tw: &mut ThreadWindow) {
         tw.free_mode = true;
         tw.j = 0;
         tw.j_base = 0;
         tw.base = 0;
         tw.q = 0;
-        // A static run with a 1 ns frame: current_frame is astronomically
-        // large immediately, so every transaction is high priority and the
-        // manager degenerates to RandomizedRounds.
-        tw.run = Some(Arc::new(WindowRun::new(false, 1, 1)));
+        // The shared pre-built free-mode clock (see field docs): its frame
+        // index is already astronomically large, so every transaction is
+        // high priority and the manager degenerates to RandomizedRounds.
+        tw.run = Some(Arc::clone(&self.free_run));
+        cell.publish_boundary(
+            tw.run.clone(),
+            tw.c,
+            cell.windows_done.load(Ordering::Relaxed),
+        );
     }
 
     /// Map the contention-intensity EWMA to a contention estimate: CI = 0
@@ -310,17 +372,36 @@ impl WindowManager {
         f == NOT_WINDOWED || f > cur_frame
     }
 
-    fn current_run(&self, thread_id: usize) -> Option<Arc<WindowRun>> {
-        self.threads[thread_id].lock().run.clone()
+    /// The live frame clock of a thread (diagnostics/tests; reads the
+    /// boundary-published mirror, never the owner-private state).
+    pub fn current_run(&self, thread_id: usize) -> Option<Arc<WindowRun>> {
+        self.threads[thread_id].run_snapshot()
+    }
+
+    /// The current frame as seen by `tx`, via the raw run pointer cached
+    /// at `on_begin`. Zero if the transaction never entered a window.
+    ///
+    /// SAFETY (of the deref inside): see the module docs — callers must be
+    /// the thread that owns `tx`, which holds the `Arc` keeping the
+    /// pointee alive in its `ThreadWindow`.
+    #[inline]
+    fn cached_frame(tx: &TxState) -> u64 {
+        let bits = tx.window_run_bits();
+        if bits == 0 {
+            return 0;
+        }
+        // SAFETY: `bits` was produced by `Arc::as_ptr` on the owning
+        // thread's live run `Arc` in `on_begin`; the owner only replaces
+        // that `Arc` inside `on_begin`, which cannot run concurrently
+        // with this call on the same thread; the free run is immortal.
+        unsafe { &*(bits as *const WindowRun) }.current_frame()
     }
 }
 
 impl ContentionManager for WindowManager {
     fn resolve(&self, me: &TxState, enemy: &TxState, _kind: ConflictKind) -> Resolution {
-        let cur = match self.current_run(me.thread_id) {
-            Some(run) => run.current_frame(),
-            None => 0,
-        };
+        // One relaxed load + one frame-clock read; no lock, no Arc clone.
+        let cur = Self::cached_frame(me);
         let mine = (Self::is_low_priority(me, cur), me.rank(), me.attempt_id);
         let theirs = (
             Self::is_low_priority(enemy, cur),
@@ -345,33 +426,42 @@ impl ContentionManager for WindowManager {
             self.cfg.m,
             tx.thread_id
         );
-        let mut tw = self.threads[tx.thread_id].lock();
-        if !is_retry {
-            if tw.j >= self.cfg.n || tw.run.is_none() {
-                self.begin_window(&mut tw);
+        let cell = &self.threads[tx.thread_id];
+        cell.with(|tw| {
+            if !is_retry {
+                if tw.j >= self.cfg.n || tw.run.is_none() {
+                    self.begin_window(cell, tw);
+                }
+                tw.cur_assigned = tw.next_assigned_frame();
             }
-            tw.cur_assigned = tw.next_assigned_frame();
-        }
-        tx.set_assigned_frame(tw.cur_assigned);
-        // π₂ is re-rolled at every attempt ("on start of the frame F_ij,
-        // and after every abort").
-        let rank = tw.rng.random_range(1..=self.cfg.m as u32);
-        tx.set_rank(rank);
-        #[cfg(feature = "trace")]
-        if !is_retry {
-            wtm_trace::emit(wtm_trace::Event::instant(
-                wtm_trace::EventKind::FrameAssign,
-                wtm_stm::clockns::now(),
-                tw.id as u32,
-                tw.cur_assigned,
-                u64::from(rank),
-            ));
-        }
+            tx.set_assigned_frame(tw.cur_assigned);
+            // Cache the raw frame-clock pointer for lock-free `resolve`;
+            // the owner's `tw.run` Arc keeps it alive (module docs).
+            let run_bits = tw
+                .run
+                .as_ref()
+                .map_or(0, |r| Arc::as_ptr(r) as usize as u64);
+            tx.set_window_run(run_bits, tw.windows_done);
+            // π₂ is re-rolled at every attempt ("on start of the frame F_ij,
+            // and after every abort").
+            let rank = tw.rng.random_range(1..=self.cfg.m as u32);
+            tx.set_rank(rank);
+            #[cfg(feature = "trace")]
+            if !is_retry {
+                wtm_trace::emit(wtm_trace::Event::instant(
+                    wtm_trace::EventKind::FrameAssign,
+                    wtm_stm::clockns::now(),
+                    tw.id as u32,
+                    tw.cur_assigned,
+                    u64::from(rank),
+                ));
+            }
+        });
     }
 
     fn on_commit(&self, tx: &TxState) {
-        let mut tw = self.threads[tx.thread_id].lock();
-        // τ calibration from the committed attempt's duration.
+        let cell = &self.threads[tx.thread_id];
+        // τ calibration from the committed attempt's duration (atomics).
         if self.cfg.auto_calibrate {
             let sample = wtm_stm::clockns::now()
                 .saturating_sub(tx.attempt_start_ns)
@@ -385,43 +475,70 @@ impl ContentionManager for WindowManager {
             };
             slot.store(new.max(1), Ordering::Relaxed);
         }
-        // Contention intensity decays on commit.
-        tw.ci *= self.cfg.ci_alpha;
+        // Contention intensity decays on commit. Single writer (owner):
+        // load-modify-store on the atomic cell is race-free.
+        cell.ci.store(
+            cell.ci.load(Ordering::Relaxed) * self.cfg.ci_alpha,
+            Ordering::Relaxed,
+        );
 
-        if tw.free_mode {
-            return;
-        }
-        let Some(run) = tw.run.clone() else { return };
-        let assigned = tx.assigned_frame();
-        if assigned == NOT_WINDOWED {
-            return;
-        }
-        let cur = run.current_frame();
-        run.complete(assigned);
+        cell.with(|tw| {
+            if tw.free_mode {
+                return;
+            }
+            // Raw pointer instead of `tw.run.clone()`: no Arc refcount
+            // traffic per commit. SAFETY: the Arc it was taken from lives
+            // in `tw.run` for the whole scope — `re_randomize` and the
+            // frame bookkeeping below never replace `tw.run`.
+            let run_ptr: *const WindowRun = match tw.run.as_deref() {
+                Some(r) => r,
+                None => return,
+            };
+            let run = unsafe { &*run_ptr };
+            let assigned = tx.assigned_frame();
+            if assigned == NOT_WINDOWED {
+                return;
+            }
+            let cur = run.current_frame();
+            run.complete(assigned);
 
-        // Bad event: the transaction missed its assigned frame (§II-B3).
-        let missed = cur > assigned;
-        if missed && tw.j + 1 < self.cfg.n {
-            match self.variant.adaptive_mode() {
-                AdaptiveMode::Known => {}
-                AdaptiveMode::Doubling => {
-                    let cap = (self.cfg.m * self.cfg.n) as f64;
-                    tw.c = (tw.c * 2.0).min(cap);
-                    self.re_randomize(&mut tw, &run, cur);
-                }
-                AdaptiveMode::ContentionIntensity => {
-                    tw.c = self.c_from_ci(tw.ci);
-                    self.re_randomize(&mut tw, &run, cur);
+            // Bad event: the transaction missed its assigned frame (§II-B3).
+            let missed = cur > assigned;
+            if missed && tw.j + 1 < self.cfg.n {
+                match self.variant.adaptive_mode() {
+                    AdaptiveMode::Known => {}
+                    AdaptiveMode::Doubling => {
+                        let cap = (self.cfg.m * self.cfg.n) as f64;
+                        tw.c = (tw.c * 2.0).min(cap);
+                        // Keep the diagnostic mirror live (atomic store,
+                        // not a lock — still on the zero-mutex path).
+                        cell.c_mirror.store(tw.c, Ordering::Relaxed);
+                        self.re_randomize(tw, run, cur);
+                    }
+                    AdaptiveMode::ContentionIntensity => {
+                        tw.c = self.c_from_ci(cell.ci.load(Ordering::Relaxed));
+                        cell.c_mirror.store(tw.c, Ordering::Relaxed);
+                        self.re_randomize(tw, run, cur);
+                    }
                 }
             }
-        }
-        tw.j += 1;
+            tw.j += 1;
+            if tw.j == self.cfg.n {
+                // Window completed: publish the counter mirror (one store
+                // per window, not per transaction).
+                cell.windows_done.store(tw.windows_done, Ordering::Release);
+            }
+        });
     }
 
     fn on_abort(&self, tx: &TxState) {
-        let mut tw = self.threads[tx.thread_id].lock();
-        // Contention intensity rises on abort (ATS-style EWMA).
-        tw.ci = self.cfg.ci_alpha * tw.ci + (1.0 - self.cfg.ci_alpha);
+        // Contention intensity rises on abort (ATS-style EWMA). Pure
+        // atomics on the owner-published cell: no lock, no cell entry.
+        let ci = &self.threads[tx.thread_id].ci;
+        ci.store(
+            self.cfg.ci_alpha * ci.load(Ordering::Relaxed) + (1.0 - self.cfg.ci_alpha),
+            Ordering::Relaxed,
+        );
     }
 
     fn name(&self) -> &str {
@@ -459,6 +576,7 @@ mod tests {
         wm.on_begin(&tx, false);
         assert_ne!(tx.assigned_frame(), NOT_WINDOWED);
         assert!(tx.rank() >= 1);
+        assert_ne!(tx.window_run_bits(), 0, "run pointer must be cached");
     }
 
     #[test]
@@ -473,6 +591,11 @@ mod tests {
         let retry = state_on(0, 2);
         wm.on_begin(&retry, true);
         assert_eq!(retry.assigned_frame(), f, "retries keep the assigned frame");
+        assert_eq!(
+            retry.window_run_bits(),
+            tx.window_run_bits(),
+            "retries cache the same frame clock"
+        );
     }
 
     #[test]
@@ -542,6 +665,9 @@ mod tests {
         let a = state_on(0, 1);
         let b = state_on(0, 2);
         wm.on_begin(&a, false);
+        // Both sides must judge against the same frame clock, as in
+        // production where every resolving transaction has begun.
+        wm.on_begin(&b, true);
         for (fa, fb, ra, rb) in [(0u64, 0u64, 1u32, 2u32), (0, 7, 3, 1), (9, 9, 2, 2)] {
             a.set_assigned_frame(fa);
             b.set_assigned_frame(fb);
@@ -578,13 +704,13 @@ mod tests {
         let tx = state_on(0, 1);
         wm.on_begin(&tx, false);
         wm.on_abort(&tx);
-        let ci_after_abort = wm.threads[0].lock().ci;
+        let ci_after_abort = wm.contention_intensity(0);
         assert!(ci_after_abort > 0.0);
         let tx2 = state_on(0, 2);
         wm.on_begin(&tx2, true);
         tx2.try_commit();
         wm.on_commit(&tx2);
-        let ci_after_commit = wm.threads[0].lock().ci;
+        let ci_after_commit = wm.contention_intensity(0);
         assert!(ci_after_commit < ci_after_abort);
     }
 
@@ -605,6 +731,46 @@ mod tests {
         wm.on_begin(&tx, false);
         let run = wm.current_run(0).unwrap();
         assert!(run.current_frame() > 1_000, "free-mode frames race ahead");
+    }
+
+    #[test]
+    fn steady_state_hooks_take_no_locks() {
+        // The PR 4 contract: resolve/on_begin/on_commit/on_abort acquire
+        // zero mutexes mid-window. Drive a full window's worth of hooks
+        // after the boundary and assert the lock counter does not move and
+        // the frame clock's refcount is untouched (no Arc clones either).
+        let n = 64;
+        let wm = WindowManager::new(WindowVariant::OnlineDynamic, cfg_1xn(n));
+        let first = state_on(0, 1);
+        wm.on_begin(&first, false); // window boundary: locks allowed here
+        let run = wm.current_run(0).expect("window started");
+        let rc_before = Arc::strong_count(&run);
+        let locks_before = crate::lockstat::lock_acquisitions();
+        first.try_commit();
+        wm.on_commit(&first);
+        for i in 2..n as u64 {
+            let tx = state_on(0, i);
+            wm.on_begin(&tx, false);
+            let enemy = state_on(0, 1000 + i);
+            enemy.set_assigned_frame(i + 5);
+            enemy.set_rank(1);
+            let _ = wm.resolve(&tx, &enemy, ConflictKind::WriteWrite);
+            wm.on_abort(&tx);
+            let retry = state_on(0, 2000 + i);
+            wm.on_begin(&retry, true);
+            retry.try_commit();
+            wm.on_commit(&retry);
+        }
+        assert_eq!(
+            crate::lockstat::lock_acquisitions(),
+            locks_before,
+            "steady-state window hooks must not acquire any mutex"
+        );
+        assert_eq!(
+            Arc::strong_count(&run),
+            rc_before,
+            "steady-state window hooks must not clone the run Arc"
+        );
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! resolver needs — *what is the current frame?* — under one of two
 //! drivers:
 //!
-//! * **static**: frame = elapsed wall time / frame length. The paper's
-//!   base algorithms, where frames are fixed at Θ(ln MN) transaction
-//!   durations.
+//! * **static**: frame = elapsed time / frame length. The paper's base
+//!   algorithms, where frames are fixed at Θ(ln MN) transaction
+//!   durations. Elapsed time comes from the engine's coarse
+//!   [`wtm_stm::clockns`] clock (a calibrated `rdtsc` on x86_64), not
+//!   `Instant::elapsed()` — one vDSO `clock_gettime` per conflict was a
+//!   measurable slice of the "window overhead" the paper charges to the
+//!   algorithm rather than the implementation.
 //! * **dynamic**: the frame index advances as soon as every transaction
 //!   *assigned* to the current frame has committed (the "dynamic
 //!   contraction" of §III-B that makes Online-Dynamic and
@@ -16,42 +20,113 @@
 //!   frame and the frame's nominal end is reclaimed. Expansion is implicit:
 //!   a frame simply lasts until its transactions are done, which the paper
 //!   notes is rarely needed because of the pending-commit property.
+//!
+//! ## Lock-free dynamic clock
+//!
+//! The dynamic driver used to funnel every register/complete through a
+//! `Mutex<Vec<u32>>` — all M threads serialized on one lock per commit,
+//! which is exactly the per-transaction overhead Fig. 5 measures. It is
+//! now an array of cache-line-padded `AtomicU32` per-frame pending
+//! counters plus an atomic `cur` cursor advanced by CAS when the current
+//! frame's counter drains:
+//!
+//! * `register(f)` is one `fetch_add` on the frame's counter plus a
+//!   `fetch_max` on the high-water mark — wait-free.
+//! * `complete(f)` is a decrement-if-positive CAS loop on one counter
+//!   followed by the shared advance loop — lock-free.
+//! * `current_frame()` is a single `Acquire` load.
+//!
+//! Frames beyond the pre-sized base table land in lazily-allocated,
+//! doubling *epoch segments* published through `AtomicPtr` CAS (losers
+//! free their allocation), so re-randomized schedules that push past the
+//! hint never reintroduce a lock and never move existing counters.
+//!
+//! ### Orderings and the no-skip invariant
+//!
+//! Counter increments are `Release` and the advance loop's reads are
+//! `Acquire`, so a registration published before the registration barrier
+//! is always seen by any later advance: the clock cannot pass a frame
+//! that still has base-schedule work. `reassign` increments the new frame
+//! *before* decrementing the old one — the transient state double-counts,
+//! which can only delay contraction, never wrongly advance it. The one
+//! benign race left is a reassign targeting the frame the cursor is
+//! advancing past in the same instant; the winner-side re-check counts
+//! those in [`WindowRun::skipped_pending`] (zero in every run without
+//! adaptive re-randomization — asserted by the contraction stress test)
+//! and the affected transaction merely turns high-priority a frame early.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use wtm_stm::clockns;
+
+/// One per-frame pending counter, padded to its own cache line so
+/// neighbouring frames (hot on different threads during hand-off) never
+/// false-share.
+#[repr(align(64))]
+#[derive(Debug)]
+struct FrameCounter(AtomicU32);
+
+impl FrameCounter {
+    const fn new() -> Self {
+        FrameCounter(AtomicU32::new(0))
+    }
+}
+
+fn alloc_counters(len: usize) -> Box<[FrameCounter]> {
+    (0..len).map(|_| FrameCounter::new()).collect()
+}
+
+/// Number of doubling epoch segments past the base table. Segment `k`
+/// (0-based) holds `base_cap << (k + 1)` frames, so 32 segments extend
+/// the clock by `base_cap · (2³³ − 2)` frames — unreachable in practice
+/// (a window registers O(N²) frames at worst), but the growth path stays
+/// total instead of panicking.
+const EPOCH_SEGMENTS: usize = 32;
 
 /// Shared frame clock for one window execution.
 pub struct WindowRun {
-    start: Instant,
+    /// Coarse-clock timestamp at creation (static driver origin).
+    start_ns: u64,
     frame_len_ns: u64,
     dynamic: bool,
-    /// Mirror of the dynamic frame index for lock-free reads on the
-    /// conflict-resolution hot path.
+    /// The dynamic frame cursor; advanced only by [`Self::try_advance`].
     cur: AtomicU64,
-    state: Mutex<DynFrames>,
+    /// One past the highest registered frame: the advance bound. Grows
+    /// monotonically (`fetch_max`), only *after* the frame's counter is
+    /// visible, so the cursor never enters a frame before its count.
+    high_water: AtomicU64,
+    /// Pending counters for frames `[0, base_cap)`. Power-of-two length.
+    base: Box<[FrameCounter]>,
+    /// Lazily-allocated doubling segments for frames `>= base_cap`;
+    /// segment `k` covers `base_cap·(2^(k+1)−1) ..` with `base_cap·2^(k+1)`
+    /// slots. Published by CAS from null; never replaced or moved.
+    epochs: [AtomicPtr<FrameCounter>; EPOCH_SEGMENTS],
+    /// Diagnostic: advances that won the cursor CAS and then observed a
+    /// racing registration land in the frame just passed (only possible
+    /// through adaptive re-randomization; see module docs).
+    skipped_pending: AtomicU64,
 }
 
-struct DynFrames {
-    /// Outstanding (assigned, uncommitted) transactions per frame.
-    pending: Vec<u32>,
-    cur: u64,
-}
+// SAFETY: all shared state is atomics; the raw epoch pointers are
+// published once via CAS, never mutated or freed before `Drop`, and point
+// at heap allocations of `FrameCounter` (themselves atomics).
+unsafe impl Send for WindowRun {}
+unsafe impl Sync for WindowRun {}
 
 impl WindowRun {
     /// New frame clock. `frame_len_ns` is ignored for dynamic runs except
     /// as a fallback; `frames_hint` pre-sizes the pending table.
     pub fn new(dynamic: bool, frame_len_ns: u64, frames_hint: usize) -> Self {
+        let base_cap = frames_hint.max(2).next_power_of_two();
         WindowRun {
-            start: Instant::now(),
+            start_ns: clockns::now(),
             frame_len_ns: frame_len_ns.max(1),
             dynamic,
             cur: AtomicU64::new(0),
-            state: Mutex::new(DynFrames {
-                pending: vec![0; frames_hint.max(1)],
-                cur: 0,
-            }),
+            high_water: AtomicU64::new(0),
+            base: alloc_counters(base_cap),
+            epochs: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            skipped_pending: AtomicU64::new(0),
         }
     }
 
@@ -65,83 +140,215 @@ impl WindowRun {
         self.frame_len_ns
     }
 
-    /// The current frame index.
+    /// The current frame index. One atomic load (dynamic) or one coarse
+    /// clock read (static) — the whole conflict-resolution clock cost.
     #[inline]
     pub fn current_frame(&self) -> u64 {
         if self.dynamic {
             self.cur.load(Ordering::Acquire)
         } else {
-            (self.start.elapsed().as_nanos() as u64) / self.frame_len_ns
+            clockns::now().saturating_sub(self.start_ns) / self.frame_len_ns
         }
+    }
+
+    fn base_cap(&self) -> u64 {
+        self.base.len() as u64
+    }
+
+    /// Length of epoch segment `k`.
+    #[inline]
+    fn epoch_len(&self, k: usize) -> u64 {
+        self.base_cap() << (k + 1)
+    }
+
+    /// First frame covered by epoch segment `k`:
+    /// `base_cap · (2^(k+1) − 1)`.
+    #[inline]
+    fn epoch_start(&self, k: usize) -> u64 {
+        self.base_cap() * ((1u64 << (k + 1)) - 1)
+    }
+
+    /// Map a frame index to `(segment, offset)`; segment `usize::MAX`
+    /// means the base table.
+    #[inline]
+    fn locate(&self, frame: u64) -> (usize, usize) {
+        let cap = self.base_cap();
+        if frame < cap {
+            return (usize::MAX, frame as usize);
+        }
+        // Frame f >= cap lives in the segment k with
+        // epoch_start(k) <= f < epoch_start(k+1); since epoch_start(k) =
+        // cap·(2^(k+1)−1), k = floor(log2(f/cap + 1)) − 1.
+        let x = frame / cap + 1;
+        let k = (63 - x.leading_zeros()) as usize - 1;
+        debug_assert!(k < EPOCH_SEGMENTS, "frame {frame} beyond the epoch range");
+        let k = k.min(EPOCH_SEGMENTS - 1);
+        ((k), (frame - self.epoch_start(k)) as usize)
+    }
+
+    /// The counter for `frame`, allocating its epoch segment if needed.
+    fn counter_alloc(&self, frame: u64) -> &AtomicU32 {
+        let (k, off) = self.locate(frame);
+        if k == usize::MAX {
+            return &self.base[off].0;
+        }
+        let slot = &self.epochs[k];
+        let mut ptr = slot.load(Ordering::Acquire);
+        if ptr.is_null() {
+            let fresh = alloc_counters(self.epoch_len(k) as usize);
+            let len = fresh.len();
+            let raw = Box::into_raw(fresh) as *mut FrameCounter;
+            match slot.compare_exchange(
+                std::ptr::null_mut(),
+                raw,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => ptr = raw,
+                Err(winner) => {
+                    // SAFETY: `raw` came from `Box::into_raw` above and
+                    // lost the publication race, so this thread still
+                    // uniquely owns it.
+                    drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(raw, len)) });
+                    ptr = winner;
+                }
+            }
+        }
+        // SAFETY: `ptr` was published by the CAS above (or an earlier
+        // one) from a live `Box<[FrameCounter]>` of length epoch_len(k),
+        // freed only in `Drop`; `off < epoch_len(k)` by `locate`.
+        unsafe { &(*ptr.add(off)).0 }
+    }
+
+    /// The counter for `frame` if its storage exists; pending count 0
+    /// otherwise (an unallocated segment holds no registrations).
+    #[inline]
+    fn count(&self, frame: u64) -> u32 {
+        let (k, off) = self.locate(frame);
+        if k == usize::MAX {
+            return self.base[off].0.load(Ordering::Acquire);
+        }
+        let ptr = self.epochs[k].load(Ordering::Acquire);
+        if ptr.is_null() {
+            return 0;
+        }
+        // SAFETY: published segment, `off` in bounds (see counter_alloc).
+        unsafe { (*ptr.add(off)).0.load(Ordering::Acquire) }
     }
 
     /// Register one transaction assigned to `frame` (window start, or an
     /// adaptive re-randomization). Only meaningful for dynamic runs; a
-    /// no-op otherwise.
+    /// no-op otherwise. Wait-free: one `fetch_add` + one `fetch_max`.
     pub fn register(&self, frame: u64) {
         if !self.dynamic {
             return;
         }
-        let mut st = self.state.lock();
-        let idx = frame as usize;
-        if idx >= st.pending.len() {
-            st.pending.resize(idx + 1, 0);
-        }
-        st.pending[idx] += 1;
+        self.counter_alloc(frame).fetch_add(1, Ordering::Release);
+        // High-water only after the count is visible: the cursor must
+        // never be allowed into a frame before its registration lands.
+        self.high_water.fetch_max(frame + 1, Ordering::Release);
     }
 
-    /// Register a batch of assigned frames.
+    /// Register a batch of assigned frames in one pass: the counters are
+    /// bumped item by item (wait-free), but the high-water mark is
+    /// published once at the end instead of per item — the window-start
+    /// path registers a whole N-transaction schedule segment with a
+    /// single shared-cursor-bound update.
     pub fn register_all(&self, frames: impl IntoIterator<Item = u64>) {
+        if !self.dynamic {
+            return;
+        }
+        let mut max_frame = None::<u64>;
         for f in frames {
-            self.register(f);
+            self.counter_alloc(f).fetch_add(1, Ordering::Release);
+            max_frame = Some(max_frame.map_or(f, |m| m.max(f)));
+        }
+        if let Some(m) = max_frame {
+            self.high_water.fetch_max(m + 1, Ordering::Release);
         }
     }
 
     /// A transaction assigned to `frame` committed: contract if possible.
+    /// Lock-free: a decrement-if-positive CAS loop plus the advance loop.
     pub fn complete(&self, frame: u64) {
         if !self.dynamic {
             return;
         }
-        let mut st = self.state.lock();
-        let idx = frame as usize;
-        if idx < st.pending.len() && st.pending[idx] > 0 {
-            st.pending[idx] -= 1;
+        if self.dec_if_positive(frame) {
+            self.try_advance();
         }
-        self.advance_locked(&mut st);
+    }
+
+    /// Decrement `frame`'s pending count unless already zero; returns
+    /// whether the count reached zero (the caller should try to advance).
+    fn dec_if_positive(&self, frame: u64) -> bool {
+        let c = self.counter_alloc(frame);
+        let mut v = c.load(Ordering::Relaxed);
+        loop {
+            if v == 0 {
+                // Unbalanced complete (free-mode hand-off, defensive):
+                // same silent tolerance the locked version had.
+                return false;
+            }
+            match c.compare_exchange_weak(v, v - 1, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return v == 1,
+                Err(cur) => v = cur,
+            }
+        }
     }
 
     /// Move one not-yet-committed assignment from `old` to `new`
-    /// (adaptive re-randomization of the remaining window).
+    /// (adaptive re-randomization of the remaining window). The new frame
+    /// is counted *before* the old one is released so the transient state
+    /// can only delay contraction, never let the cursor slip past work.
     pub fn reassign(&self, old: u64, new: u64) {
         if !self.dynamic {
             return;
         }
-        let mut st = self.state.lock();
-        let oi = old as usize;
-        if oi < st.pending.len() && st.pending[oi] > 0 {
-            st.pending[oi] -= 1;
+        self.register(new);
+        if self.dec_if_positive(old) {
+            self.try_advance();
         }
-        let ni = new as usize;
-        if ni >= st.pending.len() {
-            st.pending.resize(ni + 1, 0);
-        }
-        st.pending[ni] += 1;
-        self.advance_locked(&mut st);
     }
 
-    /// Advance `cur` past drained frames. The frame index never moves past
-    /// the last slot with work so late registrations stay well-ordered.
-    fn advance_locked(&self, st: &mut DynFrames) {
-        let last = st.pending.len() as u64;
-        while st.cur < last {
-            let idx = st.cur as usize;
-            if st.pending[idx] == 0 {
-                st.cur += 1;
-            } else {
-                break;
+    /// Advance the cursor past drained frames: CAS `cur → cur+1` while
+    /// the current frame's count is zero and work remains above. Safe to
+    /// race from any number of threads — the CAS makes each step
+    /// exactly-once and the loop re-reads after losing.
+    fn try_advance(&self) {
+        let mut cur = self.cur.load(Ordering::Acquire);
+        loop {
+            if cur >= self.high_water.load(Ordering::Acquire) || self.count(cur) != 0 {
+                return;
+            }
+            match self
+                .cur
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    // Re-check the frame we just closed: a registration
+                    // that raced the CAS (only adaptive reassign can do
+                    // this) means a transaction turned high-priority one
+                    // frame early. Count it — the contraction stress test
+                    // asserts zero on reassign-free runs.
+                    if self.count(cur) != 0 {
+                        self.skipped_pending.fetch_add(1, Ordering::Relaxed);
+                    }
+                    #[cfg(feature = "trace")]
+                    if wtm_trace::enabled() {
+                        wtm_trace::emit(wtm_trace::Event::instant(
+                            wtm_trace::EventKind::FrameAdvance,
+                            clockns::now(),
+                            u32::MAX, // engine-level event, no single owner thread
+                            cur + 1,
+                            self.high_water.load(Ordering::Relaxed),
+                        ));
+                    }
+                    cur += 1;
+                }
+                Err(seen) => cur = seen,
             }
         }
-        self.cur.store(st.cur, Ordering::Release);
     }
 
     /// Recompute contraction after batch registration (call once all
@@ -150,18 +357,70 @@ impl WindowRun {
         if !self.dynamic {
             return;
         }
-        let mut st = self.state.lock();
-        self.advance_locked(&mut st);
+        self.try_advance();
     }
 
     /// Total outstanding transactions (diagnostics).
     pub fn outstanding(&self) -> u64 {
-        self.state
-            .lock()
-            .pending
+        let mut sum: u64 = self
+            .base
             .iter()
-            .map(|&c| u64::from(c))
-            .sum()
+            .map(|c| u64::from(c.0.load(Ordering::Acquire)))
+            .sum();
+        for (k, slot) in self.epochs.iter().enumerate() {
+            let ptr = slot.load(Ordering::Acquire);
+            if ptr.is_null() {
+                continue;
+            }
+            for off in 0..self.epoch_len(k) as usize {
+                // SAFETY: published segment of length epoch_len(k).
+                sum += u64::from(unsafe { (*ptr.add(off)).0.load(Ordering::Acquire) });
+            }
+        }
+        sum
+    }
+
+    /// One past the highest registered frame (diagnostics/tests).
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Acquire)
+    }
+
+    /// Cursor advances that closed a frame while a racing reassign was
+    /// landing in it (see module docs). Always zero without adaptive
+    /// re-randomization.
+    pub fn skipped_pending(&self) -> u64 {
+        self.skipped_pending.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WindowRun {
+    fn drop(&mut self) {
+        let cap = self.base.len() as u64;
+        for (k, slot) in self.epochs.iter_mut().enumerate() {
+            let ptr = *slot.get_mut();
+            if !ptr.is_null() {
+                // SAFETY: the pointer was published exactly once from
+                // `Box::into_raw` of a slice of `epoch_len(k)` counters
+                // and never freed since; `&mut self` proves no reader.
+                drop(unsafe {
+                    Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        ptr,
+                        (cap << (k + 1)) as usize,
+                    ))
+                });
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for WindowRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowRun")
+            .field("dynamic", &self.dynamic)
+            .field("frame_len_ns", &self.frame_len_ns)
+            .field("cur", &self.cur.load(Ordering::Relaxed))
+            .field("high_water", &self.high_water.load(Ordering::Relaxed))
+            .finish()
     }
 }
 
@@ -176,6 +435,20 @@ mod tests {
         assert_eq!(run.current_frame(), 0);
         std::thread::sleep(Duration::from_millis(3));
         assert!(run.current_frame() >= 2);
+    }
+
+    #[test]
+    fn static_frames_are_monotone_under_the_coarse_clock() {
+        // The static driver reads the coarse rdtsc-calibrated clock; the
+        // derived frame index must never move backwards on one thread.
+        let run = WindowRun::new(false, 500, 4); // 500 ns frames: ticks often
+        let mut prev = run.current_frame();
+        for _ in 0..50_000 {
+            let f = run.current_frame();
+            assert!(f >= prev, "frame clock went backwards: {prev} -> {f}");
+            prev = f;
+        }
+        assert!(prev > 0, "500 ns frames must tick during the loop");
     }
 
     #[test]
@@ -221,7 +494,7 @@ mod tests {
         run.complete(2); // early, while cur = 0
         assert_eq!(run.current_frame(), 0);
         run.complete(0);
-        // Both 0,1,2 drained → cur runs to the end of the table.
+        // Both 0,1,2 drained → cur runs to the high-water mark.
         assert!(run.current_frame() >= 3);
     }
 
@@ -243,7 +516,116 @@ mod tests {
         let run = WindowRun::new(true, 1_000, 2);
         run.register(100);
         assert_eq!(run.outstanding(), 1);
+        assert_eq!(run.high_water(), 101);
         run.complete(100);
         assert_eq!(run.outstanding(), 0);
+    }
+
+    #[test]
+    fn epoch_segments_cover_far_frames() {
+        // Exercise several doubling segments in one run: the mapping must
+        // be injective (distinct frames keep distinct counters) and stable.
+        let run = WindowRun::new(true, 1_000, 2);
+        let frames = [0u64, 1, 2, 3, 5, 9, 17, 100, 1_000, 65_000];
+        for &f in &frames {
+            run.register(f);
+            run.register(f);
+        }
+        assert_eq!(run.outstanding(), 2 * frames.len() as u64);
+        for &f in &frames {
+            run.complete(f);
+        }
+        assert_eq!(run.outstanding(), frames.len() as u64);
+        for &f in &frames {
+            run.complete(f);
+        }
+        assert_eq!(run.outstanding(), 0);
+        assert_eq!(run.current_frame(), 65_001);
+        assert_eq!(run.skipped_pending(), 0);
+    }
+
+    #[test]
+    fn register_all_matches_item_by_item_registration() {
+        // The batched registration path must be observationally identical
+        // to per-item registers: same counters, same high-water, same
+        // contraction behaviour.
+        let frames = [3u64, 3, 4, 9, 6, 4];
+        let batched = WindowRun::new(true, 1_000, 8);
+        batched.register_all(frames.iter().copied());
+        let itemized = WindowRun::new(true, 1_000, 8);
+        for &f in &frames {
+            itemized.register(f);
+        }
+        batched.seal_registration();
+        itemized.seal_registration();
+        assert_eq!(batched.outstanding(), itemized.outstanding());
+        assert_eq!(batched.high_water(), itemized.high_water());
+        assert_eq!(batched.current_frame(), itemized.current_frame());
+        for &f in &frames {
+            batched.complete(f);
+            itemized.complete(f);
+            assert_eq!(batched.current_frame(), itemized.current_frame());
+        }
+        assert_eq!(batched.outstanding(), 0);
+        assert_eq!(itemized.outstanding(), 0);
+    }
+
+    #[test]
+    fn register_all_on_static_run_is_a_noop() {
+        let run = WindowRun::new(false, 1_000_000, 8);
+        run.register_all([0, 1, 2]);
+        assert_eq!(run.outstanding(), 0);
+        assert_eq!(run.high_water(), 0);
+    }
+
+    #[test]
+    fn concurrent_contraction_never_skips_pending_frames() {
+        // M threads drain a sealed schedule in racing order; the cursor
+        // must end exactly at the high-water mark, with every counter at
+        // zero and no pending-frame skips detected.
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let threads = 4usize;
+        let per_thread = 64usize;
+        let run = Arc::new(WindowRun::new(true, 1_000, 16));
+        // Base schedule: thread t's j-th txn in frame t + j (overlapping
+        // ranges so most frames have multiple owners).
+        for t in 0..threads {
+            run.register_all((0..per_thread as u64).map(|j| t as u64 + j));
+        }
+        run.seal_registration();
+        let turn = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let run = Arc::clone(&run);
+                let turn = Arc::clone(&turn);
+                s.spawn(move || {
+                    // Complete own frames in a scrambled order to force
+                    // early commits of future frames.
+                    let mut order: Vec<u64> =
+                        (0..per_thread as u64).map(|j| t as u64 + j).collect();
+                    let len = order.len();
+                    order.rotate_left((len / 2).max(1) % len);
+                    for f in order {
+                        run.complete(f);
+                        // Interleave aggressively.
+                        if turn.fetch_add(1, Ordering::Relaxed) % 7 == t {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(run.outstanding(), 0, "every registration must drain");
+        assert_eq!(
+            run.current_frame(),
+            run.high_water(),
+            "cursor must contract to the end of the schedule"
+        );
+        assert_eq!(
+            run.skipped_pending(),
+            0,
+            "no frame may be closed while it still has pending registrants"
+        );
     }
 }

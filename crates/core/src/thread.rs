@@ -2,18 +2,39 @@
 //!
 //! Each worker owns a [`ThreadWindow`]: its contention estimate `Cᵢ`, the
 //! random delay `qᵢ` for the current window, its progress `j` through the
-//! window, and the RNG for delays and π₂ ranks. The struct sits behind a
-//! `parking_lot::Mutex` purely for interior mutability — it is only ever
-//! locked by its owning thread, so the lock is always uncontended.
+//! window, and the RNG for delays and π₂ ranks. The struct used to sit
+//! behind a `parking_lot::Mutex` "purely for interior mutability" — but an
+//! always-uncontended lock is still a lock: an atomic RMW on acquire and
+//! release, a `Mutex` word bouncing between cores that share the array,
+//! and (measured) a visible slice of the per-transaction window overhead
+//! of Fig. 5. It now sits in a [`ThreadCell`]:
+//!
+//! * the [`ThreadWindow`] itself lives in an `UnsafeCell` and is accessed
+//!   **only by the owning thread** through [`ThreadCell::with`]. The
+//!   single-owner contract is the windowed execution model itself — every
+//!   manager hook runs on the thread whose transaction it concerns — and
+//!   is enforced by a debug-only reentrancy flag;
+//! * the few fields other threads legitimately read (`Cᵢ` and the
+//!   contention-intensity EWMA for diagnostics, the windows-done counter
+//!   for the barrier generation, the live frame clock for tests) are
+//!   *mirrors*: atomics the owner publishes to at well-defined points,
+//!   never read on the owner's own hot path;
+//! * each cell is aligned to 128 bytes (two lines: adjacent-line
+//!   prefetcher) so neighbouring threads' cells never false-share.
 
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use wtm_stm::sync::AtomicF64;
 
 use crate::run::WindowRun;
 
-/// Mutable per-thread window state (see module docs).
+/// Mutable per-thread window state (see module docs). Owner-private:
+/// nothing outside [`ThreadCell::with`] may touch it.
 pub(crate) struct ThreadWindow {
     /// Owning thread's id (diagnostics and trace events).
     pub id: usize,
@@ -32,11 +53,11 @@ pub(crate) struct ThreadWindow {
     pub cur_assigned: u64,
     /// Windows completed + 1 while inside one = the barrier generation.
     pub windows_done: u64,
-    /// Contention-intensity EWMA (Adaptive-Improved).
-    pub ci: f64,
     /// Per-thread RNG (delays and π₂ ranks).
     pub rng: SmallRng,
-    /// The frame clock of the window currently executing.
+    /// The frame clock of the window currently executing. The owner's
+    /// `Arc` is what keeps the raw run pointer cached in each `TxState`
+    /// alive (see `manager.rs`); it is only replaced inside `on_begin`.
     pub run: Option<Arc<WindowRun>>,
     /// Set once the window machinery is bypassed (experiment shutdown).
     pub free_mode: bool,
@@ -55,7 +76,6 @@ impl ThreadWindow {
             base: 0,
             cur_assigned: 0,
             windows_done: 0,
-            ci: 0.0,
             rng: SmallRng::seed_from_u64(
                 seed ^ (thread_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             ),
@@ -68,6 +88,88 @@ impl ThreadWindow {
     /// `Fᵢⱼ = base + qᵢ + (j − j_base)`.
     pub(crate) fn next_assigned_frame(&self) -> u64 {
         self.base + self.q + (self.j - self.j_base) as u64
+    }
+}
+
+/// One thread's window state plus its shared mirrors, padded to two cache
+/// lines. See module docs for the single-owner contract.
+#[repr(align(128))]
+pub(crate) struct ThreadCell {
+    inner: UnsafeCell<ThreadWindow>,
+    /// Contention-intensity EWMA (Adaptive-Improved). Lives *only* here —
+    /// `on_abort` updates it with two atomic ops and no `ThreadWindow`
+    /// access at all. Single writer (the owner); racing readers are
+    /// diagnostics and get a consistent f64 either way.
+    pub ci: AtomicF64,
+    /// Mirror of `ThreadWindow::c`, published at window start.
+    pub c_mirror: AtomicF64,
+    /// Mirror of `ThreadWindow::windows_done`, published at window start.
+    pub windows_done: AtomicU64,
+    /// Mirror of `ThreadWindow::run`, updated only at window boundaries
+    /// (begin_window / free-mode entry). Lets tests and diagnostics hold
+    /// a safe `Arc` to the live frame clock without entering the cell.
+    /// Boundary-only ⇒ never on the steady-state path.
+    run_mirror: Mutex<Option<Arc<WindowRun>>>,
+    /// Debug-only reentrancy/ownership tripwire: set while inside
+    /// [`Self::with`]. Catches a second thread (or a reentrant call)
+    /// entering the same cell — the bug class the old mutex would have
+    /// silently serialized instead of exposing.
+    #[cfg(debug_assertions)]
+    entered: std::sync::atomic::AtomicBool,
+}
+
+// SAFETY: `inner` is only accessed through `with`, whose contract (module
+// docs) is owner-thread-only, checked in debug builds; every other field
+// is an atomic or a mutex.
+unsafe impl Sync for ThreadCell {}
+
+impl ThreadCell {
+    pub(crate) fn new(thread_id: usize, seed: u64, c_init: f64, n: usize) -> Self {
+        ThreadCell {
+            inner: UnsafeCell::new(ThreadWindow::new(thread_id, seed, c_init, n)),
+            ci: AtomicF64::new(0.0),
+            c_mirror: AtomicF64::new(c_init),
+            windows_done: AtomicU64::new(0),
+            run_mirror: Mutex::new(None),
+            #[cfg(debug_assertions)]
+            entered: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Enter the owner-private state. MUST only be called from the owning
+    /// thread (every window-CM hook already is: each hook runs on the
+    /// thread whose transaction it handles). No lock, no RMW in release
+    /// builds — just the `UnsafeCell` dereference.
+    #[inline]
+    pub(crate) fn with<R>(&self, f: impl FnOnce(&mut ThreadWindow) -> R) -> R {
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                !self.entered.swap(true, Ordering::Acquire),
+                "ThreadCell entered concurrently: the single-owner contract is broken"
+            );
+        }
+        // SAFETY: single-owner contract (asserted above in debug builds);
+        // `f` cannot re-enter because the flag would trip.
+        let r = f(unsafe { &mut *self.inner.get() });
+        #[cfg(debug_assertions)]
+        self.entered.store(false, Ordering::Release);
+        r
+    }
+
+    /// Publish the boundary mirrors (run + c + completed-window count).
+    /// Called by the owner at window start / free-mode entry only.
+    pub(crate) fn publish_boundary(&self, run: Option<Arc<WindowRun>>, c: f64, windows_done: u64) {
+        crate::lockstat::bump();
+        *self.run_mirror.lock() = run;
+        self.c_mirror.store(c, Ordering::Release);
+        self.windows_done.store(windows_done, Ordering::Release);
+    }
+
+    /// The live frame clock, safely (diagnostics/tests; not the hot path).
+    pub(crate) fn run_snapshot(&self) -> Option<Arc<WindowRun>> {
+        crate::lockstat::bump();
+        self.run_mirror.lock().clone()
     }
 }
 
@@ -107,5 +209,35 @@ mod tests {
         let sa: Vec<u32> = (0..8).map(|_| a.rng.random_range(0..1000)).collect();
         let sb: Vec<u32> = (0..8).map(|_| b.rng.random_range(0..1000)).collect();
         assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn cell_roundtrips_owner_state_and_mirrors() {
+        let cell = ThreadCell::new(3, 9, 2.5, 8);
+        assert_eq!(cell.with(|tw| tw.id), 3);
+        cell.with(|tw| {
+            tw.c = 5.0;
+            tw.windows_done = 2;
+        });
+        // Mirrors lag until published — that's the contract.
+        assert_eq!(cell.c_mirror.load(Ordering::Acquire), 2.5);
+        cell.publish_boundary(None, 5.0, 2);
+        assert_eq!(cell.c_mirror.load(Ordering::Acquire), 5.0);
+        assert_eq!(cell.windows_done.load(Ordering::Acquire), 2);
+        assert!(cell.run_snapshot().is_none());
+    }
+
+    #[test]
+    fn cell_is_two_cache_lines_and_padded() {
+        assert_eq!(std::mem::align_of::<ThreadCell>(), 128);
+        assert!(std::mem::size_of::<ThreadCell>().is_multiple_of(128));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "single-owner contract")]
+    fn reentrant_cell_access_trips_the_guard() {
+        let cell = ThreadCell::new(0, 1, 1.0, 4);
+        cell.with(|_| cell.with(|_| ()));
     }
 }

@@ -44,6 +44,11 @@ pub struct TraceCell {
     /// Events that fell out of the ring buffers (stream was larger than
     /// the configured capacity).
     pub dropped: u64,
+    /// `BarrierWait` events that ended in `BARRIER_TIMED_OUT`. Always zero
+    /// for a healthy cell: the harness sizes every window manager with
+    /// `m` = thread count, so a timeout means the window machinery broke
+    /// and the cell silently degraded to free mode mid-measurement.
+    pub barrier_timeouts: u64,
     /// Chrome-trace JSON of the full stream.
     pub json: String,
 }
@@ -65,6 +70,12 @@ pub fn trace_cell(preset: &Preset, benchmark: Benchmark, manager: &str) -> Trace
     let out = run_one(&spec);
     let events = wtm_trace::drain();
     let dropped = wtm_trace::dropped_total();
+    let barrier_timeouts = events
+        .iter()
+        .filter(|e| {
+            e.kind == wtm_trace::EventKind::BarrierWait && e.b == wtm_trace::BARRIER_TIMED_OUT
+        })
+        .count() as u64;
     let threads_s = threads.to_string();
     let commits_s = out.stats.commits.to_string();
     let dropped_s = dropped.to_string();
@@ -85,6 +96,7 @@ pub fn trace_cell(preset: &Preset, benchmark: Benchmark, manager: &str) -> Trace
         commits: out.stats.commits,
         events,
         dropped,
+        barrier_timeouts,
         json,
     }
 }
@@ -187,6 +199,19 @@ pub fn trace_report(preset: &Preset, out_dir: &Path) -> Vec<Table> {
     for (bench, manager) in TRACE_CELLS {
         eprintln!("[windowtm] trace {} / {manager}", bench.name());
         let cell = trace_cell(preset, *bench, manager);
+        // Windowed cells run with m = thread count, so a barrier timeout
+        // is a harness/manager bug, not a workload property — fail the
+        // trace run (CI smoke included) instead of reporting poisoned
+        // numbers from a cell that degraded to free mode.
+        assert_eq!(
+            cell.barrier_timeouts,
+            0,
+            "{} / {manager}: {} window barrier timeout(s) at m = {} threads; \
+             the cell degraded to free mode and its trace is not trustworthy",
+            bench.name(),
+            cell.barrier_timeouts,
+            cell.threads
+        );
         if cell.dropped > 0 {
             eprintln!(
                 "[windowtm] trace {} / {manager}: {} events dropped (ring buffers full); \
@@ -226,6 +251,10 @@ mod tests {
         wtm_trace::chrome::validate_json(&cell.json)
             .unwrap_or_else(|e| panic!("chrome JSON must parse: {e}"));
         assert!(cell.json.contains("\"traceEvents\""));
+        assert_eq!(
+            cell.barrier_timeouts, 0,
+            "Online-Dynamic at m = thread-count must never time out a window barrier"
+        );
         let commits = cell
             .events
             .iter()
@@ -259,6 +288,7 @@ mod tests {
             commits: 0,
             events: Vec::new(),
             dropped: 0,
+            barrier_timeouts: 0,
             json: String::new(),
         };
         let p = json_path(Path::new("out"), &cell);

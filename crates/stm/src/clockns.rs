@@ -29,6 +29,18 @@ pub fn now() -> u64 {
     imp::now()
 }
 
+/// Force the one-time calibration against `Instant` to happen *now*.
+///
+/// The first [`now`] call on x86_64 pays a ~2 ms busy calibration window.
+/// Code that derives time-based state from consecutive `now()` readings —
+/// the window manager's static frame clock measures frame indices as
+/// `(now() − start) / Φ` — calls this at construction so the stall lands
+/// in setup, not inside the first measured frame. Idempotent and cheap
+/// after the first call; returns the current timestamp.
+pub fn warmup() -> u64 {
+    imp::now()
+}
+
 /// Process-global epoch for the fallback path and for TSC calibration.
 fn epoch() -> &'static Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();

@@ -11,10 +11,45 @@
 //! so that timed experiment runs can terminate while some threads are
 //! parked at a window boundary.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+
+/// An `f64` stored as its bit pattern in an [`AtomicU64`].
+///
+/// The window contention manager keeps per-thread floating-point
+/// estimators (the contention-intensity EWMA, the contention estimate
+/// `Cᵢ`) that are *written by one owner thread* but *read by anyone*
+/// (diagnostics, window-boundary recalculation from another generation's
+/// creator). A mutex would serialize the abort hot path for what is a
+/// single word of data; this cell makes those updates wait-free.
+///
+/// There is deliberately no `fetch_add`/CAS loop: the single-writer
+/// protocol means plain `load`/`store` pairs are race-free for the owner,
+/// and readers only ever need a consistent snapshot of one word.
+#[derive(Debug)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// A new cell holding `v`.
+    pub const fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Read the current value.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> f64 {
+        f64::from_bits(self.0.load(order))
+    }
+
+    /// Overwrite the value (owner thread only under the single-writer
+    /// protocol; any thread otherwise, last write wins).
+    #[inline]
+    pub fn store(&self, v: f64, order: Ordering) {
+        self.0.store(v.to_bits(), order);
+    }
+}
 
 /// Threshold above which we sleep instead of yield-spinning.
 const SLEEP_THRESHOLD: Duration = Duration::from_micros(200);

@@ -68,6 +68,17 @@ pub struct TxState {
     assigned_frame: AtomicU64,
     /// Window CM: the random rank π₂ ∈ [1, M], re-rolled after every abort.
     rank: AtomicU32,
+    /// Window CM: raw pointer (as bits, 0 = none) to the frame clock of
+    /// the window this attempt runs in, cached at `on_begin` so the
+    /// conflict resolver reads the current frame without locking the
+    /// per-thread window state or touching an `Arc` refcount. Only the
+    /// owning thread dereferences it; see the safety contract on the
+    /// window manager's `resolve`.
+    window_run: AtomicU64,
+    /// Window CM: barrier generation of the cached `window_run` pointer
+    /// (diagnostics/debug assertions — lets a reader detect a stale cache
+    /// without dereferencing).
+    window_gen: AtomicU64,
     /// Scratch slot for contention-manager-specific data.
     user_slot: AtomicU64,
 }
@@ -105,6 +116,8 @@ impl TxState {
             waiting: AtomicBool::new(false),
             assigned_frame: AtomicU64::new(NOT_WINDOWED),
             rank: AtomicU32::new(0),
+            window_run: AtomicU64::new(0),
+            window_gen: AtomicU64::new(0),
             user_slot: AtomicU64::new(0),
         }
     }
@@ -143,6 +156,8 @@ impl TxState {
         self.waiting = AtomicBool::new(false);
         self.assigned_frame = AtomicU64::new(NOT_WINDOWED);
         self.rank = AtomicU32::new(0);
+        self.window_run = AtomicU64::new(0);
+        self.window_gen = AtomicU64::new(0);
         self.user_slot = AtomicU64::new(0);
     }
 
@@ -223,6 +238,30 @@ impl TxState {
     #[inline]
     pub fn set_rank(&self, r: u32) {
         self.rank.store(r, Ordering::Release);
+    }
+
+    /// Cached frame-clock pointer bits of the window this attempt runs in
+    /// (0 = not windowed / not yet begun). Owner-thread reads only are
+    /// meaningful; the pointer is valid for the duration of the attempt.
+    #[inline]
+    pub fn window_run_bits(&self) -> u64 {
+        // Owner-thread read of an owner-thread write: no synchronization
+        // needed, Relaxed suffices.
+        self.window_run.load(Ordering::Relaxed)
+    }
+
+    /// Cache the window frame-clock pointer + barrier generation for this
+    /// attempt (window CM bookkeeping, called from `on_begin`).
+    #[inline]
+    pub fn set_window_run(&self, ptr_bits: u64, generation: u64) {
+        self.window_run.store(ptr_bits, Ordering::Relaxed);
+        self.window_gen.store(generation, Ordering::Relaxed);
+    }
+
+    /// Barrier generation recorded with [`Self::window_run_bits`].
+    #[inline]
+    pub fn window_gen(&self) -> u64 {
+        self.window_gen.load(Ordering::Relaxed)
     }
 
     /// Generic scratch slot for contention managers.

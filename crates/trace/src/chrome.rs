@@ -111,11 +111,15 @@ pub fn to_chrome_json(events: &[Event], metadata: &[(&str, &str)]) -> String {
                     killed
                 );
             }
-            EventKind::TxBegin | EventKind::FrameAssign | EventKind::WindowStart => {
+            EventKind::TxBegin
+            | EventKind::FrameAssign
+            | EventKind::WindowStart
+            | EventKind::FrameAdvance => {
                 push_common(&mut out, ev.kind.name(), "i", ev.ts_ns, ev.tid);
                 let (ka, kb) = match ev.kind {
                     EventKind::TxBegin => ("txn", "attempt"),
                     EventKind::FrameAssign => ("frame", "rank"),
+                    EventKind::FrameAdvance => ("frame", "high_water"),
                     _ => ("window", "q"),
                 };
                 let _ = write!(
@@ -290,6 +294,7 @@ mod tests {
             Event::span(EventKind::BarrierWait, 4_000, 500, 1, 0, 0),
             Event::instant(EventKind::FrameAssign, 4_100, 1, 3, 2),
             Event::instant(EventKind::WindowStart, 4_200, 1, 1, 0),
+            Event::instant(EventKind::FrameAdvance, 4_300, u32::MAX, 2, 9),
         ]
     }
 

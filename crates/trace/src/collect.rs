@@ -159,7 +159,7 @@ impl Histograms {
 }
 
 /// Event counts per kind — the cheap sanity view of a trace.
-pub fn counts_by_kind(events: &[Event]) -> [(EventKind, u64); 8] {
+pub fn counts_by_kind(events: &[Event]) -> [(EventKind, u64); 9] {
     let mut out = EventKind::ALL.map(|k| (k, 0u64));
     for ev in events {
         out[ev.kind as usize].1 += 1;

@@ -52,6 +52,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// | `BarrierWait` | time parked at the window barrier | phase (0 = entry, 1 = post-registration) | outcome (`BARRIER_*`) |
 /// | `FrameAssign` | 0 | assigned frame | rank π₂ |
 /// | `WindowStart` | 0 | window generation | random delay q |
+/// | `FrameAdvance` | 0 | new frame index | high-water mark |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum EventKind {
@@ -63,11 +64,12 @@ pub enum EventKind {
     BarrierWait = 5,
     FrameAssign = 6,
     WindowStart = 7,
+    FrameAdvance = 8,
 }
 
 impl EventKind {
     /// All kinds, in tag order.
-    pub const ALL: [EventKind; 8] = [
+    pub const ALL: [EventKind; 9] = [
         EventKind::TxBegin,
         EventKind::Commit,
         EventKind::Abort,
@@ -76,6 +78,7 @@ impl EventKind {
         EventKind::BarrierWait,
         EventKind::FrameAssign,
         EventKind::WindowStart,
+        EventKind::FrameAdvance,
     ];
 
     /// Short lower-case name (trace viewer slice names, table rows).
@@ -89,6 +92,7 @@ impl EventKind {
             EventKind::BarrierWait => "barrier-wait",
             EventKind::FrameAssign => "frame-assign",
             EventKind::WindowStart => "window-start",
+            EventKind::FrameAdvance => "frame-advance",
         }
     }
 }
