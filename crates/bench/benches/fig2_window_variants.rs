@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use wtm_bench::scale;
 use wtm_harness::runner::{run_one, RunSpec, StopRule};
-use wtm_workloads::Benchmark;
+use wtm_workloads::paper_workload_names;
 
 fn bench_fig2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_window_variants");
@@ -16,15 +16,15 @@ fn bench_fig2(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
-    for bench in Benchmark::all() {
+    for bench in paper_workload_names() {
         for variant in wtm_window::window_names() {
-            let id = BenchmarkId::new(bench.name(), variant);
+            let id = BenchmarkId::new(bench, variant);
             group.bench_function(id, |b| {
                 b.iter_custom(|iters| {
                     let mut total = Duration::ZERO;
                     for rep in 0..iters {
                         let mut spec = RunSpec::new(
-                            *bench,
+                            bench,
                             variant,
                             scale::THREADS,
                             StopRule::Budget(scale::BUDGET),

@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 use wtm_bench::scale;
 use wtm_harness::managers::comparison_manager_names;
 use wtm_harness::runner::{run_one, RunSpec, StopRule};
-use wtm_workloads::Benchmark;
+use wtm_workloads::paper_workload_names;
 
 fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_aborts_per_commit");
@@ -18,9 +18,9 @@ fn bench_fig4(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
-    for bench in Benchmark::all() {
+    for bench in paper_workload_names() {
         for manager in comparison_manager_names() {
-            let id = BenchmarkId::new(bench.name(), manager);
+            let id = BenchmarkId::new(bench, manager);
             group.bench_function(id, |b| {
                 b.iter_custom(|iters| {
                     let mut total = Duration::ZERO;
@@ -28,7 +28,7 @@ fn bench_fig4(c: &mut Criterion) {
                     let mut commits = 0u64;
                     for rep in 0..iters {
                         let mut spec = RunSpec::new(
-                            *bench,
+                            bench,
                             manager,
                             scale::THREADS,
                             StopRule::Budget(scale::BUDGET),
@@ -42,8 +42,7 @@ fn bench_fig4(c: &mut Criterion) {
                         commits += out.stats.commits;
                     }
                     eprintln!(
-                        "[fig4] {} / {manager}: aborts/commit = {:.3}",
-                        bench.name(),
+                        "[fig4] {bench} / {manager}: aborts/commit = {:.3}",
                         aborts as f64 / commits.max(1) as f64
                     );
                     total

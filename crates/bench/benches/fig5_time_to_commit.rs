@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use wtm_bench::scale;
 use wtm_harness::managers::comparison_manager_names;
 use wtm_harness::runner::{run_one, RunSpec, StopRule};
-use wtm_workloads::{Benchmark, ContentionLevel};
+use wtm_workloads::{paper_workload_names, ContentionLevel};
 
 fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_time_to_commit");
@@ -17,16 +17,16 @@ fn bench_fig5(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
-    for bench in Benchmark::all() {
+    for bench in paper_workload_names() {
         for level in ContentionLevel::all() {
             for manager in comparison_manager_names() {
-                let id = BenchmarkId::new(format!("{}_{}", bench.name(), level.name()), manager);
+                let id = BenchmarkId::new(format!("{}_{}", bench, level.name()), manager);
                 group.bench_function(id, |b| {
                     b.iter_custom(|iters| {
                         let mut total = Duration::ZERO;
                         for rep in 0..iters {
                             let mut spec = RunSpec::new(
-                                *bench,
+                                bench,
                                 manager,
                                 scale::THREADS,
                                 StopRule::Budget(scale::BUDGET),

@@ -12,135 +12,117 @@
 //!   §III-B's claim that "dynamic variants always perform better".
 //! * **A4 — contention estimate `C`**: what the Online variants lose when
 //!   the configured `C` is wrong by ×¼ … ×16.
+//!
+//! Every sweep is a plain [`ExperimentSpec`] over *parameterized manager
+//! names* (`Online-Dynamic@phi=2,n=16` — see [`crate::managers`]): the
+//! ablations ride the same executor, checkpointing, and variance
+//! aggregation as the paper figures, instead of the bespoke hand-tuned
+//! run loop this module used to carry.
 
-use std::time::Duration;
-
-use wtm_window::{WindowConfig, WindowManager, WindowVariant};
-use wtm_workloads::Benchmark;
-
+use crate::experiment::{Executor, ExperimentSpec};
 use crate::preset::Preset;
 use crate::report::Table;
-use crate::runner::{run_one, RunSpec, StopRule};
+use crate::runner::StopRule;
 
-fn throughput_with_cfg(
-    bench: Benchmark,
-    variant: WindowVariant,
-    threads: usize,
-    duration: Duration,
-    cfg_mod: impl Fn(WindowConfig) -> WindowConfig,
-    seed: u64,
-) -> f64 {
-    // Bypass the name-based factory so the ablation can hand-tune the
-    // window configuration.
-    use std::sync::Arc;
-    use wtm_stm::Stm;
-    let cfg = cfg_mod(WindowConfig::new(threads, 16).with_seed(seed));
-    let wm = Arc::new(WindowManager::new(variant, cfg));
-    let stm = Stm::new(wm.clone(), threads);
-    let set: Box<dyn wtm_workloads::TxIntSet> = match bench {
-        Benchmark::List => Box::new(wtm_workloads::TxList::new()),
-        Benchmark::RBTree => Box::new(wtm_workloads::TxRBTree::new(
-            bench.default_key_range() as usize + 8,
-        )),
-        Benchmark::SkipList => Box::new(wtm_workloads::TxSkipList::new()),
-        Benchmark::Vacation => unreachable!("ablations use the IntSet benchmarks"),
-    };
-    {
-        let boot = Stm::with_dispatch(wtm_stm::CmDispatch::AbortSelf, 1);
-        let ctx = boot.thread(0);
-        let mut k = 0;
-        while k < bench.default_key_range() {
-            ctx.atomic(|tx| set.insert(tx, k).map(|_| ()));
-            k += 2;
-        }
-    }
-    let stop = std::sync::atomic::AtomicBool::new(false);
-    let commits = std::sync::atomic::AtomicU64::new(0);
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let ctx = stm.thread(t);
-            let set = set.as_ref();
-            let stop = &stop;
-            let commits = &commits;
-            let wm = &wm;
-            s.spawn(move || {
-                let mut gen =
-                    wtm_workloads::SetOpGenerator::new(seed, t, bench.default_key_range(), 100);
-                let deadline = std::time::Instant::now() + duration;
-                let mut local = 0u64;
-                while std::time::Instant::now() < deadline
-                    && !stop.load(std::sync::atomic::Ordering::Relaxed)
-                {
-                    let op = gen.next_op();
-                    ctx.atomic(|tx| match op.kind {
-                        wtm_workloads::OpKind::Insert => set.insert(tx, op.key).map(|_| ()),
-                        wtm_workloads::OpKind::Remove => set.remove(tx, op.key).map(|_| ()),
-                        wtm_workloads::OpKind::Contains => set.contains(tx, op.key).map(|_| ()),
-                    });
-                    local += 1;
-                }
-                stop.store(true, std::sync::atomic::Ordering::Relaxed);
-                wm.cancel();
-                commits.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
-            });
-        }
-    });
-    commits.load(std::sync::atomic::Ordering::Relaxed) as f64 / duration.as_secs_f64()
+fn spec_for(
+    id: &str,
+    preset: &Preset,
+    workloads: &[&str],
+    managers: Vec<String>,
+) -> ExperimentSpec {
+    let mut s = ExperimentSpec::new(id, StopRule::Timed(preset.duration));
+    s.workloads = workloads.iter().map(|w| w.to_string()).collect();
+    s.managers = managers;
+    s.threads = vec![preset.thread_counts.last().copied().unwrap_or(2)];
+    s.reps = preset.reps;
+    s.window_n = preset.window_n;
+    s.base_seed = preset.seed;
+    s
 }
 
-/// A1: throughput vs the frame factor `c` (List, Online-Dynamic).
-pub fn a1_frame_factor(preset: &Preset) -> Table {
-    let threads = preset.thread_counts.last().copied().unwrap_or(2);
-    let mut t = Table::new(
-        format!("A1: throughput vs frame factor c (List, Online-Dynamic, M={threads})"),
-        "phi_factor",
-        vec!["txn/s".into()],
-    );
-    for phi in [0.5, 1.0, 2.0, 4.0, 8.0] {
-        let thr = throughput_with_cfg(
-            Benchmark::List,
-            WindowVariant::OnlineDynamic,
-            threads,
-            preset.duration,
-            |mut c| {
-                c.phi_factor = phi;
-                c
-            },
-            42,
-        );
-        t.push_row(format!("{phi}"), vec![thr]);
+/// One-column sweep table: each manager variant becomes a row.
+fn column_sweep(
+    exec: &mut Executor,
+    spec: &ExperimentSpec,
+    title: String,
+    row_key: &str,
+    labels: &[String],
+) -> Table {
+    let results = exec.run(spec);
+    let mut t = Table::new(title, row_key, vec!["txn/s".into()]);
+    for (mgr, label) in spec.managers.iter().zip(labels) {
+        let a = results
+            .iter()
+            .find(|r| &r.manager == mgr)
+            .map(|r| r.metric("throughput"))
+            .unwrap_or(crate::experiment::Agg {
+                mean: f64::NAN,
+                sd: f64::NAN,
+            });
+        t.push_row_sd(label.clone(), vec![a.mean], vec![a.sd]);
     }
     t
+}
+
+/// A1: throughput vs the frame factor `c` (List, Online-Dynamic; N = 16
+/// keeps the sweep comparable to the historical capture).
+pub fn a1_frame_factor(preset: &Preset, exec: &mut Executor) -> Table {
+    let threads = preset.thread_counts.last().copied().unwrap_or(2);
+    let phis = [0.5, 1.0, 2.0, 4.0, 8.0];
+    let spec = spec_for(
+        "a1",
+        preset,
+        &["List"],
+        phis.iter()
+            .map(|phi| format!("Online-Dynamic@phi={phi},n=16"))
+            .collect(),
+    );
+    let labels: Vec<String> = phis.iter().map(|p| p.to_string()).collect();
+    column_sweep(
+        exec,
+        &spec,
+        format!("A1: throughput vs frame factor c (List, Online-Dynamic, M={threads})"),
+        "phi_factor",
+        &labels,
+    )
 }
 
 /// A2: throughput vs window width `N` (SkipList — where the per-window
 /// overhead is most visible).
-pub fn a2_window_width(preset: &Preset) -> Table {
+pub fn a2_window_width(preset: &Preset, exec: &mut Executor) -> Table {
     let threads = preset.thread_counts.last().copied().unwrap_or(2);
-    let mut t = Table::new(
+    let widths = [4usize, 16, 50, 200];
+    let spec = spec_for(
+        "a2",
+        preset,
+        &["SkipList"],
+        widths
+            .iter()
+            .map(|n| format!("Adaptive-Improved-Dynamic@n={n}"))
+            .collect(),
+    );
+    let labels: Vec<String> = widths.iter().map(|n| n.to_string()).collect();
+    column_sweep(
+        exec,
+        &spec,
         format!(
             "A2: throughput vs window width N (SkipList, Adaptive-Improved-Dynamic, M={threads})"
         ),
         "N",
-        vec!["txn/s".into()],
-    );
-    for n in [4usize, 16, 50, 200] {
-        let mut spec = RunSpec::new(
-            Benchmark::SkipList,
-            "Adaptive-Improved-Dynamic",
-            threads,
-            StopRule::Timed(preset.duration),
-        );
-        spec.window_n = n;
-        let out = run_one(&spec);
-        t.push_row(n.to_string(), vec![out.stats.throughput()]);
-    }
-    t
+        &labels,
+    )
 }
 
 /// A3: static vs dynamic frames across benchmarks (§III-B's claim).
-pub fn a3_dynamic_vs_static(preset: &Preset) -> Table {
+pub fn a3_dynamic_vs_static(preset: &Preset, exec: &mut Executor) -> Table {
     let threads = preset.thread_counts.last().copied().unwrap_or(2);
+    let spec = spec_for(
+        "a3",
+        preset,
+        &["List", "RBTree", "SkipList"],
+        vec!["Online".into(), "Online-Dynamic".into()],
+    );
+    let results = exec.run(&spec);
     let mut t = Table::new(
         format!("A3: dynamic vs static frames, throughput (M={threads})"),
         "benchmark",
@@ -150,16 +132,18 @@ pub fn a3_dynamic_vs_static(preset: &Preset) -> Table {
             "dynamic/static".into(),
         ],
     );
-    for bench in [Benchmark::List, Benchmark::RBTree, Benchmark::SkipList] {
-        let run = |manager: &str| {
-            let mut spec = RunSpec::new(bench, manager, threads, StopRule::Timed(preset.duration));
-            spec.window_n = preset.window_n;
-            run_one(&spec).stats.throughput()
+    for workload in &spec.workloads {
+        let thr = |mgr: &str| {
+            results
+                .iter()
+                .find(|r| &r.workload == workload && r.manager == mgr)
+                .map(|r| r.metric("throughput").mean)
+                .unwrap_or(f64::NAN)
         };
-        let stat = run("Online");
-        let dynamic = run("Online-Dynamic");
+        let stat = thr("Online");
+        let dynamic = thr("Online-Dynamic");
         t.push_row(
-            bench.name(),
+            workload.clone(),
             vec![
                 stat,
                 dynamic,
@@ -171,37 +155,38 @@ pub fn a3_dynamic_vs_static(preset: &Preset) -> Table {
 }
 
 /// A4: Online sensitivity to a mis-configured contention estimate.
-pub fn a4_c_sensitivity(preset: &Preset) -> Table {
+pub fn a4_c_sensitivity(preset: &Preset, exec: &mut Executor) -> Table {
     let threads = preset.thread_counts.last().copied().unwrap_or(2);
     let base_c = threads as f64;
-    let mut t = Table::new(
+    let mults = [0.25, 1.0, 4.0, 16.0];
+    let spec = spec_for(
+        "a4",
+        preset,
+        &["List"],
+        mults
+            .iter()
+            .map(|mult| format!("Online-Dynamic@c={},n=16", base_c * mult))
+            .collect(),
+    );
+    let labels: Vec<String> = mults.iter().map(|m| format!("{m}×")).collect();
+    column_sweep(
+        exec,
+        &spec,
         format!(
             "A4: throughput vs configured C (List, Online-Dynamic, M={threads}, true C≈{base_c})"
         ),
         "C multiplier",
-        vec!["txn/s".into()],
-    );
-    for mult in [0.25, 1.0, 4.0, 16.0] {
-        let thr = throughput_with_cfg(
-            Benchmark::List,
-            WindowVariant::OnlineDynamic,
-            threads,
-            preset.duration,
-            |c| c.with_c_init(base_c * mult),
-            77,
-        );
-        t.push_row(format!("{mult}×"), vec![thr]);
-    }
-    t
+        &labels,
+    )
 }
 
 /// All ablation tables.
-pub fn ablation_tables(preset: &Preset) -> Vec<Table> {
+pub fn ablation_tables(preset: &Preset, exec: &mut Executor) -> Vec<Table> {
     vec![
-        a1_frame_factor(preset),
-        a2_window_width(preset),
-        a3_dynamic_vs_static(preset),
-        a4_c_sensitivity(preset),
+        a1_frame_factor(preset, exec),
+        a2_window_width(preset, exec),
+        a3_dynamic_vs_static(preset, exec),
+        a4_c_sensitivity(preset, exec),
     ]
 }
 
@@ -211,11 +196,15 @@ mod tests {
 
     #[test]
     fn ablations_produce_positive_throughput() {
+        let dir = std::env::temp_dir().join(format!("wtm_abl_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut exec = Executor::new(&dir);
         let p = Preset::smoke();
-        for table in ablation_tables(&p) {
+        for table in ablation_tables(&p, &mut exec) {
             for row in &table.cells {
                 assert!(row[0] > 0.0, "dead cell in {}", table.title);
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

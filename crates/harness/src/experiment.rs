@@ -1,0 +1,710 @@
+//! The declarative experiment engine.
+//!
+//! A figure used to be a driver function owning four nested loops
+//! (benchmark × manager × threads × reps) plus its own averaging and
+//! progress printing; every new study re-implemented the stack. Now a
+//! study is an [`ExperimentSpec`] — a value describing the grid — and one
+//! shared [`Executor`] owns everything the loops used to: deterministic
+//! per-cell seeding, repetition, mean ± stddev aggregation, progress/ETA
+//! on stderr, and checkpoint/resume through the machine-readable
+//! `results.json` it maintains next to the CSV reports.
+//!
+//! Resume: every cell's identity (workload, manager, threads, contention,
+//! stop rule, reps, seeds, …) is folded into a key string; `results.json`
+//! maps keys to aggregated results. Re-running a suite with the same
+//! `--out` directory skips every cell whose key is already present, so an
+//! interrupted `windowtm all --paper` continues where it stopped — and a
+//! completed one is a no-op that rewrites `results.json` byte-identically.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::json::{Json, RESULTS_SCHEMA_VERSION};
+use crate::runner::{run_one, RunOutcome, RunSpec, StopRule};
+
+/// A declarative experiment: the full factorial grid of
+/// `workloads × managers × threads × update_pcts`, each cell run `reps`
+/// times and aggregated.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Short id used in progress lines (e.g. `"fig2"`).
+    pub id: String,
+    /// Workload names (registry keys, see [`wtm_workloads::workload_names`]).
+    pub workloads: Vec<String>,
+    /// Manager names, optionally parameterized (`Online-Dynamic@phi=2`).
+    pub managers: Vec<String>,
+    /// Thread sweep `M`.
+    pub threads: Vec<usize>,
+    /// Contention sweep (percentage of updating operations).
+    pub update_pcts: Vec<u32>,
+    pub stop: StopRule,
+    /// Repetitions aggregated per cell.
+    pub reps: usize,
+    /// `N`, transactions per thread per window.
+    pub window_n: usize,
+    /// Workload size knob; `0` = the registry's per-workload default.
+    pub key_range: i64,
+    /// Base seed; per-cell seeds are derived from it and the cell
+    /// identity (see [`Cell::seed`]).
+    pub base_seed: u64,
+    pub safety_deadline: Duration,
+}
+
+impl ExperimentSpec {
+    /// A grid with the defaults the paper's figures share.
+    pub fn new(id: &str, stop: StopRule) -> Self {
+        ExperimentSpec {
+            id: id.to_string(),
+            workloads: Vec::new(),
+            managers: Vec::new(),
+            threads: vec![1],
+            update_pcts: vec![100],
+            stop,
+            reps: 1,
+            window_n: 50,
+            key_range: 0,
+            base_seed: 0xBEEF,
+            safety_deadline: Duration::from_secs(60),
+        }
+    }
+
+    /// Expand the grid into cells, workload-major then contention, thread
+    /// count, manager — the order the figure tables are filled in.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut out =
+            Vec::with_capacity(self.workloads.len() * self.managers.len() * self.threads.len());
+        for workload in &self.workloads {
+            for &update_pct in &self.update_pcts {
+                for &threads in &self.threads {
+                    for manager in &self.managers {
+                        out.push(Cell {
+                            workload: workload.clone(),
+                            manager: manager.clone(),
+                            threads,
+                            update_pct,
+                            stop: self.stop,
+                            reps: self.reps,
+                            window_n: self.window_n,
+                            key_range: if self.key_range > 0 {
+                                self.key_range
+                            } else {
+                                wtm_workloads::default_key_range(workload).unwrap_or(0)
+                            },
+                            base_seed: self.base_seed,
+                            safety_deadline: self.safety_deadline,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One point of an [`ExperimentSpec`] grid, fully resolved.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub workload: String,
+    pub manager: String,
+    pub threads: usize,
+    pub update_pct: u32,
+    pub stop: StopRule,
+    pub reps: usize,
+    pub window_n: usize,
+    pub key_range: i64,
+    pub base_seed: u64,
+    pub safety_deadline: Duration,
+}
+
+fn stop_key(stop: StopRule) -> String {
+    match stop {
+        StopRule::Timed(d) => format!("timed:{}", d.as_secs_f64()),
+        StopRule::Budget(b) => format!("budget:{b}"),
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Cell {
+    /// The checkpoint identity: every parameter that affects the run is
+    /// folded in, so a preset/override change can never alias a cached
+    /// result from a different configuration.
+    pub fn key(&self) -> String {
+        format!(
+            "v1|wl={}|mgr={}|m={}|upd={}|kr={}|n={}|stop={}|reps={}|seed={:#x}",
+            self.workload,
+            self.manager,
+            self.threads,
+            self.update_pct,
+            self.key_range,
+            self.window_n,
+            stop_key(self.stop),
+            self.reps,
+            self.base_seed,
+        )
+    }
+
+    /// Deterministic per-cell seed: the FNV-1a hash of the identity key.
+    /// Distinct cells get decorrelated streams, and the same cell always
+    /// replays the same one (the key already folds in `base_seed`, so
+    /// `--seed` shifts every cell).
+    pub fn seed(&self) -> u64 {
+        fnv1a(&self.key())
+    }
+
+    /// The [`RunSpec`] for repetition `rep` of this cell.
+    pub fn run_spec(&self, rep: usize) -> RunSpec {
+        RunSpec {
+            workload: self.workload.clone(),
+            manager: self.manager.clone(),
+            threads: self.threads,
+            stop: self.stop,
+            key_range: self.key_range,
+            update_pct: self.update_pct,
+            window_n: self.window_n,
+            seed: self.seed().wrapping_add(rep as u64 * 0x9E37),
+            safety_deadline: self.safety_deadline,
+            trace: false,
+        }
+    }
+}
+
+/// Mean and sample standard deviation over a cell's repetitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Agg {
+    pub mean: f64,
+    pub sd: f64,
+}
+
+/// Aggregate repetition samples; one sample has zero deviation.
+pub fn aggregate(values: &[f64]) -> Agg {
+    if values.is_empty() {
+        return Agg {
+            mean: f64::NAN,
+            sd: f64::NAN,
+        };
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let sd = if values.len() < 2 {
+        0.0
+    } else {
+        (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+    };
+    Agg { mean, sd }
+}
+
+/// The metric names every cell reports, in serialization order.
+pub const METRIC_NAMES: &[&str] = &[
+    "throughput",
+    "aborts_per_commit",
+    "total_time_s",
+    "commits",
+    "wasted_work",
+    "repeat_conflicts_per_kcommit",
+    "avg_committed_duration_us",
+    "avg_response_time_us",
+];
+
+/// Aggregated result of one cell (what `results.json` stores).
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    pub workload: String,
+    pub manager: String,
+    pub threads: usize,
+    pub update_pct: u32,
+    pub key_range: i64,
+    pub window_n: usize,
+    pub reps: usize,
+    /// The derived per-cell seed actually used (hex in the JSON).
+    pub seed: u64,
+    /// `"timed:<secs>"` or `"budget:<txns>"`.
+    pub stop: String,
+    /// Any repetition hit the safety deadline; aggregates are partial.
+    pub truncated: bool,
+    /// `(name, aggregate)` in [`METRIC_NAMES`] order.
+    pub metrics: Vec<(String, Agg)>,
+}
+
+impl CellResult {
+    /// Aggregate the repetitions of `cell`.
+    pub fn from_outcomes(cell: &Cell, outcomes: &[RunOutcome]) -> Self {
+        let series =
+            |f: &dyn Fn(&RunOutcome) -> f64| -> Vec<f64> { outcomes.iter().map(f).collect() };
+        let metrics: Vec<(String, Agg)> = METRIC_NAMES
+            .iter()
+            .map(|&name| {
+                let values = match name {
+                    "throughput" => series(&|o| o.stats.throughput()),
+                    "aborts_per_commit" => series(&|o| o.stats.aborts_per_commit()),
+                    "total_time_s" => series(&|o| o.total_time.as_secs_f64()),
+                    "commits" => series(&|o| o.stats.commits as f64),
+                    "wasted_work" => series(&|o| o.stats.wasted_work()),
+                    "repeat_conflicts_per_kcommit" => series(&|o| {
+                        o.stats.repeat_conflicts as f64 * 1000.0 / o.stats.commits.max(1) as f64
+                    }),
+                    "avg_committed_duration_us" => {
+                        series(&|o| o.stats.avg_committed_duration().as_secs_f64() * 1e6)
+                    }
+                    "avg_response_time_us" => {
+                        series(&|o| o.stats.avg_response_time().as_secs_f64() * 1e6)
+                    }
+                    _ => unreachable!("unlisted metric {name}"),
+                };
+                (name.to_string(), aggregate(&values))
+            })
+            .collect();
+        CellResult {
+            workload: cell.workload.clone(),
+            manager: cell.manager.clone(),
+            threads: cell.threads,
+            update_pct: cell.update_pct,
+            key_range: cell.key_range,
+            window_n: cell.window_n,
+            reps: outcomes.len(),
+            seed: cell.seed(),
+            stop: stop_key(cell.stop),
+            truncated: outcomes.iter().any(|o| o.truncated),
+            metrics,
+        }
+    }
+
+    /// Metric lookup; `NaN` aggregate when absent.
+    pub fn metric(&self, name: &str) -> Agg {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| *a)
+            .unwrap_or(Agg {
+                mean: f64::NAN,
+                sd: f64::NAN,
+            })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("manager".into(), Json::Str(self.manager.clone())),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("update_pct".into(), Json::Num(self.update_pct as f64)),
+            ("key_range".into(), Json::Num(self.key_range as f64)),
+            ("window_n".into(), Json::Num(self.window_n as f64)),
+            ("reps".into(), Json::Num(self.reps as f64)),
+            ("seed".into(), Json::Str(format!("{:#x}", self.seed))),
+            ("stop".into(), Json::Str(self.stop.clone())),
+            ("truncated".into(), Json::Bool(self.truncated)),
+            (
+                "metrics".into(),
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(name, agg)| {
+                            (
+                                name.clone(),
+                                Json::Obj(vec![
+                                    ("mean".into(), Json::Num(agg.mean)),
+                                    ("sd".into(), Json::Num(agg.sd)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<CellResult> {
+        let seed_str = v.get("seed")?.as_str()?;
+        let seed = u64::from_str_radix(seed_str.strip_prefix("0x")?, 16).ok()?;
+        let metrics = v
+            .get("metrics")?
+            .as_obj()?
+            .iter()
+            .map(|(name, m)| {
+                Some((
+                    name.clone(),
+                    Agg {
+                        mean: m.get("mean")?.as_f64_or_nan()?,
+                        sd: m.get("sd")?.as_f64_or_nan()?,
+                    },
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(CellResult {
+            workload: v.get("workload")?.as_str()?.to_string(),
+            manager: v.get("manager")?.as_str()?.to_string(),
+            threads: v.get("threads")?.as_f64()? as usize,
+            update_pct: v.get("update_pct")?.as_f64()? as u32,
+            key_range: v.get("key_range")?.as_f64()? as i64,
+            window_n: v.get("window_n")?.as_f64()? as usize,
+            reps: v.get("reps")?.as_f64()? as usize,
+            seed,
+            stop: v.get("stop")?.as_str()?.to_string(),
+            truncated: v.get("truncated")?.as_bool()?,
+            metrics,
+        })
+    }
+}
+
+/// The `results.json` store: a key → [`CellResult`] map persisted next to
+/// the CSV reports; doubles as the resume checkpoint.
+pub struct ResultsStore {
+    path: PathBuf,
+    cells: BTreeMap<String, CellResult>,
+    /// Cells found on disk at open time (resume candidates).
+    pub loaded: usize,
+}
+
+impl ResultsStore {
+    /// Load `out_dir/results.json` if present and well-formed; a missing,
+    /// unparsable, or wrong-schema-version file starts an empty store
+    /// (noted on stderr — stale results are never silently trusted).
+    pub fn open(out_dir: &Path) -> Self {
+        let path = out_dir.join("results.json");
+        let mut cells = BTreeMap::new();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            match Json::parse(&text)
+                .map_err(|e| e.to_string())
+                .and_then(|doc| crate::json::validate_results(&doc).map(|()| doc))
+            {
+                Ok(doc) => {
+                    if let Some(members) = doc.get("cells").and_then(Json::as_obj) {
+                        for (key, v) in members {
+                            if let Some(r) = CellResult::from_json(v) {
+                                cells.insert(key.clone(), r);
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!(
+                        "[windowtm] ignoring existing {}: {e}; starting fresh",
+                        path.display()
+                    );
+                }
+            }
+        }
+        let loaded = cells.len();
+        ResultsStore {
+            path,
+            cells,
+            loaded,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&CellResult> {
+        self.cells.get(key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The full document in the committed schema.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Num(RESULTS_SCHEMA_VERSION)),
+            (
+                "generator".into(),
+                Json::Str(format!("windowtm {}", env!("CARGO_PKG_VERSION"))),
+            ),
+            (
+                "cells".into(),
+                Json::Obj(
+                    self.cells
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Insert one result and rewrite `results.json` (checkpoint after
+    /// every cell, so an interrupted suite loses at most the in-flight
+    /// cell).
+    pub fn insert_and_save(&mut self, key: String, result: CellResult) -> std::io::Result<()> {
+        self.cells.insert(key, result);
+        self.save()
+    }
+
+    /// Rewrite `results.json` from the current map.
+    pub fn save(&self) -> std::io::Result<()> {
+        if let Some(dir) = self.path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(&self.path, self.to_json().render_pretty())
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The shared executor: runs specs cell by cell with progress/ETA and
+/// resume through a [`ResultsStore`].
+pub struct Executor {
+    store: ResultsStore,
+    /// Cells actually executed by this process (not resumed).
+    ran: usize,
+    /// Cells skipped because the store already had them.
+    pub skipped: usize,
+    started: Instant,
+    spent_running: Duration,
+}
+
+impl Executor {
+    pub fn new(out_dir: &Path) -> Self {
+        let store = ResultsStore::open(out_dir);
+        if store.loaded > 0 {
+            eprintln!(
+                "[windowtm] resume: found {} cached cell(s) in {}",
+                store.loaded,
+                store.path().display()
+            );
+        }
+        Executor {
+            store,
+            ran: 0,
+            skipped: 0,
+            started: Instant::now(),
+            spent_running: Duration::ZERO,
+        }
+    }
+
+    pub fn store(&self) -> &ResultsStore {
+        &self.store
+    }
+
+    /// Run every cell of `spec` (resumed cells are returned from the
+    /// store without re-running), in grid order.
+    pub fn run(&mut self, spec: &ExperimentSpec) -> Vec<CellResult> {
+        let cells = spec.cells();
+        let total = cells.len();
+        let mut results = Vec::with_capacity(total);
+        let mut skipped_here = 0usize;
+        for (i, cell) in cells.iter().enumerate() {
+            let key = cell.key();
+            if let Some(cached) = self.store.get(&key) {
+                skipped_here += 1;
+                self.skipped += 1;
+                results.push(cached.clone());
+                continue;
+            }
+            eprintln!(
+                "[windowtm] {} {}/{} {} / {} / M={} upd={}%{}",
+                spec.id,
+                i + 1,
+                total,
+                cell.workload,
+                cell.manager,
+                cell.threads,
+                cell.update_pct,
+                self.eta(total - i),
+            );
+            let t0 = Instant::now();
+            let outcomes: Vec<RunOutcome> = (0..spec.reps.max(1))
+                .map(|r| run_one(&cell.run_spec(r)))
+                .collect();
+            self.spent_running += t0.elapsed();
+            self.ran += 1;
+            let result = CellResult::from_outcomes(cell, &outcomes);
+            if let Err(e) = self.store.insert_and_save(key.clone(), result) {
+                eprintln!("[windowtm] checkpoint write failed: {e}");
+            }
+            results.push(self.store.get(&key).expect("just inserted").clone());
+        }
+        if skipped_here > 0 {
+            eprintln!(
+                "[windowtm] {}: resume: skipped {skipped_here}/{total} cached cell(s)",
+                spec.id
+            );
+        }
+        results
+    }
+
+    /// `" (eta ~Ns)"` once at least one cell has run; cells are assumed
+    /// roughly equal-cost (true within a spec: same stop rule and reps).
+    fn eta(&self, remaining: usize) -> String {
+        if self.ran == 0 || remaining == 0 {
+            return String::new();
+        }
+        let per_cell = self.spent_running / self.ran as u32;
+        let eta = per_cell * remaining as u32;
+        format!(" (eta ~{}s)", eta.as_secs().max(1))
+    }
+
+    /// Total wall time since the executor was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> ExperimentSpec {
+        let mut s = ExperimentSpec::new("t", StopRule::Timed(Duration::from_millis(40)));
+        s.workloads = vec!["List".into(), "RBTree".into()];
+        s.managers = vec!["Polka".into(), "Greedy".into(), "Online-Dynamic".into()];
+        s.threads = vec![1, 2];
+        s.update_pcts = vec![20, 100];
+        s.reps = 2;
+        s.window_n = 8;
+        s
+    }
+
+    #[test]
+    fn grid_expands_to_the_full_factorial() {
+        let cells = grid().cells();
+        assert_eq!(cells.len(), 2 * 3 * 2 * 2);
+        // Workload-major order, managers innermost.
+        assert_eq!(cells[0].workload, "List");
+        assert_eq!(cells[0].manager, "Polka");
+        assert_eq!(cells[1].manager, "Greedy");
+        assert_eq!(cells.last().unwrap().workload, "RBTree");
+        // Cell keys are unique.
+        let mut keys: Vec<String> = cells.iter().map(Cell::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len());
+    }
+
+    #[test]
+    fn key_range_resolves_registry_defaults() {
+        let cells = grid().cells();
+        assert_eq!(cells[0].key_range, 64, "List default");
+        assert!(cells.iter().any(|c| c.key_range == 256), "RBTree default");
+        let mut s = grid();
+        s.key_range = 48;
+        assert!(s.cells().iter().all(|c| c.key_range == 48));
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_cell_specific() {
+        let a = grid().cells();
+        let b = grid().cells();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed(), y.seed(), "same cell, same seed");
+        }
+        let mut seeds: Vec<u64> = a.iter().map(Cell::seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), a.len(), "distinct cells get distinct seeds");
+        // The base seed shifts every cell.
+        let mut shifted = grid();
+        shifted.base_seed = 0xDEAD;
+        for (x, y) in a.iter().zip(shifted.cells().iter()) {
+            assert_ne!(x.seed(), y.seed());
+        }
+        // Repetitions get distinct engine seeds off the cell seed.
+        assert_ne!(a[0].run_spec(0).seed, a[0].run_spec(1).seed);
+        assert_eq!(a[0].run_spec(0).seed, a[0].seed());
+    }
+
+    #[test]
+    fn aggregate_mean_and_sample_sd() {
+        let a = aggregate(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((a.mean - 5.0).abs() < 1e-12);
+        assert!((a.sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        let single = aggregate(&[3.5]);
+        assert_eq!(single.mean, 3.5);
+        assert_eq!(single.sd, 0.0);
+        assert!(aggregate(&[]).mean.is_nan());
+    }
+
+    #[test]
+    fn cell_result_propagates_truncation_and_aggregates() {
+        let cell = &grid().cells()[0];
+        let mut spec = cell.run_spec(0);
+        spec.stop = StopRule::Budget(60);
+        let ok = run_one(&spec);
+        assert!(!ok.truncated);
+        let mut bad = ok;
+        bad.truncated = true;
+        let r = CellResult::from_outcomes(cell, &[ok, bad]);
+        assert!(r.truncated, "one truncated rep flags the cell");
+        assert_eq!(r.reps, 2);
+        let thr = r.metric("throughput");
+        assert!(thr.mean > 0.0);
+        assert!(thr.sd >= 0.0);
+        assert!(r.metric("nonexistent").mean.is_nan());
+        let all_ok = CellResult::from_outcomes(cell, &[ok, ok]);
+        assert!(!all_ok.truncated);
+        assert_eq!(all_ok.metric("throughput").sd, 0.0, "identical reps");
+    }
+
+    #[test]
+    fn cell_result_json_roundtrip() {
+        let cell = &grid().cells()[0];
+        let out = run_one(&cell.run_spec(0));
+        let r = CellResult::from_outcomes(cell, &[out]);
+        let back = CellResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.workload, r.workload);
+        assert_eq!(back.seed, r.seed);
+        assert_eq!(back.stop, r.stop);
+        assert_eq!(back.metrics.len(), r.metrics.len());
+        for ((n1, a1), (n2, a2)) in r.metrics.iter().zip(&back.metrics) {
+            assert_eq!(n1, n2);
+            assert!(a1.mean == a2.mean || (a1.mean.is_nan() && a2.mean.is_nan()));
+        }
+    }
+
+    #[test]
+    fn executor_resumes_from_results_json() {
+        let dir = std::env::temp_dir().join(format!("wtm_exec_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spec = ExperimentSpec::new("resume", StopRule::Budget(40));
+        spec.workloads = vec!["List".into()];
+        spec.managers = vec!["Polka".into(), "Greedy".into()];
+        spec.threads = vec![2];
+        spec.window_n = 8;
+
+        let mut first = Executor::new(&dir);
+        let r1 = first.run(&spec);
+        assert_eq!(r1.len(), 2);
+        assert_eq!(first.skipped, 0);
+        let json_text = std::fs::read_to_string(dir.join("results.json")).unwrap();
+        let doc = Json::parse(&json_text).unwrap();
+        crate::json::validate_results(&doc).expect("committed schema");
+
+        // Same spec, fresh executor: every cell is served from disk and
+        // the checkpoint file is untouched (byte-identical rewrite).
+        let mut second = Executor::new(&dir);
+        assert_eq!(second.store().loaded, 2);
+        let r2 = second.run(&spec);
+        assert_eq!(second.skipped, 2);
+        assert_eq!(r2.len(), 2);
+        for (a, b) in r1.iter().zip(&r2) {
+            assert_eq!(a.metric("commits").mean, b.metric("commits").mean);
+        }
+        second.store().save().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(dir.join("results.json")).unwrap(),
+            json_text,
+            "resume must be a byte-identical no-op"
+        );
+
+        // A different base seed is a different cell identity: nothing is
+        // reused.
+        let mut reseeded = spec.clone();
+        reseeded.base_seed = 7;
+        let mut third = Executor::new(&dir);
+        third.run(&reseeded);
+        assert_eq!(third.skipped, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

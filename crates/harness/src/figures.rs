@@ -1,130 +1,149 @@
-//! Drivers for Figs. 2–5.
+//! Figs. 2–5 as declarative experiment specs.
+//!
+//! Each figure is now ~20 lines: a grid declaration handed to the shared
+//! [`Executor`] (which owns repetition, aggregation, progress, and
+//! resume) plus a projection of the returned cells into report tables.
 
-use wtm_workloads::{Benchmark, ContentionLevel};
+use wtm_workloads::{paper_workload_names, ContentionLevel};
 
+use crate::experiment::{CellResult, Executor, ExperimentSpec};
 use crate::managers::comparison_manager_names;
 use crate::preset::Preset;
 use crate::report::Table;
-use crate::runner::{run_averaged, RunSpec, StopRule};
+use crate::runner::StopRule;
 
-fn progress(msg: &str) {
-    eprintln!("[windowtm] {msg}");
+fn base_spec(id: &str, preset: &Preset, managers: &[&str]) -> ExperimentSpec {
+    let mut s = ExperimentSpec::new(id, StopRule::Timed(preset.duration));
+    s.workloads = paper_workload_names()
+        .iter()
+        .map(|w| w.to_string())
+        .collect();
+    s.managers = managers.iter().map(|m| m.to_string()).collect();
+    s.threads = preset.thread_counts.clone();
+    s.reps = preset.reps;
+    s.window_n = preset.window_n;
+    s.base_seed = preset.seed;
+    s
+}
+
+/// Find one cell in a spec's results.
+fn cell<'a>(
+    results: &'a [CellResult],
+    workload: &str,
+    manager: &str,
+    threads: usize,
+    update_pct: u32,
+) -> Option<&'a CellResult> {
+    results.iter().find(|r| {
+        r.workload == workload
+            && r.manager == manager
+            && r.threads == threads
+            && r.update_pct == update_pct
+    })
+}
+
+/// Project a thread-sweep spec into one table per workload: rows =
+/// thread counts, columns = managers, cells = `metric` mean ± sd.
+fn sweep_tables(
+    spec: &ExperimentSpec,
+    results: &[CellResult],
+    metric: &str,
+    title: impl Fn(&str) -> String,
+) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for workload in &spec.workloads {
+        let mut t = Table::new(title(workload), "threads", spec.managers.clone());
+        for &m in &spec.threads {
+            let (means, sds): (Vec<f64>, Vec<f64>) = spec
+                .managers
+                .iter()
+                .map(|mgr| {
+                    let a = cell(results, workload, mgr, m, 100)
+                        .map(|r| r.metric(metric))
+                        .unwrap_or(crate::experiment::Agg {
+                            mean: f64::NAN,
+                            sd: f64::NAN,
+                        });
+                    (a.mean, a.sd)
+                })
+                .unzip();
+            t.push_row_sd(m.to_string(), means, sds);
+        }
+        tables.push(t);
+    }
+    tables
 }
 
 /// Fig. 2 — throughput (commits/s) of the five window variants across the
 /// thread sweep, one table per benchmark.
-pub fn fig2(preset: &Preset) -> Vec<Table> {
-    let variants = wtm_window::window_names();
-    sweep_throughput(
-        preset,
-        &variants,
-        "Fig 2",
-        "window-variant throughput",
-        false,
-    )
-    .0
+pub fn fig2(preset: &Preset, exec: &mut Executor) -> Vec<Table> {
+    let spec = base_spec("fig2", preset, &wtm_window::window_names());
+    let results = exec.run(&spec);
+    sweep_tables(&spec, &results, "throughput", |w| {
+        format!("Fig 2: window-variant throughput — {w}")
+    })
 }
 
 /// Figs. 3 and 4 — the best window variants vs Polka/Greedy/Priority.
 /// Both figures come from the *same* runs (the paper measures throughput
 /// and aborts-per-commit of one experiment), so this driver returns both:
 /// `(fig3 throughput tables, fig4 aborts-per-commit tables)`.
-pub fn fig34(preset: &Preset) -> (Vec<Table>, Vec<Table>) {
-    let managers = comparison_manager_names();
-    sweep_throughput(
-        preset,
-        &managers,
-        "Fig 3",
-        "window vs classic throughput",
-        true,
-    )
-}
-
-/// Shared thread-sweep driver. Returns throughput tables and (when
-/// `collect_aborts`) aborts-per-commit tables titled Fig 4.
-fn sweep_throughput(
-    preset: &Preset,
-    managers: &[&str],
-    fig: &str,
-    what: &str,
-    collect_aborts: bool,
-) -> (Vec<Table>, Vec<Table>) {
-    let mut thr_tables = Vec::new();
-    let mut apc_tables = Vec::new();
-    for bench in Benchmark::all() {
-        let cols: Vec<String> = managers.iter().map(|m| m.to_string()).collect();
-        let mut thr = Table::new(
-            format!("{fig}: {what} — {}", bench.name()),
-            "threads",
-            cols.clone(),
-        );
-        let mut apc = Table::new(
-            format!("Fig 4: aborts per commit — {}", bench.name()),
-            "threads",
-            cols,
-        );
-        for &m in &preset.thread_counts {
-            let mut thr_row = Vec::with_capacity(managers.len());
-            let mut apc_row = Vec::with_capacity(managers.len());
-            for manager in managers {
-                progress(&format!("{fig} {} / {manager} / M={m}", bench.name()));
-                let mut spec = RunSpec::new(*bench, manager, m, StopRule::Timed(preset.duration));
-                spec.window_n = preset.window_n;
-                let out = run_averaged(&spec, preset.reps);
-                thr_row.push(out.stats.throughput());
-                apc_row.push(out.stats.aborts_per_commit());
-            }
-            thr.push_row(m.to_string(), thr_row);
-            apc.push_row(m.to_string(), apc_row);
-        }
-        thr_tables.push(thr);
-        if collect_aborts {
-            apc_tables.push(apc);
-        }
-    }
-    (thr_tables, apc_tables)
+pub fn fig34(preset: &Preset, exec: &mut Executor) -> (Vec<Table>, Vec<Table>) {
+    let spec = base_spec("fig34", preset, &comparison_manager_names());
+    let results = exec.run(&spec);
+    let f3 = sweep_tables(&spec, &results, "throughput", |w| {
+        format!("Fig 3: window vs classic throughput — {w}")
+    });
+    let f4 = sweep_tables(&spec, &results, "aborts_per_commit", |w| {
+        format!("Fig 4: aborts per commit — {w}")
+    });
+    (f3, f4)
 }
 
 /// Fig. 5 — total time (seconds) to commit the transaction budget at 32
 /// threads under Low/Medium/High contention, one table per benchmark.
-pub fn fig5(preset: &Preset) -> Vec<Table> {
-    let managers = comparison_manager_names();
+pub fn fig5(preset: &Preset, exec: &mut Executor) -> Vec<Table> {
+    let mut spec = base_spec("fig5", preset, &comparison_manager_names());
+    spec.stop = StopRule::Budget(preset.budget);
+    spec.threads = vec![preset.fig5_threads];
+    spec.update_pcts = ContentionLevel::all()
+        .iter()
+        .map(|l| l.update_pct())
+        .collect();
+    let results = exec.run(&spec);
+
     let mut tables = Vec::new();
-    for bench in Benchmark::all() {
-        let cols: Vec<String> = managers.iter().map(|m| m.to_string()).collect();
+    for workload in &spec.workloads {
         let mut t = Table::new(
             format!(
-                "Fig 5: seconds to commit {} txns ({} threads) — {}",
-                preset.budget,
-                preset.fig5_threads,
-                bench.name()
+                "Fig 5: seconds to commit {} txns ({} threads) — {workload}",
+                preset.budget, preset.fig5_threads
             ),
             "contention",
-            cols,
+            spec.managers.clone(),
         );
         for level in ContentionLevel::all() {
-            let mut row = Vec::with_capacity(managers.len());
             let mut row_truncated = false;
-            for manager in &managers {
-                progress(&format!(
-                    "Fig 5 {} / {manager} / {}",
-                    bench.name(),
-                    level.name()
-                ));
-                let mut spec = RunSpec::new(
-                    *bench,
-                    manager,
-                    preset.fig5_threads,
-                    StopRule::Budget(preset.budget),
-                );
-                spec.update_pct = level.update_pct();
-                spec.window_n = preset.window_n;
-                let out = run_averaged(&spec, preset.reps);
-                if out.truncated {
-                    row_truncated = true;
-                }
-                row.push(out.total_time.as_secs_f64());
-            }
+            let (means, sds): (Vec<f64>, Vec<f64>) = spec
+                .managers
+                .iter()
+                .map(|mgr| {
+                    let r = cell(
+                        results.as_slice(),
+                        workload,
+                        mgr,
+                        preset.fig5_threads,
+                        level.update_pct(),
+                    );
+                    if let Some(r) = r {
+                        row_truncated |= r.truncated;
+                        let a = r.metric("total_time_s");
+                        (a.mean, a.sd)
+                    } else {
+                        (f64::NAN, f64::NAN)
+                    }
+                })
+                .unzip();
             // A truncated cell's time is a lower bound, not a measurement;
             // the row label says so instead of silently mixing the two.
             let label = if row_truncated {
@@ -132,7 +151,7 @@ pub fn fig5(preset: &Preset) -> Vec<Table> {
             } else {
                 level.name().to_string()
             };
-            t.push_row(label, row);
+            t.push_row_sd(label, means, sds);
         }
         tables.push(t);
     }
@@ -176,14 +195,23 @@ pub fn fig3_ratios(tables: &[Table]) -> Table {
 mod tests {
     use super::*;
 
+    fn temp_exec(tag: &str) -> (std::path::PathBuf, Executor) {
+        let dir = std::env::temp_dir().join(format!("wtm_fig_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let exec = Executor::new(&dir);
+        (dir, exec)
+    }
+
     #[test]
     fn fig2_smoke_produces_full_tables() {
         let p = Preset::smoke();
-        let tables = fig2(&p);
+        let (dir, mut exec) = temp_exec("fig2");
+        let tables = fig2(&p, &mut exec);
         assert_eq!(tables.len(), 4);
         for t in &tables {
             assert_eq!(t.columns.len(), 5, "five window variants");
             assert_eq!(t.rows.len(), p.thread_counts.len());
+            assert_eq!(t.sds.len(), t.rows.len(), "variance column present");
             assert!(
                 t.cells.iter().flatten().all(|v| *v >= 0.0),
                 "throughput is non-negative"
@@ -194,19 +222,24 @@ mod tests {
                 t.render()
             );
         }
+        // The engine checkpointed every cell.
+        assert!(dir.join("results.json").is_file());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn fig34_returns_paired_tables() {
         let mut p = Preset::smoke();
         p.thread_counts = vec![2];
-        let (f3, f4) = fig34(&p);
+        let (dir, mut exec) = temp_exec("fig34");
+        let (f3, f4) = fig34(&p, &mut exec);
         assert_eq!(f3.len(), 4);
         assert_eq!(f4.len(), 4);
         assert!(f3[0].title.contains("Fig 3"));
         assert!(f4[0].title.contains("Fig 4"));
         let ratios = fig3_ratios(&f3);
         assert_eq!(ratios.rows.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -235,11 +268,13 @@ mod tests {
     fn fig5_smoke_produces_times() {
         let mut p = Preset::smoke();
         p.budget = 80;
-        let tables = fig5(&p);
+        let (dir, mut exec) = temp_exec("fig5");
+        let tables = fig5(&p, &mut exec);
         assert_eq!(tables.len(), 4);
         for t in &tables {
             assert_eq!(t.rows, vec!["Low", "Medium", "High"]);
             assert!(t.cells.iter().flatten().all(|v| *v > 0.0));
         }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,505 @@
+//! Minimal JSON: parse, render, and validate `results.json`.
+//!
+//! The workspace is fully vendored and has no serde, so the experiment
+//! engine hand-rolls the small JSON subset it needs: objects preserve
+//! insertion order, numbers are `f64` rendered with Rust's shortest
+//! round-trip formatting (so parse → render is byte-identical, which is
+//! what makes "resume is a no-op" checkable with `cmp`), and non-finite
+//! numbers serialize as `null`.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object (duplicate keys are not merged).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// A number that may be missing (`null` encodes NaN/±inf).
+    pub fn as_f64_or_nan(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with 2-space indentation and a trailing newline.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Shortest round-trip formatting: re-parsing and
+                    // re-rendering reproduces the same bytes.
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (must consume the whole input).
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {}, found {:?}",
+            b as char,
+            *pos,
+            bytes.get(*pos).map(|b| *b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so slicing on
+                // char boundaries is safe via the next boundary search).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number {text:?} at byte {start}"))
+}
+
+/// The `results.json` schema version this build reads and writes. Bump on
+/// any structural change, together with `docs/results-schema.json`.
+pub const RESULTS_SCHEMA_VERSION: f64 = 1.0;
+
+/// Validate a parsed `results.json` document against the committed schema
+/// (`docs/results-schema.json`): top-level shape, per-cell required
+/// fields, and per-metric `{mean, sd}` objects. Returns the first
+/// violation found.
+pub fn validate_results(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("missing schema_version")?;
+    if version != RESULTS_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != supported {RESULTS_SCHEMA_VERSION}"
+        ));
+    }
+    doc.get("generator")
+        .and_then(Json::as_str)
+        .ok_or("missing generator string")?;
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_obj)
+        .ok_or("missing cells object")?;
+    for (key, cell) in cells {
+        let ctx = |field: &str| format!("cell {key:?}: bad or missing {field}");
+        cell.get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("workload"))?;
+        cell.get("manager")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("manager"))?;
+        for field in ["threads", "update_pct", "key_range", "window_n", "reps"] {
+            cell.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ctx(field))?;
+        }
+        // Seeds are full 64-bit values; JSON numbers are f64, so they are
+        // stored as hex strings to stay exact.
+        for field in ["seed", "stop"] {
+            cell.get(field)
+                .and_then(Json::as_str)
+                .ok_or_else(|| ctx(field))?;
+        }
+        cell.get("truncated")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ctx("truncated"))?;
+        let metrics = cell
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| ctx("metrics"))?;
+        for (name, m) in metrics {
+            for stat in ["mean", "sd"] {
+                m.get(stat)
+                    .and_then(Json::as_f64_or_nan)
+                    .ok_or_else(|| format!("cell {key:?}: metric {name:?} missing {stat}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_is_byte_identical() {
+        let doc = Json::Obj(vec![
+            ("a".into(), Json::Num(1.5)),
+            ("b".into(), Json::Arr(vec![Json::Null, Json::Bool(true)])),
+            ("c".into(), Json::Str("x\"y\n—".into())),
+            ("d".into(), Json::Num(0.1 + 0.2)), // non-trivial shortest repr
+            ("e".into(), Json::Obj(vec![])),
+        ]);
+        for rendered in [doc.render(), doc.render_pretty()] {
+            let reparsed = Json::parse(&rendered).unwrap();
+            assert_eq!(reparsed, doc);
+            // Idempotence is what makes `cmp` a valid resume check.
+            assert_eq!(reparsed.render(), doc.render());
+            assert_eq!(reparsed.render_pretty(), doc.render_pretty());
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let doc = Json::Arr(vec![Json::Num(f64::NAN), Json::Num(f64::INFINITY)]);
+        assert_eq!(doc.render(), "[null,null]");
+        let back = Json::parse(&doc.render()).unwrap();
+        assert!(back.as_arr().unwrap()[0].as_f64_or_nan().unwrap().is_nan());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "123abc", "[1] x", "\"open"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_standard_documents() {
+        let v = Json::parse(r#" { "k" : [ 1 , -2.5e3 , "sA" ] , "t" : false } "#).unwrap();
+        assert_eq!(v.get("t"), Some(&Json::Bool(false)));
+        let arr = v.get("k").unwrap().as_arr().unwrap();
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2].as_str(), Some("sA"));
+    }
+
+    fn minimal_valid() -> Json {
+        Json::parse(
+            r#"{
+              "schema_version": 1,
+              "generator": "windowtm test",
+              "cells": {
+                "k1": {
+                  "workload": "List", "manager": "Polka", "threads": 2,
+                  "update_pct": 100, "key_range": 64, "window_n": 8,
+                  "reps": 2, "seed": "0x1", "stop": "timed:0.06",
+                  "truncated": false,
+                  "metrics": { "throughput": { "mean": 10.0, "sd": 1.0 } }
+                }
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validator_accepts_wellformed_results() {
+        validate_results(&minimal_valid()).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_missing_fields() {
+        let doc = minimal_valid();
+        // Drop one required field at a time and expect a failure.
+        let Json::Obj(top) = &doc else { unreachable!() };
+        let cells = doc.get("cells").unwrap().as_obj().unwrap();
+        let Json::Obj(cell) = &cells[0].1 else {
+            unreachable!()
+        };
+        for victim in cell.iter().map(|(k, _)| k.clone()) {
+            let stripped: Vec<(String, Json)> =
+                cell.iter().filter(|(k, _)| *k != victim).cloned().collect();
+            let broken = Json::Obj(
+                top.iter()
+                    .map(|(k, v)| {
+                        if k == "cells" {
+                            (
+                                k.clone(),
+                                Json::Obj(vec![("k1".into(), Json::Obj(stripped.clone()))]),
+                            )
+                        } else {
+                            (k.clone(), v.clone())
+                        }
+                    })
+                    .collect(),
+            );
+            assert!(
+                validate_results(&broken).is_err(),
+                "dropping {victim} must fail validation"
+            );
+        }
+        assert!(validate_results(&Json::Obj(vec![])).is_err());
+    }
+}

@@ -9,16 +9,30 @@
 //! | [`figures::fig5`] | Fig. 5 — total time to commit a fixed budget of transactions at three contention levels |
 //! | [`theory::makespan_tables`] | §II-C — simulator validation of the Offline/Online makespan bounds and the window-vs-one-shot claim |
 //!
-//! The [`runner`] module executes one `(benchmark, manager, threads)`
+//! The [`runner`] module executes one `(workload, manager, threads)`
 //! cell: spawn `M` workers, run the deterministic operation stream until
-//! the stop rule fires, aggregate [`wtm_stm::StatsSnapshot`]s. The
+//! the stop rule fires, aggregate [`wtm_stm::StatsSnapshot`]s. Workloads
+//! are resolved by name through the [`wtm_workloads::registry`]; managers
+//! through [`managers::build_manager`], which understands parameterized
+//! names (`Online-Dynamic@phi=2,c=8,n=16`).
+//!
+//! The [`experiment`] module is the declarative layer above the runner:
+//! an [`experiment::ExperimentSpec`] describes a grid (workloads ×
+//! managers × thread sweep × contention × stop rule × repetitions) and
+//! the shared [`experiment::Executor`] expands it into deterministic
+//! cells, owns repetition and mean ± stddev aggregation, prints
+//! progress/ETA, and checkpoints every finished cell into a
+//! schema-versioned `results.json` ([`json`] is the vendored-free JSON
+//! layer) so interrupted suites resume instead of restarting. The
 //! [`report`] module renders aligned text tables and CSV files.
 //!
-//! Two presets scale every experiment: `--quick` (CI-sized, seconds) and
+//! Presets scale every experiment: `--smoke`/`--quick` (CI-sized) up to
 //! `--paper` (the paper's 10 s × 6 repetitions × 32 threads).
 
 pub mod ablation;
+pub mod experiment;
 pub mod figures;
+pub mod json;
 pub mod managers;
 pub mod metrics;
 pub mod preset;
@@ -28,7 +42,9 @@ pub mod theory;
 pub mod trace;
 pub mod tracer;
 
-pub use managers::{all_manager_names, build_manager, BuiltManager};
+pub use experiment::{aggregate, Agg, CellResult, Executor, ExperimentSpec, ResultsStore};
+pub use json::Json;
+pub use managers::{all_manager_names, build_manager, comparison_manager_names, BuiltManager};
 pub use preset::Preset;
-pub use report::Table;
+pub use report::{slugify, Table};
 pub use runner::{run_one, RunOutcome, RunSpec, StopRule};

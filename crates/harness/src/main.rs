@@ -1,30 +1,46 @@
 //! `windowtm` — regenerate the paper's figures from the command line.
 //!
 //! ```text
-//! windowtm <fig2|fig3|fig4|fig5|theory|trace|simtrace|ablation|metrics|all> \
-//!          [--quick|--medium|--paper|--smoke] [--out DIR]
+//! windowtm <command> [--quick|--medium|--paper|--smoke]
+//!          [--out DIR] [--threads N] [--reps N] [--seed S]
 //! ```
 //!
-//! Tables print to stdout and are also written as CSV into `--out`
-//! (default `results/`). `trace` runs instrumented cells and additionally
-//! writes Chrome-trace JSON (Perfetto-loadable) into `--out`; `simtrace`
-//! is the T4 window-simulator schedule trace.
+//! Commands: `fig2 fig3 fig4 fig5 theory trace simtrace ablation metrics
+//! all list run <workload> validate`. Tables print to stdout and are also
+//! written as CSV into `--out` (default `results/`); experiment commands
+//! additionally maintain a machine-readable `--out/results.json` that
+//! doubles as a checkpoint — re-running with the same `--out` skips every
+//! already-completed cell. `trace` runs instrumented cells and writes
+//! Chrome-trace JSON (Perfetto-loadable) into `--out`; `simtrace` is the
+//! T4 window-simulator schedule trace.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use wtm_harness::ablation::ablation_tables;
+use wtm_harness::experiment::{Executor, ExperimentSpec};
 use wtm_harness::figures::{fig2, fig34, fig3_ratios, fig5};
+use wtm_harness::json::{validate_results, Json};
 use wtm_harness::metrics::future_work_tables;
 use wtm_harness::preset::Preset;
 use wtm_harness::report::Table;
+use wtm_harness::runner::StopRule;
 use wtm_harness::theory::makespan_tables;
 use wtm_harness::trace::trace_tables;
 use wtm_harness::tracer::trace_report;
+use wtm_harness::{all_manager_names, comparison_manager_names};
+
+const COMMANDS: &str =
+    "fig2 fig3 fig4 fig5 theory trace simtrace ablation metrics all list run validate";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: windowtm <fig2|fig3|fig4|fig5|theory|trace|simtrace|ablation|metrics|all> [--quick|--medium|--paper|--smoke] [--out DIR]"
+        "usage: windowtm <command> [--quick|--medium|--paper|--smoke] [--out DIR] \
+         [--threads N] [--reps N] [--seed S]\n\
+         commands: {COMMANDS}\n\
+         \x20 run <workload>   named run: thread sweep of one registered workload\n\
+         \x20 list             registered workloads and managers\n\
+         \x20 validate         check --out/results.json against the committed schema"
     );
     ExitCode::from(2)
 }
@@ -39,6 +55,129 @@ fn emit(tables: &[Table], out_dir: &std::path::Path) {
     }
 }
 
+/// `windowtm list` — everything the registries know.
+fn list_registered() {
+    println!("workloads ({}):", wtm_workloads::workload_names().len());
+    for info in wtm_workloads::workload_infos() {
+        println!(
+            "  {:<10} key-range default {:>4}{}  — {}",
+            info.name,
+            info.default_key_range,
+            if info.paper {
+                "  [paper §III]"
+            } else {
+                "             "
+            },
+            info.summary,
+        );
+    }
+    println!("\nmanagers ({}):", all_manager_names().len());
+    println!("  window-based: {}", wtm_window::window_names().join(", "));
+    println!(
+        "  classic:      {}",
+        wtm_managers::classic_names().join(", ")
+    );
+    println!(
+        "\nwindow managers accept parameter suffixes: \
+         Online-Dynamic@phi=2,c=8,n=16 (frame factor, contention estimate, window width)"
+    );
+}
+
+/// `windowtm run <workload>` — a named thread-sweep of one workload over
+/// the comparison manager set.
+fn named_run(workload: &str, preset: &Preset, exec: &mut Executor) -> Result<Vec<Table>, String> {
+    let info = wtm_workloads::workload_info(workload).ok_or_else(|| {
+        format!(
+            "unknown workload {workload:?}; registered: {}",
+            wtm_workloads::workload_names().join(", ")
+        )
+    })?;
+    let mut spec = ExperimentSpec::new(
+        &format!("run-{}", info.name),
+        StopRule::Timed(preset.duration),
+    );
+    spec.workloads = vec![info.name.to_string()];
+    spec.managers = comparison_manager_names()
+        .iter()
+        .map(|m| m.to_string())
+        .collect();
+    spec.threads = preset.thread_counts.clone();
+    spec.reps = preset.reps;
+    spec.window_n = preset.window_n;
+    spec.base_seed = preset.seed;
+    let results = exec.run(&spec);
+
+    let mut tables = Vec::new();
+    for (metric, what) in [
+        ("throughput", "throughput (txn/s)"),
+        ("aborts_per_commit", "aborts per commit"),
+    ] {
+        let mut t = Table::new(
+            format!("Run: {what} — {}", info.name),
+            "threads",
+            spec.managers.clone(),
+        );
+        for &m in &spec.threads {
+            let (means, sds): (Vec<f64>, Vec<f64>) = spec
+                .managers
+                .iter()
+                .map(|mgr| {
+                    let a = results
+                        .iter()
+                        .find(|r| r.threads == m && &r.manager == mgr)
+                        .map(|r| r.metric(metric))
+                        .unwrap_or(wtm_harness::experiment::Agg {
+                            mean: f64::NAN,
+                            sd: f64::NAN,
+                        });
+                    (a.mean, a.sd)
+                })
+                .unzip();
+            t.push_row_sd(m.to_string(), means, sds);
+        }
+        tables.push(t);
+    }
+    Ok(tables)
+}
+
+fn validate_out(out_dir: &std::path::Path) -> ExitCode {
+    let path = out_dir.join("results.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[windowtm] cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = Json::parse(&text).and_then(|doc| validate_results(&doc).map(|()| doc));
+    match parsed {
+        Ok(doc) => {
+            let cells = doc
+                .get("cells")
+                .and_then(Json::as_obj)
+                .map(<[_]>::len)
+                .unwrap_or(0);
+            println!(
+                "{}: valid (schema_version 1, {cells} cell(s))",
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("[windowtm] {}: INVALID: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
@@ -46,7 +185,24 @@ fn main() -> ExitCode {
     };
     let mut preset = Preset::quick();
     let mut out_dir = PathBuf::from("results");
+    let mut run_target: Option<String> = None;
     let mut i = 1;
+    // `run` takes its workload as the next positional argument.
+    if cmd == "run" {
+        match args.get(1) {
+            Some(w) if !w.starts_with("--") => {
+                run_target = Some(w.clone());
+                i = 2;
+            }
+            _ => {
+                eprintln!(
+                    "run: missing workload name; registered: {}",
+                    wtm_workloads::workload_names().join(", ")
+                );
+                return usage();
+            }
+        }
+    }
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => preset = Preset::quick(),
@@ -60,6 +216,39 @@ fn main() -> ExitCode {
                 };
                 out_dir = PathBuf::from(dir);
             }
+            "--threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs a positive integer");
+                    return usage();
+                };
+                if n == 0 {
+                    eprintln!("--threads needs a positive integer");
+                    return usage();
+                }
+                preset.thread_counts = vec![n];
+                preset.fig5_threads = n;
+            }
+            "--reps" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--reps needs a positive integer");
+                    return usage();
+                };
+                if n == 0 {
+                    eprintln!("--reps needs a positive integer");
+                    return usage();
+                }
+                preset.reps = n;
+            }
+            "--seed" => {
+                i += 1;
+                let Some(s) = args.get(i).and_then(|v| parse_u64(v)) else {
+                    eprintln!("--seed needs an integer (decimal or 0x-hex)");
+                    return usage();
+                };
+                preset.seed = s;
+            }
             other => {
                 eprintln!("unknown flag {other:?}");
                 return usage();
@@ -67,15 +256,27 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+
+    // Commands that neither run experiments nor need the preset banner.
+    match cmd.as_str() {
+        "list" => {
+            list_registered();
+            return ExitCode::SUCCESS;
+        }
+        "validate" => return validate_out(&out_dir),
+        _ => {}
+    }
+
     eprintln!(
-        "[windowtm] preset={} duration={:?} reps={} threads={:?}",
-        preset.name, preset.duration, preset.reps, preset.thread_counts
+        "[windowtm] preset={} duration={:?} reps={} threads={:?} seed={:#x}",
+        preset.name, preset.duration, preset.reps, preset.thread_counts, preset.seed
     );
+    let mut exec = Executor::new(&out_dir);
 
     match cmd.as_str() {
-        "fig2" => emit(&fig2(&preset), &out_dir),
+        "fig2" => emit(&fig2(&preset, &mut exec), &out_dir),
         "fig3" | "fig4" | "fig34" => {
-            let (f3, f4) = fig34(&preset);
+            let (f3, f4) = fig34(&preset, &mut exec);
             if cmd != "fig4" {
                 emit(&f3, &out_dir);
                 emit(&[fig3_ratios(&f3)], &out_dir);
@@ -84,26 +285,53 @@ fn main() -> ExitCode {
                 emit(&f4, &out_dir);
             }
         }
-        "fig5" => emit(&fig5(&preset), &out_dir),
+        "fig5" => emit(&fig5(&preset, &mut exec), &out_dir),
         "theory" => emit(&makespan_tables(&preset), &out_dir),
-        "ablation" => emit(&ablation_tables(&preset), &out_dir),
+        "ablation" => emit(&ablation_tables(&preset, &mut exec), &out_dir),
         "trace" => emit(&trace_report(&preset, &out_dir), &out_dir),
         "simtrace" => emit(&trace_tables(&preset), &out_dir),
-        "metrics" => emit(&future_work_tables(&preset), &out_dir),
+        "metrics" => emit(&future_work_tables(&preset, &mut exec), &out_dir),
+        "run" => {
+            let workload = run_target.expect("parsed above");
+            match named_run(&workload, &preset, &mut exec) {
+                Ok(tables) => emit(&tables, &out_dir),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
         "all" => {
-            emit(&fig2(&preset), &out_dir);
-            let (f3, f4) = fig34(&preset);
+            emit(&fig2(&preset, &mut exec), &out_dir);
+            let (f3, f4) = fig34(&preset, &mut exec);
             emit(&f3, &out_dir);
             emit(&[fig3_ratios(&f3)], &out_dir);
             emit(&f4, &out_dir);
-            emit(&fig5(&preset), &out_dir);
+            emit(&fig5(&preset, &mut exec), &out_dir);
             emit(&makespan_tables(&preset), &out_dir);
             emit(&trace_tables(&preset), &out_dir);
-            emit(&ablation_tables(&preset), &out_dir);
-            emit(&future_work_tables(&preset), &out_dir);
+            emit(&ablation_tables(&preset, &mut exec), &out_dir);
+            emit(&future_work_tables(&preset, &mut exec), &out_dir);
             emit(&trace_report(&preset, &out_dir), &out_dir);
         }
-        _ => return usage(),
+        other => {
+            eprintln!("unknown command {other:?}; available: {COMMANDS}");
+            return usage();
+        }
     }
+    if exec.skipped > 0 {
+        eprintln!(
+            "[windowtm] resume: {} cell(s) served from {} without re-running",
+            exec.skipped,
+            exec.store().path().display()
+        );
+    }
+    if !exec.store().is_empty() {
+        eprintln!(
+            "[windowtm] results.json at {}",
+            exec.store().path().display()
+        );
+    }
+    eprintln!("[windowtm] done in {:?}", exec.elapsed());
     ExitCode::SUCCESS
 }

@@ -1,4 +1,19 @@
-//! Unified contention-manager factory: classic + window-based.
+//! Unified contention-manager factory: classic + window-based, with
+//! optional per-name parameter overrides.
+//!
+//! A manager name may carry a parameter suffix,
+//! `Base@key=value[,key=value…]`, understood for the window-based
+//! managers:
+//!
+//! * `phi` — the frame-length factor `c` in `Φ = c·ln(MN)`
+//!   ([`WindowConfig::phi_factor`]);
+//! * `c`   — the initial contention estimate ([`WindowConfig::c_init`]);
+//! * `n`   — the window width `N`, overriding the preset's value.
+//!
+//! This is what lets the ablation sweeps (A1/A2/A4) run through the same
+//! declarative experiment engine as the paper figures instead of
+//! hand-rolled run loops: `"Online-Dynamic@phi=2"` is just another
+//! manager name.
 
 use std::sync::Arc;
 
@@ -45,19 +60,66 @@ pub fn comparison_manager_names() -> Vec<&'static str> {
     ]
 }
 
-/// Build a manager by name for `threads` workers. Window managers use an
-/// `threads × window_n` window seeded with `seed`.
+/// A parsed `Base@key=value,…` manager name.
+struct ParsedName<'a> {
+    base: &'a str,
+    phi: Option<f64>,
+    c_init: Option<f64>,
+    window_n: Option<usize>,
+}
+
+fn parse_name(name: &str) -> Option<ParsedName<'_>> {
+    let Some((base, params)) = name.split_once('@') else {
+        return Some(ParsedName {
+            base: name,
+            phi: None,
+            c_init: None,
+            window_n: None,
+        });
+    };
+    let mut parsed = ParsedName {
+        base,
+        phi: None,
+        c_init: None,
+        window_n: None,
+    };
+    for kv in params.split(',') {
+        let (k, v) = kv.split_once('=')?;
+        match k.trim() {
+            "phi" => parsed.phi = Some(v.trim().parse().ok()?),
+            "c" => parsed.c_init = Some(v.trim().parse().ok()?),
+            "n" => parsed.window_n = Some(v.trim().parse().ok()?),
+            _ => return None,
+        }
+    }
+    Some(parsed)
+}
+
+/// Build a manager by name for `threads` workers. Window managers use a
+/// `threads × window_n` window seeded with `seed`; a `@key=value` suffix
+/// overrides individual window knobs (see the module docs). Returns
+/// `None` for unknown names, unknown parameter keys, or parameters
+/// attached to a classic manager.
 pub fn build_manager(
     name: &str,
     threads: usize,
     window_n: usize,
     seed: u64,
 ) -> Option<BuiltManager> {
-    if let Some(cm) = wtm_managers::make_dispatch(name, threads) {
-        return Some(BuiltManager { cm, window: None });
+    let parsed = parse_name(name)?;
+    let has_params = parsed.phi.is_some() || parsed.c_init.is_some() || parsed.window_n.is_some();
+    if let Some(cm) = wtm_managers::make_dispatch(parsed.base, threads) {
+        // Classic managers take no window parameters.
+        return (!has_params).then_some(BuiltManager { cm, window: None });
     }
-    let cfg = WindowConfig::new(threads, window_n).with_seed(seed);
-    wtm_window::make_window_manager(name, cfg).map(|wm| BuiltManager {
+    let mut cfg = WindowConfig::new(threads, parsed.window_n.unwrap_or(window_n)).with_seed(seed);
+    if let Some(phi) = parsed.phi {
+        cfg.phi_factor = phi;
+    }
+    if let Some(c) = parsed.c_init {
+        cfg = cfg.with_c_init(c);
+    }
+    wtm_window::make_window_manager(parsed.base, cfg).map(|wm| BuiltManager {
         cm: CmDispatch::Dyn(wm.clone() as Arc<dyn ContentionManager>),
         window: Some(wm),
     })
@@ -94,5 +156,32 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(build_manager("Nope", 2, 8, 1).is_none());
+    }
+
+    #[test]
+    fn parameterized_window_names_build() {
+        for name in [
+            "Online-Dynamic@phi=2",
+            "Online-Dynamic@c=8.5",
+            "Adaptive-Improved-Dynamic@n=4",
+            "Online-Dynamic@phi=0.5,c=2,n=16",
+        ] {
+            let b = build_manager(name, 2, 8, 1).unwrap_or_else(|| panic!("{name}"));
+            assert!(b.window.is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        for name in [
+            "Online-Dynamic@",
+            "Online-Dynamic@phi",
+            "Online-Dynamic@phi=abc",
+            "Online-Dynamic@bogus=1",
+            "Polka@phi=2", // classic managers take no window parameters
+            "Nope@phi=2",
+        ] {
+            assert!(build_manager(name, 2, 8, 1).is_none(), "{name}");
+        }
     }
 }

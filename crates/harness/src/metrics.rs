@@ -8,60 +8,82 @@
 //! > evaluation of window model evaluation on these aforementioned
 //! > performance measures for future work." — §IV
 //!
-//! This module is that evaluation.
+//! This module is that evaluation. Because every [`CellResult`] already
+//! carries all the metrics, this spec's cells coincide with the Fig. 3
+//! cells at the top thread count — when `fig34` ran first into the same
+//! `--out`, the executor serves these from the checkpoint for free.
 
+use wtm_workloads::paper_workload_names;
+
+use crate::experiment::{CellResult, Executor, ExperimentSpec};
 use crate::managers::comparison_manager_names;
 use crate::preset::Preset;
 use crate::report::Table;
-use crate::runner::{run_averaged, RunSpec, StopRule};
-use wtm_workloads::Benchmark;
+use crate::runner::StopRule;
 
 /// One table per metric; rows = benchmarks, columns = managers.
-pub fn future_work_tables(preset: &Preset) -> Vec<Table> {
-    let managers = comparison_manager_names();
+pub fn future_work_tables(preset: &Preset, exec: &mut Executor) -> Vec<Table> {
     let threads = preset.thread_counts.last().copied().unwrap_or(2);
-    let cols: Vec<String> = managers.iter().map(|m| m.to_string()).collect();
-    let mut wasted = Table::new(
-        format!("FW1: wasted work (fraction of cycles in aborted attempts, M={threads})"),
-        "benchmark",
-        cols.clone(),
-    );
-    let mut repeats = Table::new(
-        format!("FW2: repeat conflicts per 1000 commits (M={threads})"),
-        "benchmark",
-        cols.clone(),
-    );
-    let mut duration = Table::new(
-        format!("FW3: average committed-transaction duration (µs, M={threads})"),
-        "benchmark",
-        cols.clone(),
-    );
-    let mut response = Table::new(
-        format!("FW4: average response time (µs, first start → commit, M={threads})"),
-        "benchmark",
-        cols,
-    );
-    for bench in Benchmark::all() {
-        let mut w = Vec::new();
-        let mut r = Vec::new();
-        let mut d = Vec::new();
-        let mut resp = Vec::new();
-        for manager in &managers {
-            eprintln!("[windowtm] FW {} / {manager}", bench.name());
-            let mut spec = RunSpec::new(*bench, manager, threads, StopRule::Timed(preset.duration));
-            spec.window_n = preset.window_n;
-            let out = run_averaged(&spec, preset.reps);
-            w.push(out.stats.wasted_work());
-            r.push(out.stats.repeat_conflicts as f64 * 1000.0 / out.stats.commits.max(1) as f64);
-            d.push(out.stats.avg_committed_duration().as_secs_f64() * 1e6);
-            resp.push(out.stats.avg_response_time().as_secs_f64() * 1e6);
-        }
-        wasted.push_row(bench.name(), w);
-        repeats.push_row(bench.name(), r);
-        duration.push_row(bench.name(), d);
-        response.push_row(bench.name(), resp);
+    let mut spec = ExperimentSpec::new("metrics", StopRule::Timed(preset.duration));
+    spec.workloads = paper_workload_names()
+        .iter()
+        .map(|w| w.to_string())
+        .collect();
+    spec.managers = comparison_manager_names()
+        .iter()
+        .map(|m| m.to_string())
+        .collect();
+    spec.threads = vec![threads];
+    spec.reps = preset.reps;
+    spec.window_n = preset.window_n;
+    spec.base_seed = preset.seed;
+    let results = exec.run(&spec);
+
+    let views: [(&str, String); 4] = [
+        (
+            "wasted_work",
+            format!("FW1: wasted work (fraction of cycles in aborted attempts, M={threads})"),
+        ),
+        (
+            "repeat_conflicts_per_kcommit",
+            format!("FW2: repeat conflicts per 1000 commits (M={threads})"),
+        ),
+        (
+            "avg_committed_duration_us",
+            format!("FW3: average committed-transaction duration (µs, M={threads})"),
+        ),
+        (
+            "avg_response_time_us",
+            format!("FW4: average response time (µs, first start → commit, M={threads})"),
+        ),
+    ];
+    views
+        .into_iter()
+        .map(|(metric, title)| project(&spec, &results, metric, title))
+        .collect()
+}
+
+fn project(spec: &ExperimentSpec, results: &[CellResult], metric: &str, title: String) -> Table {
+    let mut t = Table::new(title, "benchmark", spec.managers.clone());
+    for workload in &spec.workloads {
+        let (means, sds): (Vec<f64>, Vec<f64>) = spec
+            .managers
+            .iter()
+            .map(|mgr| {
+                let a = results
+                    .iter()
+                    .find(|r| &r.workload == workload && &r.manager == mgr)
+                    .map(|r| r.metric(metric))
+                    .unwrap_or(crate::experiment::Agg {
+                        mean: f64::NAN,
+                        sd: f64::NAN,
+                    });
+                (a.mean, a.sd)
+            })
+            .unzip();
+        t.push_row_sd(workload.clone(), means, sds);
     }
-    vec![wasted, repeats, duration, response]
+    t
 }
 
 #[cfg(test)]
@@ -70,7 +92,10 @@ mod tests {
 
     #[test]
     fn future_work_tables_have_full_shape() {
-        let tables = future_work_tables(&Preset::smoke());
+        let dir = std::env::temp_dir().join(format!("wtm_fw_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut exec = Executor::new(&dir);
+        let tables = future_work_tables(&Preset::smoke(), &mut exec);
         assert_eq!(tables.len(), 4);
         for t in &tables {
             assert_eq!(t.rows.len(), 4, "{}", t.title);
@@ -92,5 +117,6 @@ mod tests {
                 );
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

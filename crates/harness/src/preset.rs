@@ -22,6 +22,9 @@ pub struct Preset {
     /// Simulator scale for the theory tables.
     pub sim_m: usize,
     pub sim_n: usize,
+    /// Base seed for the experiment engine's per-cell seed derivation
+    /// (`--seed` overrides it).
+    pub seed: u64,
     /// Label used in report headers.
     pub name: &'static str,
 }
@@ -39,6 +42,7 @@ impl Preset {
             fig5_threads: 32,
             sim_m: 32,
             sim_n: 50,
+            seed: 0xBEEF,
             name: "paper",
         }
     }
@@ -56,6 +60,7 @@ impl Preset {
             fig5_threads: 32,
             sim_m: 32,
             sim_n: 50,
+            seed: 0xBEEF,
             name: "medium",
         }
     }
@@ -71,6 +76,7 @@ impl Preset {
             fig5_threads: 8,
             sim_m: 16,
             sim_n: 24,
+            seed: 0xBEEF,
             name: "quick",
         }
     }
@@ -86,6 +92,7 @@ impl Preset {
             fig5_threads: 2,
             sim_m: 6,
             sim_n: 8,
+            seed: 0xBEEF,
             name: "smoke",
         }
     }

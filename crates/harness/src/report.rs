@@ -5,7 +5,8 @@ use std::io::Write as _;
 use std::path::Path;
 
 /// A rectangular results table: one row per sweep point, one column per
-/// series (manager), `f64` cells.
+/// series (manager), `f64` cells, with optional per-cell standard
+/// deviations (the experiment engine's repetition variance).
 #[derive(Debug, Clone)]
 pub struct Table {
     /// Table title (figure id + benchmark).
@@ -18,6 +19,12 @@ pub struct Table {
     pub rows: Vec<String>,
     /// `cells[r][c]`.
     pub cells: Vec<Vec<f64>>,
+    /// Per-cell standard deviations: either empty (no variance data) or
+    /// the same shape as [`cells`](Table::cells). When present, `render`
+    /// shows `mean±sd` and `to_csv` appends one `<col> sd` column per
+    /// series *after* all mean columns, so mean columns keep their
+    /// positions for existing consumers.
+    pub sds: Vec<Vec<f64>>,
 }
 
 impl Table {
@@ -29,6 +36,7 @@ impl Table {
             columns,
             rows: Vec::new(),
             cells: Vec::new(),
+            sds: Vec::new(),
         }
     }
 
@@ -37,6 +45,19 @@ impl Table {
         assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
         self.rows.push(label.into());
         self.cells.push(cells);
+    }
+
+    /// Append one row with per-cell standard deviations. Don't mix with
+    /// [`push_row`](Table::push_row) in one table.
+    pub fn push_row_sd(&mut self, label: impl Into<String>, cells: Vec<f64>, sds: Vec<f64>) {
+        assert_eq!(sds.len(), self.columns.len(), "sd row width mismatch");
+        self.push_row(label, cells);
+        self.sds.push(sds);
+        assert_eq!(self.sds.len(), self.cells.len(), "mixed sd/plain rows");
+    }
+
+    fn has_sds(&self) -> bool {
+        !self.sds.is_empty() && self.sds.len() == self.cells.len()
     }
 
     /// Cell lookup by series name.
@@ -59,7 +80,19 @@ impl Table {
         let formatted: Vec<Vec<String>> = self
             .cells
             .iter()
-            .map(|row| row.iter().map(|v| format_cell(*v)).collect())
+            .enumerate()
+            .map(|(r, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(|(c, v)| {
+                        if self.has_sds() {
+                            format!("{}±{}", format_cell(*v), format_cell(self.sds[r][c]))
+                        } else {
+                            format_cell(*v)
+                        }
+                    })
+                    .collect()
+            })
             .collect();
         for (c, col) in self.columns.iter().enumerate() {
             let w = formatted
@@ -87,22 +120,35 @@ impl Table {
         out
     }
 
-    /// CSV rendering (header row + data rows).
+    /// CSV rendering (header row + data rows). Variance tables append one
+    /// `<col> sd` column per series after all mean columns.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let _ = write!(out, "{}", csv_escape(&self.row_key));
         for col in &self.columns {
             let _ = write!(out, ",{}", csv_escape(col));
         }
+        if self.has_sds() {
+            for col in &self.columns {
+                let _ = write!(out, ",{}", csv_escape(&format!("{col} sd")));
+            }
+        }
         let _ = writeln!(out);
+        let csv_cell = |out: &mut String, v: f64| {
+            if v.is_finite() {
+                let _ = write!(out, ",{v}");
+            } else {
+                let _ = write!(out, ",n/a");
+            }
+        };
         for (r, label) in self.rows.iter().enumerate() {
             let _ = write!(out, "{}", csv_escape(label));
             for c in 0..self.columns.len() {
-                let v = self.cells[r][c];
-                if v.is_finite() {
-                    let _ = write!(out, ",{v}");
-                } else {
-                    let _ = write!(out, ",n/a");
+                csv_cell(&mut out, self.cells[r][c]);
+            }
+            if self.has_sds() {
+                for c in 0..self.columns.len() {
+                    csv_cell(&mut out, self.sds[r][c]);
                 }
             }
             let _ = writeln!(out);
@@ -113,22 +159,31 @@ impl Table {
     /// Write the CSV into `dir/<slug>.csv` (slug derived from the title).
     pub fn save_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
-        let slug: String = self
-            .title
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() {
-                    c.to_ascii_lowercase()
-                } else {
-                    '_'
-                }
-            })
-            .collect();
-        let path = dir.join(format!("{slug}.csv"));
+        let path = dir.join(format!("{}.csv", slugify(&self.title)));
         let mut f = std::fs::File::create(&path)?;
         f.write_all(self.to_csv().as_bytes())?;
         Ok(path)
     }
+}
+
+/// Derive a filesystem-friendly slug: lowercase ASCII alphanumerics, any
+/// other run of characters collapsed to a single `_`, no leading or
+/// trailing underscores. (The old slug mapped each character to `_`
+/// individually, yielding names like `fig_2__window___list.csv`; see the
+/// compatibility note in EXPERIMENTS.md.)
+pub fn slugify(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.is_empty() && !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
 }
 
 fn format_cell(v: f64) -> String {
@@ -221,6 +276,39 @@ mod tests {
     fn mismatched_row_rejected() {
         let mut t = sample();
         t.push_row("x", vec![1.0]);
+    }
+
+    #[test]
+    fn slugify_collapses_and_trims() {
+        assert_eq!(
+            slugify("Fig 2: window-variant throughput — List"),
+            "fig_2_window_variant_throughput_list"
+        );
+        assert_eq!(slugify("  --weird--  "), "weird");
+        assert_eq!(slugify("Plain"), "plain");
+        assert_eq!(slugify("___"), "");
+    }
+
+    #[test]
+    fn sd_rows_render_and_csv_append_sd_columns() {
+        let mut t = Table::new("Fig V: var", "threads", vec!["A".into(), "B".into()]);
+        t.push_row_sd("1", vec![100.0, 200.0], vec![5.0, 0.0]);
+        t.push_row_sd("2", vec![300.0, 400.0], vec![f64::NAN, 7.0]);
+        let s = t.render();
+        assert!(s.contains("100.0±5.00"), "{s}");
+        assert!(s.contains("±n/a"), "missing sd renders as n/a: {s}");
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "threads,A,B,A sd,B sd");
+        assert_eq!(lines.next().unwrap(), "1,100,200,5,0");
+        assert_eq!(lines.next().unwrap(), "2,300,400,n/a,7");
+    }
+
+    #[test]
+    fn plain_tables_keep_csv_shape() {
+        // No sd rows → no sd columns: mean columns stay position-identical.
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "threads,A,B");
     }
 
     #[test]

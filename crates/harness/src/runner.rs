@@ -1,31 +1,30 @@
-//! Execute one experiment cell: `(benchmark, manager, threads, stop rule)`.
+//! Execute one experiment cell: `(workload, manager, threads, stop rule)`.
 //!
 //! The runner mirrors the paper's §III setup: `M` worker threads issue a
-//! deterministic stream of benchmark operations, one transaction each,
+//! deterministic stream of workload operations, one transaction each,
 //! until either a wall-clock deadline (Figs. 2–4: "we run the experiments
 //! for 10 seconds") or a shared transaction budget (Fig. 5: "commit 20000
 //! transactions") fires. Workers synchronize their start on a barrier so
 //! the measured interval is common.
 //!
-//! The data structures are prepopulated to half the key range through a
-//! *separate* single-threaded engine, so prepopulation transactions never
-//! interact with the manager under test (in particular they cannot
-//! deadlock a window barrier expecting `M` parties).
+//! Workloads are resolved by name through the
+//! [`wtm_workloads::registry`]; the runner itself knows nothing about any
+//! particular benchmark. Prepopulation happens through a *separate*
+//! single-threaded engine, so prepopulation transactions never interact
+//! with the manager under test (in particular they cannot deadlock a
+//! window barrier expecting `M` parties).
 
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use wtm_stm::{StatsSnapshot, Stm, TxResult, Txn};
-use wtm_workloads::{
-    Benchmark, OpKind, SetOpGenerator, TxIntSet, TxList, TxRBTree, TxSkipList, Vacation,
-    VacationConfig, VacationOpGenerator,
-};
+use wtm_stm::{StatsSnapshot, Stm};
+use wtm_workloads::{build_workload, default_key_range, WorkloadParams};
 
 use crate::managers::build_manager;
 
 /// When a run stops.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopRule {
     /// Run for a fixed wall-clock interval (Figs. 2–4).
     Timed(Duration),
@@ -36,13 +35,17 @@ pub enum StopRule {
 /// Full description of one run.
 #[derive(Debug, Clone)]
 pub struct RunSpec {
-    pub benchmark: Benchmark,
-    /// Manager name (see [`crate::managers::all_manager_names`]).
+    /// Workload name (see [`wtm_workloads::workload_names`]).
+    pub workload: String,
+    /// Manager name (see [`crate::managers::all_manager_names`]),
+    /// optionally parameterized (`Online-Dynamic@phi=2`).
     pub manager: String,
     /// `M`, the number of worker threads.
     pub threads: usize,
     pub stop: StopRule,
-    /// Key range for the IntSet benchmarks / row count for Vacation.
+    /// Workload size knob: key range for the IntSet workloads, row count
+    /// for Vacation, genome length, KMeans point count. `0` means the
+    /// registry's per-workload default.
     pub key_range: i64,
     /// Percentage of updating operations (Fig. 5's contention knob).
     pub update_pct: u32,
@@ -50,7 +53,7 @@ pub struct RunSpec {
     pub window_n: usize,
     pub seed: u64,
     /// Hard wall-clock cap on a [`StopRule::Budget`] run. A pathological
-    /// manager/benchmark combination that cannot reach the commit budget
+    /// manager/workload combination that cannot reach the commit budget
     /// used to hang the harness forever; now the run stops here, reports
     /// the partial stats, and the outcome is flagged
     /// [`RunOutcome::truncated`]. Generous by default — a healthy budget
@@ -63,10 +66,10 @@ pub struct RunSpec {
 
 impl RunSpec {
     /// A spec with the paper's defaults for the given cell.
-    pub fn new(benchmark: Benchmark, manager: &str, threads: usize, stop: StopRule) -> Self {
+    pub fn new(workload: &str, manager: &str, threads: usize, stop: StopRule) -> Self {
         RunSpec {
-            key_range: benchmark.default_key_range(),
-            benchmark,
+            key_range: default_key_range(workload).unwrap_or(0),
+            workload: workload.to_string(),
             manager: manager.to_string(),
             threads,
             stop,
@@ -91,55 +94,26 @@ pub struct RunOutcome {
     pub truncated: bool,
 }
 
-enum Workload {
-    Set(Box<dyn TxIntSet>),
-    Vacation(Box<Vacation>),
-}
-
-fn build_workload(spec: &RunSpec) -> Workload {
-    match spec.benchmark {
-        Benchmark::List => Workload::Set(Box::new(TxList::new())),
-        Benchmark::RBTree => Workload::Set(Box::new(TxRBTree::new(spec.key_range as usize + 8))),
-        Benchmark::SkipList => Workload::Set(Box::new(TxSkipList::new())),
-        Benchmark::Vacation => Workload::Vacation(Box::new(Vacation::new(VacationConfig {
-            num_relations: spec.key_range,
-            num_queries: 4,
-            query_range_pct: 60,
-            update_pct: spec.update_pct,
-            seed: spec.seed,
-        }))),
-    }
-}
-
-/// Fill an IntSet to ~50% occupancy through a throwaway single-threaded
-/// engine (see module docs).
-fn prepopulate(set: &dyn TxIntSet, key_range: i64) {
-    let stm = Stm::with_dispatch(wtm_stm::CmDispatch::AbortSelf, 1);
-    let ctx = stm.thread(0);
-    let mut k = 0;
-    while k < key_range {
-        ctx.atomic(|tx| set.insert(tx, k).map(|_| ()));
-        k += 2;
-    }
-}
-
-fn run_set_op(set: &dyn TxIntSet, tx: &mut Txn, kind: OpKind, key: i64) -> TxResult<()> {
-    match kind {
-        OpKind::Insert => set.insert(tx, key).map(|_| ()),
-        OpKind::Remove => set.remove(tx, key).map(|_| ()),
-        OpKind::Contains => set.contains(tx, key).map(|_| ()),
-    }
-}
-
-/// Execute the run described by `spec`.
+/// Execute the run described by `spec`. Panics on unknown workload or
+/// manager names — drivers validate names up front via the registries.
 pub fn run_one(spec: &RunSpec) -> RunOutcome {
     let built = build_manager(&spec.manager, spec.threads, spec.window_n, spec.seed)
         .unwrap_or_else(|| panic!("unknown manager {:?}", spec.manager));
     let stm = Stm::with_dispatch(built.cm.clone(), spec.threads);
 
-    let workload = build_workload(spec);
-    if let Workload::Set(set) = &workload {
-        prepopulate(set.as_ref(), spec.key_range);
+    let params = WorkloadParams {
+        key_range: spec.key_range,
+        update_pct: spec.update_pct,
+        seed: spec.seed,
+        threads: spec.threads,
+    };
+    let workload = build_workload(&spec.workload, &params)
+        .unwrap_or_else(|| panic!("unknown workload {:?}", spec.workload));
+    {
+        // Prepopulate through a throwaway single-threaded engine so these
+        // transactions never meet the manager under test.
+        let prep = Stm::with_dispatch(wtm_stm::CmDispatch::AbortSelf, 1);
+        workload.prepopulate(&prep.thread(0));
     }
 
     let stop = AtomicBool::new(false);
@@ -173,15 +147,8 @@ pub fn run_one(spec: &RunSpec) -> RunOutcome {
             let start_barrier = &start_barrier;
             let workload = &workload;
             let built = &built;
-            let spec = spec.clone();
             handles.push(s.spawn(move || {
-                let mut set_gen =
-                    SetOpGenerator::new(spec.seed, t, spec.key_range, spec.update_pct);
-                let mut vac_gen = if let Workload::Vacation(v) = workload {
-                    Some(VacationOpGenerator::new(v.config(), t))
-                } else {
-                    None
-                };
+                let mut stream = workload.stream(t);
                 start_barrier.wait();
                 let t0 = Instant::now();
                 let deadline = deadline_after.map(|d| t0 + d);
@@ -202,16 +169,7 @@ pub fn run_one(spec: &RunSpec) -> RunOutcome {
                         stop.store(true, Ordering::Relaxed);
                         break;
                     }
-                    match workload {
-                        Workload::Set(set) => {
-                            let op = set_gen.next_op();
-                            ctx.atomic(|tx| run_set_op(set.as_ref(), tx, op.kind, op.key));
-                        }
-                        Workload::Vacation(v) => {
-                            let op = vac_gen.as_mut().expect("vacation generator").next_op();
-                            ctx.atomic(|tx| v.run_op(tx, &op).map(|_| ()));
-                        }
-                    }
+                    stream.step(&ctx);
                 }
                 // Release any sibling parked at a window barrier; without
                 // this, a thread that exits while others wait for the next
@@ -233,12 +191,9 @@ pub fn run_one(spec: &RunSpec) -> RunOutcome {
     let truncated = truncated.load(Ordering::Relaxed);
     if truncated {
         eprintln!(
-            "wtm-harness: budget run ({:?} on {}, {} threads) hit its safety deadline \
+            "wtm-harness: budget run ({} on {}, {} threads) hit its safety deadline \
              ({:?}) before committing the budget; reporting partial stats",
-            spec.benchmark.name(),
-            spec.manager,
-            spec.threads,
-            spec.safety_deadline,
+            spec.workload, spec.manager, spec.threads, spec.safety_deadline,
         );
     }
 
@@ -256,47 +211,14 @@ pub fn run_one(spec: &RunSpec) -> RunOutcome {
     }
 }
 
-/// Run `reps` repetitions (distinct seeds) and average commits/aborts;
-/// wall times are averaged too. "The data plotted are the average of 6
-/// experiments" (§III).
-pub fn run_averaged(spec: &RunSpec, reps: usize) -> RunOutcome {
-    assert!(reps >= 1);
-    let mut merged: Option<RunOutcome> = None;
-    for r in 0..reps {
-        let mut s = spec.clone();
-        s.seed = spec.seed.wrapping_add(r as u64 * 0x9E37);
-        let out = run_one(&s);
-        merged = Some(match merged {
-            None => out,
-            Some(acc) => RunOutcome {
-                stats: {
-                    let mut m = acc.stats;
-                    m.merge(&out.stats);
-                    // merge() maxes wall; we want the common interval, so
-                    // restore the sum-of-walls semantics by averaging at
-                    // the end instead. Track by accumulating commits etc.
-                    m.wall = acc.stats.wall + out.stats.wall;
-                    m
-                },
-                total_time: acc.total_time + out.total_time,
-                truncated: acc.truncated || out.truncated,
-            },
-        });
-    }
-    let mut out = merged.expect("reps >= 1");
-    // Throughput = total commits / total wall across reps — equivalent to
-    // averaging per-rep throughput when intervals are equal.
-    out.total_time /= reps as u32;
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wtm_workloads::workload_names;
 
-    fn quick_spec(bench: Benchmark, manager: &str, threads: usize) -> RunSpec {
+    fn quick_spec(workload: &str, manager: &str, threads: usize) -> RunSpec {
         let mut s = RunSpec::new(
-            bench,
+            workload,
             manager,
             threads,
             StopRule::Timed(Duration::from_millis(80)),
@@ -307,14 +229,10 @@ mod tests {
     }
 
     #[test]
-    fn timed_run_commits_on_every_benchmark() {
-        for bench in Benchmark::all() {
-            let out = run_one(&quick_spec(*bench, "Greedy", 2));
-            assert!(
-                out.stats.commits > 0,
-                "{} must commit something",
-                bench.name()
-            );
+    fn timed_run_commits_on_every_registered_workload() {
+        for name in workload_names() {
+            let out = run_one(&quick_spec(name, "Greedy", 2));
+            assert!(out.stats.commits > 0, "{name} must commit something");
             assert!(out.stats.wall >= Duration::from_millis(80));
         }
     }
@@ -322,14 +240,20 @@ mod tests {
     #[test]
     fn window_manager_run_completes() {
         for manager in ["Online-Dynamic", "Adaptive-Improved-Dynamic"] {
-            let out = run_one(&quick_spec(Benchmark::List, manager, 2));
+            let out = run_one(&quick_spec("List", manager, 2));
             assert!(out.stats.commits > 0, "{manager}");
         }
     }
 
     #[test]
+    fn parameterized_manager_run_completes() {
+        let out = run_one(&quick_spec("List", "Online-Dynamic@phi=2,n=4", 2));
+        assert!(out.stats.commits > 0);
+    }
+
+    #[test]
     fn budget_run_commits_exactly_budget_or_slightly_more() {
-        let mut spec = quick_spec(Benchmark::RBTree, "Polka", 2);
+        let mut spec = quick_spec("RBTree", "Polka", 2);
         spec.stop = StopRule::Budget(200);
         let out = run_one(&spec);
         // Each worker checks the budget before issuing, so overshoot is
@@ -341,7 +265,7 @@ mod tests {
 
     #[test]
     fn budget_run_with_window_manager_terminates() {
-        let mut spec = quick_spec(Benchmark::SkipList, "Online-Dynamic", 3);
+        let mut spec = quick_spec("SkipList", "Online-Dynamic", 3);
         spec.stop = StopRule::Budget(150);
         let out = run_one(&spec);
         assert!(out.stats.commits >= 140);
@@ -351,7 +275,7 @@ mod tests {
     fn budget_run_hits_safety_deadline_and_reports_partial() {
         // An effectively unreachable budget: without the safety deadline
         // this run would hang forever.
-        let mut spec = quick_spec(Benchmark::List, "Greedy", 2);
+        let mut spec = quick_spec("List", "Greedy", 2);
         spec.stop = StopRule::Budget(u64::MAX / 2);
         spec.safety_deadline = Duration::from_millis(100);
         let t0 = Instant::now();
@@ -370,18 +294,9 @@ mod tests {
 
     #[test]
     fn completed_budget_run_is_not_truncated() {
-        let mut spec = quick_spec(Benchmark::RBTree, "Polka", 2);
+        let mut spec = quick_spec("RBTree", "Polka", 2);
         spec.stop = StopRule::Budget(200);
         let out = run_one(&spec);
         assert!(!out.truncated);
-    }
-
-    #[test]
-    fn averaging_accumulates_reps() {
-        let spec = quick_spec(Benchmark::List, "Priority", 1);
-        let one = run_one(&spec);
-        let avg = run_averaged(&spec, 2);
-        assert!(avg.stats.commits > one.stats.commits / 2);
-        assert!(avg.stats.wall >= one.stats.wall);
     }
 }

@@ -7,9 +7,9 @@
 //! removes the hardware from the equation while keeping the *workload*
 //! real: we execute an `M × N` window of benchmark operations once,
 //! record each transaction's `(object, read/write)` footprint via
-//! [`wtm_stm::ThreadCtx::atomic_traced`], derive the exact conflict graph
-//! of that window (§II-A's definition), and then schedule it with every
-//! policy in the deterministic simulator.
+//! [`wtm_workloads::OpStream::step_traced`], derive the exact conflict
+//! graph of that window (§II-A's definition), and then schedule it with
+//! every policy in the deterministic simulator.
 //!
 //! Approximation note: footprints are captured from one serial execution,
 //! so key-dependent control flow under different interleavings is not
@@ -25,70 +25,34 @@ use wtm_sim::sched::{
 };
 use wtm_stm::CmDispatch;
 use wtm_stm::Stm;
-use wtm_workloads::{
-    Benchmark, OpKind, SetOpGenerator, TxIntSet, TxList, TxRBTree, TxSkipList, Vacation,
-    VacationConfig, VacationOpGenerator,
-};
+use wtm_workloads::{build_workload, paper_workload_names, WorkloadParams};
 
 use crate::preset::Preset;
 use crate::report::Table;
 
-/// Capture the conflict graph of one `m × n` window of `bench`
-/// operations, in the paper's high-contention configuration.
-pub fn capture_window_graph(bench: Benchmark, m: usize, n: usize, seed: u64) -> ConflictGraph {
+/// Capture the conflict graph of one `m × n` window of `workload`
+/// operations, in the paper's high-contention configuration. Any
+/// registered workload works: the registry builds it and its per-thread
+/// streams supply traced footprints.
+pub fn capture_window_graph(workload: &str, m: usize, n: usize, seed: u64) -> ConflictGraph {
     let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
     let ctx = stm.thread(0);
-    let key_range = bench.default_key_range();
+    let params = WorkloadParams {
+        key_range: 0, // registry default
+        update_pct: 100,
+        seed,
+        threads: m,
+    };
+    let w = build_workload(workload, &params)
+        .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    w.prepopulate(&ctx);
+    let mut streams: Vec<_> = (0..m).map(|t| w.stream(t)).collect();
     let mut footprints: Vec<Vec<(u64, bool)>> = vec![Vec::new(); m * n];
-
-    match bench {
-        Benchmark::Vacation => {
-            let v = Vacation::new(VacationConfig {
-                num_relations: key_range,
-                num_queries: 4,
-                query_range_pct: 60,
-                update_pct: 100,
-                seed,
-            });
-            let mut gens: Vec<VacationOpGenerator> = (0..m)
-                .map(|t| VacationOpGenerator::new(v.config(), t))
-                .collect();
-            // Column-major execution approximates the concurrent
-            // interleaving: all threads' j-th transactions run "together".
-            for j in 0..n {
-                for (i, gen) in gens.iter_mut().enumerate() {
-                    let op = gen.next_op();
-                    let (_, fp) = ctx.atomic_traced(|tx| v.run_op(tx, &op).map(|_| ()));
-                    footprints[i * n + j] = fp;
-                }
-            }
-        }
-        _ => {
-            let set: Box<dyn TxIntSet> = match bench {
-                Benchmark::List => Box::new(TxList::new()),
-                Benchmark::RBTree => Box::new(TxRBTree::new(key_range as usize + 8)),
-                Benchmark::SkipList => Box::new(TxSkipList::new()),
-                Benchmark::Vacation => unreachable!(),
-            };
-            let mut k = 0;
-            while k < key_range {
-                ctx.atomic(|tx| set.insert(tx, k).map(|_| ()));
-                k += 2;
-            }
-            let mut gens: Vec<SetOpGenerator> = (0..m)
-                .map(|t| SetOpGenerator::new(seed, t, key_range, 100))
-                .collect();
-            for j in 0..n {
-                for (i, gen) in gens.iter_mut().enumerate() {
-                    let op = gen.next_op();
-                    let (_, fp) = ctx.atomic_traced(|tx| match op.kind {
-                        OpKind::Insert => set.insert(tx, op.key).map(|_| ()),
-                        OpKind::Remove => set.remove(tx, op.key).map(|_| ()),
-                        OpKind::Contains => set.contains(tx, op.key).map(|_| ()),
-                    });
-                    footprints[i * n + j] = fp;
-                }
-            }
+    // Column-major execution approximates the concurrent interleaving:
+    // all threads' j-th transactions run "together".
+    for j in 0..n {
+        for (i, stream) in streams.iter_mut().enumerate() {
+            footprints[i * n + j] = stream.step_traced(&ctx);
         }
     }
     ConflictGraph::from_footprints(m, n, &footprints)
@@ -134,14 +98,13 @@ pub fn trace_tables(preset: &Preset) -> Vec<Table> {
     let n = preset.sim_n;
     let tau = 4;
     let mut tables = Vec::new();
-    for bench in Benchmark::all() {
-        eprintln!("[windowtm] T4 capturing {} window ({m}×{n})", bench.name());
-        let graph = capture_window_graph(*bench, m, n, 0x7124CE);
+    for workload in paper_workload_names() {
+        eprintln!("[windowtm] T4 capturing {workload} window ({m}×{n})");
+        let graph = capture_window_graph(workload, m, n, 0x7124CE);
         let cfg = SimConfig::new(m, n, tau);
         let mut t = Table::new(
             format!(
-                "T4: trace-driven simulation — {} (M={m}, N={n}, C={}, edges={})",
-                bench.name(),
+                "T4: trace-driven simulation — {workload} (M={m}, N={n}, C={}, edges={})",
                 graph.contention(),
                 graph.edge_count()
             ),
@@ -156,7 +119,7 @@ pub fn trace_tables(preset: &Preset) -> Vec<Table> {
         for mut sched in trace_schedulers(&cfg, &graph, 99) {
             let name = sched.name().to_string();
             let out = simulate(&graph, &cfg, sched.as_mut());
-            assert!(out.all_committed, "{name} incomplete on {}", bench.name());
+            assert!(out.all_committed, "{name} incomplete on {workload}");
             let makespan = out.makespan as f64;
             if name == "OneShot" {
                 oneshot = makespan;
@@ -177,15 +140,14 @@ mod tests {
 
     #[test]
     fn captured_graphs_have_window_shape() {
-        for bench in Benchmark::all() {
-            let g = capture_window_graph(*bench, 4, 6, 1);
+        for workload in paper_workload_names() {
+            let g = capture_window_graph(workload, 4, 6, 1);
             assert_eq!(g.m(), 4);
             assert_eq!(g.n(), 6);
             // High-contention configs must actually conflict.
             assert!(
                 g.edge_count() > 0,
-                "{}: captured window has no conflicts",
-                bench.name()
+                "{workload}: captured window has no conflicts"
             );
         }
     }
@@ -195,14 +157,25 @@ mod tests {
         // The List's shared walk prefix makes nearly every pair conflict;
         // the SkipList spreads accesses. The paper leans on exactly this
         // contrast (SkipList = low conflict probability, §III-C).
-        let list = capture_window_graph(Benchmark::List, 6, 8, 3);
-        let skip = capture_window_graph(Benchmark::SkipList, 6, 8, 3);
+        let list = capture_window_graph("List", 6, 8, 3);
+        let skip = capture_window_graph("SkipList", 6, 8, 3);
         assert!(
             list.edge_count() > skip.edge_count(),
             "List {} edges vs SkipList {}",
             list.edge_count(),
             skip.edge_count()
         );
+    }
+
+    #[test]
+    fn extension_workloads_capture_too() {
+        // The registry makes the orphaned workloads first-class: the same
+        // capture path must work for them.
+        for workload in ["HashMap", "Genome", "KMeans"] {
+            let g = capture_window_graph(workload, 3, 4, 5);
+            assert_eq!(g.m(), 3);
+            assert_eq!(g.n(), 4);
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `windowtm trace` — transaction-event tracing over real experiment
 //! cells.
 //!
-//! Runs an instrumented cell per `(benchmark, manager)` pair, drains the
+//! Runs an instrumented cell per `(workload, manager)` pair, drains the
 //! per-thread ring buffers, and reports three views of each stream:
 //!
 //! * **TR1** — the who-killed-whom conflict matrix (`kills[killer][victim]`),
@@ -18,25 +18,26 @@ use std::path::Path;
 
 use wtm_trace::collect::{counts_by_kind, ConflictMatrix, Histograms};
 use wtm_trace::Event;
-use wtm_workloads::Benchmark;
 
 use crate::preset::Preset;
-use crate::report::Table;
+use crate::report::{slugify, Table};
 use crate::runner::{run_one, RunSpec, StopRule};
 
 /// The cells `windowtm trace` instruments: one classic manager (Polka)
 /// and one window manager (Online-Dynamic) on the two benchmarks the
-/// paper discusses most.
-pub const TRACE_CELLS: &[(Benchmark, &str)] = &[
-    (Benchmark::List, "Polka"),
-    (Benchmark::List, "Online-Dynamic"),
-    (Benchmark::RBTree, "Polka"),
-    (Benchmark::RBTree, "Online-Dynamic"),
+/// paper discusses most. Event streams cannot be reconstructed from a
+/// checkpoint, so trace cells always re-run (they are not part of
+/// `results.json`).
+pub const TRACE_CELLS: &[(&str, &str)] = &[
+    ("List", "Polka"),
+    ("List", "Online-Dynamic"),
+    ("RBTree", "Polka"),
+    ("RBTree", "Online-Dynamic"),
 ];
 
 /// One instrumented run and its drained event stream.
 pub struct TraceCell {
-    pub benchmark: Benchmark,
+    pub workload: String,
     pub manager: String,
     pub threads: usize,
     pub commits: u64,
@@ -54,17 +55,12 @@ pub struct TraceCell {
 }
 
 /// Run one instrumented cell and drain its trace.
-pub fn trace_cell(preset: &Preset, benchmark: Benchmark, manager: &str) -> TraceCell {
+pub fn trace_cell(preset: &Preset, workload: &str, manager: &str) -> TraceCell {
     // Enough threads for interesting conflict structure, few enough that
     // the matrix stays readable.
     let threads = preset.thread_counts.last().copied().unwrap_or(2).min(8);
     wtm_trace::reset();
-    let mut spec = RunSpec::new(
-        benchmark,
-        manager,
-        threads,
-        StopRule::Timed(preset.duration),
-    );
+    let mut spec = RunSpec::new(workload, manager, threads, StopRule::Timed(preset.duration));
     spec.window_n = preset.window_n;
     spec.trace = true;
     let out = run_one(&spec);
@@ -82,7 +78,7 @@ pub fn trace_cell(preset: &Preset, benchmark: Benchmark, manager: &str) -> Trace
     let json = wtm_trace::chrome::to_chrome_json(
         &events,
         &[
-            ("benchmark", benchmark.name()),
+            ("benchmark", workload),
             ("manager", manager),
             ("threads", &threads_s),
             ("commits", &commits_s),
@@ -90,7 +86,7 @@ pub fn trace_cell(preset: &Preset, benchmark: Benchmark, manager: &str) -> Trace
         ],
     );
     TraceCell {
-        benchmark,
+        workload: workload.to_string(),
         manager: manager.to_string(),
         threads,
         commits: out.stats.commits,
@@ -108,9 +104,7 @@ pub fn matrix_table(cell: &TraceCell) -> Table {
     let mut t = Table::new(
         format!(
             "TR1: who-killed-whom — {} / {} (M={})",
-            cell.benchmark.name(),
-            cell.manager,
-            cell.threads
+            cell.workload, cell.manager, cell.threads
         ),
         "killer",
         cols,
@@ -132,8 +126,7 @@ pub fn histogram_table(cell: &TraceCell) -> Table {
     let mut t = Table::new(
         format!(
             "TR2: latency histograms (log2 buckets) — {} / {}",
-            cell.benchmark.name(),
-            cell.manager
+            cell.workload, cell.manager
         ),
         "latency",
         cols,
@@ -165,7 +158,7 @@ pub fn summary_table(cells: &[TraceCell]) -> Table {
     for cell in cells {
         let counts = counts_by_kind(&cell.events);
         t.push_row(
-            format!("{}/{}", cell.benchmark.name(), cell.manager),
+            format!("{}/{}", cell.workload, cell.manager),
             counts.iter().map(|(_, c)| *c as f64).collect(),
         );
     }
@@ -173,21 +166,10 @@ pub fn summary_table(cells: &[TraceCell]) -> Table {
 }
 
 fn json_path(out_dir: &Path, cell: &TraceCell) -> std::path::PathBuf {
-    let slug = |s: &str| -> String {
-        s.chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() {
-                    c.to_ascii_lowercase()
-                } else {
-                    '_'
-                }
-            })
-            .collect()
-    };
     out_dir.join(format!(
         "trace_{}_{}.json",
-        slug(cell.benchmark.name()),
-        slug(&cell.manager)
+        slugify(&cell.workload),
+        slugify(&cell.manager)
     ))
 }
 
@@ -196,27 +178,23 @@ fn json_path(out_dir: &Path, cell: &TraceCell) -> std::path::PathBuf {
 pub fn trace_report(preset: &Preset, out_dir: &Path) -> Vec<Table> {
     let mut tables = Vec::new();
     let mut cells = Vec::new();
-    for (bench, manager) in TRACE_CELLS {
-        eprintln!("[windowtm] trace {} / {manager}", bench.name());
-        let cell = trace_cell(preset, *bench, manager);
+    for (workload, manager) in TRACE_CELLS {
+        eprintln!("[windowtm] trace {workload} / {manager}");
+        let cell = trace_cell(preset, workload, manager);
         // Windowed cells run with m = thread count, so a barrier timeout
         // is a harness/manager bug, not a workload property — fail the
         // trace run (CI smoke included) instead of reporting poisoned
         // numbers from a cell that degraded to free mode.
         assert_eq!(
-            cell.barrier_timeouts,
-            0,
-            "{} / {manager}: {} window barrier timeout(s) at m = {} threads; \
+            cell.barrier_timeouts, 0,
+            "{workload} / {manager}: {} window barrier timeout(s) at m = {} threads; \
              the cell degraded to free mode and its trace is not trustworthy",
-            bench.name(),
-            cell.barrier_timeouts,
-            cell.threads
+            cell.barrier_timeouts, cell.threads
         );
         if cell.dropped > 0 {
             eprintln!(
-                "[windowtm] trace {} / {manager}: {} events dropped (ring buffers full); \
+                "[windowtm] trace {workload} / {manager}: {} events dropped (ring buffers full); \
                  matrices/histograms cover the retained tail",
-                bench.name(),
                 cell.dropped
             );
         }
@@ -247,7 +225,7 @@ mod tests {
     /// and window events appear too.
     #[test]
     fn traced_cell_exports_valid_chrome_json_with_commits() {
-        let cell = trace_cell(&Preset::smoke(), Benchmark::List, "Online-Dynamic");
+        let cell = trace_cell(&Preset::smoke(), "List", "Online-Dynamic");
         wtm_trace::chrome::validate_json(&cell.json)
             .unwrap_or_else(|e| panic!("chrome JSON must parse: {e}"));
         assert!(cell.json.contains("\"traceEvents\""));
@@ -282,7 +260,7 @@ mod tests {
     #[test]
     fn json_paths_are_slugged() {
         let cell = TraceCell {
-            benchmark: Benchmark::RBTree,
+            workload: "RBTree".into(),
             manager: "Online-Dynamic".into(),
             threads: 2,
             commits: 0,

@@ -1,10 +1,12 @@
-//! # wtm-workloads — the paper's four benchmarks over `wtm-stm`
+//! # wtm-workloads — transactional benchmarks over `wtm-stm`
 //!
-//! Faithful Rust counterparts of the benchmarks the paper evaluates
-//! (§III): the DSTM IntSet benchmarks — sorted linked **List**, **RBTree**,
-//! **SkipList** — and the STAMP-style **Vacation** travel-booking
-//! database. All operations run as transactions against the
-//! [`wtm_stm`] engine, so their conflict topology matches the originals:
+//! The paper's four §III benchmarks — the DSTM IntSet family (sorted
+//! linked **List**, **RBTree**, **SkipList**) and the STAMP-style
+//! **Vacation** travel-booking database — plus the extensions its §IV
+//! defers to future work: **HashMap** (low-contention control),
+//! **Genome**, and **KMeans**. All operations run as transactions against
+//! the [`wtm_stm`] engine, so their conflict topology matches the
+//! originals:
 //!
 //! * **List**: every operation walks the sorted chain from the head, so
 //!   readers pile up on the prefix and any writer conflicts with every
@@ -18,10 +20,20 @@
 //! * **Vacation**: each transaction makes several bookings across three
 //!   tables (flights/hotels/cars), mixing point queries and updates — a
 //!   "realistic application" mix.
+//! * **HashMap**: accesses touch exactly one bucket; conflicts scale with
+//!   `1/buckets` — the polar opposite of the List.
+//! * **Genome**: STAMP-style assembly (dedup → prefix-index → link);
+//!   read-mostly with point writes.
+//! * **KMeans**: broad read umbrella over every centroid, one hot
+//!   accumulator write.
 //!
-//! The [`generator`] module provides deterministic operation streams with
-//! the paper's contention knobs (update percentage: 20% low / 60% medium /
-//! 100% high, Fig. 5) and key-range control.
+//! Workloads are *data, not code*: the [`workload::Workload`] trait
+//! (construct + prepopulate + deterministic per-thread op stream) and the
+//! name-keyed [`registry`] let the harness run any of them — the paper
+//! grid and the extensions alike — by name. The [`generator`] module
+//! provides the deterministic operation streams with the paper's
+//! contention knobs (update percentage: 20% low / 60% medium / 100% high,
+//! Fig. 5) and key-range control.
 
 pub mod generator;
 pub mod genome;
@@ -30,8 +42,10 @@ pub mod intset;
 pub mod kmeans;
 pub mod list;
 pub mod rbtree;
+pub mod registry;
 pub mod skiplist;
 pub mod vacation;
+pub mod workload;
 
 pub use generator::{ContentionLevel, OpKind, SetOp, SetOpGenerator};
 pub use genome::Genome;
@@ -40,69 +54,10 @@ pub use intset::TxIntSet;
 pub use kmeans::KMeans;
 pub use list::TxList;
 pub use rbtree::{TxRBMap, TxRBTree};
+pub use registry::{
+    build_workload, default_key_range, paper_workload_names, workload_info, workload_infos,
+    workload_names, WorkloadInfo,
+};
 pub use skiplist::TxSkipList;
 pub use vacation::{Vacation, VacationConfig, VacationOp, VacationOpGenerator};
-
-/// The four benchmarks of the paper, for harness dispatch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Benchmark {
-    /// Sorted linked list IntSet (DSTM).
-    List,
-    /// Red-black tree IntSet (DSTM).
-    RBTree,
-    /// Skip list IntSet.
-    SkipList,
-    /// STAMP-style travel-booking database.
-    Vacation,
-}
-
-impl Benchmark {
-    /// All benchmarks in the paper's presentation order.
-    pub fn all() -> &'static [Benchmark] {
-        &[
-            Benchmark::List,
-            Benchmark::RBTree,
-            Benchmark::SkipList,
-            Benchmark::Vacation,
-        ]
-    }
-
-    /// Report label.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Benchmark::List => "List",
-            Benchmark::RBTree => "RBTree",
-            Benchmark::SkipList => "SkipList",
-            Benchmark::Vacation => "Vacation",
-        }
-    }
-
-    /// Default key range used by the harness: small for List (walks are
-    /// long and contention is the point), larger for the tree structures.
-    pub fn default_key_range(&self) -> i64 {
-        match self {
-            Benchmark::List => 64,
-            Benchmark::RBTree => 256,
-            Benchmark::SkipList => 256,
-            Benchmark::Vacation => 128,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn benchmark_labels() {
-        let names: Vec<_> = Benchmark::all().iter().map(|b| b.name()).collect();
-        assert_eq!(names, vec!["List", "RBTree", "SkipList", "Vacation"]);
-    }
-
-    #[test]
-    fn key_ranges_positive() {
-        for b in Benchmark::all() {
-            assert!(b.default_key_range() > 0);
-        }
-    }
-}
+pub use workload::{OpStream, Workload, WorkloadParams};
