@@ -1,0 +1,88 @@
+//! Eager (DSTM) vs lazy (TL2-style) engine microbenchmarks over the same
+//! transaction bodies. The interesting deltas:
+//!
+//! * **read-only**: lazy skips visible-reader registration entirely (one
+//!   version-clock load + commit-time validation) — this is where
+//!   invisible reads should win;
+//! * **increment**: read-modify-write on one hot variable — lazy pays a
+//!   commit-time lock + validation, eager pays locator CAS at open time;
+//! * **write-only**: blind writes — lazy defers lock acquisition to
+//!   commit and skips read validation for entries never read.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use wtm_stm::{CmDispatch, EngineKind, Stm, TVar};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_compare");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for engine in EngineKind::ALL {
+        // Read-only transactions of varying read-set size.
+        for reads in [1usize, 8, 64] {
+            let stm = Stm::with_engine(CmDispatch::AbortSelf, 1, engine);
+            let vars: Vec<TVar<u64>> = (0..reads as u64).map(TVar::new).collect();
+            group.bench_function(
+                BenchmarkId::new(format!("read_only/{engine}"), reads),
+                |b| {
+                    let ctx = stm.thread(0);
+                    b.iter(|| {
+                        ctx.atomic(|tx| {
+                            let mut sum = 0u64;
+                            for v in &vars {
+                                sum += *tx.read(v)?;
+                            }
+                            Ok(std::hint::black_box(sum))
+                        })
+                    });
+                },
+            );
+        }
+
+        // Read-modify-write on one hot variable.
+        {
+            let stm = Stm::with_engine(CmDispatch::AbortSelf, 1, engine);
+            let v: TVar<u64> = TVar::new(0);
+            group.bench_function(BenchmarkId::new("increment", engine.name()), |b| {
+                let ctx = stm.thread(0);
+                b.iter(|| {
+                    ctx.atomic(|tx| {
+                        let x = *tx.read(&v)?;
+                        tx.write(&v, x + 1)
+                    })
+                });
+            });
+        }
+
+        // Blind writes of varying write-set size.
+        for writes in [1usize, 8] {
+            let stm = Stm::with_engine(CmDispatch::AbortSelf, 1, engine);
+            let vars: Vec<TVar<u64>> = (0..writes as u64).map(TVar::new).collect();
+            group.bench_function(
+                BenchmarkId::new(format!("write_only/{engine}"), writes),
+                |b| {
+                    let ctx = stm.thread(0);
+                    let mut n = 0u64;
+                    b.iter(|| {
+                        n += 1;
+                        ctx.atomic(|tx| {
+                            for v in &vars {
+                                tx.write(v, n)?;
+                            }
+                            Ok(())
+                        })
+                    });
+                },
+            );
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -36,6 +36,7 @@ fn spec_for(
     s.threads = vec![preset.thread_counts.last().copied().unwrap_or(2)];
     s.reps = preset.reps;
     s.window_n = preset.window_n;
+    s.engine = preset.engine;
     s.base_seed = preset.seed;
     s
 }

@@ -20,6 +20,8 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use wtm_stm::EngineKind;
+
 use crate::json::{Json, RESULTS_SCHEMA_VERSION};
 use crate::runner::{run_one, RunOutcome, RunSpec, StopRule};
 
@@ -45,6 +47,8 @@ pub struct ExperimentSpec {
     pub window_n: usize,
     /// Workload size knob; `0` = the registry's per-workload default.
     pub key_range: i64,
+    /// Which STM engine executes every cell of the grid.
+    pub engine: EngineKind,
     /// Base seed; per-cell seeds are derived from it and the cell
     /// identity (see [`Cell::seed`]).
     pub base_seed: u64,
@@ -64,6 +68,7 @@ impl ExperimentSpec {
             reps: 1,
             window_n: 50,
             key_range: 0,
+            engine: EngineKind::Eager,
             base_seed: 0xBEEF,
             safety_deadline: Duration::from_secs(60),
         }
@@ -91,6 +96,7 @@ impl ExperimentSpec {
                             } else {
                                 wtm_workloads::default_key_range(workload).unwrap_or(0)
                             },
+                            engine: self.engine,
                             base_seed: self.base_seed,
                             safety_deadline: self.safety_deadline,
                         });
@@ -113,6 +119,7 @@ pub struct Cell {
     pub reps: usize,
     pub window_n: usize,
     pub key_range: i64,
+    pub engine: EngineKind,
     pub base_seed: u64,
     pub safety_deadline: Duration,
 }
@@ -139,9 +146,10 @@ impl Cell {
     /// result from a different configuration.
     pub fn key(&self) -> String {
         format!(
-            "v1|wl={}|mgr={}|m={}|upd={}|kr={}|n={}|stop={}|reps={}|seed={:#x}",
+            "v2|wl={}|mgr={}|eng={}|m={}|upd={}|kr={}|n={}|stop={}|reps={}|seed={:#x}",
             self.workload,
             self.manager,
+            self.engine,
             self.threads,
             self.update_pct,
             self.key_range,
@@ -170,6 +178,7 @@ impl Cell {
             key_range: self.key_range,
             update_pct: self.update_pct,
             window_n: self.window_n,
+            engine: self.engine,
             seed: self.seed().wrapping_add(rep as u64 * 0x9E37),
             safety_deadline: self.safety_deadline,
             trace: false,
@@ -223,6 +232,8 @@ pub struct CellResult {
     pub update_pct: u32,
     pub key_range: i64,
     pub window_n: usize,
+    /// Engine name (`"eager"` / `"lazy"`) as it appears in the JSON.
+    pub engine: String,
     pub reps: usize,
     /// The derived per-cell seed actually used (hex in the JSON).
     pub seed: u64,
@@ -269,6 +280,7 @@ impl CellResult {
             update_pct: cell.update_pct,
             key_range: cell.key_range,
             window_n: cell.window_n,
+            engine: cell.engine.name().to_string(),
             reps: outcomes.len(),
             seed: cell.seed(),
             stop: stop_key(cell.stop),
@@ -297,6 +309,7 @@ impl CellResult {
             ("update_pct".into(), Json::Num(self.update_pct as f64)),
             ("key_range".into(), Json::Num(self.key_range as f64)),
             ("window_n".into(), Json::Num(self.window_n as f64)),
+            ("engine".into(), Json::Str(self.engine.clone())),
             ("reps".into(), Json::Num(self.reps as f64)),
             ("seed".into(), Json::Str(format!("{:#x}", self.seed))),
             ("stop".into(), Json::Str(self.stop.clone())),
@@ -345,6 +358,7 @@ impl CellResult {
             update_pct: v.get("update_pct")?.as_f64()? as u32,
             key_range: v.get("key_range")?.as_f64()? as i64,
             window_n: v.get("window_n")?.as_f64()? as usize,
+            engine: v.get("engine")?.as_str()?.to_string(),
             reps: v.get("reps")?.as_f64()? as usize,
             seed,
             stop: v.get("stop")?.as_str()?.to_string(),
@@ -616,6 +630,21 @@ mod tests {
     }
 
     #[test]
+    fn engine_is_part_of_cell_identity() {
+        let eager = grid().cells();
+        let mut lazy_spec = grid();
+        lazy_spec.engine = EngineKind::Lazy;
+        let lazy = lazy_spec.cells();
+        for (e, l) in eager.iter().zip(&lazy) {
+            assert!(e.key().contains("|eng=eager|"), "{}", e.key());
+            assert!(l.key().contains("|eng=lazy|"), "{}", l.key());
+            assert_ne!(e.key(), l.key(), "engine must split the checkpoint key");
+            assert_ne!(e.seed(), l.seed(), "engine shifts the derived seed");
+            assert_eq!(l.run_spec(0).engine, EngineKind::Lazy);
+        }
+    }
+
+    #[test]
     fn aggregate_mean_and_sample_sd() {
         let a = aggregate(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
         assert!((a.mean - 5.0).abs() < 1e-12);
@@ -656,6 +685,8 @@ mod tests {
         assert_eq!(back.workload, r.workload);
         assert_eq!(back.seed, r.seed);
         assert_eq!(back.stop, r.stop);
+        assert_eq!(back.engine, r.engine);
+        assert_eq!(back.engine, "eager");
         assert_eq!(back.metrics.len(), r.metrics.len());
         for ((n1, a1), (n2, a2)) in r.metrics.iter().zip(&back.metrics) {
             assert_eq!(n1, n2);

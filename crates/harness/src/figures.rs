@@ -22,6 +22,7 @@ fn base_spec(id: &str, preset: &Preset, managers: &[&str]) -> ExperimentSpec {
     s.threads = preset.thread_counts.clone();
     s.reps = preset.reps;
     s.window_n = preset.window_n;
+    s.engine = preset.engine;
     s.base_seed = preset.seed;
     s
 }

@@ -338,7 +338,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 
 /// The `results.json` schema version this build reads and writes. Bump on
 /// any structural change, together with `docs/results-schema.json`.
-pub const RESULTS_SCHEMA_VERSION: f64 = 1.0;
+///
+/// v2: cells gained a required `engine` field (`"eager"` / `"lazy"`) and
+/// fold the engine into their `v2|…|eng=…` identity keys.
+pub const RESULTS_SCHEMA_VERSION: f64 = 2.0;
 
 /// Validate a parsed `results.json` document against the committed schema
 /// (`docs/results-schema.json`): top-level shape, per-cell required
@@ -369,6 +372,9 @@ pub fn validate_results(doc: &Json) -> Result<(), String> {
         cell.get("manager")
             .and_then(Json::as_str)
             .ok_or_else(|| ctx("manager"))?;
+        cell.get("engine")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("engine"))?;
         for field in ["threads", "update_pct", "key_range", "window_n", "reps"] {
             cell.get(field)
                 .and_then(Json::as_f64)
@@ -448,11 +454,12 @@ mod tests {
     fn minimal_valid() -> Json {
         Json::parse(
             r#"{
-              "schema_version": 1,
+              "schema_version": 2,
               "generator": "windowtm test",
               "cells": {
                 "k1": {
-                  "workload": "List", "manager": "Polka", "threads": 2,
+                  "workload": "List", "manager": "Polka", "engine": "eager",
+                  "threads": 2,
                   "update_pct": 100, "key_range": 64, "window_n": 8,
                   "reps": 2, "seed": "0x1", "stop": "timed:0.06",
                   "truncated": false,

@@ -44,7 +44,9 @@ pub mod tracer;
 
 pub use experiment::{aggregate, Agg, CellResult, Executor, ExperimentSpec, ResultsStore};
 pub use json::Json;
-pub use managers::{all_manager_names, build_manager, comparison_manager_names, BuiltManager};
+pub use managers::{
+    all_manager_names, build_manager, comparison_manager_names, BuildError, BuiltManager,
+};
 pub use preset::Preset;
 pub use report::{slugify, Table};
 pub use runner::{run_one, RunOutcome, RunSpec, StopRule};

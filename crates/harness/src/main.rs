@@ -3,6 +3,7 @@
 //! ```text
 //! windowtm <command> [--quick|--medium|--paper|--smoke]
 //!          [--out DIR] [--threads N] [--reps N] [--seed S]
+//!          [--engine eager|lazy]
 //! ```
 //!
 //! Commands: `fig2 fig3 fig4 fig5 theory trace simtrace ablation metrics
@@ -36,7 +37,7 @@ const COMMANDS: &str =
 fn usage() -> ExitCode {
     eprintln!(
         "usage: windowtm <command> [--quick|--medium|--paper|--smoke] [--out DIR] \
-         [--threads N] [--reps N] [--seed S]\n\
+         [--threads N] [--reps N] [--seed S] [--engine eager|lazy]\n\
          commands: {COMMANDS}\n\
          \x20 run <workload>   named run: thread sweep of one registered workload\n\
          \x20 list             registered workloads and managers\n\
@@ -81,6 +82,15 @@ fn list_registered() {
         "\nwindow managers accept parameter suffixes: \
          Online-Dynamic@phi=2,c=8,n=16 (frame factor, contention estimate, window width)"
     );
+    println!(
+        "\nengines ({}): {}  (select with --engine; default eager)",
+        wtm_stm::EngineKind::ALL.len(),
+        wtm_stm::EngineKind::ALL
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 }
 
 /// `windowtm run <workload>` — a named thread-sweep of one workload over
@@ -104,6 +114,7 @@ fn named_run(workload: &str, preset: &Preset, exec: &mut Executor) -> Result<Vec
     spec.threads = preset.thread_counts.clone();
     spec.reps = preset.reps;
     spec.window_n = preset.window_n;
+    spec.engine = preset.engine;
     spec.base_seed = preset.seed;
     let results = exec.run(&spec);
 
@@ -158,8 +169,9 @@ fn validate_out(out_dir: &std::path::Path) -> ExitCode {
                 .map(<[_]>::len)
                 .unwrap_or(0);
             println!(
-                "{}: valid (schema_version 1, {cells} cell(s))",
-                path.display()
+                "{}: valid (schema_version {}, {cells} cell(s))",
+                path.display(),
+                wtm_harness::json::RESULTS_SCHEMA_VERSION
             );
             ExitCode::SUCCESS
         }
@@ -249,6 +261,21 @@ fn main() -> ExitCode {
                 };
                 preset.seed = s;
             }
+            "--engine" => {
+                i += 1;
+                let Some(e) = args.get(i).and_then(|v| wtm_stm::EngineKind::parse(v)) else {
+                    eprintln!(
+                        "--engine needs one of: {}",
+                        wtm_stm::EngineKind::ALL
+                            .iter()
+                            .map(|e| e.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return usage();
+                };
+                preset.engine = e;
+            }
             other => {
                 eprintln!("unknown flag {other:?}");
                 return usage();
@@ -268,8 +295,8 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "[windowtm] preset={} duration={:?} reps={} threads={:?} seed={:#x}",
-        preset.name, preset.duration, preset.reps, preset.thread_counts, preset.seed
+        "[windowtm] preset={} engine={} duration={:?} reps={} threads={:?} seed={:#x}",
+        preset.name, preset.engine, preset.duration, preset.reps, preset.thread_counts, preset.seed
     );
     let mut exec = Executor::new(&out_dir);
 

@@ -31,6 +31,15 @@ pub struct BuiltManager {
     pub window: Option<Arc<WindowManager>>,
 }
 
+impl std::fmt::Debug for BuiltManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltManager")
+            .field("cm", &self.cm.name())
+            .field("window", &self.window.is_some())
+            .finish()
+    }
+}
+
 impl BuiltManager {
     /// Release window barriers (no-op for classic managers).
     pub fn cancel(&self) {
@@ -60,6 +69,47 @@ pub fn comparison_manager_names() -> Vec<&'static str> {
     ]
 }
 
+/// Why [`build_manager`] rejected a manager name.
+///
+/// Distinguishes "there is no such manager" from "the manager exists but
+/// the `@key=value` suffix is malformed", so callers (CLI, experiment
+/// specs) can print an actionable message instead of a bare "unknown
+/// manager".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The base name matches no classic or window manager.
+    UnknownName(String),
+    /// The base name is known, but its parameter suffix is invalid.
+    BadParams {
+        /// The full name as given (base + suffix).
+        name: String,
+        /// What exactly is wrong with the suffix.
+        reason: String,
+    },
+}
+
+/// The parameter keys a `@key=value` suffix may use.
+const PARAM_KEYS: &str = "`phi`, `c`, `n`";
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownName(name) => {
+                write!(f, "unknown manager `{name}`")
+            }
+            BuildError::BadParams { name, reason } => {
+                write!(
+                    f,
+                    "bad parameters in manager name `{name}`: {reason} \
+                     (expected `Base@key=value[,key=value...]` with keys {PARAM_KEYS})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// A parsed `Base@key=value,…` manager name.
 struct ParsedName<'a> {
     base: &'a str,
@@ -68,9 +118,15 @@ struct ParsedName<'a> {
     window_n: Option<usize>,
 }
 
-fn parse_name(name: &str) -> Option<ParsedName<'_>> {
+impl ParsedName<'_> {
+    fn has_params(&self) -> bool {
+        self.phi.is_some() || self.c_init.is_some() || self.window_n.is_some()
+    }
+}
+
+fn parse_name(name: &str) -> Result<ParsedName<'_>, String> {
     let Some((base, params)) = name.split_once('@') else {
-        return Some(ParsedName {
+        return Ok(ParsedName {
             base: name,
             phi: None,
             c_init: None,
@@ -84,33 +140,81 @@ fn parse_name(name: &str) -> Option<ParsedName<'_>> {
         window_n: None,
     };
     for kv in params.split(',') {
-        let (k, v) = kv.split_once('=')?;
-        match k.trim() {
-            "phi" => parsed.phi = Some(v.trim().parse().ok()?),
-            "c" => parsed.c_init = Some(v.trim().parse().ok()?),
-            "n" => parsed.window_n = Some(v.trim().parse().ok()?),
-            _ => return None,
+        let Some((k, v)) = kv.split_once('=') else {
+            return Err(format!("`{kv}` is not a `key=value` pair"));
+        };
+        let (k, v) = (k.trim(), v.trim());
+        // Each key may appear at most once: `phi=2,phi=3` is almost
+        // certainly a typo, and silently letting the last value win
+        // would corrupt a sweep without any visible symptom.
+        let duplicate = |prev: bool| {
+            if prev {
+                Err(format!("duplicate parameter key `{k}`"))
+            } else {
+                Ok(())
+            }
+        };
+        let bad_value = |e: &dyn std::fmt::Display| format!("invalid value for `{k}`: {e} (`{v}`)");
+        match k {
+            "phi" => {
+                duplicate(parsed.phi.is_some())?;
+                parsed.phi = Some(v.parse().map_err(|e| bad_value(&e))?);
+            }
+            "c" => {
+                duplicate(parsed.c_init.is_some())?;
+                parsed.c_init = Some(v.parse().map_err(|e| bad_value(&e))?);
+            }
+            "n" => {
+                duplicate(parsed.window_n.is_some())?;
+                parsed.window_n = Some(v.parse().map_err(|e| bad_value(&e))?);
+            }
+            _ => return Err(format!("unknown parameter key `{k}`")),
         }
     }
-    Some(parsed)
+    Ok(parsed)
 }
 
 /// Build a manager by name for `threads` workers. Window managers use a
 /// `threads × window_n` window seeded with `seed`; a `@key=value` suffix
-/// overrides individual window knobs (see the module docs). Returns
-/// `None` for unknown names, unknown parameter keys, or parameters
-/// attached to a classic manager.
+/// overrides individual window knobs (see the module docs).
+///
+/// Errors distinguish an unknown base name
+/// ([`BuildError::UnknownName`]) from a malformed or misapplied
+/// parameter suffix ([`BuildError::BadParams`]) — the latter includes
+/// duplicate keys, unparsable values, unknown keys, and parameters
+/// attached to a classic manager (which takes none).
 pub fn build_manager(
     name: &str,
     threads: usize,
     window_n: usize,
     seed: u64,
-) -> Option<BuiltManager> {
-    let parsed = parse_name(name)?;
-    let has_params = parsed.phi.is_some() || parsed.c_init.is_some() || parsed.window_n.is_some();
+) -> Result<BuiltManager, BuildError> {
+    let parsed = parse_name(name).map_err(|reason| {
+        // A malformed suffix on an unknown base is still reported as an
+        // unknown name if the base itself doesn't exist.
+        let base = name.split_once('@').map_or(name, |(b, _)| b);
+        if wtm_managers::make_dispatch(base, threads).is_some()
+            || wtm_window::window_names().contains(&base)
+        {
+            BuildError::BadParams {
+                name: name.to_string(),
+                reason,
+            }
+        } else {
+            BuildError::UnknownName(base.to_string())
+        }
+    })?;
     if let Some(cm) = wtm_managers::make_dispatch(parsed.base, threads) {
-        // Classic managers take no window parameters.
-        return (!has_params).then_some(BuiltManager { cm, window: None });
+        if parsed.has_params() {
+            return Err(BuildError::BadParams {
+                name: name.to_string(),
+                reason: format!(
+                    "`{}` is a classic manager and takes no window parameters",
+                    parsed.base
+                ),
+            });
+        }
+        return Ok(BuiltManager { cm, window: None });
     }
     let mut cfg = WindowConfig::new(threads, parsed.window_n.unwrap_or(window_n)).with_seed(seed);
     if let Some(phi) = parsed.phi {
@@ -119,10 +223,13 @@ pub fn build_manager(
     if let Some(c) = parsed.c_init {
         cfg = cfg.with_c_init(c);
     }
-    wtm_window::make_window_manager(parsed.base, cfg).map(|wm| BuiltManager {
-        cm: CmDispatch::Dyn(wm.clone() as Arc<dyn ContentionManager>),
-        window: Some(wm),
-    })
+    match wtm_window::make_window_manager(parsed.base, cfg) {
+        Some(wm) => Ok(BuiltManager {
+            cm: CmDispatch::Dyn(wm.clone() as Arc<dyn ContentionManager>),
+            window: Some(wm),
+        }),
+        None => Err(BuildError::UnknownName(parsed.base.to_string())),
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +239,7 @@ mod tests {
     #[test]
     fn every_name_builds() {
         for name in all_manager_names() {
-            let b = build_manager(name, 2, 8, 1).unwrap_or_else(|| panic!("{name}"));
+            let b = build_manager(name, 2, 8, 1).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(b.cm.name(), name);
         }
     }
@@ -149,13 +256,26 @@ mod tests {
     #[test]
     fn comparison_set_is_buildable() {
         for name in comparison_manager_names() {
-            assert!(build_manager(name, 4, 8, 1).is_some(), "{name}");
+            assert!(build_manager(name, 4, 8, 1).is_ok(), "{name}");
         }
     }
 
     #[test]
-    fn unknown_name_is_none() {
-        assert!(build_manager("Nope", 2, 8, 1).is_none());
+    fn unknown_name_is_a_typed_error() {
+        match build_manager("Nope", 2, 8, 1) {
+            Err(BuildError::UnknownName(n)) => assert_eq!(n, "Nope"),
+            other => panic!("expected UnknownName, got {other:?}"),
+        }
+        // An unknown base stays UnknownName even with a (broken) suffix:
+        // the missing manager is the more fundamental problem.
+        assert!(matches!(
+            build_manager("Nope@phi=2", 2, 8, 1),
+            Err(BuildError::UnknownName(_))
+        ));
+        assert!(matches!(
+            build_manager("Nope@phi=2,phi=3", 2, 8, 1),
+            Err(BuildError::UnknownName(_))
+        ));
     }
 
     #[test]
@@ -166,22 +286,58 @@ mod tests {
             "Adaptive-Improved-Dynamic@n=4",
             "Online-Dynamic@phi=0.5,c=2,n=16",
         ] {
-            let b = build_manager(name, 2, 8, 1).unwrap_or_else(|| panic!("{name}"));
+            let b = build_manager(name, 2, 8, 1).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(b.window.is_some(), "{name}");
         }
     }
 
     #[test]
-    fn bad_parameters_are_rejected() {
+    fn bad_parameters_are_typed_errors_on_known_managers() {
         for name in [
             "Online-Dynamic@",
             "Online-Dynamic@phi",
             "Online-Dynamic@phi=abc",
             "Online-Dynamic@bogus=1",
             "Polka@phi=2", // classic managers take no window parameters
-            "Nope@phi=2",
         ] {
-            assert!(build_manager(name, 2, 8, 1).is_none(), "{name}");
+            match build_manager(name, 2, 8, 1) {
+                Err(BuildError::BadParams { name: n, .. }) => assert_eq!(n, name),
+                other => panic!("{name}: expected BadParams, got {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn duplicate_parameter_keys_are_rejected() {
+        // Regression: `phi=2,phi=3` used to silently keep the last
+        // value; it must be a descriptive error instead.
+        for name in [
+            "Online-Dynamic@phi=2,phi=3",
+            "Online-Dynamic@n=4,c=1,n=8",
+            "Adaptive-Improved-Dynamic@c=1,c=1",
+        ] {
+            match build_manager(name, 2, 8, 1) {
+                Err(BuildError::BadParams { reason, .. }) => {
+                    assert!(
+                        reason.contains("duplicate parameter key"),
+                        "{name}: reason was `{reason}`"
+                    );
+                }
+                other => panic!("{name}: expected BadParams, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_messages_enumerate_valid_keys() {
+        let err = build_manager("Online-Dynamic@bogus=1", 2, 8, 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown parameter key `bogus`"), "{msg}");
+        for key in ["`phi`", "`c`", "`n`"] {
+            assert!(msg.contains(key), "{msg} should list {key}");
+        }
+        let unknown = build_manager("Nope", 2, 8, 1).unwrap_err().to_string();
+        assert!(unknown.contains("unknown manager `Nope`"), "{unknown}");
+        assert_ne!(msg, unknown, "the two failure modes must read differently");
     }
 }

@@ -36,6 +36,7 @@ pub fn future_work_tables(preset: &Preset, exec: &mut Executor) -> Vec<Table> {
     spec.threads = vec![threads];
     spec.reps = preset.reps;
     spec.window_n = preset.window_n;
+    spec.engine = preset.engine;
     spec.base_seed = preset.seed;
     let results = exec.run(&spec);
 

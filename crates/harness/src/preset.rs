@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use wtm_stm::EngineKind;
+
 /// How big every experiment is. `paper()` reproduces the paper's setup;
 /// `quick()` shrinks everything so the full figure suite runs in minutes
 /// on a laptop/CI box.
@@ -25,6 +27,9 @@ pub struct Preset {
     /// Base seed for the experiment engine's per-cell seed derivation
     /// (`--seed` overrides it).
     pub seed: u64,
+    /// Which STM engine executes every run (`--engine` overrides it).
+    /// The paper's substrate is eager; `lazy` is the TL2-style backend.
+    pub engine: EngineKind,
     /// Label used in report headers.
     pub name: &'static str,
 }
@@ -43,6 +48,7 @@ impl Preset {
             sim_m: 32,
             sim_n: 50,
             seed: 0xBEEF,
+            engine: EngineKind::Eager,
             name: "paper",
         }
     }
@@ -61,6 +67,7 @@ impl Preset {
             sim_m: 32,
             sim_n: 50,
             seed: 0xBEEF,
+            engine: EngineKind::Eager,
             name: "medium",
         }
     }
@@ -77,6 +84,7 @@ impl Preset {
             sim_m: 16,
             sim_n: 24,
             seed: 0xBEEF,
+            engine: EngineKind::Eager,
             name: "quick",
         }
     }
@@ -93,6 +101,7 @@ impl Preset {
             sim_m: 6,
             sim_n: 8,
             seed: 0xBEEF,
+            engine: EngineKind::Eager,
             name: "smoke",
         }
     }

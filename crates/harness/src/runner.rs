@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use wtm_stm::{StatsSnapshot, Stm};
+use wtm_stm::{EngineKind, StatsSnapshot, Stm};
 use wtm_workloads::{build_workload, default_key_range, WorkloadParams};
 
 use crate::managers::build_manager;
@@ -51,6 +51,9 @@ pub struct RunSpec {
     pub update_pct: u32,
     /// `N`, transactions per thread per window (window managers only).
     pub window_n: usize,
+    /// Which STM engine executes the run: the paper's eager substrate or
+    /// the TL2-style lazy backend.
+    pub engine: EngineKind,
     pub seed: u64,
     /// Hard wall-clock cap on a [`StopRule::Budget`] run. A pathological
     /// manager/workload combination that cannot reach the commit budget
@@ -75,6 +78,7 @@ impl RunSpec {
             stop,
             update_pct: 100, // Figs. 2–4 use the high-contention config
             window_n: 50,    // the paper's N
+            engine: EngineKind::Eager,
             seed: 0xBEEF,
             safety_deadline: Duration::from_secs(60),
             trace: false,
@@ -98,8 +102,8 @@ pub struct RunOutcome {
 /// manager names — drivers validate names up front via the registries.
 pub fn run_one(spec: &RunSpec) -> RunOutcome {
     let built = build_manager(&spec.manager, spec.threads, spec.window_n, spec.seed)
-        .unwrap_or_else(|| panic!("unknown manager {:?}", spec.manager));
-    let stm = Stm::with_dispatch(built.cm.clone(), spec.threads);
+        .unwrap_or_else(|e| panic!("{e}"));
+    let stm = Stm::with_engine(built.cm.clone(), spec.threads, spec.engine);
 
     let params = WorkloadParams {
         key_range: spec.key_range,
@@ -111,8 +115,11 @@ pub fn run_one(spec: &RunSpec) -> RunOutcome {
         .unwrap_or_else(|| panic!("unknown workload {:?}", spec.workload));
     {
         // Prepopulate through a throwaway single-threaded engine so these
-        // transactions never meet the manager under test.
-        let prep = Stm::with_dispatch(wtm_stm::CmDispatch::AbortSelf, 1);
+        // transactions never meet the manager under test. Sequential
+        // cross-engine reuse of a TVar is safe (only *concurrent* mixing
+        // is forbidden), but running the measured engine kind here too
+        // keeps the whole run on one protocol.
+        let prep = Stm::with_engine(wtm_stm::CmDispatch::AbortSelf, 1, spec.engine);
         workload.prepopulate(&prep.thread(0));
     }
 
@@ -235,6 +242,25 @@ mod tests {
             assert!(out.stats.commits > 0, "{name} must commit something");
             assert!(out.stats.wall >= Duration::from_millis(80));
         }
+    }
+
+    #[test]
+    fn lazy_engine_run_commits_on_every_registered_workload() {
+        for name in workload_names() {
+            let mut spec = quick_spec(name, "Greedy", 2);
+            spec.engine = EngineKind::Lazy;
+            let out = run_one(&spec);
+            assert!(out.stats.commits > 0, "{name} must commit under lazy");
+        }
+    }
+
+    #[test]
+    fn lazy_engine_budget_run_with_window_manager_terminates() {
+        let mut spec = quick_spec("SkipList", "Online-Dynamic", 3);
+        spec.stop = StopRule::Budget(150);
+        spec.engine = EngineKind::Lazy;
+        let out = run_one(&spec);
+        assert!(out.stats.commits >= 140);
     }
 
     #[test]

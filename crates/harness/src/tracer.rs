@@ -62,6 +62,7 @@ pub fn trace_cell(preset: &Preset, workload: &str, manager: &str) -> TraceCell {
     wtm_trace::reset();
     let mut spec = RunSpec::new(workload, manager, threads, StopRule::Timed(preset.duration));
     spec.window_n = preset.window_n;
+    spec.engine = preset.engine;
     spec.trace = true;
     let out = run_one(&spec);
     let events = wtm_trace::drain();

@@ -21,6 +21,8 @@
 //! * [`RandomizedRounds`] — Schneider & Wattenhofer's randomized manager,
 //!   also the conflict-resolution subroutine inside the paper's window
 //!   Online algorithm.
+//! * [`StoTimid`] — the timid-phase timestamp manager from the STO
+//!   runtime, with randomized backoff after aborts.
 //!
 //! The [`registry`] module maps manager names to constructors for the
 //! experiment harness; [`registry::make_dispatch`] builds the monomorphic
@@ -28,10 +30,10 @@
 
 pub use wtm_stm::managers::{
     ats, backoff, eruption, greedy, karma, kindergarten, polite, polka, priority, randomized,
-    registry, simple, timestamp,
+    registry, simple, sto_timid, timestamp,
 };
 
 pub use wtm_stm::managers::{
     classic_names, make_dispatch, make_manager, Aggressive, Ats, Backoff, Eruption, Greedy, Karma,
-    Kindergarten, Polite, Polka, Priority, RandomizedRounds, Timestamp, Timid,
+    Kindergarten, Polite, Polka, Priority, RandomizedRounds, StoTimid, Timestamp, Timid,
 };

@@ -12,17 +12,18 @@
 //!
 //! ## Dispatch table
 //!
-//! | hook        | overridden by                                  | everyone else |
-//! |-------------|-------------------------------------------------|---------------|
-//! | `resolve`   | every manager                                   | —             |
-//! | `on_begin`  | Polite, RandomizedRounds, Eruption, ATS, `Dyn`  | no-op         |
-//! | `on_open`   | `Dyn` only                                      | no-op         |
-//! | `on_commit` | Kindergarten, ATS, `Dyn`                        | no-op         |
-//! | `on_abort`  | ATS, `Dyn`                                      | no-op         |
+//! | hook        | overridden by                                             | everyone else |
+//! |-------------|------------------------------------------------------------|---------------|
+//! | `resolve`   | every manager                                              | —             |
+//! | `on_begin`  | Polite, RandomizedRounds, Eruption, ATS, STO-Timid, `Dyn`  | no-op         |
+//! | `on_open`   | STO-Timid, `Dyn`                                           | no-op         |
+//! | `on_commit` | Kindergarten, ATS, `Dyn`                                   | no-op         |
+//! | `on_abort`  | ATS, STO-Timid, `Dyn`                                      | no-op         |
 //!
-//! `on_open` runs once per object open — the hottest hook of all — and no
-//! built-in manager implements it, so it compiles down to a single
-//! "is this the Dyn fallback?" branch.
+//! `on_open` runs once per object open — the hottest hook of all. Only
+//! STO-Timid (whose timid-phase graduation counts opens) and the `Dyn`
+//! fallback implement it, so for every other manager it compiles down to
+//! a two-way branch and a pair of no-op arms.
 //!
 //! Stateful managers sit behind an `Arc` inside their variant, so cloning
 //! a `CmDispatch` shares manager state exactly like cloning the old
@@ -33,7 +34,7 @@ use std::sync::Arc;
 use crate::cm::{AbortEnemyManager, AbortSelfManager, ConflictKind, ContentionManager, Resolution};
 use crate::managers::{
     Ats, Backoff, Eruption, Greedy, Karma, Kindergarten, Polite, Polka, Priority, RandomizedRounds,
-    Timestamp,
+    StoTimid, Timestamp,
 };
 use crate::txstate::TxState;
 
@@ -74,6 +75,8 @@ pub enum CmDispatch {
     Kindergarten(Arc<Kindergarten>),
     /// Adaptive transaction scheduling.
     Ats(Arc<Ats>),
+    /// STO's timid-phase timestamp policy with randomized backoff.
+    StoTimid(Arc<StoTimid>),
     /// Extensibility fallback: any other [`ContentionManager`] behind the
     /// old virtual dispatch.
     Dyn(Arc<dyn ContentionManager>),
@@ -100,6 +103,7 @@ impl CmDispatch {
             CmDispatch::Eruption(m) => m.resolve(me, enemy, kind),
             CmDispatch::Kindergarten(m) => m.resolve(me, enemy, kind),
             CmDispatch::Ats(m) => m.resolve(me, enemy, kind),
+            CmDispatch::StoTimid(m) => m.resolve(me, enemy, kind),
             CmDispatch::Dyn(m) => m.resolve(me, enemy, kind),
         }
     }
@@ -112,17 +116,21 @@ impl CmDispatch {
             CmDispatch::RandomizedRounds(m) => m.on_begin(tx, is_retry),
             CmDispatch::Eruption(m) => m.on_begin(tx, is_retry),
             CmDispatch::Ats(m) => m.on_begin(tx, is_retry),
+            CmDispatch::StoTimid(m) => m.on_begin(tx, is_retry),
             CmDispatch::Dyn(m) => m.on_begin(tx, is_retry),
             _ => {}
         }
     }
 
-    /// An object was opened (see [`ContentionManager::on_open`]). No
-    /// built-in manager hooks this, so the non-`Dyn` cost is one branch.
+    /// An object was opened (see [`ContentionManager::on_open`]). Only
+    /// STO-Timid and the `Dyn` fallback hook this, so for every other
+    /// manager the cost is a two-way branch.
     #[inline]
     pub fn on_open(&self, tx: &TxState) {
-        if let CmDispatch::Dyn(m) = self {
-            m.on_open(tx);
+        match self {
+            CmDispatch::StoTimid(m) => m.on_open(tx),
+            CmDispatch::Dyn(m) => m.on_open(tx),
+            _ => {}
         }
     }
 
@@ -142,6 +150,7 @@ impl CmDispatch {
     pub fn on_abort(&self, tx: &TxState) {
         match self {
             CmDispatch::Ats(m) => m.on_abort(tx),
+            CmDispatch::StoTimid(m) => m.on_abort(tx),
             CmDispatch::Dyn(m) => m.on_abort(tx),
             _ => {}
         }
@@ -165,6 +174,7 @@ impl CmDispatch {
             CmDispatch::Eruption(m) => m.name(),
             CmDispatch::Kindergarten(m) => m.name(),
             CmDispatch::Ats(m) => m.name(),
+            CmDispatch::StoTimid(m) => m.name(),
             CmDispatch::Dyn(m) => m.name(),
         }
     }

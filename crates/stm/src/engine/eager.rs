@@ -1,0 +1,280 @@
+//! The eager engine: the DSTM2-style protocol the paper measured on.
+//!
+//! Conflict handling is **eager**: the instant an open discovers a
+//! competing active transaction, the contention manager is consulted
+//! (outside the object lock) and its verdict applied.
+//!
+//! Reads take the lock-free path in [`crate::tvar`] first: register in the
+//! object's reader-slot word, then clone the seqlock-guarded snapshot. The
+//! object mutex is only taken when a writer is installed (the contended
+//! case, where the contention manager gets involved anyway) or the thread
+//! has no slot. Either way the read is *visible* before the value is
+//! returned, so the eager conflict semantics are identical on both paths.
+//!
+//! ## Correctness argument (opacity)
+//!
+//! With visible reads, a writer can only install itself on an object with
+//! *no other active reader or writer*; it must first wait for, or abort,
+//! every conflicting transaction. Therefore while a transaction `R` is
+//! active, no competitor can commit a change to any object `R` has read —
+//! so every value `R` observed remains part of one consistent committed
+//! snapshot, and no re-validation is needed at commit. Commit itself is a
+//! single status CAS racing against enemy aborts: exactly one side wins.
+//! The fast read path preserves the writer side of this argument through
+//! the slot-scan handshake: a reader is globally visible (`SeqCst` slot
+//! store) *before* it checks the seqlock word, and a writer flips the
+//! seqlock word *before* it scans the slots — so a reader that obtained a
+//! snapshot lock-free is always seen by any later writer.
+
+use std::sync::Arc;
+
+use super::Engine;
+use crate::cm::ConflictKind;
+use crate::tvar::TVar;
+use crate::txn::{TxError, TxResult, Txn};
+use crate::writeset::WriteEntry;
+use crate::TxObject;
+
+/// The original wtm-stm protocol as an [`Engine`] implementor.
+pub(crate) struct EagerEngine;
+
+impl Engine for EagerEngine {
+    fn open_for_read<T: TxObject>(txn: &mut Txn<'_>, tvar: &TVar<T>) -> TxResult<Arc<T>> {
+        txn.check_alive()?;
+        if let Some(idx) = txn.find_write(tvar.id()) {
+            return Ok(txn.writes[idx].read_snapshot::<T>());
+        }
+        // Lock-free fast path: slot registration + guarded snapshot clone.
+        if let Some(val) = tvar.inner().fast_read(txn.slot_idx, txn.state.attempt_id) {
+            // Doomed-reader validation: an enemy writer aborts us *before*
+            // committing over our read set, so being Active *after* the
+            // snapshot clone proves `val` is consistent with every earlier
+            // read. Without this, an abort landing between the entry
+            // `check_alive` and the clone lets a doomed transaction mix
+            // pre- and post-commit versions (a zombie read).
+            txn.check_alive()?;
+            txn.note_open();
+            if let Some(fp) = &mut txn.footprint {
+                fp.push((tvar.id(), false));
+            }
+            #[cfg(debug_assertions)]
+            txn.check_read_version(tvar, &val, true);
+            return Ok(val);
+        }
+        loop {
+            txn.check_alive()?;
+            let enemy = {
+                let mut st = tvar.inner().state.lock();
+                match &st.writer {
+                    Some(w) if w.is_active() && w.attempt_id != txn.state.attempt_id => {
+                        Some(Arc::clone(w))
+                    }
+                    _ => {
+                        if st.writer.is_some() {
+                            // Terminal writer: fold its outcome into `old`
+                            // and re-arm the fast path for everyone. The
+                            // displaced version (and an aborted writer's
+                            // orphaned shadow) go to the recycling slot.
+                            let cur = st.effective();
+                            let prev = std::mem::replace(&mut st.old, cur);
+                            let orphan = st.new.take();
+                            st.writer = None;
+                            tvar.inner().unlock_snapshot(&st.old);
+                            st.retire(prev);
+                            if let Some(orphan) = orphan {
+                                st.retire(orphan);
+                            }
+                        }
+                        let val = Arc::clone(&st.old);
+                        tvar.inner()
+                            .register_reader_locked(&mut st, txn.slot_idx, &txn.state);
+                        drop(st);
+                        // Doomed-reader validation (see fast path above): the
+                        // entry `check_alive` races with an enemy's abort, so
+                        // re-validate now that the value is in hand.
+                        txn.check_alive()?;
+                        txn.note_open();
+                        if let Some(fp) = &mut txn.footprint {
+                            fp.push((tvar.id(), false));
+                        }
+                        #[cfg(debug_assertions)]
+                        txn.check_read_version(tvar, &val, false);
+                        return Ok(val);
+                    }
+                }
+            };
+            if let Some(enemy) = enemy {
+                txn.handle_conflict(&enemy, ConflictKind::ReadWrite)?;
+            }
+        }
+    }
+
+    /// Acquire write ownership of `tvar`, resolving write-write and
+    /// write-read conflicts through the contention manager.
+    fn open_for_modify<T: TxObject>(
+        txn: &mut Txn<'_>,
+        tvar: &TVar<T>,
+        mut value: Option<T>,
+    ) -> TxResult<usize> {
+        if let Some(idx) = txn.find_write(tvar.id()) {
+            if let Some(v) = value {
+                txn.writes[idx].set_value(v);
+            }
+            return Ok(idx);
+        }
+        loop {
+            txn.check_alive()?;
+            let conflict = {
+                let mut st = tvar.inner().state.lock();
+                let writer_enemy = match &st.writer {
+                    Some(w) if w.is_active() && w.attempt_id != txn.state.attempt_id => {
+                        Some((Arc::clone(w), ConflictKind::WriteWrite))
+                    }
+                    _ => None,
+                };
+                match writer_enemy {
+                    Some(c) => Some(c),
+                    None => {
+                        // `seq` is even iff no writer is installed; flip it
+                        // odd *before* the reader scan (Dekker handshake)
+                        // and keep it odd for our whole ownership. With a
+                        // terminal writer still installed it is already
+                        // odd from that writer's period — flipping again
+                        // would wrongly re-open the fast path.
+                        let was_unlocked = st.writer.is_none();
+                        if was_unlocked {
+                            tvar.inner().lock_snapshot();
+                        }
+                        match tvar.inner().conflicting_reader(&mut st, &txn.state) {
+                            Some(r) => {
+                                if was_unlocked {
+                                    tvar.inner().unlock_snapshot_unchanged();
+                                }
+                                Some((r, ConflictKind::WriteRead))
+                            }
+                            None => {
+                                // Clear: collapse any terminal writer, then
+                                // install ourselves. With no writer (the
+                                // common case) `old` already is the current
+                                // version and the collapse dance is skipped.
+                                if st.writer.is_some() {
+                                    let cur = st.effective();
+                                    let prev = std::mem::replace(&mut st.old, cur);
+                                    let orphan = st.new.take();
+                                    st.retire(prev);
+                                    if let Some(orphan) = orphan {
+                                        st.retire(orphan);
+                                    }
+                                }
+                                st.writer = Some(Arc::clone(&txn.state));
+                                // Only open-for-modify needs the current
+                                // version as a clone source; a plain write
+                                // overwrites it wholesale.
+                                let cur = if value.is_some() {
+                                    None
+                                } else {
+                                    Some(Arc::clone(&st.old))
+                                };
+                                // Large types spill to a boxed shadow copy;
+                                // reuse the retired version's allocation
+                                // for it when possible.
+                                let spare = if WriteEntry::fits_inline::<T>() {
+                                    None
+                                } else {
+                                    st.take_unshared_spare()
+                                };
+                                drop(st);
+                                let entry = if WriteEntry::fits_inline::<T>() {
+                                    let v = match value.take() {
+                                        Some(v) => v,
+                                        None => (*cur.expect("open-for-modify keeps cur")).clone(),
+                                    };
+                                    WriteEntry::new_inline(tvar.clone(), v)
+                                } else {
+                                    let shadow = match spare {
+                                        Some(mut a) => {
+                                            let slot = Arc::get_mut(&mut a)
+                                                .expect("spare taken only when unshared");
+                                            match value.take() {
+                                                Some(v) => *slot = v,
+                                                None => slot.clone_from(
+                                                    cur.as_ref()
+                                                        .expect("open-for-modify keeps cur"),
+                                                ),
+                                            }
+                                            a
+                                        }
+                                        None => match value.take() {
+                                            Some(v) => Arc::new(v),
+                                            None => Arc::new(
+                                                (*cur.expect("open-for-modify keeps cur")).clone(),
+                                            ),
+                                        },
+                                    };
+                                    WriteEntry::new_boxed(tvar.clone(), shadow)
+                                };
+                                txn.writes.push(entry);
+                                // Doomed-writer validation: if an enemy
+                                // aborted us after the entry `check_alive`,
+                                // the collapsed `cur` we based the shadow on
+                                // may postdate our abort and be inconsistent
+                                // with earlier reads. We stay installed as a
+                                // terminal writer; readers collapse past us.
+                                txn.check_alive()?;
+                                txn.note_open();
+                                if let Some(fp) = &mut txn.footprint {
+                                    fp.push((tvar.id(), true));
+                                }
+                                return Ok(txn.writes.len() - 1);
+                            }
+                        }
+                    }
+                }
+            };
+            if let Some((enemy, kind)) = conflict {
+                txn.handle_conflict(&enemy, kind)?;
+            }
+        }
+    }
+
+    /// Publish shadow copies and attempt the commit CAS.
+    fn commit(txn: &mut Txn<'_>) -> TxResult<()> {
+        txn.check_alive()?;
+        // Single-object write set (the dominant case: counters, single-node
+        // structure updates): publish + status CAS + locator collapse fused
+        // under ONE acquisition of the object lock. Besides saving two lock
+        // rounds, the collapse re-arms the lock-free read path and drops
+        // the locator's reference to this attempt, so its `TxState`
+        // allocation promptly returns to the pool.
+        if txn.writes.len() == 1 {
+            return if txn.writes[0].commit_fused(&txn.state) {
+                Ok(())
+            } else {
+                Err(TxError::Aborted)
+            };
+        }
+        // Multi-object: publish every shadow before the status CAS — a
+        // competitor that observes `Committed` must find every `new`
+        // version in place. The locators are left to collapse lazily at
+        // their next access, which amortizes into a lock round that access
+        // pays anyway (an eager per-object collapse here costs an *extra*
+        // lock + seqlock re-arm per object).
+        for w in txn.writes.iter() {
+            w.publish(&txn.state);
+        }
+        if txn.state.try_commit() {
+            Ok(())
+        } else {
+            Err(TxError::Aborted)
+        }
+    }
+
+    /// Collapse every written locator after this attempt turned terminal
+    /// (committed or aborted). No-op per entry if a competitor collapsed
+    /// the locator first.
+    fn rollback(txn: &Txn<'_>) {
+        for w in txn.writes.iter() {
+            w.release(&txn.state);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The lazy engine: TL2/STO-style commit-time locking.
+//!
+//! Three departures from the eager protocol:
+//!
+//! * **Invisible reads.** A reader never registers on the object; it
+//!   samples the seqlock-guarded snapshot together with the object's
+//!   commit version and remembers `(object, seq)` in a private read set.
+//!   No reader-list cache traffic — the scaling bottleneck the eager
+//!   engine's visible reads pay for on read-mostly workloads.
+//! * **Buffered writes.** Opens for writing build the shadow copy in the
+//!   write set and touch nothing global. Write-write conflicts surface
+//!   only at commit.
+//! * **Commit-time locking.** Commit CASes each written object's seqlock
+//!   word even→odd (in object-id order — deadlock-free), re-validates the
+//!   read set, takes a write version from the global clock, flips the
+//!   status CAS, and writes back.
+//!
+//! ## Correctness argument (opacity)
+//!
+//! Every attempt carries a read watermark `rv`: the value of the global
+//! version clock ([`super::read_watermark`]) at attempt start — the same
+//! clock that hands out commit versions. A read is admitted only if the
+//! object's version is `≤ rv` *and* the seqlock word was even and
+//! unchanged around the sample, i.e. the value is the committed version
+//! as of logical time `rv`. So *every* value any attempt — including one
+//! that is already doomed — ever observes belongs to the single committed
+//! snapshot at its `rv`: zombie reads are consistent by construction, not
+//! by enemy-abort discipline as in the eager engine. Commit re-checks
+//! each read's seqlock word, which catches both a competitor's committed
+//! overwrite (version bump) and the ABA-free in-progress case (word odd);
+//! a competitor's *failed* commit leaves the word changed but the value
+//! intact, and the re-check accepts it by re-deriving the invariant
+//! (word even again + version still `≤ rv`) instead of demanding literal
+//! equality — no spurious aborts from neighbours' aborted commits, except
+//! the unavoidable seq-parity ambiguity window.
+//!
+//! The contention manager is consulted exactly where conflicts become
+//! observable: a reader meeting a commit-locked object (read-write), and
+//! a committer meeting a locked object (write-write). `AbortEnemy`
+//! verdicts work unchanged — killing the lock holder's status CAS makes
+//! it fail its own commit and release the locks. A holder that already
+//! won its status CAS ignores the kill benignly (the abort CAS fails) and
+//! unlocks by finishing its write-back.
+
+use std::sync::Arc;
+
+use super::{Engine, LazyRead};
+use crate::cm::ConflictKind;
+use crate::tvar::TVar;
+use crate::txn::{TxError, TxResult, Txn};
+use crate::writeset::WriteEntry;
+use crate::TxObject;
+
+/// The TL2/STO-style protocol as an [`Engine`] implementor.
+pub(crate) struct LazyEngine;
+
+/// Read the current committed version of `tvar` invisibly, appending it
+/// to the read set. Loops while the object is commit-locked, consulting
+/// the contention manager against the lock holder.
+fn read_committed<T: TxObject>(txn: &mut Txn<'_>, tvar: &TVar<T>) -> TxResult<Arc<T>> {
+    loop {
+        txn.check_alive()?;
+        if let Some((val, seq, version)) = tvar.inner().lazy_read() {
+            if version > txn.rv {
+                // Committed after our watermark: this snapshot may be
+                // inconsistent with earlier reads. A TL2 extension could
+                // re-validate and advance `rv`; we take the simple exit —
+                // abort and retry with a fresh watermark.
+                txn.state.abort();
+                #[cfg(feature = "trace")]
+                txn.set_abort_reason(wtm_trace::ABORT_VALIDATION);
+                return Err(TxError::Aborted);
+            }
+            txn.reads.push(LazyRead {
+                src: tvar.inner_arc(),
+                seq,
+            });
+            return Ok(val);
+        }
+        // Commit-locked. Resolve against the holder when the registry can
+        // still name it. No nameable holder means either a committer mid
+        // write-back (wait it out) or a prior *eager* run's uncollapsed
+        // terminal writer, which no one will ever release — fold that
+        // ourselves via the mutex path.
+        match tvar.inner().lazy_owner() {
+            Some(enemy) => txn.handle_conflict(&enemy, ConflictKind::ReadWrite)?,
+            None => {
+                if !tvar.inner().collapse_eager_leftover() {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Abort `txn` for a failed commit-time read validation.
+fn validation_abort(txn: &Txn<'_>) -> TxError {
+    txn.state.abort();
+    #[cfg(feature = "trace")]
+    txn.set_abort_reason(wtm_trace::ABORT_VALIDATION);
+    TxError::Aborted
+}
+
+/// Lock every write-set entry in object-id order, then re-validate the
+/// read set. On success `locked` holds `(entry index, pre-lock seq)` for
+/// every entry; on failure some prefix does and the caller must unlock it.
+fn lock_and_validate(txn: &mut Txn<'_>, locked: &mut Vec<(usize, u64)>) -> TxResult<()> {
+    let mut order: Vec<usize> = (0..txn.writes.len()).collect();
+    order.sort_unstable_by_key(|&i| txn.writes[i].tvar_id());
+    for i in order {
+        loop {
+            txn.check_alive()?;
+            match txn.writes[i].lazy_lock(txn.slot_idx, txn.state.attempt_id) {
+                Some(prelock) => {
+                    locked.push((i, prelock));
+                    break;
+                }
+                None => match txn.writes[i].lazy_owner() {
+                    Some(enemy) => txn.handle_conflict(&enemy, ConflictKind::WriteWrite)?,
+                    // Mid write-back (wait) or an eager run's uncollapsed
+                    // terminal writer (fold it ourselves — see
+                    // `read_committed`).
+                    None => {
+                        if !txn.writes[i].collapse_eager_leftover() {
+                            std::thread::yield_now();
+                        }
+                    }
+                },
+            }
+        }
+    }
+    // Read validation, with the whole write set locked: every read must
+    // still be the committed version as of our watermark.
+    'reads: for r in txn.reads.iter() {
+        // An object we also wrote: our own commit lock holds its word odd
+        // now, so "unchanged" means "nobody touched it between our read
+        // and our lock" — the pre-lock seq must equal the seq we read at.
+        for &(i, prelock) in locked.iter() {
+            if txn.writes[i].tvar_id() == r.src.source_id() {
+                if prelock == r.seq {
+                    continue 'reads;
+                }
+                return Err(validation_abort(txn));
+            }
+        }
+        let s1 = r.src.seq_now();
+        if s1 == r.seq {
+            continue; // untouched since the read
+        }
+        if s1 & 1 != 0 {
+            // A competitor holds the commit lock; it may be about to
+            // overwrite this read. Aborting (rather than waiting it out)
+            // keeps validation lock-free.
+            return Err(validation_abort(txn));
+        }
+        // The word moved but is even again: some competitor's commit
+        // attempt came and went. Accept iff the value provably still
+        // predates our watermark — version unchanged-sandwich re-check.
+        let version = r.src.version_now();
+        if r.src.seq_now() != s1 || version > txn.rv {
+            return Err(validation_abort(txn));
+        }
+    }
+    Ok(())
+}
+
+impl Engine for LazyEngine {
+    fn open_for_read<T: TxObject>(txn: &mut Txn<'_>, tvar: &TVar<T>) -> TxResult<Arc<T>> {
+        txn.check_alive()?;
+        if let Some(idx) = txn.find_write(tvar.id()) {
+            return Ok(txn.writes[idx].read_snapshot::<T>());
+        }
+        let val = read_committed(txn, tvar)?;
+        txn.note_open();
+        if let Some(fp) = &mut txn.footprint {
+            fp.push((tvar.id(), false));
+        }
+        #[cfg(debug_assertions)]
+        txn.check_read_version(tvar, &val, true);
+        Ok(val)
+    }
+
+    fn open_for_modify<T: TxObject>(
+        txn: &mut Txn<'_>,
+        tvar: &TVar<T>,
+        mut value: Option<T>,
+    ) -> TxResult<usize> {
+        txn.check_alive()?;
+        if let Some(idx) = txn.find_write(tvar.id()) {
+            if let Some(v) = value.take() {
+                txn.writes[idx].set_value(v);
+            }
+            return Ok(idx);
+        }
+        let entry = match value {
+            // A blind write needs no current version — and creates no
+            // read-set entry, so a competitor overwriting the object
+            // before our commit is *not* a conflict (last-writer-wins,
+            // as in TL2).
+            Some(v) if WriteEntry::fits_inline::<T>() => WriteEntry::new_inline(tvar.clone(), v),
+            Some(v) => WriteEntry::new_boxed(tvar.clone(), Arc::new(v)),
+            None => {
+                // Open-for-modify bases the shadow on the current version,
+                // which is a read: it joins the read set, so commit-time
+                // validation catches a competitor racing us to update the
+                // same object (no lost updates).
+                let cur = read_committed(txn, tvar)?;
+                if WriteEntry::fits_inline::<T>() {
+                    WriteEntry::new_inline(tvar.clone(), (*cur).clone())
+                } else {
+                    // Keep the snapshot Arc itself; the first in-place
+                    // modification clones through `Arc::make_mut`.
+                    WriteEntry::new_boxed(tvar.clone(), cur)
+                }
+            }
+        };
+        txn.writes.push(entry);
+        txn.note_open();
+        if let Some(fp) = &mut txn.footprint {
+            fp.push((tvar.id(), true));
+        }
+        Ok(txn.writes.len() - 1)
+    }
+
+    fn commit(txn: &mut Txn<'_>) -> TxResult<()> {
+        txn.check_alive()?;
+        if txn.writes.len() == 0 {
+            // Read-only: every read was validated against the watermark
+            // when it happened, so the snapshot is already consistent —
+            // only the status CAS (racing enemy aborts) remains.
+            return if txn.state.try_commit() {
+                Ok(())
+            } else {
+                Err(TxError::Aborted)
+            };
+        }
+        let mut locked: Vec<(usize, u64)> = Vec::with_capacity(txn.writes.len());
+        let outcome = lock_and_validate(txn, &mut locked);
+        let committed = match outcome {
+            Ok(()) => txn.state.try_commit(),
+            Err(_) => false,
+        };
+        if !committed {
+            for &(i, _) in locked.iter() {
+                txn.writes[i].lazy_unlock();
+            }
+            return Err(TxError::Aborted);
+        }
+        // Past the point of no return: stamp the write version and make
+        // every shadow the committed version. Unlocking happens inside
+        // the write-back (the final even flip of each object's word).
+        let wv = super::next_write_version();
+        for &(i, _) in locked.iter() {
+            txn.writes[i].lazy_writeback(wv);
+        }
+        Ok(())
+    }
+
+    fn rollback(_txn: &Txn<'_>) {
+        // Nothing global to undo: reads were invisible, writes stayed in
+        // the private write set, and a failed commit already released its
+        // locks before returning.
+    }
+}

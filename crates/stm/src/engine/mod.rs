@@ -1,0 +1,172 @@
+//! The engine seam: one transaction API, two concurrency-control
+//! protocols.
+//!
+//! The paper's evaluation ran on a single substrate — eager conflict
+//! detection, visible reads, obstruction-free locators (DSTM2). Whether
+//! the window-CM ranking *survives a change of substrate* is exactly the
+//! question this module makes askable: [`Engine`] carves the four
+//! protocol-defining operations (open-for-read, open-for-modify, commit,
+//! rollback) out of [`Txn`](crate::txn::Txn), and two implementors plug
+//! into the same CM hooks, workloads, and statistics:
+//!
+//! * [`EagerEngine`](eager::EagerEngine) — the original protocol, moved
+//!   here verbatim: visible reads, eager CM consultation at open time,
+//!   shadow copies published through the locator status CAS.
+//! * [`LazyEngine`](lazy::LazyEngine) — a TL2/STO-style protocol:
+//!   invisible reads validated against a read timestamp, writes buffered
+//!   privately, per-object commit locks taken only at commit time.
+//!
+//! Dispatch is monomorphic, mirroring [`CmDispatch`](crate::CmDispatch):
+//! `Txn` matches on the run's [`EngineKind`] and calls the chosen
+//! implementor's associated functions directly — no trait objects on the
+//! hot path. The trait itself exists so the two protocols are held to the
+//! same signature (and so a third engine has an obvious shape to fill in).
+//!
+//! One engine per run: an [`Stm`](crate::Stm) is built for a single
+//! `EngineKind`, and a `TVar` must never be driven by both engines
+//! concurrently — the lazy commit lock CASes the seqlock word directly,
+//! which is only sound against other CAS-based lockers, not against the
+//! eager path's mutex-serialized transitions. Sequential reuse (e.g. an
+//! eager run followed by a lazy run over the same structures) is fine.
+
+pub(crate) mod eager;
+pub(crate) mod lazy;
+
+use std::sync::Arc;
+
+use crate::tvar::{LazySource, TVar};
+use crate::txn::{TxResult, Txn};
+use crate::TxObject;
+
+/// Which concurrency-control protocol a run uses. An axis of experiment
+/// identity, alongside the manager name and thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Eager conflict detection, visible reads, obstruction-free locators
+    /// (the DSTM2-style substrate the paper measured on).
+    #[default]
+    Eager,
+    /// TL2/STO-style commit-time locking: invisible reads + read-set
+    /// validation, write locks only at commit.
+    Lazy,
+}
+
+impl EngineKind {
+    /// Every engine, in presentation order.
+    pub const ALL: [EngineKind; 2] = [EngineKind::Eager, EngineKind::Lazy];
+
+    /// Canonical lowercase name (CLI values, results-file identity keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Eager => "eager",
+            EngineKind::Lazy => "lazy",
+        }
+    }
+
+    /// Parse a CLI/spec value. Case-insensitive.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "eager" => Some(EngineKind::Eager),
+            "lazy" => Some(EngineKind::Lazy),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EngineKind::parse(s).ok_or_else(|| {
+            format!(
+                "unknown engine {s:?} (expected one of: {})",
+                EngineKind::ALL.map(|e| e.name()).join(", ")
+            )
+        })
+    }
+}
+
+/// The four protocol-defining operations of a concurrency-control engine.
+///
+/// Everything else a transaction does — write-set bookkeeping, CM hook
+/// invocation, conflict accounting, tracing — is protocol-independent and
+/// stays in [`Txn`]; implementors reach it through `Txn`'s `pub(crate)`
+/// helpers. Associated functions (not methods) so dispatch from `Txn`
+/// monomorphizes completely.
+pub(crate) trait Engine {
+    /// Open `tvar` for reading; return a stable snapshot consistent with
+    /// every earlier read of this attempt.
+    fn open_for_read<T: TxObject>(txn: &mut Txn<'_>, tvar: &TVar<T>) -> TxResult<Arc<T>>;
+
+    /// Open `tvar` for writing and return the write-set entry index.
+    /// `Some(value)` replaces the object wholesale; `None` bases the
+    /// shadow on the current version (open-for-modify).
+    fn open_for_modify<T: TxObject>(
+        txn: &mut Txn<'_>,
+        tvar: &TVar<T>,
+        value: Option<T>,
+    ) -> TxResult<usize>;
+
+    /// Make the write set visible atomically, or fail with the attempt
+    /// aborted.
+    fn commit(txn: &mut Txn<'_>) -> TxResult<()>;
+
+    /// Undo any globally visible traces of an aborted attempt.
+    fn rollback(txn: &Txn<'_>);
+}
+
+/// One validated invisible read of the lazy engine: the source object and
+/// the seqlock word observed at read time. Re-checked at commit.
+pub(crate) struct LazyRead {
+    pub(crate) src: Arc<dyn LazySource>,
+    pub(crate) seq: u64,
+}
+
+/// The lazy engine's global version clock.
+///
+/// Process-global, not per-[`Stm`](crate::Stm): objects outlive any single
+/// engine (a `TVar` built under one run is routinely reused by the next),
+/// and a version stamped from run A's clock must still compare correctly
+/// against watermarks taken under run B. Monotonicity across the whole
+/// process gives that for free; a per-engine clock would restart at zero
+/// and make every carried-over version look like it came from the future.
+static VERSION_CLOCK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The read watermark for a starting lazy attempt: every version `≤` this
+/// value is a committed version "of the past".
+pub(crate) fn read_watermark() -> u64 {
+    VERSION_CLOCK.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// A fresh write version for a committing lazy transaction. Strictly
+/// greater than any watermark taken before this call.
+pub(crate) fn next_write_version() -> u64 {
+    VERSION_CLOCK.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for e in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(e.name()), Some(e));
+            assert_eq!(e.name().parse::<EngineKind>().unwrap(), e);
+        }
+        assert_eq!(EngineKind::parse("LAZY"), Some(EngineKind::Lazy));
+        assert_eq!(EngineKind::parse("tl2"), None);
+        assert!("tl2".parse::<EngineKind>().unwrap_err().contains("eager"));
+    }
+
+    #[test]
+    fn default_is_the_paper_substrate() {
+        assert_eq!(EngineKind::default(), EngineKind::Eager);
+    }
+}

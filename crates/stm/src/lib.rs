@@ -61,6 +61,7 @@ pub mod clock;
 pub mod clockns;
 pub mod cm;
 pub mod dispatch;
+pub mod engine;
 mod inline_vec;
 pub mod managers;
 pub mod slots;
@@ -76,6 +77,7 @@ mod writeset;
 pub use clock::LogicalClock;
 pub use cm::{ConflictKind, ContentionManager, Resolution};
 pub use dispatch::CmDispatch;
+pub use engine::EngineKind;
 pub use slots::reserve_reader_slots;
 pub use stats::{StatsSnapshot, ThreadStats};
 pub use status::TxStatus;

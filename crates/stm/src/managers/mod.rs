@@ -16,6 +16,10 @@
 //! * [`RandomizedRounds`] — Schneider & Wattenhofer's randomized manager,
 //!   also the conflict-resolution subroutine inside the paper's window
 //!   Online algorithm.
+//! * [`StoTimid`] — the timid-phase timestamp manager from the STO
+//!   runtime: attempts stay timestamp-less (always yielding) until they
+//!   open enough objects, then compete by age, with randomized backoff
+//!   after every abort.
 //!
 //! The managers live *inside* `wtm-stm` (they moved here from the old
 //! `wtm-managers` crate, which now just re-exports this module) so the
@@ -41,6 +45,7 @@ pub mod priority;
 pub mod randomized;
 pub mod registry;
 pub mod simple;
+pub mod sto_timid;
 pub mod timestamp;
 
 pub use ats::Ats;
@@ -55,6 +60,7 @@ pub use priority::Priority;
 pub use randomized::RandomizedRounds;
 pub use registry::{classic_names, make_dispatch, make_manager};
 pub use simple::{Aggressive, Timid};
+pub use sto_timid::StoTimid;
 pub use timestamp::Timestamp;
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use crate::ContentionManager;
 use crate::dispatch::CmDispatch;
 use crate::managers::{
     Aggressive, Ats, Backoff, Eruption, Greedy, Karma, Kindergarten, Polite, Polka, Priority,
-    RandomizedRounds, Timestamp, Timid,
+    RandomizedRounds, StoTimid, Timestamp, Timid,
 };
 
 /// The classic manager names [`make_manager`] understands
@@ -28,6 +28,7 @@ pub fn classic_names() -> &'static [&'static str] {
         "Eruption",
         "Kindergarten",
         "ATS",
+        "STO-Timid",
     ]
 }
 
@@ -50,6 +51,7 @@ pub fn make_manager(name: &str, num_threads: usize) -> Option<Arc<dyn Contention
         "Eruption" => Arc::new(Eruption::default()),
         "Kindergarten" => Arc::new(Kindergarten::new(num_threads)),
         "ATS" => Arc::new(Ats::new(num_threads)),
+        "STO-Timid" => Arc::new(StoTimid::new(num_threads)),
         _ => return None,
     })
 }
@@ -75,6 +77,7 @@ pub fn make_dispatch(name: &str, num_threads: usize) -> Option<CmDispatch> {
         "Eruption" => CmDispatch::Eruption(Arc::new(Eruption::default())),
         "Kindergarten" => CmDispatch::Kindergarten(Arc::new(Kindergarten::new(num_threads))),
         "ATS" => CmDispatch::Ats(Arc::new(Ats::new(num_threads))),
+        "STO-Timid" => CmDispatch::StoTimid(Arc::new(StoTimid::new(num_threads))),
         _ => return None,
     })
 }

@@ -1,0 +1,299 @@
+//! STO's timid-phase timestamp manager (Herman et al.'s STO runtime).
+//!
+//! A port of the contention manager shipped with the STO software
+//! transactional objects runtime (`ContentionManager.cc`). The policy is
+//! a timestamp order with a **timid opening phase**:
+//!
+//! * A fresh attempt starts *timid* — it has no timestamp (the `MAX_TS`
+//!   sentinel) and loses every conflict. Cheap transactions come and go
+//!   without ever touching the global timestamp counter.
+//! * Once an attempt has opened [`TS_THRESHOLD`] objects it is deemed
+//!   substantial and draws a real timestamp from a global counter
+//!   (`fetch_add`), which it keeps until the attempt ends. From then on
+//!   the *older* (smaller-timestamp) side wins: the younger side marks
+//!   the older's thread slot `aborted` and attacks, while a side that
+//!   meets a younger enemy yields (or retries once the enemy's slot is
+//!   already marked aborted, since that enemy is on its way out).
+//! * Every abort applies **randomized backoff**: the loser sleeps a
+//!   uniform random duration in `[0, abort_count · WAIT_NS_MULTIPLIER)`
+//!   nanoseconds, with `abort_count` capped at [`SUCC_ABORTS_MAX`], so
+//!   repeat losers spread out instead of re-colliding in lockstep.
+//!
+//! Per-thread state lives in cache-line-aligned slots indexed by
+//! `TxState::thread_id` (STO spaces its arrays by 4 words for the same
+//! reason). Like the original, the `aborted` mark is advisory and keyed
+//! by thread, not by attempt: a mark aimed at a dying transaction can be
+//! observed by its thread's next attempt, which merely costs that attempt
+//! one conflict — safety is unaffected.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sync::cooperative_wait;
+use crate::{ConflictKind, ContentionManager, Resolution, TxState};
+
+/// Sentinel timestamp: the attempt is still in its timid phase.
+const MAX_TS: u64 = u64::MAX;
+
+/// Opens before an attempt graduates from timid to timestamped.
+const TS_THRESHOLD: u64 = 10;
+
+/// Cap on the abort streak used to scale the randomized backoff.
+const SUCC_ABORTS_MAX: u64 = 10;
+
+/// Nanoseconds of backoff range per abort in the current streak (STO
+/// uses 8000 *cycles* per abort; we keep the constant in nanoseconds).
+const WAIT_NS_MULTIPLIER: u64 = 8000;
+
+/// Per-thread manager state, padded so neighbours don't false-share.
+#[repr(align(64))]
+struct ThreadSlot {
+    /// Timestamp of the thread's current attempt (`MAX_TS` = timid).
+    ts: AtomicU64,
+    /// Set by a younger enemy that decided to kill this thread's attempt.
+    aborted: AtomicU64,
+    /// Objects opened by the current attempt (drives graduation).
+    opens: AtomicU64,
+    /// Consecutive aborts, capped at [`SUCC_ABORTS_MAX`].
+    abort_streak: AtomicU64,
+    /// Private RNG for the randomized backoff (cold path: aborts only).
+    rng: Mutex<SmallRng>,
+}
+
+impl ThreadSlot {
+    fn new(seed: u64) -> Self {
+        ThreadSlot {
+            ts: AtomicU64::new(MAX_TS),
+            aborted: AtomicU64::new(0),
+            opens: AtomicU64::new(0),
+            abort_streak: AtomicU64::new(0),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+/// See module docs.
+pub struct StoTimid {
+    /// Global timestamp counter attempts graduate into.
+    clock: AtomicU64,
+    /// One slot per worker thread, indexed by `TxState::thread_id`.
+    slots: Box<[ThreadSlot]>,
+}
+
+impl StoTimid {
+    /// Manager for `num_threads` workers with a deterministic seed.
+    pub fn new(num_threads: usize) -> Self {
+        Self::with_seed(num_threads, 0x5707_1A1D)
+    }
+
+    /// Manager with an explicit backoff RNG seed (tests, reproducibility).
+    pub fn with_seed(num_threads: usize, seed: u64) -> Self {
+        StoTimid {
+            clock: AtomicU64::new(0),
+            slots: (0..num_threads.max(1))
+                .map(|i| ThreadSlot::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                .collect(),
+        }
+    }
+
+    fn slot(&self, thread_id: usize) -> &ThreadSlot {
+        &self.slots[thread_id % self.slots.len()]
+    }
+}
+
+impl ContentionManager for StoTimid {
+    fn resolve(&self, me: &TxState, enemy: &TxState, _kind: ConflictKind) -> Resolution {
+        let mine = self.slot(me.thread_id);
+        // Someone already sentenced us: stop fighting and restart.
+        if mine.aborted.load(Ordering::Acquire) != 0 {
+            return Resolution::AbortSelf;
+        }
+        // Timid attempts lose every conflict.
+        let my_ts = mine.ts.load(Ordering::Acquire);
+        if my_ts == MAX_TS {
+            return Resolution::AbortSelf;
+        }
+        let theirs = self.slot(enemy.thread_id);
+        if theirs.ts.load(Ordering::Acquire) < my_ts {
+            // The enemy is older. If its slot is already marked aborted
+            // it is on its way out — spin-retry until the engine sees it
+            // dead; otherwise yield.
+            if theirs.aborted.load(Ordering::Acquire) == 0 {
+                Resolution::AbortSelf
+            } else {
+                Resolution::Retry
+            }
+        } else {
+            // We are older (or the enemy is timid): sentence it and win.
+            theirs.aborted.store(1, Ordering::Release);
+            Resolution::AbortEnemy
+        }
+    }
+
+    fn on_begin(&self, tx: &std::sync::Arc<TxState>, is_retry: bool) {
+        let slot = self.slot(tx.thread_id);
+        slot.ts.store(MAX_TS, Ordering::Release);
+        slot.aborted.store(0, Ordering::Release);
+        slot.opens.store(0, Ordering::Release);
+        if !is_retry {
+            // A fresh transaction starts a fresh abort streak; retries
+            // keep the streak so their backoff keeps growing.
+            slot.abort_streak.store(0, Ordering::Release);
+        }
+    }
+
+    fn on_open(&self, tx: &TxState) {
+        let slot = self.slot(tx.thread_id);
+        if slot.ts.load(Ordering::Relaxed) != MAX_TS {
+            return; // already graduated
+        }
+        let opened = slot.opens.fetch_add(1, Ordering::Relaxed) + 1;
+        if opened == TS_THRESHOLD {
+            let ts = self.clock.fetch_add(1, Ordering::Relaxed);
+            slot.ts.store(ts, Ordering::Release);
+        }
+    }
+
+    fn on_abort(&self, tx: &TxState) {
+        let slot = self.slot(tx.thread_id);
+        let streak = slot
+            .abort_streak
+            .load(Ordering::Relaxed)
+            .min(SUCC_ABORTS_MAX - 1)
+            + 1;
+        slot.abort_streak.store(streak, Ordering::Relaxed);
+        let range = streak * WAIT_NS_MULTIPLIER;
+        let wait_ns = slot.rng.lock().random_range(0..range);
+        tx.set_waiting(true);
+        cooperative_wait(Duration::from_nanos(wait_ns));
+        tx.set_waiting(false);
+    }
+
+    fn name(&self) -> &str {
+        "STO-Timid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::managers::testutil::state_on;
+
+    /// Open `n` objects on behalf of `tx` so its thread graduates.
+    fn graduate(cm: &StoTimid, tx: &TxState) {
+        for _ in 0..TS_THRESHOLD {
+            cm.on_open(tx);
+        }
+    }
+
+    #[test]
+    fn timid_attempt_always_yields() {
+        let cm = StoTimid::new(2);
+        let me = state_on(0, 1, 10, 0);
+        let enemy = state_on(1, 2, 20, 0);
+        cm.on_begin(&me, false);
+        cm.on_begin(&enemy, false);
+        // Neither side has opened enough objects: the caller yields.
+        assert_eq!(
+            cm.resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortSelf
+        );
+    }
+
+    #[test]
+    fn graduation_takes_ts_threshold_opens() {
+        let cm = StoTimid::new(1);
+        let tx = state_on(0, 1, 10, 0);
+        cm.on_begin(&tx, false);
+        for _ in 0..TS_THRESHOLD - 1 {
+            cm.on_open(&tx);
+        }
+        assert_eq!(cm.slot(0).ts.load(Ordering::Relaxed), MAX_TS);
+        cm.on_open(&tx);
+        assert_ne!(cm.slot(0).ts.load(Ordering::Relaxed), MAX_TS);
+    }
+
+    #[test]
+    fn older_timestamp_sentences_younger_and_wins() {
+        let cm = StoTimid::new(2);
+        let me = state_on(0, 1, 10, 0);
+        let enemy = state_on(1, 2, 20, 0);
+        cm.on_begin(&me, false);
+        cm.on_begin(&enemy, false);
+        graduate(&cm, &me); // me draws ts 0
+        graduate(&cm, &enemy); // enemy draws ts 1
+        assert_eq!(
+            cm.resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortEnemy
+        );
+        // The enemy's slot now carries the sentence: it self-aborts on
+        // its next conflict even against a timid opponent.
+        assert_eq!(
+            cm.resolve(&enemy, &me, ConflictKind::WriteWrite),
+            Resolution::AbortSelf
+        );
+    }
+
+    #[test]
+    fn younger_retries_against_sentenced_elder() {
+        let cm = StoTimid::new(2);
+        let me = state_on(0, 1, 10, 0);
+        let enemy = state_on(1, 2, 20, 0);
+        cm.on_begin(&enemy, false);
+        cm.on_begin(&me, false);
+        graduate(&cm, &enemy); // enemy older (ts 0)
+        graduate(&cm, &me); // me younger (ts 1)
+        assert_eq!(
+            cm.resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::AbortSelf,
+            "live elder wins"
+        );
+        cm.slot(1).aborted.store(1, Ordering::Release);
+        assert_eq!(
+            cm.resolve(&me, &enemy, ConflictKind::WriteWrite),
+            Resolution::Retry,
+            "sentenced elder is waited out, not yielded to"
+        );
+    }
+
+    #[test]
+    fn fresh_begin_clears_sentence_and_retry_keeps_streak() {
+        let cm = StoTimid::new(1);
+        let tx = state_on(0, 1, 10, 0);
+        cm.on_begin(&tx, false);
+        cm.slot(0).aborted.store(1, Ordering::Release);
+        cm.on_abort(&tx);
+        assert_eq!(cm.slot(0).abort_streak.load(Ordering::Relaxed), 1);
+        cm.on_begin(&tx, true);
+        assert_eq!(cm.slot(0).aborted.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            cm.slot(0).abort_streak.load(Ordering::Relaxed),
+            1,
+            "retry keeps the abort streak"
+        );
+        cm.on_begin(&tx, false);
+        assert_eq!(
+            cm.slot(0).abort_streak.load(Ordering::Relaxed),
+            0,
+            "fresh transaction resets the streak"
+        );
+    }
+
+    #[test]
+    fn abort_streak_caps_backoff_range() {
+        let cm = StoTimid::new(1);
+        let tx = state_on(0, 1, 10, 0);
+        cm.on_begin(&tx, false);
+        for _ in 0..SUCC_ABORTS_MAX + 5 {
+            cm.on_abort(&tx);
+        }
+        assert_eq!(
+            cm.slot(0).abort_streak.load(Ordering::Relaxed),
+            SUCC_ABORTS_MAX
+        );
+    }
+}

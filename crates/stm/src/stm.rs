@@ -19,12 +19,14 @@
 //! and one per attempt end instead of several `Instant::now()` syscalls.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::clock::LogicalClock;
 use crate::clockns;
 use crate::cm::ContentionManager;
 use crate::dispatch::CmDispatch;
+use crate::engine::{EngineKind, LazyRead};
 use crate::slots;
 use crate::stats::{StatsSnapshot, ThreadStats};
 use crate::txn::{TxError, TxResult, Txn};
@@ -33,8 +35,14 @@ use crate::txstate::TxState;
 /// The STM engine: one per experiment run.
 pub struct Stm {
     cm: CmDispatch,
+    engine: EngineKind,
     clock: LogicalClock,
     threads: Box<[Arc<ThreadStats>]>,
+    /// Bumped by every [`Stm::reset_stats`]. Thread contexts stamp their
+    /// pending (GV5 lazily-settled) commits with the epoch they were
+    /// queued under; a settle that observes a newer epoch discards them
+    /// instead of leaking pre-reset durations into the new window.
+    reset_epoch: AtomicU64,
 }
 
 impl Stm {
@@ -49,24 +57,39 @@ impl Stm {
     /// Build an engine for `num_threads` workers with a [`CmDispatch`]
     /// contention policy: built-in managers are called directly on the hot
     /// hooks (no virtual dispatch). Use [`crate::managers::make_dispatch`]
-    /// to construct one by name.
+    /// to construct one by name. Runs the eager (paper-default) protocol;
+    /// use [`Stm::with_engine`] to choose.
     pub fn with_dispatch(cm: impl Into<CmDispatch>, num_threads: usize) -> Self {
+        Self::with_engine(cm, num_threads, EngineKind::Eager)
+    }
+
+    /// Build an engine for `num_threads` workers with an explicit
+    /// concurrency-control protocol ([`EngineKind`]): eager DSTM2-style
+    /// (the paper's substrate) or TL2/STO-style lazy commit-time locking.
+    pub fn with_engine(cm: impl Into<CmDispatch>, num_threads: usize, engine: EngineKind) -> Self {
         assert!(num_threads >= 1, "need at least one thread");
         // Make sure TVars created from here on carry a fast-path reader
         // slot for every worker this engine will run.
         slots::reserve_reader_slots(num_threads);
         Stm {
             cm: cm.into(),
+            engine,
             clock: LogicalClock::new(),
             threads: (0..num_threads)
                 .map(|_| Arc::new(ThreadStats::new()))
                 .collect(),
+            reset_epoch: AtomicU64::new(0),
         }
     }
 
     /// The installed contention manager.
     pub fn cm(&self) -> &CmDispatch {
         &self.cm
+    }
+
+    /// Which concurrency-control protocol this engine runs.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 
     /// Number of worker slots.
@@ -87,7 +110,9 @@ impl Stm {
             pend_commits: Cell::new(0),
             pend_t0_sum: Cell::new(0),
             pend_first_sum: Cell::new(0),
+            pend_epoch: Cell::new(self.reset_epoch.load(Ordering::Relaxed)),
             trace_buf: Cell::new(None),
+            reads_buf: Cell::new(None),
             #[cfg(debug_assertions)]
             read_versions_buf: Cell::new(None),
         }
@@ -109,7 +134,14 @@ impl Stm {
     }
 
     /// Zero all metrics (between repetitions).
+    ///
+    /// Also invalidates every thread context's *pending* commits — the
+    /// ones whose commit-time clock read was elided (the GV5 lazy settle).
+    /// Without the epoch bump those would settle their durations at the
+    /// thread's next clock read, *after* this reset, silently leaking
+    /// pre-reset work into the new measurement window.
     pub fn reset_stats(&self) {
+        self.reset_epoch.fetch_add(1, Ordering::SeqCst);
         for t in self.threads.iter() {
             t.reset();
         }
@@ -228,9 +260,16 @@ pub struct ThreadCtx<'a> {
     pend_commits: Cell<u64>,
     pend_t0_sum: Cell<u64>,
     pend_first_sum: Cell<u64>,
+    /// The engine's reset epoch the queued commits were pended under. A
+    /// settle that finds [`Stm::reset_stats`] has bumped the epoch since
+    /// then drops them: their durations belong to the previous window.
+    pend_epoch: Cell<u64>,
     /// Pooled footprint buffer for traced attempts: an aborted attempt's
     /// buffer comes back here and the next attempt reuses its capacity.
     trace_buf: Cell<Option<Vec<(u64, bool)>>>,
+    /// Pooled read-set buffer for the lazy engine (stays `None`-cycling
+    /// with zero capacity under the eager engine, which never reads it).
+    reads_buf: Cell<Option<Vec<LazyRead>>>,
     /// Pooled buffer for the debug-only opacity self-check in `Txn`.
     #[cfg(debug_assertions)]
     read_versions_buf: Cell<Option<Vec<(u64, usize, bool)>>>,
@@ -270,13 +309,24 @@ impl<'a> ThreadCtx<'a> {
     #[cfg_attr(feature = "trace", allow(dead_code))]
     #[inline]
     fn pend_commit(&self, t0: u64, first_start_ns: u64) {
+        if self.pend_commits.get() == 0 {
+            // First pend of a batch: remember which measurement window
+            // (reset epoch) it belongs to.
+            self.pend_epoch.set(
+                self.stm
+                    .reset_epoch
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            );
+        }
         self.pend_commits.set(self.pend_commits.get() + 1);
         self.pend_t0_sum.set(self.pend_t0_sum.get() + t0);
         self.pend_first_sum
             .set(self.pend_first_sum.get() + first_start_ns);
     }
 
-    /// Account all queued commits as if they committed at `now`.
+    /// Account all queued commits as if they committed at `now` — unless
+    /// a stats reset intervened, in which case their durations belong to
+    /// the zeroed window and are discarded.
     #[inline]
     fn settle_pending_commits(&self, now: u64) {
         let n = self.pend_commits.get();
@@ -284,8 +334,18 @@ impl<'a> ThreadCtx<'a> {
             return;
         }
         self.pend_commits.set(0);
-        let committed = (n * now).saturating_sub(self.pend_t0_sum.replace(0));
-        let response = (n * now).saturating_sub(self.pend_first_sum.replace(0));
+        let t0_sum = self.pend_t0_sum.replace(0);
+        let first_sum = self.pend_first_sum.replace(0);
+        if self.pend_epoch.get()
+            != self
+                .stm
+                .reset_epoch
+                .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            return;
+        }
+        let committed = (n * now).saturating_sub(t0_sum);
+        let response = (n * now).saturating_sub(first_sum);
         self.stats().stage_lazy_durations(committed, response);
     }
 
@@ -304,6 +364,27 @@ impl<'a> ThreadCtx<'a> {
     pub(crate) fn put_trace_buf(&self, buf: Vec<(u64, bool)>) {
         if buf.capacity() > 0 {
             self.trace_buf.set(Some(buf));
+        }
+    }
+
+    /// Take the pooled lazy read-set buffer (cleared), or a fresh one.
+    pub(crate) fn take_reads_buf(&self) -> Vec<LazyRead> {
+        match self.reads_buf.take() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Return a read-set buffer to the pool for the next attempt. Cleared
+    /// here (not just on take) so pooled entries don't pin their source
+    /// objects' `Arc`s between attempts.
+    pub(crate) fn put_reads_buf(&self, mut buf: Vec<LazyRead>) {
+        buf.clear();
+        if buf.capacity() > 0 {
+            self.reads_buf.set(Some(buf));
         }
     }
 
@@ -803,6 +884,140 @@ mod tests {
         assert_eq!(got.as_ptr() as usize, seed_ptr);
         assert!(got.is_empty(), "pooled buffer must be cleared on take");
         assert_eq!(got.capacity(), 32);
+    }
+
+    #[test]
+    fn pending_commit_durations_do_not_survive_reset_stats() {
+        // Regression: commits whose commit-time clock read was elided
+        // (GV5 lazy settle) used to settle their durations at the
+        // thread's next clock read even if `reset_stats` had zeroed the
+        // window in between — leaking pre-reset work into the new window.
+        let stm = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
+        let tv: TVar<u64> = TVar::new(0);
+        let ctx = stm.thread(0);
+        ctx.atomic(|tx| tx.write(&tv, 1)); // pends its durations
+        stm.reset_stats();
+        // The next transaction's start settles the pending batch; with
+        // the epoch bump it must be discarded, not staged.
+        ctx.atomic(|tx| tx.write(&tv, 2));
+        let mut body = |tx: &mut Txn| -> TxResult<()> { Err(tx.abort_self()) };
+        let _ = ctx.atomic_with_budget(1, &mut body); // abort settles + flushes
+        drop(ctx);
+        let snap = stm.aggregate();
+        assert_eq!(snap.commits, 1, "only the post-reset commit counts");
+        // Every remaining pending duration belongs to the post-reset
+        // commit, whose settle happened at the abort's clock read: the
+        // pre-reset commit's (much earlier) start stamp must be gone.
+        // With the leak, committed_ns would include `now - t0` of the
+        // *first* commit as well, i.e. be roughly twice the span. We can
+        // only assert the structural part deterministically:
+        assert!(
+            snap.committed_ns <= snap.response_ns,
+            "committed duration cannot exceed response time for first-try commits"
+        );
+
+        // Direct check of the discard: pend, reset, settle via drop —
+        // nothing may be staged.
+        let stm2 = Stm::with_dispatch(CmDispatch::AbortSelf, 1);
+        let tv2: TVar<u64> = TVar::new(0);
+        let ctx2 = stm2.thread(0);
+        ctx2.atomic(|tx| tx.write(&tv2, 1));
+        stm2.reset_stats();
+        drop(ctx2); // settles pending commits at drop time
+        let snap2 = stm2.aggregate();
+        assert_eq!(snap2.commits, 0);
+        assert_eq!(
+            snap2.committed_ns, 0,
+            "durations pended before reset_stats must not leak into the new window"
+        );
+        assert_eq!(snap2.response_ns, 0);
+    }
+
+    #[test]
+    fn lazy_engine_counter_and_read_your_writes() {
+        let stm = Stm::with_engine(CmDispatch::AbortSelf, 1, crate::EngineKind::Lazy);
+        assert_eq!(stm.engine(), crate::EngineKind::Lazy);
+        let tv: TVar<u64> = TVar::new(0);
+        let ctx = stm.thread(0);
+        for _ in 0..100 {
+            ctx.atomic(|tx| {
+                let v = *tx.read(&tv)?;
+                tx.write(&tv, v + 1)
+            });
+        }
+        assert_eq!(*tv.sample(), 100);
+        let observed = ctx.atomic(|tx| {
+            tx.write(&tv, 500)?;
+            Ok(*tx.read(&tv)?)
+        });
+        assert_eq!(observed, 500);
+        ctx.atomic(|tx| tx.modify(&tv, |v| *v += 1));
+        assert_eq!(*tv.sample(), 501);
+        let snap = stm.aggregate();
+        assert_eq!(snap.commits, 102);
+        assert_eq!(snap.aborts, 0);
+    }
+
+    #[test]
+    fn lazy_engine_multi_object_transaction_is_atomic() {
+        let stm = Stm::with_engine(CmDispatch::AbortSelf, 1, crate::EngineKind::Lazy);
+        let a: TVar<i64> = TVar::new(100);
+        let b: TVar<i64> = TVar::new(0);
+        let ctx = stm.thread(0);
+        ctx.atomic(|tx| {
+            let va = *tx.read(&a)?;
+            let vb = *tx.read(&b)?;
+            tx.write(&a, va - 30)?;
+            tx.write(&b, vb + 30)
+        });
+        assert_eq!(*a.sample() + *b.sample(), 100);
+        assert_eq!(*b.sample(), 30);
+    }
+
+    #[test]
+    fn lazy_engine_concurrent_counter_no_lost_updates() {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 200;
+        let stm = Stm::with_engine(CmDispatch::AbortEnemy, THREADS, crate::EngineKind::Lazy);
+        let tv: TVar<u64> = TVar::new(0);
+        std::thread::scope(|s| {
+            for i in 0..THREADS {
+                let ctx = stm.thread(i);
+                let tv = tv.clone();
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        ctx.atomic(|tx| {
+                            let v = *tx.read(&tv)?;
+                            tx.write(&tv, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(*tv.sample(), THREADS as u64 * PER_THREAD);
+        assert_eq!(stm.aggregate().commits, THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn lazy_engine_blind_writes_skip_validation_but_rmws_do_not() {
+        // A blind write makes no read-set entry, so commit succeeds even
+        // after a competitor overwrote the object; a read-modify-write
+        // must detect the overwrite instead of losing the update.
+        let stm = Stm::with_engine(CmDispatch::AbortSelf, 2, crate::EngineKind::Lazy);
+        let tv: TVar<u64> = TVar::new(0);
+        let ctx = stm.thread(0);
+        ctx.atomic(|tx| tx.write(&tv, 7)); // blind
+        assert_eq!(*tv.sample(), 7);
+        // modify() under lazy is an RMW: its shadow is based on a
+        // validated read, so concurrent-overwrite detection is covered by
+        // the concurrent counter test; here just check single-thread
+        // semantics compose with blind writes.
+        ctx.atomic(|tx| {
+            tx.modify(&tv, |v| *v *= 10)?;
+            let v = *tx.read(&tv)?;
+            tx.write(&tv, v + 1)
+        });
+        assert_eq!(*tv.sample(), 71);
     }
 
     #[test]

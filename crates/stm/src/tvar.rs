@@ -105,6 +105,16 @@ pub(crate) struct TVarInner<T: TxObject> {
     /// (0 = empty, otherwise the attempt id of a — possibly finished —
     /// reader). Sized at creation from [`slots::slot_capacity`].
     reader_slots: Box<[AtomicU64]>,
+    /// Lazy engine: version stamp of the committed value — the write
+    /// version of the transaction that installed it (0 = initial value).
+    /// Compared against read watermarks; see [`crate::engine::lazy`].
+    version: AtomicU64,
+    /// Lazy engine: reader-slot index of the commit-lock holder, for
+    /// enemy lookup through the attempt registry.
+    owner_slot: AtomicU64,
+    /// Lazy engine: attempt id of the commit-lock holder (0 = unlocked or
+    /// mid write-back).
+    owner_attempt: AtomicU64,
     pub(crate) state: Mutex<ObjState<T>>,
 }
 
@@ -445,6 +455,192 @@ impl<T: TxObject> TVarInner<T> {
     }
 }
 
+/// Lazy-engine protocol primitives (see [`crate::engine::lazy`]).
+///
+/// These repurpose the seqlock word as the per-object **commit lock**:
+/// the committer CASes it even→odd directly instead of flipping it under
+/// the object mutex. That CAS is only sound against other CAS-based
+/// lockers — which is why one `TVar` must never be driven by the eager
+/// and the lazy engine concurrently (the eager engine's transitions are
+/// serialized by the mutex, not the word itself). Sequential reuse across
+/// runs is supported, but takes one extra step: eager multi-object
+/// commits deliberately leave the locator uncollapsed (word odd, terminal
+/// writer installed) for the *next accessor's* mutex path to fold — see
+/// [`Self::collapse_terminal`]. A lazy accessor that meets such a word
+/// has no eager acquire path to do the folding, so it calls
+/// [`Self::collapse_eager_leftover`] instead of waiting for an owner
+/// that will never release.
+impl<T: TxObject> TVarInner<T> {
+    /// Invisible read: the committed value plus the seqlock word and
+    /// version it was sampled at, all mutually consistent. `None` while a
+    /// committer holds the object (word odd) or on a transient word
+    /// change — the caller loops.
+    #[inline]
+    pub(crate) fn lazy_read(&self) -> Option<(Arc<T>, u64, u64)> {
+        let s = self.seq.load(Ordering::SeqCst);
+        if s & 1 != 0 {
+            return None;
+        }
+        self.guards.fetch_add(1, Ordering::SeqCst);
+        let result = if self.seq.load(Ordering::SeqCst) == s {
+            let version = self.version.load(Ordering::SeqCst);
+            let p = self.snapshot.load(Ordering::Acquire);
+            // SAFETY: as in `fast_read` — the word was even at the
+            // re-check while our guard was raised, so a committer that
+            // wants to swap/drop the snapshot is still draining `guards`;
+            // and it stores `version` only after that drain, so the
+            // version we just loaded belongs to this snapshot.
+            unsafe {
+                Arc::increment_strong_count(p);
+                Some((Arc::from_raw(p), s, version))
+            }
+        } else {
+            None
+        };
+        self.guards.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    /// Try to take the commit lock for attempt `attempt_id` running on
+    /// reader slot `slot_idx`. On success returns the pre-lock seqlock
+    /// word (for own-write read validation) with all in-flight guarded
+    /// readers drained; `None` means the word is odd (a competitor holds
+    /// the lock) or moved under the CAS.
+    pub(crate) fn lazy_try_lock(&self, slot_idx: usize, attempt_id: u64) -> Option<u64> {
+        let s = self.seq.load(Ordering::SeqCst);
+        if s & 1 != 0 {
+            return None;
+        }
+        if self
+            .seq
+            .compare_exchange(s, s + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return None;
+        }
+        // Advertise ownership before the drain so a reader that hits the
+        // odd word can resolve us through the registry right away.
+        self.owner_slot.store(slot_idx as u64, Ordering::SeqCst);
+        self.owner_attempt.store(attempt_id, Ordering::SeqCst);
+        while self.guards.load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        Some(s)
+    }
+
+    /// The current commit-lock holder, if it is still a live registered
+    /// attempt. `None` also covers "mid write-back" and "owner on an
+    /// overflow slot" — callers just wait those out.
+    pub(crate) fn lazy_owner(&self) -> Option<Arc<TxState>> {
+        let attempt = self.owner_attempt.load(Ordering::SeqCst);
+        if attempt == 0 {
+            return None;
+        }
+        let slot = self.owner_slot.load(Ordering::SeqCst) as usize;
+        // Attempt ids are never reused, so a racing owner change at worst
+        // yields an id the registry no longer maps — `None`, never a
+        // wrong transaction.
+        slots::live_reader(slot, attempt).filter(|tx| tx.is_active())
+    }
+
+    /// Fold an eager engine's *leftover* terminal writer into the locator
+    /// and re-arm the word. Eager multi-object commits leave the locator
+    /// uncollapsed (word odd, terminal writer installed) for the next
+    /// accessor's eager mutex path to fold; a lazy accessor meeting that
+    /// word would otherwise wait forever for a lock holder that no longer
+    /// exists. Returns `true` if a leftover was collapsed (the word is now
+    /// even), `false` if there was nothing to collapse — the word is odd
+    /// for some other reason (a real lazy commit lock, or an *active*
+    /// eager writer, which unsupported concurrent cross-engine use would
+    /// produce) and the caller should keep waiting.
+    pub(crate) fn collapse_eager_leftover(&self) -> bool {
+        let mut st = self.state.lock();
+        match &st.writer {
+            Some(w) if !w.is_active() => {}
+            _ => return false,
+        }
+        let cur = st.effective();
+        let prev = std::mem::replace(&mut st.old, cur);
+        let orphan = st.new.take();
+        st.writer = None;
+        self.unlock_snapshot(&st.old);
+        st.retire(prev);
+        if let Some(orphan) = orphan {
+            st.retire(orphan);
+        }
+        true
+    }
+
+    /// Release the commit lock without having written (failed commit):
+    /// value, snapshot, and version stay; the word flips back to even.
+    pub(crate) fn lazy_unlock(&self) {
+        self.owner_attempt.store(0, Ordering::SeqCst);
+        self.seq.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Commit-time write-back under the held commit lock: install `value`
+    /// as the committed version, stamp write version `wv`, and release
+    /// the lock. The version store precedes the final even flip, so any
+    /// reader that samples the new snapshot also sees `wv`.
+    pub(crate) fn lazy_writeback_value(&self, value: &T, wv: u64) {
+        let mut st = self.state.lock();
+        let arc = match st.spare.take() {
+            Some(mut a) => match Arc::get_mut(&mut a) {
+                Some(slot) => {
+                    slot.clone_from(value);
+                    a
+                }
+                None => Arc::new(value.clone()),
+            },
+            None => Arc::new(value.clone()),
+        };
+        self.finish_writeback(&mut st, arc, wv);
+    }
+
+    /// As [`Self::lazy_writeback_value`], for a boxed shadow: the shadow
+    /// `Arc` itself becomes the committed version (no clone).
+    pub(crate) fn lazy_writeback_arc(&self, shadow: &Arc<T>, wv: u64) {
+        let mut st = self.state.lock();
+        let arc = Arc::clone(shadow);
+        self.finish_writeback(&mut st, arc, wv);
+    }
+
+    fn finish_writeback(&self, st: &mut ObjState<T>, arc: Arc<T>, wv: u64) {
+        let prev = std::mem::replace(&mut st.old, arc);
+        st.new = None;
+        self.version.store(wv, Ordering::SeqCst);
+        self.owner_attempt.store(0, Ordering::SeqCst);
+        self.unlock_snapshot(&st.old);
+        st.retire(prev);
+    }
+}
+
+/// Type-erased view of a [`TVarInner`] for the lazy engine's read set:
+/// commit-time validation needs the identity, seqlock word, and version of
+/// each read object, but not its value type.
+pub(crate) trait LazySource: Send + Sync {
+    /// The object's id.
+    fn source_id(&self) -> u64;
+    /// Current seqlock word.
+    fn seq_now(&self) -> u64;
+    /// Current committed-version stamp.
+    fn version_now(&self) -> u64;
+}
+
+impl<T: TxObject> LazySource for TVarInner<T> {
+    fn source_id(&self) -> u64 {
+        self.id
+    }
+
+    fn seq_now(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    fn version_now(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+}
+
 impl<T: TxObject> TVar<T> {
     /// Create a new transactional object with initial value `value`.
     pub fn new(value: T) -> Self {
@@ -471,6 +667,9 @@ impl<T: TxObject> TVar<T> {
                 guards: AtomicU64::new(0),
                 snapshot: AtomicPtr::new(snapshot),
                 reader_slots: (0..slot_count).map(|_| AtomicU64::new(0)).collect(),
+                version: AtomicU64::new(0),
+                owner_slot: AtomicU64::new(0),
+                owner_attempt: AtomicU64::new(0),
                 state: Mutex::new(ObjState {
                     writer: None,
                     old,
@@ -544,6 +743,12 @@ impl<T: TxObject> TVar<T> {
         &self.inner
     }
 
+    /// The inner object as a type-erased lazy-validation source (clones
+    /// the handle `Arc`).
+    pub(crate) fn inner_arc(&self) -> Arc<dyn LazySource> {
+        Arc::clone(&self.inner) as Arc<dyn LazySource>
+    }
+
     /// Number of currently *live* registered readers — diagnostics only.
     pub fn reader_count(&self) -> usize {
         let inner = &*self.inner;
@@ -585,6 +790,20 @@ pub(crate) trait ErasedWrite: Send {
     /// publish + status CAS + collapse under one object lock. Only called
     /// when this entry is the transaction's entire write set.
     fn commit_fused(&self, me: &TxState) -> bool;
+    /// Lazy engine: try to take the object's commit lock
+    /// ([`TVarInner::lazy_try_lock`]).
+    fn lazy_lock(&self, slot_idx: usize, attempt_id: u64) -> Option<u64>;
+    /// Lazy engine: the live commit-lock holder ([`TVarInner::lazy_owner`]).
+    fn lazy_owner(&self) -> Option<Arc<TxState>>;
+    /// Lazy engine: fold an eager run's leftover terminal writer
+    /// ([`TVarInner::collapse_eager_leftover`]).
+    fn collapse_eager_leftover(&self) -> bool;
+    /// Lazy engine: release the commit lock without writing
+    /// ([`TVarInner::lazy_unlock`]).
+    fn lazy_unlock(&self);
+    /// Lazy engine: write the shadow back under the held lock
+    /// ([`TVarInner::lazy_writeback_arc`]).
+    fn lazy_writeback(&self, wv: u64);
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
@@ -630,6 +849,26 @@ impl<T: TxObject> ErasedWrite for TypedWrite<T> {
         if still_owner {
             st.new = Some(Arc::clone(&self.shadow));
         }
+    }
+
+    fn lazy_lock(&self, slot_idx: usize, attempt_id: u64) -> Option<u64> {
+        self.tvar.inner().lazy_try_lock(slot_idx, attempt_id)
+    }
+
+    fn lazy_owner(&self) -> Option<Arc<TxState>> {
+        self.tvar.inner().lazy_owner()
+    }
+
+    fn collapse_eager_leftover(&self) -> bool {
+        self.tvar.inner().collapse_eager_leftover()
+    }
+
+    fn lazy_unlock(&self) {
+        self.tvar.inner().lazy_unlock();
+    }
+
+    fn lazy_writeback(&self, wv: u64) {
+        self.tvar.inner().lazy_writeback_arc(&self.shadow, wv);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -1,36 +1,22 @@
 //! The transaction API: open-for-read, open-for-write, commit.
 //!
-//! Conflict handling is **eager**: the instant an open discovers a
-//! competing active transaction, the contention manager is consulted
-//! (outside the object lock) and its verdict applied. This mirrors DSTM2's
-//! eager conflict management, the configuration the paper evaluates.
-//!
-//! Reads take the lock-free path in [`crate::tvar`] first: register in the
-//! object's reader-slot word, then clone the seqlock-guarded snapshot. The
-//! object mutex is only taken when a writer is installed (the contended
-//! case, where the contention manager gets involved anyway) or the thread
-//! has no slot. Either way the read is *visible* before the value is
-//! returned, so the eager conflict semantics are identical on both paths.
-//!
-//! ## Correctness argument (opacity)
-//!
-//! With visible reads, a writer can only install itself on an object with
-//! *no other active reader or writer*; it must first wait for, or abort,
-//! every conflicting transaction. Therefore while a transaction `R` is
-//! active, no competitor can commit a change to any object `R` has read —
-//! so every value `R` observed remains part of one consistent committed
-//! snapshot, and no re-validation is needed at commit. Commit itself is a
-//! single status CAS racing against enemy aborts: exactly one side wins.
-//! The fast read path preserves the writer side of this argument through
-//! the slot-scan handshake: a reader is globally visible (`SeqCst` slot
-//! store) *before* it checks the seqlock word, and a writer flips the
-//! seqlock word *before* it scans the slots — so a reader that obtained a
-//! snapshot lock-free is always seen by any later writer.
+//! `Txn` owns everything protocol-independent about an attempt — the
+//! write set, CM hook invocation, conflict accounting, tracing, the
+//! debug-only opacity self-check — and delegates the four
+//! protocol-defining operations to the run's [`Engine`]: the eager
+//! DSTM2-style protocol ([`crate::engine::eager`], the configuration the
+//! paper evaluates) or the TL2/STO-style lazy protocol
+//! ([`crate::engine::lazy`]). Dispatch is a two-way `match` on
+//! [`EngineKind`], monomorphized per call site like [`CmDispatch`]
+//! (no trait objects on the hot path).
 
 use std::sync::Arc;
 
 use crate::clockns;
 use crate::cm::{ConflictKind, Resolution};
+use crate::engine::eager::EagerEngine;
+use crate::engine::lazy::LazyEngine;
+use crate::engine::{Engine, EngineKind, LazyRead};
 use crate::inline_vec::InlineVec;
 use crate::stm::ThreadCtx;
 use crate::tvar::TVar;
@@ -64,18 +50,27 @@ pub type TxResult<T> = Result<T, TxError>;
 /// [`ThreadCtx::atomic`](crate::stm::ThreadCtx::atomic); user code receives
 /// `&mut Txn` inside the atomic closure.
 pub struct Txn<'a> {
-    state: Arc<TxState>,
-    writes: InlineVec<WriteEntry>,
-    ctx: &'a ThreadCtx<'a>,
+    pub(crate) state: Arc<TxState>,
+    pub(crate) writes: InlineVec<WriteEntry>,
+    pub(crate) ctx: &'a ThreadCtx<'a>,
+    /// Which protocol this attempt runs under (copied from the engine
+    /// handle once, so the dispatch match reads a local field).
+    engine: EngineKind,
     /// This thread's global reader-slot index ([`crate::slots::NO_SLOT`]
     /// when the thread has none — mutex-path reads only).
-    slot_idx: usize,
+    pub(crate) slot_idx: usize,
     /// Objects opened this attempt; flushed to the stats once at attempt
     /// end instead of one atomic RMW per open.
-    opens: u64,
+    pub(crate) opens: u64,
+    /// Lazy engine: the read watermark — committed versions `≤ rv` are
+    /// "of the past" and safe to read. Unused (0) under the eager engine.
+    pub(crate) rv: u64,
+    /// Lazy engine: the invisible-read set, re-validated at commit.
+    /// Stays empty under the eager engine.
+    pub(crate) reads: Vec<LazyRead>,
     /// When tracing, the `(object id, is_write)` access footprint of this
     /// attempt (reads of own writes are not re-recorded).
-    footprint: Option<Vec<(u64, bool)>>,
+    pub(crate) footprint: Option<Vec<(u64, bool)>>,
     /// Debug-only opacity self-check: `(tvar id, version ptr, via fast
     /// path)` per first read. A re-read observing a different version
     /// within one attempt is an opacity violation and panics immediately,
@@ -83,19 +78,27 @@ pub struct Txn<'a> {
     #[cfg(debug_assertions)]
     read_versions: Vec<(u64, usize, bool)>,
     /// Trace taxonomy of how this attempt died. Defaults to "killed by an
-    /// enemy"; refined at the abort site (CM self-abort, user bail-out).
+    /// enemy"; refined at the abort site (CM self-abort, user bail-out,
+    /// lazy validation failure).
     #[cfg(feature = "trace")]
     abort_reason: std::cell::Cell<u64>,
 }
 
 impl<'a> Txn<'a> {
     pub(crate) fn new(state: Arc<TxState>, ctx: &'a ThreadCtx<'a>, slot_idx: usize) -> Self {
+        let engine = ctx.stm().engine();
         Txn {
             state,
             writes: InlineVec::new(),
             ctx,
+            engine,
             slot_idx,
             opens: 0,
+            rv: match engine {
+                EngineKind::Eager => 0,
+                EngineKind::Lazy => crate::engine::read_watermark(),
+            },
+            reads: ctx.take_reads_buf(),
             footprint: None,
             #[cfg(debug_assertions)]
             read_versions: ctx.take_read_versions_buf(),
@@ -111,6 +114,7 @@ impl<'a> Txn<'a> {
         if let Some(fp) = self.footprint.take() {
             self.ctx.put_trace_buf(fp);
         }
+        self.ctx.put_reads_buf(std::mem::take(&mut self.reads));
         #[cfg(debug_assertions)]
         self.ctx
             .put_read_versions_buf(std::mem::take(&mut self.read_versions));
@@ -122,10 +126,21 @@ impl<'a> Txn<'a> {
         self.abort_reason.get()
     }
 
+    /// Refine the abort taxonomy at the abort site.
+    #[cfg(feature = "trace")]
+    pub(crate) fn set_abort_reason(&self, reason: u64) {
+        self.abort_reason.set(reason);
+    }
+
     /// Record a read and verify it is consistent with any earlier read of
     /// the same object in this attempt (debug builds only).
     #[cfg(debug_assertions)]
-    fn check_read_version<T: TxObject>(&mut self, tvar: &TVar<T>, val: &Arc<T>, fast: bool) {
+    pub(crate) fn check_read_version<T: TxObject>(
+        &mut self,
+        tvar: &TVar<T>,
+        val: &Arc<T>,
+        fast: bool,
+    ) {
         let ptr = Arc::as_ptr(val) as *const () as usize;
         if let Some((_, seen, seen_fast)) = self
             .read_versions
@@ -173,7 +188,7 @@ impl<'a> Txn<'a> {
     }
 
     #[inline]
-    fn check_alive(&self) -> TxResult<()> {
+    pub(crate) fn check_alive(&self) -> TxResult<()> {
         if self.state.is_active() {
             Ok(())
         } else {
@@ -187,87 +202,36 @@ impl<'a> Txn<'a> {
     /// the object is later rewritten. If this transaction already wrote the
     /// object, its own shadow copy is returned (read-your-writes).
     pub fn read<T: TxObject>(&mut self, tvar: &TVar<T>) -> TxResult<Arc<T>> {
-        self.check_alive()?;
-        if let Some(idx) = self.find_write(tvar.id()) {
-            return Ok(self.writes[idx].read_snapshot::<T>());
-        }
-        // Lock-free fast path: slot registration + guarded snapshot clone.
-        if let Some(val) = tvar.inner().fast_read(self.slot_idx, self.state.attempt_id) {
-            // Doomed-reader validation: an enemy writer aborts us *before*
-            // committing over our read set, so being Active *after* the
-            // snapshot clone proves `val` is consistent with every earlier
-            // read. Without this, an abort landing between the entry
-            // `check_alive` and the clone lets a doomed transaction mix
-            // pre- and post-commit versions (a zombie read).
-            self.check_alive()?;
-            self.note_open();
-            if let Some(fp) = &mut self.footprint {
-                fp.push((tvar.id(), false));
-            }
-            #[cfg(debug_assertions)]
-            self.check_read_version(tvar, &val, true);
-            return Ok(val);
-        }
-        loop {
-            self.check_alive()?;
-            let enemy = {
-                let mut st = tvar.inner().state.lock();
-                match &st.writer {
-                    Some(w) if w.is_active() && w.attempt_id != self.state.attempt_id => {
-                        Some(Arc::clone(w))
-                    }
-                    _ => {
-                        if st.writer.is_some() {
-                            // Terminal writer: fold its outcome into `old`
-                            // and re-arm the fast path for everyone. The
-                            // displaced version (and an aborted writer's
-                            // orphaned shadow) go to the recycling slot.
-                            let cur = st.effective();
-                            let prev = std::mem::replace(&mut st.old, cur);
-                            let orphan = st.new.take();
-                            st.writer = None;
-                            tvar.inner().unlock_snapshot(&st.old);
-                            st.retire(prev);
-                            if let Some(orphan) = orphan {
-                                st.retire(orphan);
-                            }
-                        }
-                        let val = Arc::clone(&st.old);
-                        tvar.inner()
-                            .register_reader_locked(&mut st, self.slot_idx, &self.state);
-                        drop(st);
-                        // Doomed-reader validation (see fast path above): the
-                        // entry `check_alive` races with an enemy's abort, so
-                        // re-validate now that the value is in hand.
-                        self.check_alive()?;
-                        self.note_open();
-                        if let Some(fp) = &mut self.footprint {
-                            fp.push((tvar.id(), false));
-                        }
-                        #[cfg(debug_assertions)]
-                        self.check_read_version(tvar, &val, false);
-                        return Ok(val);
-                    }
-                }
-            };
-            if let Some(enemy) = enemy {
-                self.handle_conflict(&enemy, ConflictKind::ReadWrite)?;
-            }
+        match self.engine {
+            EngineKind::Eager => EagerEngine::open_for_read(self, tvar),
+            EngineKind::Lazy => LazyEngine::open_for_read(self, tvar),
         }
     }
 
     /// Open `tvar` for writing and replace its value with `value`.
     pub fn write<T: TxObject>(&mut self, tvar: &TVar<T>, value: T) -> TxResult<()> {
-        // Hand the value to `acquire` so a fresh open stores it directly
+        // Hand the value to the engine so a fresh open stores it directly
         // instead of cloning the current version only to overwrite it.
-        self.acquire(tvar, Some(value)).map(|_| ())
+        self.open_for_modify(tvar, Some(value)).map(|_| ())
     }
 
     /// Open `tvar` for writing and mutate the shadow copy in place.
     pub fn modify<T: TxObject>(&mut self, tvar: &TVar<T>, f: impl FnOnce(&mut T)) -> TxResult<()> {
-        let idx = self.acquire(tvar, None)?;
+        let idx = self.open_for_modify(tvar, None)?;
         self.writes[idx].modify_value::<T>(f);
         Ok(())
+    }
+
+    #[inline]
+    fn open_for_modify<T: TxObject>(
+        &mut self,
+        tvar: &TVar<T>,
+        value: Option<T>,
+    ) -> TxResult<usize> {
+        match self.engine {
+            EngineKind::Eager => EagerEngine::open_for_modify(self, tvar, value),
+            EngineKind::Lazy => LazyEngine::open_for_modify(self, tvar, value),
+        }
     }
 
     /// Abort this transaction voluntarily (e.g. explicit early exit in a
@@ -279,144 +243,17 @@ impl<'a> Txn<'a> {
         TxError::Aborted
     }
 
-    fn find_write(&self, id: u64) -> Option<usize> {
+    pub(crate) fn find_write(&self, id: u64) -> Option<usize> {
         // Write sets are small (a handful of objects); linear scan beats a
         // hash map here.
         self.writes.position(|w| w.tvar_id() == id)
-    }
-
-    /// Acquire write ownership of `tvar`, resolving write-write and
-    /// write-read conflicts through the contention manager. Returns the
-    /// index of the write-set entry. When `value` is given it becomes the
-    /// entry's value; otherwise the entry starts as a clone of the current
-    /// version (open-for-modify).
-    fn acquire<T: TxObject>(&mut self, tvar: &TVar<T>, mut value: Option<T>) -> TxResult<usize> {
-        if let Some(idx) = self.find_write(tvar.id()) {
-            if let Some(v) = value {
-                self.writes[idx].set_value(v);
-            }
-            return Ok(idx);
-        }
-        loop {
-            self.check_alive()?;
-            let conflict = {
-                let mut st = tvar.inner().state.lock();
-                let writer_enemy = match &st.writer {
-                    Some(w) if w.is_active() && w.attempt_id != self.state.attempt_id => {
-                        Some((Arc::clone(w), ConflictKind::WriteWrite))
-                    }
-                    _ => None,
-                };
-                match writer_enemy {
-                    Some(c) => Some(c),
-                    None => {
-                        // `seq` is even iff no writer is installed; flip it
-                        // odd *before* the reader scan (Dekker handshake)
-                        // and keep it odd for our whole ownership. With a
-                        // terminal writer still installed it is already
-                        // odd from that writer's period — flipping again
-                        // would wrongly re-open the fast path.
-                        let was_unlocked = st.writer.is_none();
-                        if was_unlocked {
-                            tvar.inner().lock_snapshot();
-                        }
-                        match tvar.inner().conflicting_reader(&mut st, &self.state) {
-                            Some(r) => {
-                                if was_unlocked {
-                                    tvar.inner().unlock_snapshot_unchanged();
-                                }
-                                Some((r, ConflictKind::WriteRead))
-                            }
-                            None => {
-                                // Clear: collapse any terminal writer, then
-                                // install ourselves. With no writer (the
-                                // common case) `old` already is the current
-                                // version and the collapse dance is skipped.
-                                if st.writer.is_some() {
-                                    let cur = st.effective();
-                                    let prev = std::mem::replace(&mut st.old, cur);
-                                    let orphan = st.new.take();
-                                    st.retire(prev);
-                                    if let Some(orphan) = orphan {
-                                        st.retire(orphan);
-                                    }
-                                }
-                                st.writer = Some(Arc::clone(&self.state));
-                                // Only open-for-modify needs the current
-                                // version as a clone source; a plain write
-                                // overwrites it wholesale.
-                                let cur = if value.is_some() {
-                                    None
-                                } else {
-                                    Some(Arc::clone(&st.old))
-                                };
-                                // Large types spill to a boxed shadow copy;
-                                // reuse the retired version's allocation
-                                // for it when possible.
-                                let spare = if WriteEntry::fits_inline::<T>() {
-                                    None
-                                } else {
-                                    st.take_unshared_spare()
-                                };
-                                drop(st);
-                                let entry = if WriteEntry::fits_inline::<T>() {
-                                    let v = match value.take() {
-                                        Some(v) => v,
-                                        None => (*cur.expect("open-for-modify keeps cur")).clone(),
-                                    };
-                                    WriteEntry::new_inline(tvar.clone(), v)
-                                } else {
-                                    let shadow = match spare {
-                                        Some(mut a) => {
-                                            let slot = Arc::get_mut(&mut a)
-                                                .expect("spare taken only when unshared");
-                                            match value.take() {
-                                                Some(v) => *slot = v,
-                                                None => slot.clone_from(
-                                                    cur.as_ref()
-                                                        .expect("open-for-modify keeps cur"),
-                                                ),
-                                            }
-                                            a
-                                        }
-                                        None => match value.take() {
-                                            Some(v) => Arc::new(v),
-                                            None => Arc::new(
-                                                (*cur.expect("open-for-modify keeps cur")).clone(),
-                                            ),
-                                        },
-                                    };
-                                    WriteEntry::new_boxed(tvar.clone(), shadow)
-                                };
-                                self.writes.push(entry);
-                                // Doomed-writer validation: if an enemy
-                                // aborted us after the entry `check_alive`,
-                                // the collapsed `cur` we based the shadow on
-                                // may postdate our abort and be inconsistent
-                                // with earlier reads. We stay installed as a
-                                // terminal writer; readers collapse past us.
-                                self.check_alive()?;
-                                self.note_open();
-                                if let Some(fp) = &mut self.footprint {
-                                    fp.push((tvar.id(), true));
-                                }
-                                return Ok(self.writes.len() - 1);
-                            }
-                        }
-                    }
-                }
-            };
-            if let Some((enemy, kind)) = conflict {
-                self.handle_conflict(&enemy, kind)?;
-            }
-        }
     }
 
     /// Apply the contention manager to one discovered conflict.
     ///
     /// On `Ok(())` the caller must re-examine the object: the enemy was
     /// killed, finished on its own, or the manager asked for a re-check.
-    fn handle_conflict(&self, enemy: &Arc<TxState>, kind: ConflictKind) -> TxResult<()> {
+    pub(crate) fn handle_conflict(&self, enemy: &Arc<TxState>, kind: ConflictKind) -> TxResult<()> {
         let stats = self.ctx.stats();
         stats.record_conflict(kind, enemy.txn_id);
         if !enemy.is_active() {
@@ -502,50 +339,26 @@ impl<'a> Txn<'a> {
     }
 
     #[inline]
-    fn note_open(&mut self) {
+    pub(crate) fn note_open(&mut self) {
         self.state.add_karma();
         self.opens += 1;
         self.ctx.cm().on_open(&self.state);
     }
 
-    /// Publish shadow copies and attempt the commit CAS.
+    /// Make the write set visible atomically (protocol-specific).
     pub(crate) fn commit(&mut self) -> TxResult<()> {
-        self.check_alive()?;
-        // Single-object write set (the dominant case: counters, single-node
-        // structure updates): publish + status CAS + locator collapse fused
-        // under ONE acquisition of the object lock. Besides saving two lock
-        // rounds, the collapse re-arms the lock-free read path and drops
-        // the locator's reference to this attempt, so its `TxState`
-        // allocation promptly returns to the pool.
-        if self.writes.len() == 1 {
-            return if self.writes[0].commit_fused(&self.state) {
-                Ok(())
-            } else {
-                Err(TxError::Aborted)
-            };
-        }
-        // Multi-object: publish every shadow before the status CAS — a
-        // competitor that observes `Committed` must find every `new`
-        // version in place. The locators are left to collapse lazily at
-        // their next access, which amortizes into a lock round that access
-        // pays anyway (an eager per-object collapse here costs an *extra*
-        // lock + seqlock re-arm per object).
-        for w in self.writes.iter() {
-            w.publish(&self.state);
-        }
-        if self.state.try_commit() {
-            Ok(())
-        } else {
-            Err(TxError::Aborted)
+        match self.engine {
+            EngineKind::Eager => EagerEngine::commit(self),
+            EngineKind::Lazy => LazyEngine::commit(self),
         }
     }
 
-    /// Collapse every written locator after this attempt turned terminal
-    /// (committed or aborted). No-op per entry if a competitor collapsed
-    /// the locator first.
+    /// Undo any globally visible traces after this attempt turned
+    /// terminal (protocol-specific rollback).
     pub(crate) fn release_write_set(&self) {
-        for w in self.writes.iter() {
-            w.release(&self.state);
+        match self.engine {
+            EngineKind::Eager => EagerEngine::rollback(self),
+            EngineKind::Lazy => LazyEngine::rollback(self),
         }
     }
 }

@@ -70,6 +70,16 @@ struct InlineWrite {
     /// Single-entry fused commit: publish + status CAS + collapse under
     /// one object lock.
     commit_fused: unsafe fn(*const InlineBuf, &TxState) -> bool,
+    /// Lazy engine: try to take the object's commit lock.
+    lazy_lock: unsafe fn(*const InlineBuf, usize, u64) -> Option<u64>,
+    /// Lazy engine: the live commit-lock holder, if resolvable.
+    lazy_owner: unsafe fn(*const InlineBuf) -> Option<Arc<TxState>>,
+    /// Lazy engine: fold an eager run's leftover terminal writer.
+    collapse_eager_leftover: unsafe fn(*const InlineBuf) -> bool,
+    /// Lazy engine: release the commit lock without writing.
+    lazy_unlock: unsafe fn(*const InlineBuf),
+    /// Lazy engine: write back the inline value under the held lock.
+    lazy_writeback: unsafe fn(*const InlineBuf, u64),
     /// Drop the payload in place.
     drop_in_place: unsafe fn(*mut InlineBuf),
     buf: InlineBuf,
@@ -104,6 +114,43 @@ unsafe fn commit_fused_impl<T: TxObject>(buf: *const InlineBuf, me: &TxState) ->
     // SAFETY (caller): `buf` holds a live `InlinePayload<T>`.
     let payload = unsafe { &*buf.cast::<InlinePayload<T>>() };
     payload.tvar.inner().commit_value_fused(&payload.value, me)
+}
+
+unsafe fn lazy_lock_impl<T: TxObject>(
+    buf: *const InlineBuf,
+    slot_idx: usize,
+    attempt_id: u64,
+) -> Option<u64> {
+    // SAFETY (caller): `buf` holds a live `InlinePayload<T>`.
+    let payload = unsafe { &*buf.cast::<InlinePayload<T>>() };
+    payload.tvar.inner().lazy_try_lock(slot_idx, attempt_id)
+}
+
+unsafe fn lazy_owner_impl<T: TxObject>(buf: *const InlineBuf) -> Option<Arc<TxState>> {
+    // SAFETY (caller): `buf` holds a live `InlinePayload<T>`.
+    let payload = unsafe { &*buf.cast::<InlinePayload<T>>() };
+    payload.tvar.inner().lazy_owner()
+}
+
+unsafe fn collapse_eager_leftover_impl<T: TxObject>(buf: *const InlineBuf) -> bool {
+    // SAFETY (caller): `buf` holds a live `InlinePayload<T>`.
+    let payload = unsafe { &*buf.cast::<InlinePayload<T>>() };
+    payload.tvar.inner().collapse_eager_leftover()
+}
+
+unsafe fn lazy_unlock_impl<T: TxObject>(buf: *const InlineBuf) {
+    // SAFETY (caller): `buf` holds a live `InlinePayload<T>`.
+    let payload = unsafe { &*buf.cast::<InlinePayload<T>>() };
+    payload.tvar.inner().lazy_unlock();
+}
+
+unsafe fn lazy_writeback_impl<T: TxObject>(buf: *const InlineBuf, wv: u64) {
+    // SAFETY (caller): `buf` holds a live `InlinePayload<T>`.
+    let payload = unsafe { &*buf.cast::<InlinePayload<T>>() };
+    payload
+        .tvar
+        .inner()
+        .lazy_writeback_value(&payload.value, wv);
 }
 
 unsafe fn drop_impl<T: TxObject>(buf: *mut InlineBuf) {
@@ -142,6 +189,11 @@ impl WriteEntry {
                 publish: publish_impl::<T>,
                 release: release_impl::<T>,
                 commit_fused: commit_fused_impl::<T>,
+                lazy_lock: lazy_lock_impl::<T>,
+                lazy_owner: lazy_owner_impl::<T>,
+                collapse_eager_leftover: collapse_eager_leftover_impl::<T>,
+                lazy_unlock: lazy_unlock_impl::<T>,
+                lazy_writeback: lazy_writeback_impl::<T>,
                 drop_in_place: drop_impl::<T>,
                 buf,
             }),
@@ -289,6 +341,68 @@ impl WriteEntry {
             // fn was instantiated with.
             EntryKind::Inline(iw) => unsafe { (iw.commit_fused)(&iw.buf, me) },
             EntryKind::Boxed(b) => b.commit_fused(me),
+        }
+    }
+
+    /// Lazy engine: try to take this object's commit lock
+    /// ([`crate::tvar::TVarInner::lazy_try_lock`]).
+    #[inline]
+    pub(crate) fn lazy_lock(&self, slot_idx: usize, attempt_id: u64) -> Option<u64> {
+        match &self.kind {
+            // SAFETY: `buf` holds a live `InlinePayload` of the type the
+            // fn was instantiated with.
+            EntryKind::Inline(iw) => unsafe { (iw.lazy_lock)(&iw.buf, slot_idx, attempt_id) },
+            EntryKind::Boxed(b) => b.lazy_lock(slot_idx, attempt_id),
+        }
+    }
+
+    /// Lazy engine: the live holder of this object's commit lock, if the
+    /// registry can still name it.
+    #[inline]
+    pub(crate) fn lazy_owner(&self) -> Option<Arc<TxState>> {
+        match &self.kind {
+            // SAFETY: `buf` holds a live `InlinePayload` of the type the
+            // fn was instantiated with.
+            EntryKind::Inline(iw) => unsafe { (iw.lazy_owner)(&iw.buf) },
+            EntryKind::Boxed(b) => b.lazy_owner(),
+        }
+    }
+
+    /// Lazy engine: fold an eager run's leftover terminal writer into
+    /// this object's locator ([`TVarInner::collapse_eager_leftover`]
+    /// (crate::tvar::TVarInner::collapse_eager_leftover)). Returns `true`
+    /// if a leftover was collapsed.
+    #[inline]
+    pub(crate) fn collapse_eager_leftover(&self) -> bool {
+        match &self.kind {
+            // SAFETY: `buf` holds a live `InlinePayload` of the type the
+            // fn was instantiated with.
+            EntryKind::Inline(iw) => unsafe { (iw.collapse_eager_leftover)(&iw.buf) },
+            EntryKind::Boxed(b) => b.collapse_eager_leftover(),
+        }
+    }
+
+    /// Lazy engine: release the commit lock without writing (failed
+    /// commit).
+    #[inline]
+    pub(crate) fn lazy_unlock(&self) {
+        match &self.kind {
+            // SAFETY: `buf` holds a live `InlinePayload` of the type the
+            // fn was instantiated with.
+            EntryKind::Inline(iw) => unsafe { (iw.lazy_unlock)(&iw.buf) },
+            EntryKind::Boxed(b) => b.lazy_unlock(),
+        }
+    }
+
+    /// Lazy engine: write this entry's value back as the committed
+    /// version under the held lock, stamping write version `wv`.
+    #[inline]
+    pub(crate) fn lazy_writeback(&self, wv: u64) {
+        match &self.kind {
+            // SAFETY: `buf` holds a live `InlinePayload` of the type the
+            // fn was instantiated with.
+            EntryKind::Inline(iw) => unsafe { (iw.lazy_writeback)(&iw.buf, wv) },
+            EntryKind::Boxed(b) => b.lazy_writeback(wv),
         }
     }
 }

@@ -6,13 +6,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use wtm_stm::cm::{AbortEnemyManager, AbortSelfManager};
+use wtm_stm::cm::AbortSelfManager;
 use wtm_stm::sync::cooperative_wait;
-use wtm_stm::{ConflictKind, ContentionManager, Resolution, Stm, TVar, TxState};
+use wtm_stm::{
+    CmDispatch, ConflictKind, ContentionManager, EngineKind, Resolution, Stm, TVar, TxState,
+};
 
 #[test]
 fn read_then_write_same_object_is_not_a_self_conflict() {
-    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    for engine in EngineKind::ALL {
+        read_then_write_same_object_is_not_a_self_conflict_on(engine);
+    }
+}
+
+fn read_then_write_same_object_is_not_a_self_conflict_on(engine: EngineKind) {
+    let stm = Stm::with_engine(CmDispatch::AbortSelf, 1, engine);
     let ctx = stm.thread(0);
     let v: TVar<u64> = TVar::new(1);
     let out = ctx.atomic(|tx| {
@@ -28,7 +36,13 @@ fn read_then_write_same_object_is_not_a_self_conflict() {
 
 #[test]
 fn write_then_read_then_write_accumulates_in_one_shadow() {
-    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    for engine in EngineKind::ALL {
+        write_then_read_then_write_accumulates_in_one_shadow_on(engine);
+    }
+}
+
+fn write_then_read_then_write_accumulates_in_one_shadow_on(engine: EngineKind) {
+    let stm = Stm::with_engine(CmDispatch::AbortSelf, 1, engine);
     let ctx = stm.thread(0);
     let v: TVar<Vec<u32>> = TVar::new(vec![]);
     ctx.atomic(|tx| {
@@ -59,7 +73,13 @@ fn reader_lists_do_not_grow_without_bound() {
 
 #[test]
 fn repeated_writes_collapse_locators() {
-    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    for engine in EngineKind::ALL {
+        repeated_writes_collapse_locators_on(engine);
+    }
+}
+
+fn repeated_writes_collapse_locators_on(engine: EngineKind) {
+    let stm = Stm::with_engine(CmDispatch::AbortSelf, 1, engine);
     let ctx = stm.thread(0);
     let v: TVar<u64> = TVar::new(0);
     for i in 1..=1000u64 {
@@ -132,9 +152,15 @@ fn contention_manager_is_consulted_on_real_conflicts() {
 
 #[test]
 fn victim_discovers_enemy_abort_and_retries() {
+    for engine in EngineKind::ALL {
+        victim_discovers_enemy_abort_and_retries_on(engine);
+    }
+}
+
+fn victim_discovers_enemy_abort_and_retries_on(engine: EngineKind) {
     // Aggressive manager: thread 1 kills thread 0's in-flight transaction;
     // thread 0 must retry and still complete every increment.
-    let stm = Stm::new(Arc::new(AbortEnemyManager), 2);
+    let stm = Stm::with_engine(CmDispatch::AbortEnemy, 2, engine);
     let v: TVar<u64> = TVar::new(0);
     std::thread::scope(|s| {
         for t in 0..2 {
@@ -150,7 +176,7 @@ fn victim_discovers_enemy_abort_and_retries() {
             });
         }
     });
-    assert_eq!(*v.sample(), 600);
+    assert_eq!(*v.sample(), 600, "{engine}: increments lost");
 }
 
 #[test]
@@ -207,7 +233,13 @@ fn wait_time_is_accounted_for_waiting_managers() {
 
 #[test]
 fn many_tvars_one_transaction() {
-    let stm = Stm::new(Arc::new(AbortSelfManager), 1);
+    for engine in EngineKind::ALL {
+        many_tvars_one_transaction_on(engine);
+    }
+}
+
+fn many_tvars_one_transaction_on(engine: EngineKind) {
+    let stm = Stm::with_engine(CmDispatch::AbortSelf, 1, engine);
     let ctx = stm.thread(0);
     let vars: Vec<TVar<u64>> = (0..256).map(TVar::new).collect();
     let sum = ctx.atomic(|tx| {
@@ -236,7 +268,13 @@ fn tvar_default_and_debug() {
 
 #[test]
 fn concurrent_disjoint_writes_never_conflict() {
-    let stm = Stm::new(Arc::new(AbortSelfManager), 4);
+    for engine in EngineKind::ALL {
+        concurrent_disjoint_writes_never_conflict_on(engine);
+    }
+}
+
+fn concurrent_disjoint_writes_never_conflict_on(engine: EngineKind) {
+    let stm = Stm::with_engine(CmDispatch::AbortSelf, 4, engine);
     let vars: Arc<Vec<TVar<u64>>> = Arc::new((0..4).map(|_| TVar::new(0)).collect());
     std::thread::scope(|s| {
         for t in 0..4 {
@@ -253,7 +291,11 @@ fn concurrent_disjoint_writes_never_conflict() {
         assert_eq!(*v.sample(), 500);
     }
     let snap = stm.aggregate();
-    assert_eq!(snap.conflicts(), 0, "disjoint writers must never conflict");
+    assert_eq!(
+        snap.conflicts(),
+        0,
+        "{engine}: disjoint writers must never conflict"
+    );
     assert_eq!(snap.aborts, 0);
 }
 
@@ -285,4 +327,60 @@ fn traced_atomic_skips_read_after_write_duplicates() {
     });
     assert_eq!(v, 4);
     assert_eq!(fp, vec![(a.id(), true)], "only the write is recorded");
+}
+
+/// Eager multi-object commits leave their locators uncollapsed (seqlock
+/// word odd, terminal writer installed) for the next accessor's eager
+/// mutex path to fold. A later *lazy* run over the same objects has no
+/// such path — it must fold the leftover itself instead of waiting for a
+/// commit-lock holder that never existed. Regression test: both the lazy
+/// read loop and the commit-time lock loop used to spin forever here
+/// (first seen as `Vacation` hanging under `--engine lazy`, whose
+/// populate step commits through an internal eager `Stm`).
+#[test]
+fn lazy_run_collapses_eager_runs_leftover_locators() {
+    let a: TVar<u64> = TVar::new(1);
+    let b: TVar<u64> = TVar::new(2);
+    let c: TVar<u64> = TVar::new(3);
+    let d: TVar<u64> = TVar::new(4);
+
+    // One multi-object eager commit per pair: all four locators are left
+    // uncollapsed (the eager engine only folds on the *next* access).
+    let eager = Stm::with_engine(CmDispatch::AbortSelf, 1, EngineKind::Eager);
+    let ctx = eager.thread(0);
+    ctx.atomic(|tx| {
+        tx.write(&a, 10)?;
+        tx.write(&b, 20)?;
+        Ok(())
+    });
+    ctx.atomic(|tx| {
+        tx.write(&c, 30)?;
+        tx.write(&d, 40)?;
+        Ok(())
+    });
+
+    let lazy = Stm::with_engine(CmDispatch::AbortSelf, 1, EngineKind::Lazy);
+    let ctx = lazy.thread(0);
+
+    // Blind writes join no read set, so the leftover is first met by the
+    // commit-time lock loop (`lock_and_validate`).
+    ctx.atomic(|tx| {
+        tx.write(&a, 11)?;
+        tx.write(&b, 21)?;
+        Ok(())
+    });
+    assert_eq!(*a.sample(), 11);
+    assert_eq!(*b.sample(), 21);
+
+    // Reads meet the leftover in the invisible-read loop
+    // (`read_committed`) and must both fold it and see the eager commit.
+    let sum = ctx.atomic(|tx| Ok(*tx.read(&c)? + *tx.read(&d)?));
+    assert_eq!(sum, 70);
+    ctx.atomic(|tx| {
+        tx.modify(&c, |x| *x += 1)?;
+        tx.modify(&d, |x| *x += 1)?;
+        Ok(())
+    });
+    assert_eq!(*c.sample(), 31);
+    assert_eq!(*d.sample(), 41);
 }

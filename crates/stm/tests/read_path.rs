@@ -7,20 +7,25 @@
 //! interleavings actually occur.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Barrier;
 
-use wtm_stm::cm::{AbortEnemyManager, AbortSelfManager};
-use wtm_stm::{Stm, TVar};
+use wtm_stm::{CmDispatch, EngineKind, Stm, TVar};
 
 /// Readers sum a pair of variables that a writer only ever updates
 /// together preserving `a + b == TOTAL`. Any torn read — a value pair from
 /// two different committed states — breaks the invariant.
 #[test]
 fn readers_never_see_torn_writes() {
+    for engine in EngineKind::ALL {
+        readers_never_see_torn_writes_on(engine);
+    }
+}
+
+fn readers_never_see_torn_writes_on(engine: EngineKind) {
     const TOTAL: u64 = 1_000;
     const READERS: usize = 6;
     const WRITER_TXNS: u64 = 2_000;
-    let stm = Stm::new(Arc::new(AbortEnemyManager), READERS + 1);
+    let stm = Stm::with_engine(CmDispatch::AbortEnemy, READERS + 1, engine);
     let a: TVar<u64> = TVar::new(TOTAL);
     let b: TVar<u64> = TVar::new(0);
     let done = AtomicBool::new(false);
@@ -76,9 +81,15 @@ fn readers_never_see_torn_writes() {
 /// threads hammer the lock-free read path on the same variable.
 #[test]
 fn no_lost_updates_with_concurrent_fast_readers() {
+    for engine in EngineKind::ALL {
+        no_lost_updates_with_concurrent_fast_readers_on(engine);
+    }
+}
+
+fn no_lost_updates_with_concurrent_fast_readers_on(engine: EngineKind) {
     const THREADS: usize = 8;
     const PER_THREAD: u64 = 300;
-    let stm = Stm::new(Arc::new(AbortEnemyManager), THREADS);
+    let stm = Stm::with_engine(CmDispatch::AbortEnemy, THREADS, engine);
     let counter: TVar<u64> = TVar::new(0);
     let observed_max = AtomicU64::new(0);
     std::thread::scope(|s| {
@@ -123,10 +134,16 @@ fn no_lost_updates_with_concurrent_fast_readers() {
 /// their pairwise differences fixed).
 #[test]
 fn multi_object_snapshots_stay_consistent() {
+    for engine in EngineKind::ALL {
+        multi_object_snapshots_stay_consistent_on(engine);
+    }
+}
+
+fn multi_object_snapshots_stay_consistent_on(engine: EngineKind) {
     const VARS: usize = 8;
     const READERS: usize = 4;
     const ROUNDS: u64 = 800;
-    let stm = Stm::new(Arc::new(AbortEnemyManager), READERS + 1);
+    let stm = Stm::with_engine(CmDispatch::AbortEnemy, READERS + 1, engine);
     let vars: Vec<TVar<u64>> = (0..VARS as u64).map(TVar::new).collect();
     let done = AtomicBool::new(false);
     std::thread::scope(|s| {
@@ -171,8 +188,14 @@ fn multi_object_snapshots_stay_consistent() {
 /// the last committed write.
 #[test]
 fn fallback_path_reads_are_fresh_after_commit() {
+    for engine in EngineKind::ALL {
+        fallback_path_reads_are_fresh_after_commit_on(engine);
+    }
+}
+
+fn fallback_path_reads_are_fresh_after_commit_on(engine: EngineKind) {
     const ROUNDS: u64 = 1_500;
-    let stm = Stm::new(Arc::new(AbortSelfManager), 2);
+    let stm = Stm::with_engine(CmDispatch::AbortSelf, 2, engine);
     let v: TVar<u64> = TVar::new(0);
     let barrier = Barrier::new(2);
     std::thread::scope(|s| {

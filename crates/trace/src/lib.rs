@@ -106,6 +106,10 @@ pub const ABORT_KILLED: u64 = 1;
 /// The transaction body bailed out voluntarily (`Txn::abort_self` or a
 /// user `Err` that nobody else caused).
 pub const ABORT_USER: u64 = 2;
+/// The lazy engine's read validation failed: a read no longer belongs to
+/// the committed snapshot at the attempt's watermark (at read time or at
+/// commit-time re-validation).
+pub const ABORT_VALIDATION: u64 = 3;
 
 /// Human-readable abort reason.
 pub fn abort_reason_name(reason: u64) -> &'static str {
@@ -113,6 +117,7 @@ pub fn abort_reason_name(reason: u64) -> &'static str {
         ABORT_CM_SELF => "cm-self",
         ABORT_KILLED => "killed",
         ABORT_USER => "user",
+        ABORT_VALIDATION => "validation",
         _ => "unknown",
     }
 }

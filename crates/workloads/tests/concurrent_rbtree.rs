@@ -3,16 +3,13 @@
 //! range, then a full structural audit. A torn or stale read inside
 //! `remove_entry` shows up as a `NIL`-index panic or an invariant failure.
 
-use std::sync::Arc;
-
 use rand::{Rng, SeedableRng};
-use wtm_stm::cm::AbortEnemyManager;
-use wtm_stm::Stm;
+use wtm_stm::{CmDispatch, EngineKind, Stm};
 use wtm_workloads::{TxIntSet, TxRBTree};
 
-fn stress(threads: usize, ops_per_thread: u64, seed: u64) {
+fn stress(threads: usize, ops_per_thread: u64, seed: u64, engine: EngineKind) {
     const KEY_RANGE: i64 = 256;
-    let stm = Stm::new(Arc::new(AbortEnemyManager), threads);
+    let stm = Stm::with_engine(CmDispatch::AbortEnemy, threads, engine);
     let tree = TxRBTree::new(KEY_RANGE as usize + 8);
     {
         let ctx = stm.thread(0);
@@ -51,10 +48,20 @@ fn stress(threads: usize, ops_per_thread: u64, seed: u64) {
 
 #[test]
 fn rbtree_survives_two_thread_contention() {
-    stress(2, 30_000, 0xA11CE);
+    stress(2, 30_000, 0xA11CE, EngineKind::Eager);
 }
 
 #[test]
 fn rbtree_survives_four_thread_contention() {
-    stress(4, 15_000, 0xB0B);
+    stress(4, 15_000, 0xB0B, EngineKind::Eager);
+}
+
+#[test]
+fn rbtree_survives_two_thread_contention_lazy_engine() {
+    stress(2, 15_000, 0xA11CE, EngineKind::Lazy);
+}
+
+#[test]
+fn rbtree_survives_four_thread_contention_lazy_engine() {
+    stress(4, 8_000, 0xB0B, EngineKind::Lazy);
 }

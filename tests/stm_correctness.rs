@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use windowtm::harness::managers::{all_manager_names, build_manager};
-use windowtm::stm::{Stm, TVar};
+use windowtm::stm::{EngineKind, Stm, TVar};
 use windowtm::workloads::{TxIntSet, TxList, TxRBTree, TxSkipList};
 
 const THREADS: usize = 3;
@@ -15,9 +15,9 @@ const THREADS: usize = 3;
 /// Run `per_thread` counter increments under the named manager and check
 /// no update is lost. The hot single `TVar` maximizes write-write
 /// conflicts, so every manager's full decision logic fires.
-fn counter_torture(manager: &str, per_thread: u64) {
+fn counter_torture(manager: &str, engine: EngineKind, per_thread: u64) {
     let built = build_manager(manager, THREADS, 8, 7).expect(manager);
-    let stm = Stm::with_dispatch(built.cm.clone(), THREADS);
+    let stm = Stm::with_engine(built.cm.clone(), THREADS, engine);
     let counter: TVar<u64> = TVar::new(0);
     std::thread::scope(|s| {
         for t in 0..THREADS {
@@ -37,7 +37,7 @@ fn counter_torture(manager: &str, per_thread: u64) {
     assert_eq!(
         *counter.sample(),
         THREADS as u64 * per_thread,
-        "lost updates under {manager}"
+        "lost updates under {manager}/{engine}"
     );
     let stats = stm.aggregate();
     assert_eq!(stats.commits, THREADS as u64 * per_thread);
@@ -46,17 +46,24 @@ fn counter_torture(manager: &str, per_thread: u64) {
 #[test]
 fn no_lost_updates_under_any_manager() {
     for manager in all_manager_names() {
-        counter_torture(manager, 150);
+        counter_torture(manager, EngineKind::Eager, 150);
+    }
+}
+
+#[test]
+fn no_lost_updates_under_any_manager_lazy_engine() {
+    for manager in all_manager_names() {
+        counter_torture(manager, EngineKind::Lazy, 150);
     }
 }
 
 /// Bank conservation: transfers between accounts must conserve the total
 /// under concurrency, for every manager.
-fn bank_conservation(manager: &str) {
+fn bank_conservation(manager: &str, engine: EngineKind) {
     const ACCOUNTS: usize = 8;
     const INITIAL: i64 = 100;
     let built = build_manager(manager, THREADS, 8, 13).expect(manager);
-    let stm = Stm::with_dispatch(built.cm.clone(), THREADS);
+    let stm = Stm::with_engine(built.cm.clone(), THREADS, engine);
     let accounts: Arc<Vec<TVar<i64>>> =
         Arc::new((0..ACCOUNTS).map(|_| TVar::new(INITIAL)).collect());
     std::thread::scope(|s| {
@@ -85,18 +92,32 @@ fn bank_conservation(manager: &str) {
     });
     built.cancel();
     let total: i64 = accounts.iter().map(|a| *a.sample()).sum();
-    assert_eq!(total, ACCOUNTS as i64 * INITIAL, "leak under {manager}");
+    assert_eq!(
+        total,
+        ACCOUNTS as i64 * INITIAL,
+        "leak under {manager}/{engine}"
+    );
     // No account may go negative (the guard reads both balances in the
     // same transaction — a dirty read would break this).
     for a in accounts.iter() {
-        assert!(*a.sample() >= 0, "negative balance under {manager}");
+        assert!(
+            *a.sample() >= 0,
+            "negative balance under {manager}/{engine}"
+        );
     }
 }
 
 #[test]
 fn bank_conserves_total_under_every_manager() {
     for manager in all_manager_names() {
-        bank_conservation(manager);
+        bank_conservation(manager, EngineKind::Eager);
+    }
+}
+
+#[test]
+fn bank_conserves_total_under_every_manager_lazy_engine() {
+    for manager in all_manager_names() {
+        bank_conservation(manager, EngineKind::Lazy);
     }
 }
 
@@ -106,9 +127,9 @@ fn bank_conserves_total_under_every_manager() {
 /// set operations commute across threads only when keys are disjoint, we
 /// use disjoint per-thread key ranges — any divergence is an isolation
 /// bug, not an ordering artifact.
-fn disjoint_sets_match_oracle(set: &dyn TxIntSet, manager: &str) {
+fn disjoint_sets_match_oracle(set: &dyn TxIntSet, manager: &str, engine: EngineKind) {
     let built = build_manager(manager, THREADS, 8, 21).expect(manager);
-    let stm = Stm::with_dispatch(built.cm.clone(), THREADS);
+    let stm = Stm::with_engine(built.cm.clone(), THREADS, engine);
     std::thread::scope(|s| {
         for t in 0..THREADS {
             let ctx = stm.thread(t);
@@ -137,34 +158,40 @@ fn disjoint_sets_match_oracle(set: &dyn TxIntSet, manager: &str) {
     assert_eq!(
         set.snapshot_keys(),
         expect,
-        "{} diverged under {manager}",
+        "{} diverged under {manager}/{engine}",
         set.name()
     );
 }
 
 #[test]
 fn list_matches_oracle_under_comparison_managers() {
-    for manager in ["Polka", "Greedy", "Priority", "Online-Dynamic"] {
-        let list = TxList::new();
-        disjoint_sets_match_oracle(&list, manager);
+    for engine in EngineKind::ALL {
+        for manager in ["Polka", "Greedy", "Priority", "Online-Dynamic"] {
+            let list = TxList::new();
+            disjoint_sets_match_oracle(&list, manager, engine);
+        }
     }
 }
 
 #[test]
 fn rbtree_matches_oracle_under_comparison_managers() {
-    for manager in ["Polka", "Greedy", "Adaptive-Improved-Dynamic"] {
-        let tree = TxRBTree::new(512);
-        disjoint_sets_match_oracle(&tree, manager);
-        tree.map().check_invariants();
-        tree.map().check_freelist();
+    for engine in EngineKind::ALL {
+        for manager in ["Polka", "Greedy", "Adaptive-Improved-Dynamic"] {
+            let tree = TxRBTree::new(512);
+            disjoint_sets_match_oracle(&tree, manager, engine);
+            tree.map().check_invariants();
+            tree.map().check_freelist();
+        }
     }
 }
 
 #[test]
 fn skiplist_matches_oracle_under_comparison_managers() {
-    for manager in ["Greedy", "Online-Dynamic"] {
-        let sl = TxSkipList::new();
-        disjoint_sets_match_oracle(&sl, manager);
+    for engine in EngineKind::ALL {
+        for manager in ["Greedy", "Online-Dynamic"] {
+            let sl = TxSkipList::new();
+            disjoint_sets_match_oracle(&sl, manager, engine);
+        }
     }
 }
 
@@ -173,8 +200,14 @@ fn skiplist_matches_oracle_under_comparison_managers() {
 /// even while writers hammer them.
 #[test]
 fn readers_never_observe_torn_pairs() {
+    for engine in EngineKind::ALL {
+        readers_never_observe_torn_pairs_on(engine);
+    }
+}
+
+fn readers_never_observe_torn_pairs_on(engine: EngineKind) {
     let built = build_manager("Greedy", 2, 8, 3).unwrap();
-    let stm = Stm::with_dispatch(built.cm.clone(), 2);
+    let stm = Stm::with_engine(built.cm.clone(), 2, engine);
     let a: TVar<u64> = TVar::new(0);
     let b: TVar<u64> = TVar::new(0);
     std::thread::scope(|s| {
@@ -200,7 +233,7 @@ fn readers_never_observe_torn_pairs() {
                         let vb = *tx.read(&b)?;
                         Ok((va, vb))
                     });
-                    assert_eq!(va, vb, "torn read: a={va} b={vb}");
+                    assert_eq!(va, vb, "torn read under {engine}: a={va} b={vb}");
                 }
             });
         }
@@ -212,8 +245,14 @@ fn readers_never_observe_torn_pairs() {
 /// no trace, even after partially building a write set.
 #[test]
 fn aborted_transactions_leave_no_trace() {
+    for engine in EngineKind::ALL {
+        aborted_transactions_leave_no_trace_on(engine);
+    }
+}
+
+fn aborted_transactions_leave_no_trace_on(engine: EngineKind) {
     let built = build_manager("Polka", 1, 8, 5).unwrap();
-    let stm = Stm::with_dispatch(built.cm.clone(), 1);
+    let stm = Stm::with_engine(built.cm.clone(), 1, engine);
     let ctx = stm.thread(0);
     let v1: TVar<u64> = TVar::new(10);
     let v2: TVar<u64> = TVar::new(20);
