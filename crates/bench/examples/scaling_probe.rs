@@ -1,0 +1,219 @@
+//! Thread-scaling probe: the first-class harness mode behind
+//! `BENCH_scaling.json`.
+//!
+//! Runs the resolve/commit/read micro-benches across a `--thread-sweep`
+//! axis with the repository's paired-interleaved methodology (every
+//! N-thread run immediately preceded by a fresh 1-thread baseline run;
+//! best-of-pairs on both sides; see `wtm_bench::sweep`) and emits the
+//! scaling table as JSON. On a real multicore box the output *is* the
+//! 1→N scaling curve; on a 1-CPU container the ratios measure
+//! oversubscription and the flatness of the per-op cost is the
+//! acceptance signal.
+//!
+//! ```text
+//! cargo run --release -p wtm-bench --example scaling_probe -- \
+//!     --thread-sweep 1,2,4,8 --pairs 5 --out BENCH_scaling.json
+//! ```
+//!
+//! Flags: `--thread-sweep LIST` (default `1,2,4`), `--pairs N` (default
+//! 5), `--quick` (CI smoke scale), `--out PATH` (default stdout).
+//!
+//! This probe intentionally uses only public API so the identical source
+//! also builds against the pre-refactor tree for before/after capture.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wtm_bench::sweep::{self, ScalingRow};
+use wtm_stm::{clockns, CmDispatch, ConflictKind, ContentionManager, Stm, TVar, TxState};
+use wtm_window::{WindowConfig, WindowManager, WindowVariant};
+
+fn state_on(thread: usize, attempt_id: u64) -> Arc<TxState> {
+    Arc::new(TxState::new(
+        attempt_id,
+        attempt_id,
+        thread,
+        0,
+        attempt_id,
+        attempt_id,
+        clockns::now(),
+        0,
+    ))
+}
+
+/// Read-only transactions on per-thread private objects: the lock-free
+/// read path plus per-transaction fixed costs (registry republish,
+/// attempt setup) with zero data contention — any slowdown at N threads
+/// is shared-metadata or cache-line traffic, which is exactly what the
+/// scaling curve is for.
+fn run_read_txn(threads: usize, per_thread: u64) -> (Duration, u64) {
+    let stm = Stm::with_dispatch(CmDispatch::AbortSelf, threads);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let ctx = stm.thread(t);
+            s.spawn(move || {
+                let tv: TVar<u64> = TVar::new(t as u64);
+                let warm = per_thread / 10;
+                for _ in 0..warm {
+                    ctx.atomic(|tx| tx.read(&tv).map(|v| *v));
+                }
+                for _ in 0..per_thread {
+                    std::hint::black_box(ctx.atomic(|tx| tx.read(&tv).map(|v| *v)));
+                }
+            });
+        }
+    });
+    (t0.elapsed(), threads as u64 * per_thread)
+}
+
+/// Increment transactions (read + write + fused commit) on per-thread
+/// private objects: the commit machinery — TxState pool, registry
+/// republish/withdraw, locator publish — under zero data contention.
+fn run_commit_txn(threads: usize, per_thread: u64) -> (Duration, u64) {
+    let stm = Stm::with_dispatch(CmDispatch::AbortSelf, threads);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let ctx = stm.thread(t);
+            s.spawn(move || {
+                let tv: TVar<u64> = TVar::new(0);
+                let warm = per_thread / 10;
+                for _ in 0..warm {
+                    ctx.atomic(|tx| {
+                        let v = *tx.read(&tv)?;
+                        tx.write(&tv, v + 1)
+                    });
+                }
+                for _ in 0..per_thread {
+                    ctx.atomic(|tx| {
+                        let v = *tx.read(&tv)?;
+                        tx.write(&tv, v + 1)
+                    });
+                }
+            });
+        }
+    });
+    (t0.elapsed(), threads as u64 * per_thread)
+}
+
+/// Window-CM conflict resolution hammered from all N threads of one
+/// shared manager (dynamic frames): the `resolve` hot hook whose
+/// lock-free rewrite PR 4 proved at 1 thread — this cell shows whether
+/// it stays flat when every thread drives it concurrently.
+fn run_resolve(threads: usize, per_thread: u64) -> (Duration, u64) {
+    let cfg = WindowConfig::new(threads, 1024).with_fixed_tau(Duration::from_micros(10));
+    let wm = Arc::new(WindowManager::new(WindowVariant::OnlineDynamic, cfg));
+    let ids = AtomicU64::new(1);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let wm = Arc::clone(&wm);
+            let ids = &ids;
+            s.spawn(move || {
+                let me = state_on(t, ids.fetch_add(1, Ordering::Relaxed));
+                // Window boundary (the one barrier crossing; everything
+                // after is the steady-state hook).
+                wm.on_begin(&me, false);
+                let enemy = state_on(t, ids.fetch_add(1, Ordering::Relaxed));
+                enemy.set_assigned_frame(1 << 40); // far future → low priority
+                enemy.set_rank(1);
+                for _ in 0..per_thread {
+                    std::hint::black_box(wm.resolve(
+                        std::hint::black_box(&me),
+                        std::hint::black_box(&enemy),
+                        ConflictKind::WriteWrite,
+                    ));
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    wm.cancel();
+    (wall, threads as u64 * per_thread)
+}
+
+fn main() {
+    let mut sweep_axis = vec![1, 2, 4];
+    let mut pairs = 5usize;
+    let mut out: Option<String> = None;
+    let mut quick = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--thread-sweep" => {
+                let v = args.next().expect("--thread-sweep needs a value");
+                sweep_axis = sweep::parse_sweep(&v).unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--pairs" => {
+                pairs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--pairs needs a positive integer");
+            }
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--quick" => quick = true,
+            other => panic!("unknown flag {other:?} (see the module docs)"),
+        }
+    }
+
+    let (read_iters, commit_iters, resolve_iters) = if quick {
+        (20_000, 10_000, 50_000)
+    } else {
+        (200_000, 100_000, 500_000)
+    };
+
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    rows.extend(sweep::run_paired_sweep(
+        "read_txn",
+        &sweep_axis,
+        pairs,
+        |n| run_read_txn(n, read_iters),
+    ));
+    rows.extend(sweep::run_paired_sweep(
+        "commit_txn",
+        &sweep_axis,
+        pairs,
+        |n| run_commit_txn(n, commit_iters),
+    ));
+    rows.extend(sweep::run_paired_sweep(
+        "resolve",
+        &sweep_axis,
+        pairs,
+        |n| run_resolve(n, resolve_iters),
+    ));
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let sweep_json = sweep_axis
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let doc = format!(
+        "{{\n  \"description\": \"Thread-scaling sweep of the STM hot paths: read-only txns, \
+         increment txns (commit machinery), and window-CM resolve, on disjoint per-thread data \
+         so any per-op slowdown at N threads is shared-metadata cost, not workload conflict.\",\n  \
+         \"methodology\": \"Paired-interleaved: every N-thread run is immediately preceded by a \
+         fresh 1-thread baseline run of the same bench ({pairs} adjacent pairs per cell); each \
+         side reports mean and best-of-pairs ns/op, and ratio_vs_1 = best-after / best-baseline. \
+         Pair adjacency makes the ratio robust to shared-host drift; see wtm_bench::sweep.\",\n  \
+         \"environment\": {{\"cpus\": {cpus}, \"note\": \"ratios, not absolute numbers, are the \
+         result; with cpus < max(sweep) the N-thread cells measure oversubscription and flat \
+         per-op cost is the acceptance signal\", \"captured\": \"2026-08-09\"}},\n  \
+         \"units\": \"ns/op (mean over pairs; min_ns = fastest pair)\",\n  \
+         \"sweep\": [{sweep_json}],\n  \"pairs\": {pairs},\n  \"rows\": {rows_json}\n}}\n",
+        rows_json = sweep::rows_to_json(&rows),
+    );
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+}

@@ -18,6 +18,8 @@
 //! Run `cargo bench` at the workspace root; each bench uses small
 //! parameters so a full pass stays in the minutes range.
 
+pub mod sweep;
+
 /// Benchmark-scale parameters shared by the bench targets (kept tiny so
 /// `cargo bench` terminates quickly; the `windowtm` CLI is the tool for
 /// full-scale figure regeneration).

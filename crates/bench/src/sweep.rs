@@ -1,0 +1,244 @@
+//! Paired-interleaved thread-scaling sweeps — the reusable harness mode
+//! behind `BENCH_scaling.json`.
+//!
+//! Every committed `BENCH_*.json` in this repository was produced with the
+//! same hand-rolled methodology: on a shared host, run-to-run noise
+//! (±10–15%) is larger than many of the effects being measured, so the two
+//! sides of a comparison are run **interleaved as adjacent pairs** and each
+//! side reports the best (minimum-mean) of its runs, discarding one-sided
+//! scheduler noise. This module promotes that methodology from prose notes
+//! into code: [`run_paired_sweep`] drives a workload closure across a
+//! `--thread-sweep 1,2,4,...` axis, interleaving every sweep point with a
+//! fresh 1-thread baseline run (pair i = baseline run immediately followed
+//! by the N-thread run, repeated `pairs` times), and reports per-op times
+//! plus the `ratio_vs_1` scaling curve.
+//!
+//! On a real multicore box the first run of the `scaling_probe` example
+//! therefore emits the 1→N scaling curve directly; on a 1-CPU container
+//! the curve degenerates to oversubscription ratios and the committed
+//! JSON's environment note says so.
+
+use std::time::Duration;
+
+/// Parse a `--thread-sweep` axis: comma-separated, strictly increasing,
+/// positive thread counts (`"1,2,4,8"`).
+pub fn parse_sweep(s: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let n: usize = part
+            .parse()
+            .map_err(|_| format!("bad thread count {part:?} in sweep {s:?}"))?;
+        if n == 0 {
+            return Err(format!("thread count 0 in sweep {s:?}"));
+        }
+        if let Some(&last) = out.last() {
+            if n <= last {
+                return Err(format!("sweep {s:?} must be strictly increasing"));
+            }
+        }
+        out.push(n);
+    }
+    if out.is_empty() {
+        return Err(format!("empty sweep {s:?}"));
+    }
+    Ok(out)
+}
+
+/// Summary of one side of one pair: wall time over a known op count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Nanoseconds per operation for this run.
+    pub ns_per_op: f64,
+}
+
+impl Sample {
+    /// Per-op time from a measured wall interval and its op count.
+    pub fn from_run(wall: Duration, ops: u64) -> Sample {
+        Sample {
+            ns_per_op: if ops == 0 {
+                f64::NAN
+            } else {
+                wall.as_nanos() as f64 / ops as f64
+            },
+        }
+    }
+}
+
+/// Best-of-pairs summary for one (bench, threads) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSummary {
+    /// Mean ns/op across the cell's pair runs.
+    pub mean_ns: f64,
+    /// Fastest pair run (ns/op).
+    pub min_ns: f64,
+}
+
+/// Fold pair samples into a cell summary (mean over pairs + fastest pair).
+pub fn summarize(samples: &[Sample]) -> CellSummary {
+    let n = samples.len().max(1) as f64;
+    let mean_ns = samples.iter().map(|s| s.ns_per_op).sum::<f64>() / n;
+    let min_ns = samples
+        .iter()
+        .map(|s| s.ns_per_op)
+        .fold(f64::INFINITY, f64::min);
+    CellSummary { mean_ns, min_ns }
+}
+
+/// One row of the scaling table: an (N-thread, 1-thread-baseline) pair of
+/// cell summaries plus the derived scaling ratio.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    pub bench: String,
+    pub threads: usize,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub baseline_mean_ns: f64,
+    pub baseline_min_ns: f64,
+    /// Per-op slowdown at N threads vs the interleaved 1-thread baseline
+    /// (best-of-pairs on both sides): 1.0 = perfect per-op scaling,
+    /// < 1.0 = per-op time *improved* with threads.
+    pub ratio_vs_1: f64,
+}
+
+/// Run one bench across the sweep with paired-interleaved baselines.
+///
+/// `run` executes the workload at a given thread count and returns
+/// `(wall, ops)` for one measured run; it is called `pairs` times per
+/// sweep point, each call immediately preceded by a 1-thread baseline
+/// call — the interleaving that makes the ratio robust to host drift. A
+/// sweep point of 1 still runs distinct baseline/measure calls so its
+/// ratio reflects pure pair noise (≈1.0), which doubles as the flatness
+/// acceptance signal on a 1-CPU host.
+pub fn run_paired_sweep(
+    bench: &str,
+    sweep: &[usize],
+    pairs: usize,
+    mut run: impl FnMut(usize) -> (Duration, u64),
+) -> Vec<ScalingRow> {
+    let pairs = pairs.max(1);
+    sweep
+        .iter()
+        .map(|&threads| {
+            let mut base = Vec::with_capacity(pairs);
+            let mut meas = Vec::with_capacity(pairs);
+            for _ in 0..pairs {
+                let (w, ops) = run(1);
+                base.push(Sample::from_run(w, ops));
+                let (w, ops) = run(threads);
+                meas.push(Sample::from_run(w, ops));
+            }
+            let b = summarize(&base);
+            let m = summarize(&meas);
+            ScalingRow {
+                bench: bench.to_string(),
+                threads,
+                mean_ns: m.mean_ns,
+                min_ns: m.min_ns,
+                baseline_mean_ns: b.mean_ns,
+                baseline_min_ns: b.min_ns,
+                ratio_vs_1: m.min_ns / b.min_ns,
+            }
+        })
+        .collect()
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render scaling rows as the `rows` array of `BENCH_scaling.json`.
+pub fn rows_to_json(rows: &[ScalingRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"threads\": {}, \"mean_ns\": {}, \"min_ns\": {}, \
+             \"baseline_mean_ns\": {}, \"baseline_min_ns\": {}, \"ratio_vs_1\": {}}}{}\n",
+            r.bench,
+            r.threads,
+            json_f64(r.mean_ns),
+            json_f64(r.min_ns),
+            json_f64(r.baseline_mean_ns),
+            json_f64(r.baseline_min_ns),
+            json_f64(r.ratio_vs_1),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_increasing_sweeps() {
+        assert_eq!(parse_sweep("1,2,4,8").unwrap(), vec![1, 2, 4, 8]);
+        assert_eq!(parse_sweep(" 1, 3 ").unwrap(), vec![1, 3]);
+        assert_eq!(parse_sweep("2").unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_sweeps() {
+        assert!(parse_sweep("").is_err());
+        assert!(parse_sweep("0,1").is_err());
+        assert!(parse_sweep("2,2").is_err());
+        assert!(parse_sweep("4,2").is_err());
+        assert!(parse_sweep("1,x").is_err());
+    }
+
+    #[test]
+    fn sample_per_op_math() {
+        let s = Sample::from_run(Duration::from_nanos(1_000), 10);
+        assert!((s.ns_per_op - 100.0).abs() < 1e-9);
+        assert!(Sample::from_run(Duration::from_nanos(5), 0)
+            .ns_per_op
+            .is_nan());
+    }
+
+    #[test]
+    fn summarize_takes_mean_and_min() {
+        let s = summarize(&[
+            Sample { ns_per_op: 10.0 },
+            Sample { ns_per_op: 30.0 },
+            Sample { ns_per_op: 20.0 },
+        ]);
+        assert!((s.mean_ns - 20.0).abs() < 1e-9);
+        assert!((s.min_ns - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paired_sweep_interleaves_baseline_and_measure() {
+        // Record the exact call sequence: for each sweep point, `pairs`
+        // adjacent (baseline, N) pairs.
+        let mut calls = Vec::new();
+        let rows = run_paired_sweep("t", &[1, 4], 2, |threads| {
+            calls.push(threads);
+            (Duration::from_nanos(100 * threads as u64), 1)
+        });
+        assert_eq!(calls, vec![1, 1, 1, 1, 1, 4, 1, 4]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].threads, 1);
+        assert!((rows[0].ratio_vs_1 - 1.0).abs() < 1e-9);
+        assert_eq!(rows[1].threads, 4);
+        assert!((rows[1].ratio_vs_1 - 4.0).abs() < 1e-9, "{rows:?}");
+    }
+
+    #[test]
+    fn rows_render_as_json_array() {
+        let rows = run_paired_sweep("r", &[1], 1, |_| (Duration::from_nanos(50), 1));
+        let json = rows_to_json(&rows);
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"bench\": \"r\""));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.trim_end().ends_with(']'));
+    }
+}

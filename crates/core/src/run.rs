@@ -37,9 +37,19 @@
 //! * `current_frame()` is a single `Acquire` load.
 //!
 //! Frames beyond the pre-sized base table land in lazily-allocated,
-//! doubling *epoch segments* published through `AtomicPtr` CAS (losers
-//! free their allocation), so re-randomized schedules that push past the
-//! hint never reintroduce a lock and never move existing counters.
+//! doubling *growth segments* published through `AtomicPtr` CAS, so
+//! re-randomized schedules that push past the hint never reintroduce a
+//! lock and never move existing counters. Segment lifetime is managed by
+//! the shared [`wtm_stm::epoch`] reclamation layer rather than a bespoke
+//! protocol: every path that dereferences a segment pointer holds an
+//! epoch pin, and every unlink (the CAS loser's orphaned allocation, and
+//! the published segments at `Drop`) is retired through
+//! [`wtm_stm::epoch::retire_boxed_slice`] instead of freed inline. Today
+//! a published segment is never replaced, so the pins are vacuously
+//! cheap insurance — but they make any future segment swap (shrinking
+//! the table between windows, say) safe by construction, and they put
+//! the frame table on the same reclamation primitive as the reader
+//! registry and the transaction-state pool.
 //!
 //! ### Orderings and the no-skip invariant
 //!
@@ -76,12 +86,12 @@ fn alloc_counters(len: usize) -> Box<[FrameCounter]> {
     (0..len).map(|_| FrameCounter::new()).collect()
 }
 
-/// Number of doubling epoch segments past the base table. Segment `k`
+/// Number of doubling growth segments past the base table. Segment `k`
 /// (0-based) holds `base_cap << (k + 1)` frames, so 32 segments extend
 /// the clock by `base_cap · (2³³ − 2)` frames — unreachable in practice
 /// (a window registers O(N²) frames at worst), but the growth path stays
 /// total instead of panicking.
-const EPOCH_SEGMENTS: usize = 32;
+const GROWTH_SEGMENTS: usize = 32;
 
 /// Shared frame clock for one window execution.
 pub struct WindowRun {
@@ -100,16 +110,19 @@ pub struct WindowRun {
     /// Lazily-allocated doubling segments for frames `>= base_cap`;
     /// segment `k` covers `base_cap·(2^(k+1)−1) ..` with `base_cap·2^(k+1)`
     /// slots. Published by CAS from null; never replaced or moved.
-    epochs: [AtomicPtr<FrameCounter>; EPOCH_SEGMENTS],
+    /// Dereferenced only under an epoch pin; reclaimed via
+    /// [`wtm_stm::epoch::retire_boxed_slice`].
+    growth: [AtomicPtr<FrameCounter>; GROWTH_SEGMENTS],
     /// Diagnostic: advances that won the cursor CAS and then observed a
     /// racing registration land in the frame just passed (only possible
     /// through adaptive re-randomization; see module docs).
     skipped_pending: AtomicU64,
 }
 
-// SAFETY: all shared state is atomics; the raw epoch pointers are
-// published once via CAS, never mutated or freed before `Drop`, and point
-// at heap allocations of `FrameCounter` (themselves atomics).
+// SAFETY: all shared state is atomics; the raw segment pointers are
+// published once via CAS, dereferenced only under an epoch pin, retired
+// (not freed inline) on unlink, and point at heap allocations of
+// `FrameCounter` (themselves atomics).
 unsafe impl Send for WindowRun {}
 unsafe impl Sync for WindowRun {}
 
@@ -125,7 +138,7 @@ impl WindowRun {
             cur: AtomicU64::new(0),
             high_water: AtomicU64::new(0),
             base: alloc_counters(base_cap),
-            epochs: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            growth: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
             skipped_pending: AtomicU64::new(0),
         }
     }
@@ -155,16 +168,16 @@ impl WindowRun {
         self.base.len() as u64
     }
 
-    /// Length of epoch segment `k`.
+    /// Length of growth segment `k`.
     #[inline]
-    fn epoch_len(&self, k: usize) -> u64 {
+    fn segment_len(&self, k: usize) -> u64 {
         self.base_cap() << (k + 1)
     }
 
-    /// First frame covered by epoch segment `k`:
+    /// First frame covered by growth segment `k`:
     /// `base_cap · (2^(k+1) − 1)`.
     #[inline]
-    fn epoch_start(&self, k: usize) -> u64 {
+    fn segment_start(&self, k: usize) -> u64 {
         self.base_cap() * ((1u64 << (k + 1)) - 1)
     }
 
@@ -177,25 +190,27 @@ impl WindowRun {
             return (usize::MAX, frame as usize);
         }
         // Frame f >= cap lives in the segment k with
-        // epoch_start(k) <= f < epoch_start(k+1); since epoch_start(k) =
-        // cap·(2^(k+1)−1), k = floor(log2(f/cap + 1)) − 1.
+        // segment_start(k) <= f < segment_start(k+1); since
+        // segment_start(k) = cap·(2^(k+1)−1), k = floor(log2(f/cap + 1)) − 1.
         let x = frame / cap + 1;
         let k = (63 - x.leading_zeros()) as usize - 1;
-        debug_assert!(k < EPOCH_SEGMENTS, "frame {frame} beyond the epoch range");
-        let k = k.min(EPOCH_SEGMENTS - 1);
-        ((k), (frame - self.epoch_start(k)) as usize)
+        debug_assert!(k < GROWTH_SEGMENTS, "frame {frame} beyond the growth range");
+        let k = k.min(GROWTH_SEGMENTS - 1);
+        ((k), (frame - self.segment_start(k)) as usize)
     }
 
-    /// The counter for `frame`, allocating its epoch segment if needed.
+    /// The counter for `frame`, allocating its growth segment if needed.
+    /// Callers that can reach a growth segment must hold an epoch pin
+    /// (the returned reference is only as durable as the pin).
     fn counter_alloc(&self, frame: u64) -> &AtomicU32 {
         let (k, off) = self.locate(frame);
         if k == usize::MAX {
             return &self.base[off].0;
         }
-        let slot = &self.epochs[k];
+        let slot = &self.growth[k];
         let mut ptr = slot.load(Ordering::Acquire);
         if ptr.is_null() {
-            let fresh = alloc_counters(self.epoch_len(k) as usize);
+            let fresh = alloc_counters(self.segment_len(k) as usize);
             let len = fresh.len();
             let raw = Box::into_raw(fresh) as *mut FrameCounter;
             match slot.compare_exchange(
@@ -206,29 +221,36 @@ impl WindowRun {
             ) {
                 Ok(_) => ptr = raw,
                 Err(winner) => {
-                    // SAFETY: `raw` came from `Box::into_raw` above and
-                    // lost the publication race, so this thread still
-                    // uniquely owns it.
-                    drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(raw, len)) });
+                    // This thread still uniquely owns `raw` (it lost the
+                    // publication race), but hand it to the epoch layer
+                    // anyway: every segment unlink goes through one
+                    // reclamation primitive, not a case analysis.
+                    // SAFETY: `raw` came from `Box::into_raw` above with
+                    // length `len`.
+                    wtm_stm::epoch::retire_boxed_slice(unsafe {
+                        Box::from_raw(std::ptr::slice_from_raw_parts_mut(raw, len))
+                    });
                     ptr = winner;
                 }
             }
         }
         // SAFETY: `ptr` was published by the CAS above (or an earlier
-        // one) from a live `Box<[FrameCounter]>` of length epoch_len(k),
-        // freed only in `Drop`; `off < epoch_len(k)` by `locate`.
+        // one) from a live `Box<[FrameCounter]>` of length
+        // segment_len(k), retired only in `Drop` while the caller's pin
+        // keeps it alive; `off < segment_len(k)` by `locate`.
         unsafe { &(*ptr.add(off)).0 }
     }
 
     /// The counter for `frame` if its storage exists; pending count 0
     /// otherwise (an unallocated segment holds no registrations).
+    /// Same pin requirement as [`Self::counter_alloc`].
     #[inline]
     fn count(&self, frame: u64) -> u32 {
         let (k, off) = self.locate(frame);
         if k == usize::MAX {
             return self.base[off].0.load(Ordering::Acquire);
         }
-        let ptr = self.epochs[k].load(Ordering::Acquire);
+        let ptr = self.growth[k].load(Ordering::Acquire);
         if ptr.is_null() {
             return 0;
         }
@@ -243,6 +265,7 @@ impl WindowRun {
         if !self.dynamic {
             return;
         }
+        let _pin = wtm_stm::epoch::pin();
         self.counter_alloc(frame).fetch_add(1, Ordering::Release);
         // High-water only after the count is visible: the cursor must
         // never be allowed into a frame before its registration lands.
@@ -258,6 +281,7 @@ impl WindowRun {
         if !self.dynamic {
             return;
         }
+        let _pin = wtm_stm::epoch::pin();
         let mut max_frame = None::<u64>;
         for f in frames {
             self.counter_alloc(f).fetch_add(1, Ordering::Release);
@@ -274,6 +298,7 @@ impl WindowRun {
         if !self.dynamic {
             return;
         }
+        let _pin = wtm_stm::epoch::pin();
         if self.dec_if_positive(frame) {
             self.try_advance();
         }
@@ -305,6 +330,7 @@ impl WindowRun {
         if !self.dynamic {
             return;
         }
+        let _pin = wtm_stm::epoch::pin();
         self.register(new);
         if self.dec_if_positive(old) {
             self.try_advance();
@@ -357,23 +383,26 @@ impl WindowRun {
         if !self.dynamic {
             return;
         }
+        let _pin = wtm_stm::epoch::pin();
         self.try_advance();
     }
 
     /// Total outstanding transactions (diagnostics).
     pub fn outstanding(&self) -> u64 {
+        let _pin = wtm_stm::epoch::pin();
         let mut sum: u64 = self
             .base
             .iter()
             .map(|c| u64::from(c.0.load(Ordering::Acquire)))
             .sum();
-        for (k, slot) in self.epochs.iter().enumerate() {
+        for (k, slot) in self.growth.iter().enumerate() {
             let ptr = slot.load(Ordering::Acquire);
             if ptr.is_null() {
                 continue;
             }
-            for off in 0..self.epoch_len(k) as usize {
-                // SAFETY: published segment of length epoch_len(k).
+            for off in 0..self.segment_len(k) as usize {
+                // SAFETY: published segment of length segment_len(k),
+                // kept alive by the pin above.
                 sum += u64::from(unsafe { (*ptr.add(off)).0.load(Ordering::Acquire) });
             }
         }
@@ -396,13 +425,17 @@ impl WindowRun {
 impl Drop for WindowRun {
     fn drop(&mut self) {
         let cap = self.base.len() as u64;
-        for (k, slot) in self.epochs.iter_mut().enumerate() {
+        for (k, slot) in self.growth.iter_mut().enumerate() {
             let ptr = *slot.get_mut();
             if !ptr.is_null() {
+                // `&mut self` proves no new reader can start, but a
+                // diagnostic scan racing the drop on another thread may
+                // still hold a pin — retire through the epoch layer and
+                // let the free rule wait it out.
                 // SAFETY: the pointer was published exactly once from
-                // `Box::into_raw` of a slice of `epoch_len(k)` counters
-                // and never freed since; `&mut self` proves no reader.
-                drop(unsafe {
+                // `Box::into_raw` of a slice of `segment_len(k)` counters
+                // and never retired since.
+                wtm_stm::epoch::retire_boxed_slice(unsafe {
                     Box::from_raw(std::ptr::slice_from_raw_parts_mut(
                         ptr,
                         (cap << (k + 1)) as usize,
@@ -522,7 +555,7 @@ mod tests {
     }
 
     #[test]
-    fn epoch_segments_cover_far_frames() {
+    fn growth_segments_cover_far_frames() {
         // Exercise several doubling segments in one run: the mapping must
         // be injective (distinct frames keep distinct counters) and stable.
         let run = WindowRun::new(true, 1_000, 2);

@@ -1,0 +1,600 @@
+//! Epoch-based reclamation: the one lifetime protocol for every
+//! deferred-free structure in the engine.
+//!
+//! Three bespoke protocols used to guard cross-thread memory hand-off:
+//! the registry's guarded-pointer Dekker handshake (`slots.rs`), the
+//! deferred-withdrawal carry threaded through the retry loop (`stm.rs`),
+//! and the leak-on-race segment publication of the dynamic frame table
+//! (`wtm-window`). They are all the same problem — *free this allocation
+//! once no concurrent reader can still hold a raw pointer into it* — so
+//! this module solves it once, crossbeam-style:
+//!
+//! * A global epoch counter ([`global_epoch`]) advances by CAS when every
+//!   *pinned* thread is pinned in the current epoch.
+//! * A reader [`pin`]s before dereferencing shared raw pointers: one
+//!   store to its own cache-line-padded epoch slot, one `SeqCst` fence,
+//!   one recheck load. No RMW, no lock, no shared-line write.
+//! * A writer unlinks a pointer, then [`retire_arc`]s (or
+//!   [`retire_boxed_slice`]s) it into its thread-local *bag*, stamped
+//!   with the current epoch `r`. The item is freed once the global epoch
+//!   reaches `r + 2`: any reader that could have loaded the old pointer
+//!   was pinned at an epoch `<= r` (and blocks advance past `r + 1`),
+//!   while a reader pinned at `>= r + 1` is ordered after the unlink by
+//!   the `SeqCst` fences in [`pin`] and `retire` and can only see the new
+//!   pointer.
+//! * Freeing is amortized: [`quiesce`] runs at transaction boundaries
+//!   (the engine is trivially quiescent there), tries one advance, and
+//!   drains the front of the bag. Steady-state cost is one slot scan and
+//!   a couple of `VecDeque` operations — no allocation (the bag's
+//!   capacity is reserved up front), no lock, which is what keeps the
+//!   `write_path_allocs` and `lockstat` gates green.
+//!
+//! ## Thread exit
+//!
+//! A thread's bag must not die with it: its TLS destructor hands any
+//! un-freed items to the global *orphan* list, drained by whichever
+//! surviving thread quiesces next. The orphan list is behind a `Mutex`,
+//! but the hot path only reads an atomic count (zero in steady state) —
+//! the lock is touched exclusively during teardown hand-off. If TLS is
+//! already gone (destructor ordering), [`pin`] falls back to a global
+//! pin counter that blocks all advance — correct, and only reachable on
+//! the cold teardown path.
+//!
+//! Global retired/freed accounting uses [`ShardedU64`] so the counters
+//! themselves don't become the process-wide cache line this module
+//! exists to remove.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::stats::ShardedU64;
+
+/// Upper bound on threads with fast-path epoch slots; later threads fall
+/// back to the advance-blocking global pin counter (correct, cold).
+pub const MAX_EPOCH_THREADS: usize = 256;
+
+/// Epochs start at 2 so `item.epoch + 2 <= global` never underflows and
+/// slot value 0 can mean "unpinned".
+static GLOBAL: AtomicU64 = AtomicU64::new(2);
+
+/// One per-thread epoch announcement, padded so pin/unpin traffic from
+/// neighbouring threads never false-shares.
+#[repr(align(128))]
+struct EpochSlot {
+    /// 0 = unpinned; otherwise the global epoch observed at pin time.
+    epoch: AtomicU64,
+}
+
+static SLOTS: [EpochSlot; MAX_EPOCH_THREADS] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const S: EpochSlot = EpochSlot {
+        epoch: AtomicU64::new(0),
+    };
+    [S; MAX_EPOCH_THREADS]
+};
+
+const BITMAP_WORDS: usize = MAX_EPOCH_THREADS / 64;
+static SLOT_BITMAP: [AtomicU64; BITMAP_WORDS] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const W: AtomicU64 = AtomicU64::new(0);
+    [W; BITMAP_WORDS]
+};
+
+/// High-water mark of `index + 1` over all epoch slots ever allocated:
+/// the advance scan bound, so a process that only ever ran 4 threads
+/// scans 4 padded lines, not 256.
+static SLOT_HWM: AtomicUsize = AtomicUsize::new(0);
+
+const NO_EPOCH_SLOT: usize = usize::MAX;
+
+/// Pins taken after this thread's TLS was destroyed (or with the slot
+/// bitmap exhausted). Any nonzero value blocks every advance — the
+/// maximally conservative reader.
+static FALLBACK_PINS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide retired/freed accounting (diagnostics + garbage-bound
+/// tests), sharded so bumps from different threads stay off one line.
+static RETIRED: ShardedU64 = ShardedU64::new();
+static FREED: ShardedU64 = ShardedU64::new();
+
+fn alloc_index() -> usize {
+    for (w, word) in SLOT_BITMAP.iter().enumerate() {
+        let mut cur = word.load(Ordering::Relaxed);
+        while cur != u64::MAX {
+            let bit = cur.trailing_ones() as usize;
+            match word.compare_exchange_weak(
+                cur,
+                cur | (1 << bit),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let idx = w * 64 + bit;
+                    SLOT_HWM.fetch_max(idx + 1, Ordering::Release);
+                    return idx;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+    NO_EPOCH_SLOT
+}
+
+fn free_index(idx: usize) {
+    SLOT_BITMAP[idx / 64].fetch_and(!(1 << (idx % 64)), Ordering::AcqRel);
+}
+
+// ---------------------------------------------------------------------------
+// Deferred-drop bags
+// ---------------------------------------------------------------------------
+
+/// One retired allocation: a type-erased pointer plus the monomorphized
+/// drop shim that reconstructs and drops it.
+struct BagItem {
+    /// Global epoch at retire time; freeable once `global >= epoch + 2`.
+    epoch: u64,
+    ptr: *mut (),
+    /// Per-shim payload (slice length for boxed slices; unused for Arcs).
+    aux: usize,
+    drop_fn: unsafe fn(*mut (), usize),
+}
+
+// SAFETY: the retire_* constructors require `T: Send`, so the erased
+// allocation may be dropped from whichever thread drains it (including
+// the orphan path).
+unsafe impl Send for BagItem {}
+
+impl BagItem {
+    fn free(self) {
+        FREED.add(0, 1);
+        // SAFETY: `ptr`/`aux` were produced together with `drop_fn` by one
+        // of the retire_* constructors and are consumed exactly once.
+        unsafe { (self.drop_fn)(self.ptr, self.aux) }
+    }
+}
+
+/// Garbage of exited threads, drained by survivors' [`quiesce`] calls.
+static ORPHANS: Mutex<Vec<BagItem>> = Mutex::new(Vec::new());
+/// Mirror of `ORPHANS.len()`, maintained under the lock; lets the hot
+/// path skip the mutex entirely while the list is empty.
+static ORPHAN_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+fn orphan_push(items: impl IntoIterator<Item = BagItem>) {
+    let mut v = ORPHANS.lock().unwrap_or_else(|e| e.into_inner());
+    v.extend(items);
+    ORPHAN_COUNT.store(v.len(), Ordering::Release);
+}
+
+fn drain_orphans(global: u64) {
+    // Collect eligible items under the lock, free them outside it: a drop
+    // shim is allowed to retire again (which takes the lock on the
+    // orphan fallback path).
+    let eligible: Vec<BagItem> = {
+        let Ok(mut v) = ORPHANS.try_lock() else {
+            return; // another thread is already draining
+        };
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < v.len() {
+            if v[i].epoch + 2 <= global {
+                out.push(v.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        ORPHAN_COUNT.store(v.len(), Ordering::Release);
+        out
+    };
+    for it in eligible {
+        it.free();
+    }
+}
+
+/// Reserved bag capacity: steady state retires and frees one item per
+/// transaction, so the queue depth stays around the two-epoch lag and
+/// never reallocates (the zero-alloc write path depends on this).
+const BAG_RESERVE: usize = 64;
+
+/// Once the bag backs up this far (readers stalling the advance), every
+/// further retire also attempts a collection.
+const COLLECT_THRESHOLD: usize = 64;
+
+struct Participant {
+    idx: usize,
+    /// Pin nesting depth; the slot is cleared at the outermost unpin.
+    depth: Cell<usize>,
+    bag: RefCell<VecDeque<BagItem>>,
+}
+
+impl Drop for Participant {
+    fn drop(&mut self) {
+        let items: Vec<BagItem> = self.bag.borrow_mut().drain(..).collect();
+        if !items.is_empty() {
+            orphan_push(items);
+        }
+        if self.idx != NO_EPOCH_SLOT {
+            SLOTS[self.idx].epoch.store(0, Ordering::SeqCst);
+            free_index(self.idx);
+        }
+    }
+}
+
+thread_local! {
+    static PARTICIPANT: Participant = Participant {
+        idx: alloc_index(),
+        depth: Cell::new(0),
+        bag: RefCell::new(VecDeque::with_capacity(BAG_RESERVE)),
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Pinning
+// ---------------------------------------------------------------------------
+
+/// An active pin: while any [`Guard`] lives on a thread, no allocation
+/// retired at the pinned epoch (or later) can be freed. Cheap, reentrant,
+/// and deliberately `!Send` — the pin lives in this thread's slot.
+pub struct Guard {
+    fallback: bool,
+    _not_send: PhantomData<*mut ()>,
+}
+
+/// Pin the current thread into the global epoch. Dereference shared raw
+/// pointers (registry states, frame-table segments) only while the
+/// returned guard is alive.
+pub fn pin() -> Guard {
+    let slot_pinned = PARTICIPANT.try_with(|p| {
+        if p.idx == NO_EPOCH_SLOT {
+            return false;
+        }
+        let depth = p.depth.get();
+        p.depth.set(depth + 1);
+        if depth == 0 {
+            let slot = &SLOTS[p.idx].epoch;
+            let mut e = GLOBAL.load(Ordering::Relaxed);
+            loop {
+                slot.store(e, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                // Recheck: if the global moved between the load and our
+                // announcement, re-announce the newer epoch so an
+                // in-flight advance can't strand us one epoch behind
+                // without noticing us.
+                let g = GLOBAL.load(Ordering::SeqCst);
+                if g == e {
+                    break;
+                }
+                e = g;
+            }
+        }
+        true
+    });
+    match slot_pinned {
+        Ok(true) => Guard {
+            fallback: false,
+            _not_send: PhantomData,
+        },
+        // TLS destroyed (thread teardown) or slot bitmap exhausted: block
+        // every advance for the guard's lifetime instead.
+        _ => {
+            FALLBACK_PINS.fetch_add(1, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            Guard {
+                fallback: true,
+                _not_send: PhantomData,
+            }
+        }
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if self.fallback {
+            FALLBACK_PINS.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let _ = PARTICIPANT.try_with(|p| {
+            let depth = p.depth.get() - 1;
+            p.depth.set(depth);
+            if depth == 0 {
+                SLOTS[p.idx].epoch.store(0, Ordering::Release);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Advance + retire
+// ---------------------------------------------------------------------------
+
+/// The current global epoch (diagnostics/tests).
+pub fn global_epoch() -> u64 {
+    GLOBAL.load(Ordering::SeqCst)
+}
+
+/// Try to advance the global epoch by one; returns the (possibly
+/// unchanged) epoch afterwards. Succeeds iff every pinned slot is pinned
+/// in the current epoch and no fallback pin is active. Lock-free; safe to
+/// race from any number of threads.
+pub fn try_advance() -> u64 {
+    let cur = GLOBAL.load(Ordering::SeqCst);
+    if FALLBACK_PINS.load(Ordering::SeqCst) != 0 {
+        return cur;
+    }
+    let hwm = SLOT_HWM.load(Ordering::Acquire).min(MAX_EPOCH_THREADS);
+    for slot in &SLOTS[..hwm] {
+        let e = slot.epoch.load(Ordering::SeqCst);
+        if e != 0 && e != cur {
+            return cur;
+        }
+    }
+    match GLOBAL.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst) {
+        Ok(_) => cur + 1,
+        Err(seen) => seen,
+    }
+}
+
+/// Retire an `Arc` reference: the strong count drops once every thread
+/// that could have loaded the raw pointer before it was unlinked has left
+/// its critical section.
+pub fn retire_arc<T: Send + Sync + 'static>(arc: Arc<T>) {
+    unsafe fn drop_arc<T>(ptr: *mut (), _aux: usize) {
+        // SAFETY: `ptr` came from `Arc::into_raw` in `retire_arc` and is
+        // consumed exactly once.
+        drop(unsafe { Arc::from_raw(ptr as *const T) });
+    }
+    let raw = Arc::into_raw(arc) as *mut ();
+    retire_with_fallback(raw, 0, drop_arc::<T>);
+}
+
+/// Retire a boxed slice (the frame table's growth segments).
+pub fn retire_boxed_slice<T: Send + 'static>(b: Box<[T]>) {
+    unsafe fn drop_slice<T>(ptr: *mut (), len: usize) {
+        // SAFETY: `ptr`/`len` came from `Box::into_raw` of a `Box<[T]>`
+        // of length `len` in `retire_boxed_slice`, consumed exactly once.
+        drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr as *mut T, len)) });
+    }
+    let len = b.len();
+    let raw = Box::into_raw(b) as *mut T as *mut ();
+    retire_with_fallback(raw, len, drop_slice::<T>);
+}
+
+fn retire_with_fallback(ptr: *mut (), aux: usize, drop_fn: unsafe fn(*mut (), usize)) {
+    // Order the caller's unlink before the epoch read: an advance that a
+    // later reader pins into is then ordered after the unlink, so that
+    // reader cannot see the retired pointer (the second half of the
+    // `r + 2` free rule; the first half is pinned readers at `<= r`
+    // blocking advance past `r + 1`).
+    fence(Ordering::SeqCst);
+    let mut item = Some(BagItem {
+        epoch: GLOBAL.load(Ordering::SeqCst),
+        ptr,
+        aux,
+        drop_fn,
+    });
+    let pushed = PARTICIPANT.try_with(|p| {
+        RETIRED.add(p.idx, 1);
+        let len = {
+            let mut bag = p.bag.borrow_mut();
+            bag.push_back(item.take().expect("retire item consumed once"));
+            bag.len()
+        };
+        if len >= COLLECT_THRESHOLD {
+            collect_local(p);
+        }
+    });
+    if pushed.is_err() {
+        // TLS gone (thread teardown): `try_with` never ran the closure,
+        // so the item is still here — hand it straight to the orphans.
+        RETIRED.add(0, 1);
+        orphan_push(item.take());
+    }
+}
+
+/// Drain the front of `p`'s bag after one advance attempt.
+fn collect_local(p: &Participant) {
+    let global = try_advance();
+    loop {
+        // Pop outside the free call: a drop shim may legally retire more
+        // garbage, which re-borrows the bag.
+        let item = {
+            let mut bag = p.bag.borrow_mut();
+            match bag.front() {
+                Some(it) if it.epoch + 2 <= global => bag.pop_front(),
+                _ => None,
+            }
+        };
+        match item {
+            Some(it) => it.free(),
+            None => break,
+        }
+    }
+}
+
+/// Transaction-boundary hook: the calling thread holds no pins and no
+/// shared raw pointers, so try one epoch advance and free whatever became
+/// eligible. Steady-state cost: one slot scan (bounded by the thread
+/// high-water mark) plus a couple of deque ops; no lock unless orphans
+/// exist, no allocation.
+pub fn quiesce() {
+    let _ = PARTICIPANT.try_with(|p| {
+        if p.depth.get() != 0 {
+            // Called under an active pin (reentrant engine path): epochs
+            // only advance at genuine quiescence, skip.
+            return;
+        }
+        collect_local(p);
+        if ORPHAN_COUNT.load(Ordering::Acquire) != 0 {
+            drain_orphans(GLOBAL.load(Ordering::SeqCst));
+        }
+    });
+}
+
+/// Hand this thread's whole bag to the orphan list immediately, so
+/// survivors can free it without waiting for this thread's TLS
+/// destructors (used by the `TxState` pool's drop hook — robust to any
+/// TLS destructor ordering).
+pub(crate) fn flush_thread() {
+    let _ = PARTICIPANT.try_with(|p| {
+        let items: Vec<BagItem> = p.bag.borrow_mut().drain(..).collect();
+        if !items.is_empty() {
+            orphan_push(items);
+        }
+    });
+}
+
+/// Total allocations ever retired (process-wide, diagnostics/tests).
+pub fn retired_count() -> u64 {
+    RETIRED.sum()
+}
+
+/// Total retired allocations already freed (process-wide).
+pub fn freed_count() -> u64 {
+    FREED.sum()
+}
+
+/// Items waiting in this thread's bag (tests).
+pub fn pending_local() -> usize {
+    PARTICIPANT.try_with(|p| p.bag.borrow().len()).unwrap_or(0)
+}
+
+/// Items waiting on the orphan list (tests/diagnostics).
+pub fn orphan_count() -> usize {
+    ORPHAN_COUNT.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::mpsc;
+
+    /// Heap payload whose drop is observable.
+    struct Canary(Arc<AtomicBool>);
+    impl Drop for Canary {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn canary() -> (Arc<Canary>, Arc<AtomicBool>) {
+        let dropped = Arc::new(AtomicBool::new(false));
+        (Arc::new(Canary(Arc::clone(&dropped))), dropped)
+    }
+
+    /// Retry helper: other unit tests in this binary pin transiently, so
+    /// single advance attempts may fail spuriously; loop with yields.
+    fn quiesce_until(mut cond: impl FnMut() -> bool) -> bool {
+        for _ in 0..100_000 {
+            quiesce();
+            if cond() {
+                return true;
+            }
+            std::thread::yield_now();
+        }
+        false
+    }
+
+    #[test]
+    fn retired_arc_is_freed_after_two_advances() {
+        let (c, dropped) = canary();
+        retire_arc(c);
+        assert!(!dropped.load(Ordering::SeqCst), "free must be deferred");
+        assert!(
+            quiesce_until(|| dropped.load(Ordering::SeqCst)),
+            "retired arc must be freed once the epoch advances twice"
+        );
+    }
+
+    #[test]
+    fn pinned_reader_blocks_the_free() {
+        // A stalled thread pinned in epoch e blocks advance past e + 1,
+        // so anything retired at >= e stays allocated while it stalls.
+        let (stall_tx, stall_rx) = mpsc::channel::<()>();
+        let (pinned_tx, pinned_rx) = mpsc::channel::<u64>();
+        let stalled = std::thread::spawn(move || {
+            let _g = pin();
+            pinned_tx.send(global_epoch()).unwrap();
+            stall_rx.recv().unwrap(); // hold the pin until released
+        });
+        let pin_epoch = pinned_rx.recv().unwrap();
+        let (c, dropped) = canary();
+        retire_arc(c);
+        // Drive advances hard: the stalled pin caps the epoch.
+        for _ in 0..1000 {
+            quiesce();
+        }
+        assert!(
+            global_epoch() <= pin_epoch + 1,
+            "a pinned slot must stop the epoch one step past its pin"
+        );
+        assert!(
+            !dropped.load(Ordering::SeqCst),
+            "garbage must not be freed while a pinned reader stalls"
+        );
+        stall_tx.send(()).unwrap();
+        stalled.join().unwrap();
+        assert!(
+            quiesce_until(|| dropped.load(Ordering::SeqCst)),
+            "garbage must drain once the stalled reader unpins"
+        );
+    }
+
+    #[test]
+    fn pins_are_reentrant() {
+        let g1 = pin();
+        let e = global_epoch();
+        let g2 = pin();
+        drop(g2);
+        // Outer pin still active: advance past e + 1 must be impossible.
+        for _ in 0..100 {
+            try_advance();
+        }
+        assert!(global_epoch() <= e + 1);
+        drop(g1);
+    }
+
+    #[test]
+    fn thread_exit_hands_garbage_to_survivors() {
+        let (c, dropped) = canary();
+        std::thread::spawn(move || {
+            retire_arc(c);
+            // Exit immediately: the TLS destructor must orphan the bag.
+        })
+        .join()
+        .unwrap();
+        assert!(
+            quiesce_until(|| dropped.load(Ordering::SeqCst)),
+            "an exited thread's garbage must be freed by survivors"
+        );
+    }
+
+    #[test]
+    fn retired_boxed_slice_is_freed() {
+        // Drop observability via a canary element.
+        struct Elem(Arc<AtomicBool>);
+        impl Drop for Elem {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(AtomicBool::new(false));
+        let slice: Box<[Elem]> = vec![Elem(Arc::clone(&dropped))].into_boxed_slice();
+        retire_boxed_slice(slice);
+        assert!(
+            quiesce_until(|| dropped.load(Ordering::SeqCst)),
+            "retired slice must be freed after two advances"
+        );
+    }
+
+    #[test]
+    fn accounting_freed_never_exceeds_retired() {
+        let (c, _dropped) = canary();
+        retire_arc(c);
+        quiesce_until(|| freed_count() > 0);
+        assert!(freed_count() <= retired_count());
+        assert!(retired_count() >= 1);
+    }
+}

@@ -43,6 +43,7 @@
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`epoch`] | epoch-based reclamation: the shared deferred-free layer |
 //! | [`status`] | transaction status word and its CAS rules |
 //! | [`txstate`] | the shared per-attempt transaction record ([`TxState`]) |
 //! | [`cm`] | the [`ContentionManager`] trait, [`Resolution`], [`ConflictKind`] |
@@ -62,6 +63,7 @@ pub mod clockns;
 pub mod cm;
 pub mod dispatch;
 pub mod engine;
+pub mod epoch;
 mod inline_vec;
 pub mod managers;
 pub mod slots;
@@ -79,7 +81,7 @@ pub use cm::{ConflictKind, ContentionManager, Resolution};
 pub use dispatch::CmDispatch;
 pub use engine::EngineKind;
 pub use slots::reserve_reader_slots;
-pub use stats::{StatsSnapshot, ThreadStats};
+pub use stats::{ShardedU64, StatsSnapshot, ThreadStats};
 pub use status::TxStatus;
 pub use stm::{Stm, ThreadCtx};
 pub use tvar::TVar;

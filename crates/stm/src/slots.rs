@@ -16,6 +16,20 @@
 //! even across engine instances or after a slot index is recycled by
 //! another thread.
 //!
+//! ## Lifetime protocol: epoch reclamation
+//!
+//! The record's `Arc<TxState>` pointer is handed off through
+//! [`crate::epoch`]. The owner replaces it with a plain `swap` and
+//! *retires* the previous reference into its epoch bag; a scanner
+//! [`crate::epoch::pin`]s before loading the pointer, so the retired
+//! reference cannot be released while the scanner might still
+//! dereference it. No owner-side spin, no scanner-side guard counter —
+//! the Dekker-style guarded-pointer handshake this registry originally
+//! used is retired (see DESIGN.md, "Reclamation & sharding", for the
+//! historical design). A scanner that races a republish and surfaces the
+//! *newer* attempt's pointer is rejected by the attempt-id filter:
+//! attempt ids are never reused.
+//!
 //! Indices are allocated from a bitmap, lowest-free-first, and released by
 //! a thread-local destructor when the thread exits, so long-running
 //! processes stay within a compact index range. Threads beyond
@@ -26,6 +40,7 @@
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::epoch;
 use crate::txstate::TxState;
 
 /// Upper bound on concurrently registered OS threads with fast-path slots.
@@ -138,9 +153,11 @@ struct SlotGuard {
 impl Drop for SlotGuard {
     fn drop(&mut self) {
         if self.idx != NO_SLOT {
-            // The thread is exiting: nothing of it can still be live, but a
-            // scanner could be holding our registry record. Clearing
-            // `current` first makes every stale slot word verifiably dead.
+            // The thread is exiting: clear `current` so every stale slot
+            // word is verifiably dead, and retire the published state
+            // through the epoch layer (a scanner may still be pinned on
+            // it). The epoch TLS hands the retired reference to the
+            // orphan list if its own destructor already ran.
             unpublish(self.idx);
             free_index(self.idx);
         }
@@ -161,17 +178,19 @@ pub(crate) fn my_slot_index() -> usize {
 // Registry
 // ---------------------------------------------------------------------------
 
+/// One thread's published attempt. Padded to its own cache line: the
+/// owner republishes here every transaction, and without the alignment
+/// four neighbouring threads' records would share a line and turn every
+/// transaction boundary into cross-core traffic.
+#[repr(align(128))]
 struct ThreadRec {
     /// Attempt id currently running on this slot's thread (0 = none).
     current: AtomicU64,
-    /// Scanners holding (or about to validate) a reference to `state`.
-    guards: AtomicU64,
     /// The matching state, for contention-manager hand-off; owns one
-    /// strong count while non-null. Guarded-pointer protocol (the same
-    /// Dekker handshake as the `TVar` snapshot cell): the owner clears
-    /// `current` *before* spinning on `guards`, a scanner bumps `guards`
-    /// *before* re-checking `current`, so the pointer is never freed while
-    /// a scanner that saw a matching `current` is still dereferencing it.
+    /// strong count while non-null. Replaced by owner `swap`; the
+    /// previous reference is retired via [`crate::epoch`], and scanners
+    /// hold an epoch pin across the load + strong-count bump, so the
+    /// reference is never released while a scanner can still reach it.
     state: AtomicPtr<TxState>,
 }
 
@@ -179,7 +198,6 @@ impl ThreadRec {
     const fn new() -> Self {
         ThreadRec {
             current: AtomicU64::new(0),
-            guards: AtomicU64::new(0),
             state: AtomicPtr::new(std::ptr::null_mut()),
         }
     }
@@ -191,13 +209,23 @@ static REGISTRY: [ThreadRec; MAX_SLOTS] = {
     [R; MAX_SLOTS]
 };
 
+/// Retire the registry's previous strong reference into the epoch layer.
+fn retire_prev(prev: *mut TxState) {
+    if !prev.is_null() {
+        // SAFETY: `prev` was published via `Arc::into_raw` by this slot's
+        // owner and unlinked by the caller's swap, so this reconstructs
+        // the registry's own strong reference exactly once.
+        epoch::retire_arc(unsafe { Arc::from_raw(prev) });
+    }
+}
+
 /// Publish `state` as the attempt currently running on slot `idx`.
 ///
 /// Must happen before the attempt's first object access: a writer that
 /// finds our slot word on an object must be able to resolve it here.
-/// Production code always goes through [`republish`] (which withdraws
-/// whatever the slot still holds in the same guard drain); the split
-/// publish remains for unit tests that drive the registry directly.
+/// Production code always goes through [`republish`] (which also retires
+/// whatever the slot still holds); the split publish remains for unit
+/// tests that drive the registry directly.
 #[cfg(test)]
 pub(crate) fn publish(idx: usize, state: &Arc<TxState>) {
     if idx >= MAX_SLOTS {
@@ -207,74 +235,44 @@ pub(crate) fn publish(idx: usize, state: &Arc<TxState>) {
     let raw = Arc::into_raw(Arc::clone(state)).cast_mut();
     let prev = rec.state.swap(raw, Ordering::AcqRel);
     // The owner always unpublishes before the next publish; a leftover
-    // pointer can only mean a bug, but never leak it.
+    // pointer can only mean a test-sequencing bug, but never leak it.
     debug_assert!(prev.is_null(), "publish over a still-published state");
-    if !prev.is_null() {
-        unsafe { drop(Arc::from_raw(prev)) };
-    }
+    retire_prev(prev);
     rec.current.store(state.attempt_id, Ordering::SeqCst);
 }
 
-/// Withdraw the attempt published on slot `idx` (attempt over). Releases
-/// the registry's strong reference so the state can return to the pool.
+/// Withdraw the attempt published on slot `idx` (attempt over). The
+/// registry's strong reference is retired — released once every scanner
+/// that could have loaded it has unpinned (two epoch advances).
 pub(crate) fn unpublish(idx: usize) {
     if idx >= MAX_SLOTS {
         return;
     }
     let rec = &REGISTRY[idx];
     rec.current.store(0, Ordering::SeqCst);
-    // Dekker handshake with `live_reader`: after `current` is cleared, any
-    // scanner that could still dereference the pointer already holds a
-    // guard, so waiting for zero guards makes the swap safe.
-    let mut spins = 0u32;
-    while rec.guards.load(Ordering::SeqCst) != 0 {
-        spins += 1;
-        if spins > 64 {
-            std::thread::yield_now();
-        } else {
-            std::hint::spin_loop();
-        }
-    }
     let prev = rec.state.swap(std::ptr::null_mut(), Ordering::AcqRel);
-    if !prev.is_null() {
-        unsafe { drop(Arc::from_raw(prev)) };
-    }
+    retire_prev(prev);
 }
 
 /// Replace the attempt published on slot `idx` with `state` in one step:
 /// the fused form of `unpublish(idx)` + `publish(idx, state)` the engine
 /// uses both between back-to-back attempts of one retry loop and at the
 /// start of every transaction (the commit path leaves its attempt
-/// published rather than withdrawing it). One guard drain and one pointer
-/// swap instead of two of each, and the registry's reference to the
-/// *previous* attempt is released here — which is exactly what lets the
-/// caller return that attempt's `TxState` to the allocation pool.
+/// published rather than withdrawing it). One pointer swap plus one bag
+/// push — no wait for concurrent scanners: a scanner that catches the
+/// *new* pointer under the old attempt id is rejected by `live_reader`'s
+/// id filter (attempt ids are never reused), and one still dereferencing
+/// the *old* pointer is protected by its epoch pin until the retired
+/// reference becomes freeable.
 pub(crate) fn republish(idx: usize, state: &Arc<TxState>) {
     if idx >= MAX_SLOTS {
         return;
     }
     let rec = &REGISTRY[idx];
-    rec.current.store(0, Ordering::SeqCst);
-    // Same Dekker handshake as `unpublish`: once `current` is cleared,
-    // only scanners already holding a guard may still dereference the old
-    // pointer, so draining `guards` makes the swap safe. (A scanner that
-    // catches the *new* pointer under the old attempt id is rejected by
-    // `live_reader`'s id filter — attempt ids are never reused.)
-    let mut spins = 0u32;
-    while rec.guards.load(Ordering::SeqCst) != 0 {
-        spins += 1;
-        if spins > 64 {
-            std::thread::yield_now();
-        } else {
-            std::hint::spin_loop();
-        }
-    }
     let raw = Arc::into_raw(Arc::clone(state)).cast_mut();
     let prev = rec.state.swap(raw, Ordering::AcqRel);
-    if !prev.is_null() {
-        unsafe { drop(Arc::from_raw(prev)) };
-    }
     rec.current.store(state.attempt_id, Ordering::SeqCst);
+    retire_prev(prev);
 }
 
 /// Resolve a slot word: the state for attempt `attempt_id` on slot `idx`,
@@ -288,26 +286,24 @@ pub(crate) fn live_reader(idx: usize, attempt_id: u64) -> Option<Arc<TxState>> {
     if rec.current.load(Ordering::SeqCst) != attempt_id {
         return None;
     }
-    rec.guards.fetch_add(1, Ordering::SeqCst);
-    // Re-check under the guard: if `current` still matches, the owner's
-    // unpublish has not passed its guard wait, so the pointer is live. A
-    // republish racing in between can surface a *newer* attempt's pointer;
-    // the id filter below rejects it (attempt ids are never reused).
-    let got = if rec.current.load(Ordering::SeqCst) == attempt_id {
-        let raw = rec.state.load(Ordering::Acquire);
-        if raw.is_null() {
-            None
-        } else {
-            unsafe {
-                Arc::increment_strong_count(raw);
-                Some(Arc::from_raw(raw))
-            }
-        }
-    } else {
-        None
+    // Pin before loading the pointer: the owner's republish retires the
+    // previous reference *after* its swap, so whatever we load here stays
+    // allocated until we unpin — bumping the strong count is race-free.
+    let _guard = epoch::pin();
+    let raw = rec.state.load(Ordering::Acquire);
+    if raw.is_null() {
+        return None;
+    }
+    // SAFETY: `raw` was published from `Arc::into_raw` and, under the
+    // pin, its registry reference cannot have been released yet, so the
+    // allocation is live and holds at least one strong count.
+    let got = unsafe {
+        Arc::increment_strong_count(raw);
+        Arc::from_raw(raw)
     };
-    rec.guards.fetch_sub(1, Ordering::SeqCst);
-    got.filter(|s| s.attempt_id == attempt_id)
+    // A republish racing between the `current` check and the load can
+    // surface a newer attempt's state: the id filter rejects it.
+    (got.attempt_id == attempt_id).then_some(got)
 }
 
 #[cfg(test)]
@@ -326,6 +322,19 @@ mod tests {
             clockns::now(),
             0,
         ))
+    }
+
+    /// Drive epoch quiescence until `cond` holds (other tests in this
+    /// binary pin transiently, so single advances may fail spuriously).
+    fn quiesce_until(mut cond: impl FnMut() -> bool) -> bool {
+        for _ in 0..100_000 {
+            epoch::quiesce();
+            if cond() {
+                return true;
+            }
+            std::thread::yield_now();
+        }
+        false
     }
 
     #[test]
@@ -383,7 +392,7 @@ mod tests {
     }
 
     #[test]
-    fn republish_swaps_attempts_and_releases_the_old_state() {
+    fn republish_swaps_attempts_and_retires_the_old_state() {
         let idx = my_slot_index();
         assert_ne!(idx, NO_SLOT);
         let first = state(next_attempt_id());
@@ -391,14 +400,48 @@ mod tests {
         assert_eq!(Arc::strong_count(&first), 2, "registry holds a clone");
         let second = state(next_attempt_id());
         republish(idx, &second);
-        // Old attempt: released and no longer resolvable.
-        assert_eq!(Arc::strong_count(&first), 1);
+        // Old attempt: immediately unresolvable …
         assert!(live_reader(idx, first.attempt_id).is_none());
+        // … and its registry reference is released through the epoch
+        // layer once no scanner can still be dereferencing it.
+        assert!(
+            quiesce_until(|| Arc::strong_count(&first) == 1),
+            "the retired registry reference must drain via the epoch bag"
+        );
         // New attempt: live, exactly as after a fresh publish.
         let got = live_reader(idx, second.attempt_id).expect("republished attempt is live");
         assert_eq!(got.attempt_id, second.attempt_id);
+        drop(got);
         unpublish(idx);
         assert!(live_reader(idx, second.attempt_id).is_none());
+        assert!(
+            quiesce_until(|| Arc::strong_count(&second) == 1),
+            "unpublish must retire the final registry reference too"
+        );
+    }
+
+    #[test]
+    fn scanner_pin_keeps_a_swapped_state_reachable() {
+        // A scanner's returned Arc stays valid across the owner's
+        // republish + epoch drains: the strong count it bumped under the
+        // pin keeps the allocation alive independently of the registry.
+        let idx = my_slot_index();
+        assert_ne!(idx, NO_SLOT);
+        let first = state(next_attempt_id());
+        publish(idx, &first);
+        let held = live_reader(idx, first.attempt_id).expect("live before republish");
+        let second = state(next_attempt_id());
+        republish(idx, &second);
+        quiesce_until(|| Arc::strong_count(&first) == 2);
+        assert_eq!(held.attempt_id, first.attempt_id);
+        assert_eq!(
+            Arc::strong_count(&held),
+            2,
+            "scanner's ref + the test's own binding"
+        );
+        drop(held);
+        unpublish(idx);
+        let _ = quiesce_until(|| Arc::strong_count(&second) == 1);
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! (`Arc::get_mut`), i.e. only when no other reference exists — a locator
 //! that still points at an old attempt therefore sees it permanently
 //! `Aborted`/`Committed`, exactly as if the record were freshly allocated.
+//! The reader registry's reference ([`crate::slots`]) is the one that
+//! outlives the attempt: it is *retired* through [`crate::epoch`] when the
+//! owner republishes its next attempt, and drains at a later quiesce —
+//! which is why the pool holds three slots, not one.
 //!
 //! Fields that must *survive* retries of the same logical transaction (the
 //! Greedy timestamp, Karma's accumulated priority) are seeded from the
