@@ -1,7 +1,9 @@
 //! Thread-scaling probe: the first-class harness mode behind
 //! `BENCH_scaling.json`.
 //!
-//! Runs the resolve/commit/read micro-benches across a `--thread-sweep`
+//! Runs the read/commit/resolve micro-benches — plus the registry-scan
+//! probes (`try_advance`, `conflicting_reader`) and the lazy engine's
+//! version-clock probe (`lazy_commit_clock`) — across a `--thread-sweep`
 //! axis with the repository's paired-interleaved methodology (every
 //! N-thread run immediately preceded by a fresh 1-thread baseline run;
 //! best-of-pairs on both sides; see `wtm_bench::sweep`) and emits the
@@ -26,7 +28,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wtm_bench::sweep::{self, ScalingRow};
-use wtm_stm::{clockns, CmDispatch, ConflictKind, ContentionManager, Stm, TVar, TxState};
+use wtm_stm::{
+    clockns, CmDispatch, ConflictKind, ContentionManager, EngineKind, Stm, TVar, TxState,
+};
 use wtm_window::{WindowConfig, WindowManager, WindowVariant};
 
 fn state_on(thread: usize, attempt_id: u64) -> Arc<TxState> {
@@ -134,6 +138,70 @@ fn run_resolve(threads: usize, per_thread: u64) -> (Duration, u64) {
     (wall, threads as u64 * per_thread)
 }
 
+/// `epoch::try_advance` hammered from N threads that each hold a
+/// *registered but unpinned* epoch slot (one pin/unpin up front): the
+/// advance scan over the slot registry with zero stalled pins. The
+/// active-set sharded registry makes this O(registered threads) with
+/// empty shards skipped in one mask load; the pre-refactor scan walked
+/// the whole fixed-capacity slot array every call.
+fn run_try_advance(threads: usize, per_thread: u64) -> (Duration, u64) {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(move || {
+                // Register this thread's slot (sticky thread-local), then
+                // leave it unpinned so advance is never blocked.
+                drop(wtm_stm::epoch::pin());
+                for _ in 0..per_thread {
+                    std::hint::black_box(wtm_stm::epoch::try_advance());
+                }
+            });
+        }
+    });
+    (t0.elapsed(), threads as u64 * per_thread)
+}
+
+/// Blind-write transactions on per-thread private objects under the
+/// *lazy* engine: the commit-time version-clock discipline in isolation.
+/// Pre-refactor every commit `fetch_add`ed the one global clock cell —
+/// the whole system serialized on a single cache line even with fully
+/// disjoint data; the GV5-style clock does zero clock RMWs on this
+/// workload.
+fn run_lazy_commit_clock(threads: usize, per_thread: u64) -> (Duration, u64) {
+    let stm = Stm::with_engine(CmDispatch::AbortSelf, threads, EngineKind::Lazy);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let ctx = stm.thread(t);
+            s.spawn(move || {
+                let tv: TVar<u64> = TVar::new(0);
+                let warm = per_thread / 10;
+                for n in 0..warm {
+                    ctx.atomic(|tx| tx.write(&tv, n));
+                }
+                for n in 0..per_thread {
+                    ctx.atomic(|tx| tx.write(&tv, n));
+                }
+            });
+        }
+    });
+    (t0.elapsed(), threads as u64 * per_thread)
+}
+
+/// The eager commit path with the reader-slot table at full published
+/// capacity (`reserve_reader_slots(256)`): every commit's write-path
+/// `conflicting_reader` scan runs against the worst-case slot count.
+/// Pre-refactor that scan loaded all 256 slot words per written object;
+/// the active-set scan loads 4 shard masks and only the occupied words.
+///
+/// NOTE: `reserve_reader_slots` is sticky for the life of the process
+/// (capacity never shrinks), so this bench must run *last* — after it,
+/// every later-created TVar would carry a 256-entry slot array.
+fn run_conflicting_reader(threads: usize, per_thread: u64) -> (Duration, u64) {
+    wtm_stm::reserve_reader_slots(256);
+    run_commit_txn(threads, per_thread)
+}
+
 fn main() {
     let mut sweep_axis = vec![1, 2, 4];
     let mut pairs = 5usize;
@@ -159,10 +227,10 @@ fn main() {
         }
     }
 
-    let (read_iters, commit_iters, resolve_iters) = if quick {
-        (20_000, 10_000, 50_000)
+    let (read_iters, commit_iters, resolve_iters, advance_iters) = if quick {
+        (20_000, 10_000, 50_000, 50_000)
     } else {
-        (200_000, 100_000, 500_000)
+        (200_000, 100_000, 500_000, 500_000)
     };
 
     let mut rows: Vec<ScalingRow> = Vec::new();
@@ -184,6 +252,25 @@ fn main() {
         pairs,
         |n| run_resolve(n, resolve_iters),
     ));
+    rows.extend(sweep::run_paired_sweep(
+        "try_advance",
+        &sweep_axis,
+        pairs,
+        |n| run_try_advance(n, advance_iters),
+    ));
+    rows.extend(sweep::run_paired_sweep(
+        "lazy_commit_clock",
+        &sweep_axis,
+        pairs,
+        |n| run_lazy_commit_clock(n, commit_iters),
+    ));
+    // Must stay last: reserve_reader_slots is sticky (see the fn docs).
+    rows.extend(sweep::run_paired_sweep(
+        "conflicting_reader",
+        &sweep_axis,
+        pairs,
+        |n| run_conflicting_reader(n, commit_iters),
+    ));
 
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -195,8 +282,11 @@ fn main() {
         .join(", ");
     let doc = format!(
         "{{\n  \"description\": \"Thread-scaling sweep of the STM hot paths: read-only txns, \
-         increment txns (commit machinery), and window-CM resolve, on disjoint per-thread data \
-         so any per-op slowdown at N threads is shared-metadata cost, not workload conflict.\",\n  \
+         increment txns (commit machinery), window-CM resolve, the epoch-advance registry scan \
+         (try_advance), lazy blind-write commits (version-clock discipline, lazy_commit_clock), \
+         and the eager commit path at full reader-slot capacity (conflicting_reader), on disjoint \
+         per-thread data so any per-op slowdown at N threads is shared-metadata cost, not \
+         workload conflict.\",\n  \
          \"methodology\": \"Paired-interleaved: every N-thread run is immediately preceded by a \
          fresh 1-thread baseline run of the same bench ({pairs} adjacent pairs per cell); each \
          side reports mean and best-of-pairs ns/op, and ratio_vs_1 = best-after / best-baseline. \

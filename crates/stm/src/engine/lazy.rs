@@ -12,14 +12,14 @@
 //!   only at commit.
 //! * **Commit-time locking.** Commit CASes each written object's seqlock
 //!   word even→odd (in object-id order — deadlock-free), re-validates the
-//!   read set, takes a write version from the global clock, flips the
+//!   read set, derives a write version from the global clock, flips the
 //!   status CAS, and writes back.
 //!
 //! ## Correctness argument (opacity)
 //!
 //! Every attempt carries a read watermark `rv`: the value of the global
 //! version clock ([`super::read_watermark`]) at attempt start — the same
-//! clock that hands out commit versions. A read is admitted only if the
+//! clock write versions are derived from. A read is admitted only if the
 //! object's version is `≤ rv` *and* the seqlock word was even and
 //! unchanged around the sample, i.e. the value is the committed version
 //! as of logical time `rv`. So *every* value any attempt — including one
@@ -33,6 +33,43 @@
 //! (word even again + version still `≤ rv`) instead of demanding literal
 //! equality — no spurious aborts from neighbours' aborted commits, except
 //! the unavoidable seq-parity ambiguity window.
+//!
+//! ## The version clock rule (GV5/GV4 hybrid)
+//!
+//! Write versions are *not* one `fetch_add` per commit (TL2's GV1 — a
+//! single contended cache line every committer serializes on). They come
+//! from [`super::write_version`]`(blind, maxv)`, where `maxv` is the
+//! maximum committed version observed over the write set *after locking
+//! it* (returned by each `lazy_try_lock` under the held lock):
+//!
+//! * a **blind-write commit** (empty read set) only *loads* the clock —
+//!   zero clock RMWs (GV5);
+//! * a **commit with reads** CASes the clock once and on failure *adopts*
+//!   the winner's value instead of retrying (GV4 "pass on failure");
+//! * either way the result is `max(clock, maxv) + 1`.
+//!
+//! Two facts replace GV1's global uniqueness in the opacity argument:
+//!
+//! 1. **Freshness** — `wv` strictly exceeds the clock at the instant the
+//!    committer finished taking its locks (see `write_version`). Hence a
+//!    reader whose `rv ≥ wv` started *after* all those locks were held
+//!    and can only see the locks or the post-write-back values — never a
+//!    torn prefix. And because the clock never decreases, a committed
+//!    overwrite that happens after a reader's watermark always carries
+//!    `wv > rv`: the validation re-derive above stays sound, since a
+//!    changed-but-even word whose version is still `≤ rv` can only be the
+//!    residue of *failed* commits, never of a committed overwrite.
+//! 2. **Per-object monotonicity** — the `maxv + 1` clamp makes stamps
+//!    strictly increase per object even when two commits share a clock
+//!    value; committers with equal `wv` provably had disjoint write sets.
+//!
+//! Blind commits may stamp versions *ahead* of the clock. A reader that
+//! meets one calls [`super::bump_watermark_to`] and then either extends
+//! its watermark in place (read set still empty — restarting would
+//! differ only in the watermark) or aborts on `version > rv`, its
+//! retry's fresh watermark admitting the value — progress costs one
+//! `fetch_max` per failed validation instead of one `fetch_add` per
+//! commit.
 //!
 //! The contention manager is consulted exactly where conflicts become
 //! observable: a reader meeting a commit-locked object (read-write), and
@@ -62,10 +99,25 @@ fn read_committed<T: TxObject>(txn: &mut Txn<'_>, tvar: &TVar<T>) -> TxResult<Ar
         txn.check_alive()?;
         if let Some((val, seq, version)) = tvar.inner().lazy_read() {
             if version > txn.rv {
-                // Committed after our watermark: this snapshot may be
-                // inconsistent with earlier reads. A TL2 extension could
-                // re-validate and advance `rv`; we take the simple exit —
-                // abort and retry with a fresh watermark.
+                // Committed after our watermark. Raise the clock first:
+                // the version may have been stamped by a blind-write
+                // commit that ran ahead of the clock without RMWing it
+                // (GV5 — see the module docs), and without the bump a
+                // fresh watermark would never admit it.
+                super::bump_watermark_to(version);
+                if txn.reads.is_empty() {
+                    // Nothing read yet, so there is nothing this snapshot
+                    // could be inconsistent *with*: restarting the attempt
+                    // would differ only in its watermark. Take the later
+                    // watermark in place (TL2 rv-extension, trivially
+                    // valid on an empty read set) and re-read. Buffered
+                    // writes are unaffected — they are private until
+                    // commit and never compared against `rv`.
+                    txn.rv = super::read_watermark();
+                    continue;
+                }
+                // Earlier reads exist: this snapshot may be inconsistent
+                // with them. Abort and retry with a fresh watermark.
                 txn.state.abort();
                 #[cfg(feature = "trace")]
                 txn.set_abort_reason(wtm_trace::ABORT_VALIDATION);
@@ -103,15 +155,20 @@ fn validation_abort(txn: &Txn<'_>) -> TxError {
 
 /// Lock every write-set entry in object-id order, then re-validate the
 /// read set. On success `locked` holds `(entry index, pre-lock seq)` for
-/// every entry; on failure some prefix does and the caller must unlock it.
-fn lock_and_validate(txn: &mut Txn<'_>, locked: &mut Vec<(usize, u64)>) -> TxResult<()> {
+/// every entry and the returned value is the maximum committed version
+/// over the locked write set (the `maxv` input to
+/// [`super::write_version`]); on failure some prefix of `locked` is
+/// filled and the caller must unlock it.
+fn lock_and_validate(txn: &mut Txn<'_>, locked: &mut Vec<(usize, u64)>) -> TxResult<u64> {
+    let mut maxv = 0u64;
     let mut order: Vec<usize> = (0..txn.writes.len()).collect();
     order.sort_unstable_by_key(|&i| txn.writes[i].tvar_id());
     for i in order {
         loop {
             txn.check_alive()?;
             match txn.writes[i].lazy_lock(txn.slot_idx, txn.state.attempt_id) {
-                Some(prelock) => {
+                Some((prelock, version)) => {
+                    maxv = maxv.max(version);
                     locked.push((i, prelock));
                     break;
                 }
@@ -157,11 +214,17 @@ fn lock_and_validate(txn: &mut Txn<'_>, locked: &mut Vec<(usize, u64)>) -> TxRes
         // attempt came and went. Accept iff the value provably still
         // predates our watermark — version unchanged-sandwich re-check.
         let version = r.src.version_now();
-        if r.src.seq_now() != s1 || version > txn.rv {
+        if r.src.seq_now() != s1 {
+            return Err(validation_abort(txn));
+        }
+        if version > txn.rv {
+            // Possibly a blind-write stamp ahead of the clock; raise the
+            // clock so the retry's watermark admits it (module docs).
+            super::bump_watermark_to(version);
             return Err(validation_abort(txn));
         }
     }
-    Ok(())
+    Ok(maxv)
 }
 
 impl Engine for LazyEngine {
@@ -237,7 +300,7 @@ impl Engine for LazyEngine {
         let mut locked: Vec<(usize, u64)> = Vec::with_capacity(txn.writes.len());
         let outcome = lock_and_validate(txn, &mut locked);
         let committed = match outcome {
-            Ok(()) => txn.state.try_commit(),
+            Ok(_) => txn.state.try_commit(),
             Err(_) => false,
         };
         if !committed {
@@ -249,7 +312,9 @@ impl Engine for LazyEngine {
         // Past the point of no return: stamp the write version and make
         // every shadow the committed version. Unlocking happens inside
         // the write-back (the final even flip of each object's word).
-        let wv = super::next_write_version();
+        // Blind commits (empty read set) take the zero-RMW clock path —
+        // see the module docs for why that preserves opacity.
+        let wv = super::write_version(txn.reads.is_empty(), outcome.unwrap_or_default());
         for &(i, _) in locked.iter() {
             txn.writes[i].lazy_writeback(wv);
         }

@@ -24,9 +24,11 @@
 //!   pointer.
 //! * Freeing is amortized: [`quiesce`] runs at transaction boundaries
 //!   (the engine is trivially quiescent there), tries one advance, and
-//!   drains the front of the bag. Steady-state cost is one slot scan and
-//!   a couple of `VecDeque` operations — no allocation (the bag's
-//!   capacity is reserved up front), no lock, which is what keeps the
+//!   drains the front of the bag. Steady-state cost is one *active-set*
+//!   scan — a `SeqCst` load per 64-slot shard mask plus one slot load per
+//!   allocated slot, O(active threads) rather than O(capacity) — and a
+//!   couple of `VecDeque` operations; no allocation (the bag's capacity
+//!   is reserved up front), no lock, which is what keeps the
 //!   `write_path_allocs` and `lockstat` gates green.
 //!
 //! ## Thread exit
@@ -76,17 +78,30 @@ static SLOTS: [EpochSlot; MAX_EPOCH_THREADS] = {
     [S; MAX_EPOCH_THREADS]
 };
 
-const BITMAP_WORDS: usize = MAX_EPOCH_THREADS / 64;
-static SLOT_BITMAP: [AtomicU64; BITMAP_WORDS] = {
-    #[allow(clippy::declare_interior_mutable_const)]
-    const W: AtomicU64 = AtomicU64::new(0);
-    [W; BITMAP_WORDS]
-};
+/// Slots are grouped into shards of 64; each shard's *active-set mask*
+/// (one bit per allocated slot) lives on its own cache line so that
+/// allocation churn in one thread group never invalidates the line the
+/// advance scan of another group reads.
+pub(crate) const SHARD_BITS: usize = 6;
+const SHARD_SLOTS: usize = 1 << SHARD_BITS;
+const EPOCH_SHARDS: usize = MAX_EPOCH_THREADS / SHARD_SLOTS;
 
-/// High-water mark of `index + 1` over all epoch slots ever allocated:
-/// the advance scan bound, so a process that only ever ran 4 threads
-/// scans 4 padded lines, not 256.
-static SLOT_HWM: AtomicUsize = AtomicUsize::new(0);
+#[repr(align(128))]
+struct EpochShard {
+    /// Bit `b` set ⇔ slot `shard * 64 + b` is allocated to a live thread.
+    /// All operations are `SeqCst`: the mask is the advance scan's
+    /// active-set filter, and skipping a shard on `mask == 0` is only
+    /// sound inside the SC total order (see [`try_advance`]).
+    mask: AtomicU64,
+}
+
+static SHARDS: [EpochShard; EPOCH_SHARDS] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const S: EpochShard = EpochShard {
+        mask: AtomicU64::new(0),
+    };
+    [S; EPOCH_SHARDS]
+};
 
 const NO_EPOCH_SLOT: usize = usize::MAX;
 
@@ -100,22 +115,22 @@ static FALLBACK_PINS: AtomicUsize = AtomicUsize::new(0);
 static RETIRED: ShardedU64 = ShardedU64::new();
 static FREED: ShardedU64 = ShardedU64::new();
 
+/// Allocate the lowest free slot index. The mask CAS is `SeqCst` so the
+/// bit set is ordered, in the SC total order, before every later `SeqCst`
+/// operation of the owning thread — in particular before its first epoch
+/// store, which is what lets [`try_advance`] trust a zero mask.
 fn alloc_index() -> usize {
-    for (w, word) in SLOT_BITMAP.iter().enumerate() {
-        let mut cur = word.load(Ordering::Relaxed);
+    for (s, shard) in SHARDS.iter().enumerate() {
+        let mut cur = shard.mask.load(Ordering::Relaxed);
         while cur != u64::MAX {
             let bit = cur.trailing_ones() as usize;
-            match word.compare_exchange_weak(
+            match shard.mask.compare_exchange_weak(
                 cur,
                 cur | (1 << bit),
-                Ordering::AcqRel,
+                Ordering::SeqCst,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => {
-                    let idx = w * 64 + bit;
-                    SLOT_HWM.fetch_max(idx + 1, Ordering::Release);
-                    return idx;
-                }
+                Ok(_) => return (s << SHARD_BITS) | bit,
                 Err(actual) => cur = actual,
             }
         }
@@ -123,8 +138,60 @@ fn alloc_index() -> usize {
     NO_EPOCH_SLOT
 }
 
+/// Release a slot index. Callers clear the slot's epoch word (store 0)
+/// first, so a scanner that still sees the bit finds an unpinned slot and
+/// one that misses it skips a slot that was provably unpinned.
 fn free_index(idx: usize) {
-    SLOT_BITMAP[idx / 64].fetch_and(!(1 << (idx % 64)), Ordering::AcqRel);
+    SHARDS[idx >> SHARD_BITS]
+        .mask
+        .fetch_and(!(1 << (idx % SHARD_SLOTS)), Ordering::SeqCst);
+}
+
+/// Test-only: a directly claimed slot index, bypassing the thread-local
+/// participant. Allocation is lowest-free-first and tests never run 256
+/// concurrently live threads, so a *high* index (e.g. 255, the last
+/// shard) is never handed out organically — claiming it exercises the
+/// shard-boundary paths deterministically. Dropping the claim unpins the
+/// slot and returns the index.
+#[cfg(test)]
+pub(crate) struct RawSlotClaim {
+    idx: usize,
+}
+
+#[cfg(test)]
+impl RawSlotClaim {
+    /// Claim slot `idx` if free. `None` if another claimant holds it.
+    pub(crate) fn claim(idx: usize) -> Option<Self> {
+        assert!(idx < MAX_EPOCH_THREADS);
+        let shard = &SHARDS[idx >> SHARD_BITS];
+        let bit = 1u64 << (idx % SHARD_SLOTS);
+        let mut cur = shard.mask.load(Ordering::SeqCst);
+        loop {
+            if cur & bit != 0 {
+                return None;
+            }
+            match shard
+                .mask
+                .compare_exchange(cur, cur | bit, Ordering::SeqCst, Ordering::Relaxed)
+            {
+                Ok(_) => return Some(RawSlotClaim { idx }),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Pin the claimed slot at `epoch`, as a stalled reader would.
+    pub(crate) fn pin_at(&self, epoch: u64) {
+        SLOTS[self.idx].epoch.store(epoch, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+impl Drop for RawSlotClaim {
+    fn drop(&mut self) {
+        SLOTS[self.idx].epoch.store(0, Ordering::SeqCst);
+        free_index(self.idx);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -318,16 +385,48 @@ pub fn global_epoch() -> u64 {
 /// unchanged) epoch afterwards. Succeeds iff every pinned slot is pinned
 /// in the current epoch and no fallback pin is active. Lock-free; safe to
 /// race from any number of threads.
+///
+/// The scan is O(active threads), not O(capacity): one `SeqCst` load of
+/// each shard's allocation mask decides 64 slots at once (an empty shard
+/// costs exactly that one load), and only set bits dereference a padded
+/// slot line.
+///
+/// ## Why skipping by mask is safe
+///
+/// The hazard is an advance that misses a *newly allocated* pin because
+/// its mask load ran before the allocating CAS in the SC total order.
+/// Every operation involved is `SeqCst`, and the pinning thread's order
+/// is: mask CAS `M` → epoch store `S(e)` → fence → recheck load `R` of
+/// `GLOBAL`. Suppose a pin stabilized at epoch `e` (its final `R`
+/// observed `e`) and an advance `e → e+1` (CAS `C1`) missed its mask bit,
+/// i.e. its mask load `L1 <S M`. Then `L1 <S M <S S <S R`; and `C1 <S R`
+/// is impossible (`R` observed `e`, and `GLOBAL` is monotonic), so
+/// `C1 >S R`. At worst the epoch is now `e+1` with our slot pinned at `e`
+/// — the exact race the pin recheck loop already budgets for, and freeing
+/// needs `retired + 2 <= global`, so nothing retired while we could hold
+/// its pointer is freeable yet. The *next* advance `e+1 → e+2` cannot
+/// also miss us: it first loads `GLOBAL` and must observe `e+1`, which
+/// puts that load SC-after `C1`, hence SC-after `R >S M` — so its mask
+/// load sees our bit, and the slot load that follows sees our store
+/// `S(e)` (`S <S R <S C1`), a pin at `e != e+1`, which blocks it. A pin
+/// therefore stalls the epoch at most one step past its epoch, exactly
+/// the slack the two-epoch free rule provides.
 pub fn try_advance() -> u64 {
     let cur = GLOBAL.load(Ordering::SeqCst);
     if FALLBACK_PINS.load(Ordering::SeqCst) != 0 {
         return cur;
     }
-    let hwm = SLOT_HWM.load(Ordering::Acquire).min(MAX_EPOCH_THREADS);
-    for slot in &SLOTS[..hwm] {
-        let e = slot.epoch.load(Ordering::SeqCst);
-        if e != 0 && e != cur {
-            return cur;
+    for (s, shard) in SHARDS.iter().enumerate() {
+        let mut mask = shard.mask.load(Ordering::SeqCst);
+        while mask != 0 {
+            let bit = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            #[cfg(debug_assertions)]
+            crate::probe::count_epoch_slot_load();
+            let e = SLOTS[(s << SHARD_BITS) | bit].epoch.load(Ordering::SeqCst);
+            if e != 0 && e != cur {
+                return cur;
+            }
         }
     }
     match GLOBAL.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst) {
@@ -415,9 +514,9 @@ fn collect_local(p: &Participant) {
 
 /// Transaction-boundary hook: the calling thread holds no pins and no
 /// shared raw pointers, so try one epoch advance and free whatever became
-/// eligible. Steady-state cost: one slot scan (bounded by the thread
-/// high-water mark) plus a couple of deque ops; no lock unless orphans
-/// exist, no allocation.
+/// eligible. Steady-state cost: one advance scan (one mask load per
+/// shard plus one slot load per *allocated* slot) and a couple of deque
+/// ops; no lock unless orphans exist, no allocation.
 pub fn quiesce() {
     let _ = PARTICIPANT.try_with(|p| {
         if p.depth.get() != 0 {
@@ -586,6 +685,63 @@ mod tests {
         assert!(
             quiesce_until(|| dropped.load(Ordering::SeqCst)),
             "retired slice must be freed after two advances"
+        );
+    }
+
+    #[test]
+    fn stalled_pin_in_the_highest_shard_still_blocks_advance() {
+        // Slot 255 lives in the last shard; organic lowest-free-first
+        // allocation never reaches it in a test process, so a pin there
+        // is only visible to the advance scan if the scan truly covers
+        // every shard's mask — a scan that stopped at the populated low
+        // shards would sail past it.
+        let claim = RawSlotClaim::claim(MAX_EPOCH_THREADS - 1)
+            .expect("index 255 is never organically allocated");
+        // Announce like pin() does — re-announce until stable, so a
+        // concurrent test's advance can't leave the pin already stale.
+        let mut e = global_epoch();
+        loop {
+            claim.pin_at(e);
+            let g = global_epoch();
+            if g == e {
+                break;
+            }
+            e = g;
+        }
+        for _ in 0..1000 {
+            try_advance();
+        }
+        assert!(
+            global_epoch() <= e + 1,
+            "a pin in the last shard must stop the epoch one step past its pin"
+        );
+        drop(claim);
+        // Released: the epoch can move again.
+        let before = global_epoch();
+        assert!(
+            quiesce_until(|| global_epoch() > before),
+            "advance must resume once the high-shard pin is released"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn advance_scan_is_bounded_by_active_threads() {
+        // Pin once so this thread's slot is allocated, then count the
+        // slot loads of a single advance attempt. Other tests in this
+        // binary hold slots too, but far fewer than the 256-slot
+        // capacity a flat scan would walk: the bound below fails for the
+        // O(capacity) scan and passes with head-room for the O(active)
+        // one.
+        let g = pin();
+        drop(g);
+        crate::probe::take_epoch_slot_loads();
+        try_advance();
+        let loads = crate::probe::take_epoch_slot_loads();
+        assert!(loads >= 1, "our own allocated slot must be scanned");
+        assert!(
+            loads <= (MAX_EPOCH_THREADS / 4) as u64,
+            "advance scan must be O(active threads), not O(capacity): {loads} slot loads"
         );
     }
 

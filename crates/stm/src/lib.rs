@@ -66,6 +66,9 @@ pub mod engine;
 pub mod epoch;
 mod inline_vec;
 pub mod managers;
+/// Debug-build hot-path operation counters (scan/RMW cost assertions).
+#[cfg(debug_assertions)]
+pub mod probe;
 pub mod slots;
 pub mod stats;
 pub mod status;

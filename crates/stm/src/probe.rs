@@ -1,0 +1,55 @@
+//! Debug-build hot-path operation counters.
+//!
+//! The scan-free claims of the sharded registries ("`try_advance` and
+//! `conflicting_reader` are O(active threads), not O(capacity)") and the
+//! lazy clock ("read-only and blind-write commits perform zero
+//! `VERSION_CLOCK` RMW ops") are asserted by unit tests that count the
+//! actual operations, not by inspection. The counters are thread-local
+//! `Cell`s — tests in one binary run concurrently, and a process-global
+//! counter would make every assertion racy — and exist only under
+//! `debug_assertions`, so release hot paths carry zero probe cost.
+//!
+//! Each `take_*` returns the calling thread's count since its previous
+//! `take_*` call (read-and-reset), which is the natural shape for a
+//! before/after delta around one probed operation.
+
+use std::cell::Cell;
+
+thread_local! {
+    static EPOCH_SLOT_LOADS: Cell<u64> = const { Cell::new(0) };
+    static READER_SLOT_LOADS: Cell<u64> = const { Cell::new(0) };
+    static CLOCK_RMWS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record one epoch-slot load performed by [`crate::epoch::try_advance`].
+#[inline]
+pub(crate) fn count_epoch_slot_load() {
+    let _ = EPOCH_SLOT_LOADS.try_with(|c| c.set(c.get() + 1));
+}
+
+/// Record one reader-slot word load performed by a conflict scan.
+#[inline]
+pub(crate) fn count_reader_slot_load() {
+    let _ = READER_SLOT_LOADS.try_with(|c| c.set(c.get() + 1));
+}
+
+/// Record one RMW operation on the lazy engine's global version clock.
+#[inline]
+pub(crate) fn count_clock_rmw() {
+    let _ = CLOCK_RMWS.try_with(|c| c.set(c.get() + 1));
+}
+
+/// Epoch-slot loads by this thread since the last call; resets to 0.
+pub fn take_epoch_slot_loads() -> u64 {
+    EPOCH_SLOT_LOADS.with(|c| c.replace(0))
+}
+
+/// Reader-slot word loads by this thread since the last call; resets to 0.
+pub fn take_reader_slot_loads() -> u64 {
+    READER_SLOT_LOADS.with(|c| c.replace(0))
+}
+
+/// Version-clock RMW ops by this thread since the last call; resets to 0.
+pub fn take_clock_rmws() -> u64 {
+    CLOCK_RMWS.with(|c| c.replace(0))
+}

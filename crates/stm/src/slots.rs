@@ -89,11 +89,30 @@ pub(crate) fn next_attempt_id() -> u64 {
 // Slot index allocation
 // ---------------------------------------------------------------------------
 
-const BITMAP_WORDS: usize = MAX_SLOTS / 64;
-static SLOT_BITMAP: [AtomicU64; BITMAP_WORDS] = {
+/// Slot indices are grouped into shards of 64; each shard's *active-set
+/// mask* (one bit per allocated index) lives on its own padded cache line.
+/// [`crate::tvar::TVarInner::conflicting_reader`] iterates set bits of
+/// these masks instead of walking the full slot-word array, so the scan is
+/// O(active threads) and an empty shard costs one load.
+pub(crate) const SHARD_BITS: usize = 6;
+pub(crate) const SHARD_SLOTS: usize = 1 << SHARD_BITS;
+pub(crate) const SLOT_SHARDS: usize = MAX_SLOTS / SHARD_SLOTS;
+
+#[repr(align(128))]
+struct SlotShard {
+    /// Bit `b` set ⇔ index `shard * 64 + b` is allocated to a live
+    /// thread. All operations are `SeqCst`: scanners use the mask as a
+    /// filter in the Dekker handshake with [`crate::tvar`]'s fast read
+    /// path (see [`shard_mask`]).
+    mask: AtomicU64,
+}
+
+static SHARDS: [SlotShard; SLOT_SHARDS] = {
     #[allow(clippy::declare_interior_mutable_const)]
-    const W: AtomicU64 = AtomicU64::new(0);
-    [W; BITMAP_WORDS]
+    const S: SlotShard = SlotShard {
+        mask: AtomicU64::new(0),
+    };
+    [S; SLOT_SHARDS]
 };
 
 /// High-water mark of `index + 1` over all slot indices ever allocated.
@@ -106,32 +125,56 @@ static SLOT_FLOOR: AtomicUsize = AtomicUsize::new(MIN_CAPACITY);
 ///
 /// [`crate::Stm::new`] calls this with its worker count, so engines built
 /// before their workload allocate enough fast-path slots for every worker.
+///
+/// Ordering contract with [`slot_capacity`]: the `Release` max pairs with
+/// the `Acquire` loads there, so once any observer sees a `TVar` created
+/// after this call returns *through a synchronizing edge*, it also sees
+/// the raised floor. In the common single-path case no edge is even
+/// needed: `Stm::new` reserves before its worker threads exist, and
+/// `thread::spawn`/`scope` already synchronize the spawning thread's
+/// writes into the workers. The fallback for a racing thread that still
+/// loads a stale floor is benign by construction — its `TVar` merely has
+/// fewer fast-path words, and indices beyond an array's length use the
+/// mutex-protected overflow list (slower, never wrong).
 pub fn reserve_reader_slots(n: usize) {
-    SLOT_FLOOR.fetch_max(n.min(MAX_SLOTS), Ordering::Relaxed);
+    SLOT_FLOOR.fetch_max(n.min(MAX_SLOTS), Ordering::Release);
 }
 
 /// Number of slot words a freshly created `TVar` should carry.
 pub(crate) fn slot_capacity() -> usize {
     SLOT_FLOOR
-        .load(Ordering::Relaxed)
-        .max(SLOT_HWM.load(Ordering::Relaxed))
+        .load(Ordering::Acquire)
+        .max(SLOT_HWM.load(Ordering::Acquire))
         .min(MAX_SLOTS)
 }
 
+/// One `SeqCst` load of shard `s`'s allocation mask: the active-set word
+/// conflict scans iterate instead of the full slot array. `SeqCst` is
+/// load-bearing — see the Dekker argument in
+/// [`crate::tvar::TVarInner::conflicting_reader`].
+#[inline]
+pub(crate) fn shard_mask(s: usize) -> u64 {
+    SHARDS[s].mask.load(Ordering::SeqCst)
+}
+
+/// Allocate the lowest free slot index. The mask CAS is `SeqCst` so, in
+/// the SC total order, the bit is visible before every later `SeqCst`
+/// operation of the owning thread — in particular before any reader-slot
+/// registration store it performs with this index.
 fn alloc_index() -> usize {
-    for (w, word) in SLOT_BITMAP.iter().enumerate() {
-        let mut cur = word.load(Ordering::Relaxed);
+    for (s, shard) in SHARDS.iter().enumerate() {
+        let mut cur = shard.mask.load(Ordering::Relaxed);
         while cur != u64::MAX {
             let bit = cur.trailing_ones() as usize;
-            match word.compare_exchange_weak(
+            match shard.mask.compare_exchange_weak(
                 cur,
                 cur | (1 << bit),
-                Ordering::AcqRel,
+                Ordering::SeqCst,
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
-                    let idx = w * 64 + bit;
-                    SLOT_HWM.fetch_max(idx + 1, Ordering::Relaxed);
+                    let idx = (s << SHARD_BITS) | bit;
+                    SLOT_HWM.fetch_max(idx + 1, Ordering::Release);
                     return idx;
                 }
                 Err(actual) => cur = actual,
@@ -141,9 +184,14 @@ fn alloc_index() -> usize {
     NO_SLOT
 }
 
+/// Release a slot index. Callers ([`SlotGuard::drop`]) unpublish first,
+/// so by the time the bit clears every slot word still carrying one of
+/// this thread's attempt ids is verifiably dead (its attempts can never
+/// be live again — ids are not reused).
 fn free_index(idx: usize) {
-    let (w, bit) = (idx / 64, idx % 64);
-    SLOT_BITMAP[w].fetch_and(!(1 << bit), Ordering::AcqRel);
+    SHARDS[idx >> SHARD_BITS]
+        .mask
+        .fetch_and(!(1 << (idx % SHARD_SLOTS)), Ordering::SeqCst);
 }
 
 struct SlotGuard {
@@ -166,6 +214,51 @@ impl Drop for SlotGuard {
 
 thread_local! {
     static MY_SLOT: SlotGuard = SlotGuard { idx: alloc_index() };
+}
+
+/// Test-only: a directly claimed slot index, bypassing the thread-local
+/// guard. Allocation is lowest-free-first and tests never hold 256 live
+/// threads, so a *high* index (e.g. `MAX_SLOTS - 1`, the last shard) is
+/// never handed out organically — claiming it exercises shard-boundary
+/// behavior deterministically. Dropping the claim unpublishes and frees
+/// the index.
+#[cfg(test)]
+pub(crate) struct TestSlotClaim {
+    pub(crate) idx: usize,
+}
+
+#[cfg(test)]
+impl TestSlotClaim {
+    /// Claim index `idx` if free; `None` if another claimant holds it.
+    pub(crate) fn claim(idx: usize) -> Option<Self> {
+        assert!(idx < MAX_SLOTS);
+        let shard = &SHARDS[idx >> SHARD_BITS];
+        let bit = 1u64 << (idx % SHARD_SLOTS);
+        let mut cur = shard.mask.load(Ordering::SeqCst);
+        loop {
+            if cur & bit != 0 {
+                return None;
+            }
+            match shard
+                .mask
+                .compare_exchange(cur, cur | bit, Ordering::SeqCst, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    SLOT_HWM.fetch_max(idx + 1, Ordering::Release);
+                    return Some(TestSlotClaim { idx });
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+impl Drop for TestSlotClaim {
+    fn drop(&mut self) {
+        unpublish(self.idx);
+        free_index(self.idx);
+    }
 }
 
 /// This OS thread's slot index, allocated on first use ([`NO_SLOT`] if the

@@ -35,9 +35,26 @@ use std::time::Duration;
 /// epoch layer's retired/freed accounting today). Const-constructible so
 /// it can back `static`s.
 ///
-/// Deliberately *not* used for [`crate::clock::LogicalClock`]: Greedy and
-/// Priority compare its values across threads, so it must stay a single
-/// totally-ordered counter (see DESIGN.md, "Reclamation & sharding").
+/// Audit note — the cross-thread `AtomicU64`s that deliberately *stay*
+/// single cells, and why each is not a hot-path scaling hazard:
+///
+/// * [`crate::clock::LogicalClock`] — Greedy and Priority compare its
+///   values across threads, so it must stay one totally-ordered counter
+///   (see DESIGN.md, "Reclamation & sharding").
+/// * The epoch layer's `GLOBAL` — *the* epoch is semantically a single
+///   value; hot paths only load it, and the advance CAS runs at most
+///   once per quiescence interval.
+/// * The lazy engine's `VERSION_CLOCK` — made contention-scalable by
+///   protocol instead of by sharding: blind commits never RMW it and
+///   read-write commits adopt on CAS failure
+///   (`crate::engine::write_version`).
+/// * `FALLBACK_PINS` / `ORPHAN_COUNT` (epoch) — RMWed only on the rare
+///   slot-exhaustion fallback and at thread exit; hot paths load them.
+/// * Attempt-id and TVar-id sources — handed out in thread-local blocks
+///   (`NEXT_ATTEMPT_BLOCK`, `TVAR_ID_BLOCK`), one shared RMW per ~1k
+///   allocations.
+/// * `wtm-core`'s lock-acquisition tally — bumped once per run boundary
+///   by design, never inside transactions.
 #[derive(Debug)]
 pub struct ShardedU64 {
     shards: [PaddedU64; Self::SHARDS],

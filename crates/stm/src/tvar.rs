@@ -64,8 +64,35 @@ use crate::status::TxStatus;
 use crate::txstate::TxState;
 use crate::TxObject;
 
-/// Engine-global id source for transactional objects.
+/// Engine-global id source for transactional objects. Handed out to
+/// threads in blocks of [`TVAR_ID_BLOCK`] (see [`next_tvar_id`]) so
+/// object-allocation-heavy workloads don't all RMW one cache line.
 static NEXT_TVAR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Ids per thread-local block. Commit-time lock ordering sorts by id, so
+/// ids need only be unique, not dense or globally ordered by creation.
+const TVAR_ID_BLOCK: u64 = 1 << 10;
+
+thread_local! {
+    /// `(next, end)` of this thread's current id block; empty when equal.
+    static TVAR_ID_CURSOR: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+/// A fresh process-unique object id. One shared `fetch_add` per
+/// [`TVAR_ID_BLOCK`] allocations per thread, amortizing the shared-line
+/// RMW the same way attempt ids do (`slots::NEXT_ATTEMPT_BLOCK`).
+fn next_tvar_id() -> u64 {
+    TVAR_ID_CURSOR.with(|c| {
+        let (next, end) = c.get();
+        if next < end {
+            c.set((next + 1, end));
+            return next;
+        }
+        let start = NEXT_TVAR_ID.fetch_add(TVAR_ID_BLOCK, Ordering::Relaxed);
+        c.set((start + 1, start + TVAR_ID_BLOCK));
+        start
+    })
+}
 
 /// A transactional object holding values of type `T`.
 ///
@@ -278,27 +305,68 @@ impl<T: TxObject> TVarInner<T> {
         self.seq.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// First live reader that is not `me`: scans the slot words, then the
-    /// overflow list. Caller must hold the object mutex, and — for the
-    /// Dekker handshake with [`Self::fast_read`] — must have flipped `seq`
-    /// odd first. Verifiably stale slot words are cleared along the way.
+    /// First live reader that is not `me`: scans the slot words of
+    /// *currently allocated* slot indices, then the overflow list. Caller
+    /// must hold the object mutex, and — for the Dekker handshake with
+    /// [`Self::fast_read`] — must have flipped `seq` odd first.
+    /// Verifiably stale slot words are cleared along the way.
+    ///
+    /// The scan iterates set bits of the global allocation shard masks
+    /// ([`slots::shard_mask`]): one `SeqCst` load decides 64 indices, so
+    /// the cost is O(active threads), not O(capacity).
+    ///
+    /// ## Why filtering by mask preserves the Dekker handshake
+    ///
+    /// A word at an *unallocated* index may be skipped unread: its value
+    /// was stored by an attempt of a thread that has since freed the
+    /// index, and that thread unpublished (cleared `current`) before
+    /// freeing — with ids never reused, no attempt of a freed index can
+    /// ever be live again. The racy direction is a reader whose bit the
+    /// scan *misses*: the reader's order is mask CAS `M` (its thread's
+    /// slot allocation) → slot-word store `W` → `seq` load `L`; the
+    /// writer's is `seq` flip `F` (odd) → mask load `LM` → word loads.
+    /// All `SeqCst`. If `LM` misses the bit, `LM <S M` in the SC total
+    /// order, so `F <S LM <S M <S W <S L` — the reader's `seq` check
+    /// observes the odd word (the word stays odd for the writer's whole
+    /// ownership) and declines the fast path; it then registers through
+    /// the mutex this writer is holding, and is found by a later scan or
+    /// blocks until the writer is done. Either the writer sees the
+    /// reader, or the reader sees the writer — never neither.
     pub(crate) fn conflicting_reader(
         &self,
         st: &mut ObjState<T>,
         me: &TxState,
     ) -> Option<Arc<TxState>> {
-        for (idx, slot) in self.reader_slots.iter().enumerate() {
-            let a = slot.load(Ordering::SeqCst);
-            if a == 0 || a == me.attempt_id {
-                continue;
+        let cap = self.reader_slots.len();
+        let shards = cap.div_ceil(slots::SHARD_SLOTS).min(slots::SLOT_SHARDS);
+        for s in 0..shards {
+            let mut mask = slots::shard_mask(s);
+            let base = s << slots::SHARD_BITS;
+            if cap - base < slots::SHARD_SLOTS {
+                // Indices beyond this object's array have no words here
+                // (those readers use the overflow list).
+                mask &= (1u64 << (cap - base)) - 1;
             }
-            match slots::live_reader(idx, a) {
-                Some(tx) if tx.is_active() => return Some(tx),
-                _ => {
-                    // Attempt `a` is over (or no longer on this slot):
-                    // clear the word so future scans stay cheap. CAS so a
-                    // newly arrived reader's store is never wiped.
-                    let _ = slot.compare_exchange(a, 0, Ordering::SeqCst, Ordering::SeqCst);
+            while mask != 0 {
+                let bit = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let idx = base | bit;
+                #[cfg(debug_assertions)]
+                crate::probe::count_reader_slot_load();
+                let slot = &self.reader_slots[idx];
+                let a = slot.load(Ordering::SeqCst);
+                if a == 0 || a == me.attempt_id {
+                    continue;
+                }
+                match slots::live_reader(idx, a) {
+                    Some(tx) if tx.is_active() => return Some(tx),
+                    _ => {
+                        // Attempt `a` is over (or no longer on this slot):
+                        // clear the word so future scans stay cheap. CAS
+                        // so a newly arrived reader's store is never
+                        // wiped.
+                        let _ = slot.compare_exchange(a, 0, Ordering::SeqCst, Ordering::SeqCst);
+                    }
                 }
             }
         }
@@ -503,10 +571,14 @@ impl<T: TxObject> TVarInner<T> {
 
     /// Try to take the commit lock for attempt `attempt_id` running on
     /// reader slot `slot_idx`. On success returns the pre-lock seqlock
-    /// word (for own-write read validation) with all in-flight guarded
-    /// readers drained; `None` means the word is odd (a competitor holds
-    /// the lock) or moved under the CAS.
-    pub(crate) fn lazy_try_lock(&self, slot_idx: usize, attempt_id: u64) -> Option<u64> {
+    /// word (for own-write read validation) and the object's committed
+    /// version, with all in-flight guarded readers drained; `None` means
+    /// the word is odd (a competitor holds the lock) or moved under the
+    /// CAS. The version is loaded *under the held lock*, so the maximum
+    /// over a locked write set is exactly the `maxv` input that
+    /// [`crate::engine::write_version`] needs for its per-object
+    /// monotonicity clamp.
+    pub(crate) fn lazy_try_lock(&self, slot_idx: usize, attempt_id: u64) -> Option<(u64, u64)> {
         let s = self.seq.load(Ordering::SeqCst);
         if s & 1 != 0 {
             return None;
@@ -525,7 +597,7 @@ impl<T: TxObject> TVarInner<T> {
         while self.guards.load(Ordering::SeqCst) != 0 {
             std::hint::spin_loop();
         }
-        Some(s)
+        Some((s, self.version.load(Ordering::SeqCst)))
     }
 
     /// The current commit-lock holder, if it is still a live registered
@@ -662,7 +734,7 @@ impl<T: TxObject> TVar<T> {
         let snapshot = Arc::into_raw(Arc::clone(&old)).cast_mut();
         TVar {
             inner: Arc::new(TVarInner {
-                id: NEXT_TVAR_ID.fetch_add(1, Ordering::Relaxed),
+                id: next_tvar_id(),
                 seq: AtomicU64::new(0),
                 guards: AtomicU64::new(0),
                 snapshot: AtomicPtr::new(snapshot),
@@ -792,7 +864,7 @@ pub(crate) trait ErasedWrite: Send {
     fn commit_fused(&self, me: &TxState) -> bool;
     /// Lazy engine: try to take the object's commit lock
     /// ([`TVarInner::lazy_try_lock`]).
-    fn lazy_lock(&self, slot_idx: usize, attempt_id: u64) -> Option<u64>;
+    fn lazy_lock(&self, slot_idx: usize, attempt_id: u64) -> Option<(u64, u64)>;
     /// Lazy engine: the live commit-lock holder ([`TVarInner::lazy_owner`]).
     fn lazy_owner(&self) -> Option<Arc<TxState>>;
     /// Lazy engine: fold an eager run's leftover terminal writer
@@ -851,7 +923,7 @@ impl<T: TxObject> ErasedWrite for TypedWrite<T> {
         }
     }
 
-    fn lazy_lock(&self, slot_idx: usize, attempt_id: u64) -> Option<u64> {
+    fn lazy_lock(&self, slot_idx: usize, attempt_id: u64) -> Option<(u64, u64)> {
         self.tvar.inner().lazy_try_lock(slot_idx, attempt_id)
     }
 
@@ -1024,6 +1096,79 @@ mod tests {
         assert!(tv.inner().conflicting_reader(&mut st, &me).is_none());
         drop(st);
         assert_eq!(tv.reader_count(), 0);
+    }
+
+    #[test]
+    fn conflicting_reader_finds_last_shard_and_overflow_readers() {
+        // A reader whose slot index lands in the LAST shard (index 255):
+        // only reachable through the shard-mask walk covering every
+        // shard, since lowest-free-first allocation never hands out 255
+        // organically.
+        let claim = slots::TestSlotClaim::claim(MAX_SLOTS - 1)
+            .expect("index 255 is never organically allocated");
+        let tv = covered_tvar(0);
+        assert_eq!(tv.inner().reader_slots.len(), MAX_SLOTS);
+        let reader = state(slots::next_attempt_id());
+        slots::publish(claim.idx, &reader);
+        assert!(
+            tv.inner().fast_read(claim.idx, reader.attempt_id).is_some(),
+            "a claimed last-shard index must work like any other slot"
+        );
+        let me = state(slots::next_attempt_id());
+        {
+            let mut st = tv.inner().state.lock();
+            let c = tv
+                .inner()
+                .conflicting_reader(&mut st, &me)
+                .expect("a live reader in the last shard must be found");
+            assert_eq!(c.attempt_id, reader.attempt_id);
+        }
+        drop(claim); // unpublishes + frees index 255
+        {
+            let mut st = tv.inner().state.lock();
+            assert!(
+                tv.inner().conflicting_reader(&mut st, &me).is_none(),
+                "a freed high index must no longer surface a reader"
+            );
+            // An overflow-list reader must be found by the same scan.
+            let ovf = state(slots::next_attempt_id());
+            st.register_reader(&ovf);
+            let c = tv
+                .inner()
+                .conflicting_reader(&mut st, &me)
+                .expect("overflow reader must be found after the shard walk");
+            assert_eq!(c.attempt_id, ovf.attempt_id);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn reader_scan_is_bounded_by_active_threads() {
+        // Full-capacity slot array (256 words): the old scan loaded every
+        // word; the active-set scan loads only words of allocated slot
+        // indices. Other tests hold slots concurrently, but far fewer
+        // than the bound below.
+        let tv = covered_tvar(0);
+        assert_eq!(tv.inner().reader_slots.len(), MAX_SLOTS);
+        let (idx, reader) = published_state();
+        assert!(tv.inner().fast_read(idx, reader.attempt_id).is_some());
+        let me = state(slots::next_attempt_id());
+        let mut st = tv.inner().state.lock();
+        crate::probe::take_reader_slot_loads();
+        let found = tv.inner().conflicting_reader(&mut st, &me);
+        let loads = crate::probe::take_reader_slot_loads();
+        drop(st);
+        assert_eq!(
+            found.map(|c| c.attempt_id),
+            Some(reader.attempt_id),
+            "the bounded scan must still find the live reader"
+        );
+        assert!(loads >= 1, "the registered reader's word must be loaded");
+        assert!(
+            loads <= (MAX_SLOTS / 4) as u64,
+            "reader scan must be O(active threads), not O(capacity): {loads} word loads"
+        );
+        slots::unpublish(idx);
     }
 
     #[test]

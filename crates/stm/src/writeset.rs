@@ -71,7 +71,7 @@ struct InlineWrite {
     /// one object lock.
     commit_fused: unsafe fn(*const InlineBuf, &TxState) -> bool,
     /// Lazy engine: try to take the object's commit lock.
-    lazy_lock: unsafe fn(*const InlineBuf, usize, u64) -> Option<u64>,
+    lazy_lock: unsafe fn(*const InlineBuf, usize, u64) -> Option<(u64, u64)>,
     /// Lazy engine: the live commit-lock holder, if resolvable.
     lazy_owner: unsafe fn(*const InlineBuf) -> Option<Arc<TxState>>,
     /// Lazy engine: fold an eager run's leftover terminal writer.
@@ -120,7 +120,7 @@ unsafe fn lazy_lock_impl<T: TxObject>(
     buf: *const InlineBuf,
     slot_idx: usize,
     attempt_id: u64,
-) -> Option<u64> {
+) -> Option<(u64, u64)> {
     // SAFETY (caller): `buf` holds a live `InlinePayload<T>`.
     let payload = unsafe { &*buf.cast::<InlinePayload<T>>() };
     payload.tvar.inner().lazy_try_lock(slot_idx, attempt_id)
@@ -347,7 +347,7 @@ impl WriteEntry {
     /// Lazy engine: try to take this object's commit lock
     /// ([`crate::tvar::TVarInner::lazy_try_lock`]).
     #[inline]
-    pub(crate) fn lazy_lock(&self, slot_idx: usize, attempt_id: u64) -> Option<u64> {
+    pub(crate) fn lazy_lock(&self, slot_idx: usize, attempt_id: u64) -> Option<(u64, u64)> {
         match &self.kind {
             // SAFETY: `buf` holds a live `InlinePayload` of the type the
             // fn was instantiated with.
