@@ -25,6 +25,28 @@ use wtm_stm::EngineKind;
 use crate::json::{Json, RESULTS_SCHEMA_VERSION};
 use crate::runner::{run_one, RunOutcome, RunSpec, StopRule};
 
+/// Simulator sweep axes: when set on an [`ExperimentSpec`], the grid is
+/// `scenarios × nets × threads × managers` over the discrete-event
+/// simulator instead of the STM runner. Scenario specs and scheduler
+/// names resolve through the `wtm_sim` registries; `nets` are
+/// [`wtm_sim::NetSpec`] strings (`"zero"`, `"fixed:4"`, `"jitter:…"`)
+/// and are part of cell identity.
+#[derive(Debug, Clone)]
+pub struct SimAxes {
+    pub scenarios: Vec<String>,
+    pub nets: Vec<String>,
+    /// Transaction duration τ in steps.
+    pub tau: u32,
+}
+
+/// Per-cell simulator parameters (present iff the cell is a sim cell).
+#[derive(Debug, Clone)]
+pub struct SimCellParams {
+    pub tau: u32,
+    /// Canonical network spec, folded into the cell key.
+    pub net: String,
+}
+
 /// A declarative experiment: the full factorial grid of
 /// `workloads × managers × threads × update_pcts`, each cell run `reps`
 /// times and aggregated.
@@ -53,6 +75,9 @@ pub struct ExperimentSpec {
     /// identity (see [`Cell::seed`]).
     pub base_seed: u64,
     pub safety_deadline: Duration,
+    /// When set, the grid sweeps the discrete-event simulator
+    /// (`scenarios × nets × threads × managers`) instead of the STM.
+    pub sim: Option<SimAxes>,
 }
 
 impl ExperimentSpec {
@@ -71,12 +96,45 @@ impl ExperimentSpec {
             engine: EngineKind::Eager,
             base_seed: 0xBEEF,
             safety_deadline: Duration::from_secs(60),
+            sim: None,
         }
     }
 
     /// Expand the grid into cells, workload-major then contention, thread
-    /// count, manager — the order the figure tables are filled in.
+    /// count, manager — the order the figure tables are filled in. Sim
+    /// grids expand scenario-major then network, thread count, scheduler;
+    /// the scenario spec rides in `workload` and the scheduler in
+    /// `manager`, so the reporting layer works unchanged.
     pub fn cells(&self) -> Vec<Cell> {
+        if let Some(sim) = &self.sim {
+            let mut out = Vec::new();
+            for scenario in &sim.scenarios {
+                for net in &sim.nets {
+                    for &threads in &self.threads {
+                        for manager in &self.managers {
+                            out.push(Cell {
+                                workload: scenario.clone(),
+                                manager: manager.clone(),
+                                threads,
+                                update_pct: 0,
+                                stop: self.stop,
+                                reps: self.reps,
+                                window_n: self.window_n,
+                                key_range: 0,
+                                engine: self.engine,
+                                base_seed: self.base_seed,
+                                safety_deadline: self.safety_deadline,
+                                sim: Some(SimCellParams {
+                                    tau: sim.tau,
+                                    net: net.clone(),
+                                }),
+                            });
+                        }
+                    }
+                }
+            }
+            return out;
+        }
         let mut out =
             Vec::with_capacity(self.workloads.len() * self.managers.len() * self.threads.len());
         for workload in &self.workloads {
@@ -99,6 +157,7 @@ impl ExperimentSpec {
                             engine: self.engine,
                             base_seed: self.base_seed,
                             safety_deadline: self.safety_deadline,
+                            sim: None,
                         });
                     }
                 }
@@ -122,6 +181,9 @@ pub struct Cell {
     pub engine: EngineKind,
     pub base_seed: u64,
     pub safety_deadline: Duration,
+    /// Simulator parameters; `Some` iff this is a sim cell (then
+    /// `workload` is the scenario spec and `manager` the scheduler).
+    pub sim: Option<SimCellParams>,
 }
 
 fn stop_key(stop: StopRule) -> String {
@@ -143,10 +205,26 @@ fn fnv1a(s: &str) -> u64 {
 impl Cell {
     /// The checkpoint identity: every parameter that affects the run is
     /// folded in, so a preset/override change can never alias a cached
-    /// result from a different configuration.
+    /// result from a different configuration. Sim cells carry the
+    /// scenario spec, scheduler, and network model instead of the STM
+    /// axes — the network spec is cell identity, so `fixed:1` and
+    /// `fixed:4` sweeps of the same scenario never alias.
     pub fn key(&self) -> String {
+        if let Some(sim) = &self.sim {
+            return format!(
+                "v3|sim|sc={}|sched={}|net={}|m={}|n={}|tau={}|reps={}|seed={:#x}",
+                self.workload,
+                self.manager,
+                sim.net,
+                self.threads,
+                self.window_n,
+                sim.tau,
+                self.reps,
+                self.base_seed,
+            );
+        }
         format!(
-            "v2|wl={}|mgr={}|eng={}|m={}|upd={}|kr={}|n={}|stop={}|reps={}|seed={:#x}",
+            "v3|wl={}|mgr={}|eng={}|m={}|upd={}|kr={}|n={}|stop={}|reps={}|seed={:#x}",
             self.workload,
             self.manager,
             self.engine,
@@ -223,6 +301,18 @@ pub const METRIC_NAMES: &[&str] = &[
     "avg_response_time_us",
 ];
 
+/// The metric names a **sim** cell reports, in serialization order.
+/// All in virtual steps/counts — no wall time anywhere.
+pub const SIM_METRIC_NAMES: &[&str] = &[
+    "makespan",
+    "commits",
+    "aborts",
+    "aborts_per_commit",
+    "avg_response_steps",
+    "zombie_commits",
+    "all_committed",
+];
+
 /// Aggregated result of one cell (what `results.json` stores).
 #[derive(Debug, Clone)]
 pub struct CellResult {
@@ -237,11 +327,15 @@ pub struct CellResult {
     pub reps: usize,
     /// The derived per-cell seed actually used (hex in the JSON).
     pub seed: u64,
-    /// `"timed:<secs>"` or `"budget:<txns>"`.
+    /// `"timed:<secs>"`, `"budget:<txns>"`, or `"sim"`.
     pub stop: String,
     /// Any repetition hit the safety deadline; aggregates are partial.
+    /// For sim cells: any repetition failed to commit its whole window.
     pub truncated: bool,
-    /// `(name, aggregate)` in [`METRIC_NAMES`] order.
+    /// Canonical network spec for sim cells, absent for STM cells.
+    pub net: Option<String>,
+    /// `(name, aggregate)` in [`METRIC_NAMES`] (or [`SIM_METRIC_NAMES`])
+    /// order.
     pub metrics: Vec<(String, Agg)>,
 }
 
@@ -285,6 +379,51 @@ impl CellResult {
             seed: cell.seed(),
             stop: stop_key(cell.stop),
             truncated: outcomes.iter().any(|o| o.truncated),
+            net: None,
+            metrics,
+        }
+    }
+
+    /// Aggregate the repetitions of a **sim** cell. `engine` is `"sim"`
+    /// and `stop` is `"sim"` (a sim run stops when the window commits or
+    /// the internal step bound trips); virtual-time metrics replace the
+    /// wall-clock ones.
+    pub fn from_sim_outcomes(cell: &Cell, outcomes: &[wtm_sim::SimOutcome]) -> Self {
+        let sim = cell.sim.as_ref().expect("sim cell");
+        let series = |f: &dyn Fn(&wtm_sim::SimOutcome) -> f64| -> Vec<f64> {
+            outcomes.iter().map(f).collect()
+        };
+        let metrics: Vec<(String, Agg)> = SIM_METRIC_NAMES
+            .iter()
+            .map(|&name| {
+                let values = match name {
+                    "makespan" => series(&|o| o.makespan as f64),
+                    "commits" => series(&|o| o.commits as f64),
+                    "aborts" => series(&|o| o.aborts as f64),
+                    "aborts_per_commit" => series(&|o| o.aborts as f64 / o.commits.max(1) as f64),
+                    "avg_response_steps" => {
+                        series(&|o| o.sum_response as f64 / o.commits.max(1) as f64)
+                    }
+                    "zombie_commits" => series(&|o| o.zombie_commits as f64),
+                    "all_committed" => series(&|o| if o.all_committed { 1.0 } else { 0.0 }),
+                    _ => unreachable!("unlisted sim metric {name}"),
+                };
+                (name.to_string(), aggregate(&values))
+            })
+            .collect();
+        CellResult {
+            workload: cell.workload.clone(),
+            manager: cell.manager.clone(),
+            threads: cell.threads,
+            update_pct: cell.update_pct,
+            key_range: cell.key_range,
+            window_n: cell.window_n,
+            engine: "sim".to_string(),
+            reps: outcomes.len(),
+            seed: cell.seed(),
+            stop: "sim".to_string(),
+            truncated: outcomes.iter().any(|o| !o.all_committed),
+            net: Some(sim.net.clone()),
             metrics,
         }
     }
@@ -302,7 +441,7 @@ impl CellResult {
     }
 
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut members = vec![
             ("workload".into(), Json::Str(self.workload.clone())),
             ("manager".into(), Json::Str(self.manager.clone())),
             ("threads".into(), Json::Num(self.threads as f64)),
@@ -310,6 +449,11 @@ impl CellResult {
             ("key_range".into(), Json::Num(self.key_range as f64)),
             ("window_n".into(), Json::Num(self.window_n as f64)),
             ("engine".into(), Json::Str(self.engine.clone())),
+        ];
+        if let Some(net) = &self.net {
+            members.push(("net".into(), Json::Str(net.clone())));
+        }
+        members.extend([
             ("reps".into(), Json::Num(self.reps as f64)),
             ("seed".into(), Json::Str(format!("{:#x}", self.seed))),
             ("stop".into(), Json::Str(self.stop.clone())),
@@ -331,7 +475,8 @@ impl CellResult {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        Json::Obj(members)
     }
 
     fn from_json(v: &Json) -> Option<CellResult> {
@@ -363,6 +508,7 @@ impl CellResult {
             seed,
             stop: v.get("stop")?.as_str()?.to_string(),
             truncated: v.get("truncated")?.as_bool()?,
+            net: v.get("net").and_then(Json::as_str).map(str::to_string),
             metrics,
         })
     }
@@ -518,23 +664,46 @@ impl Executor {
                 continue;
             }
             eprintln!(
-                "[windowtm] {} {}/{} {} / {} / M={} upd={}%{}",
+                "[windowtm] {} {}/{} {} / {} / M={}{}{}",
                 spec.id,
                 i + 1,
                 total,
                 cell.workload,
                 cell.manager,
                 cell.threads,
-                cell.update_pct,
+                match &cell.sim {
+                    Some(s) => format!(" net={}", s.net),
+                    None => format!(" upd={}%", cell.update_pct),
+                },
                 self.eta(total - i),
             );
             let t0 = Instant::now();
-            let outcomes: Vec<RunOutcome> = (0..spec.reps.max(1))
-                .map(|r| run_one(&cell.run_spec(r)))
-                .collect();
+            let result = if let Some(sim) = &cell.sim {
+                let outcomes: Vec<wtm_sim::SimOutcome> = (0..spec.reps.max(1))
+                    .map(|r| {
+                        let run_spec = wtm_sim::SimRunSpec {
+                            scenario: cell.workload.clone(),
+                            scheduler: cell.manager.clone(),
+                            m: cell.threads,
+                            n: cell.window_n,
+                            tau: sim.tau,
+                            net: sim.net.clone(),
+                            seed: cell.seed().wrapping_add(r as u64 * 0x9E37),
+                        };
+                        wtm_sim::run_sim(&run_spec, false)
+                            .unwrap_or_else(|e| panic!("sim cell {}: {e}", cell.key()))
+                            .outcome
+                    })
+                    .collect();
+                CellResult::from_sim_outcomes(cell, &outcomes)
+            } else {
+                let outcomes: Vec<RunOutcome> = (0..spec.reps.max(1))
+                    .map(|r| run_one(&cell.run_spec(r)))
+                    .collect();
+                CellResult::from_outcomes(cell, &outcomes)
+            };
             self.spent_running += t0.elapsed();
             self.ran += 1;
-            let result = CellResult::from_outcomes(cell, &outcomes);
             if let Err(e) = self.store.insert_and_save(key.clone(), result) {
                 eprintln!("[windowtm] checkpoint write failed: {e}");
             }
@@ -737,5 +906,113 @@ mod tests {
         third.run(&reseeded);
         assert_eq!(third.skipped, 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn sim_grid() -> ExperimentSpec {
+        let mut s = ExperimentSpec::new("simt", StopRule::Budget(0));
+        s.managers = vec!["Greedy".into(), "Online-Dynamic".into()];
+        s.threads = vec![4];
+        s.reps = 2;
+        s.window_n = 5;
+        s.sim = Some(SimAxes {
+            scenarios: vec!["fig2-shape".into(), "distributed@nodes=2,skew=1".into()],
+            nets: vec!["zero".into(), "fixed:2".into()],
+            tau: 2,
+        });
+        s
+    }
+
+    #[test]
+    fn sim_grid_expands_scenarios_by_nets_with_net_in_the_key() {
+        let cells = sim_grid().cells();
+        // 2 scenarios x 2 nets x 1 thread-count x 2 managers.
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].workload, "fig2-shape");
+        assert_eq!(cells[0].manager, "Greedy");
+        assert_eq!(cells[0].sim.as_ref().unwrap().net, "zero");
+        assert_eq!(cells[2].sim.as_ref().unwrap().net, "fixed:2");
+        // The network model splits cell identity (and hence the seed).
+        assert!(cells[0].key().starts_with("v3|sim|"), "{}", cells[0].key());
+        assert!(cells[0].key().contains("|net=zero|"));
+        assert!(cells[2].key().contains("|net=fixed:2|"));
+        assert_ne!(cells[0].key(), cells[2].key());
+        assert_ne!(cells[0].seed(), cells[2].seed());
+        let mut keys: Vec<String> = cells.iter().map(Cell::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len());
+    }
+
+    #[test]
+    fn sim_cells_run_aggregate_and_resume_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("wtm_sim_exec_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = sim_grid();
+
+        let mut first = Executor::new(&dir);
+        let r1 = first.run(&spec);
+        assert_eq!(r1.len(), 8);
+        assert_eq!(first.skipped, 0);
+        for r in &r1 {
+            assert_eq!(r.engine, "sim");
+            assert_eq!(r.stop, "sim");
+            assert!(r.net.is_some());
+            assert!(!r.truncated, "smoke windows must fully commit");
+            assert!(r.metric("makespan").mean > 0.0);
+            assert_eq!(r.metric("all_committed").mean, 1.0);
+            // Reps are decorrelated (distinct derived seeds), so sd is
+            // merely finite; determinism shows up as the byte-identical
+            // re-run below, not as zero spread.
+            assert!(r.metric("makespan").sd.is_finite());
+        }
+        let json_text = std::fs::read_to_string(dir.join("results.json")).unwrap();
+        let doc = Json::parse(&json_text).unwrap();
+        crate::json::validate_results(&doc).expect("committed schema");
+
+        let mut second = Executor::new(&dir);
+        let r2 = second.run(&spec);
+        assert_eq!(second.skipped, 8);
+        for (a, b) in r1.iter().zip(&r2) {
+            assert_eq!(a.net, b.net);
+            assert_eq!(a.metric("makespan").mean, b.metric("makespan").mean);
+        }
+        second.store().save().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(dir.join("results.json")).unwrap(),
+            json_text,
+            "sim resume must be a byte-identical no-op"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sim_cell_result_json_roundtrips_the_net_field() {
+        let cell = &sim_grid().cells()[0];
+        let outcome = wtm_sim::run_sim(
+            &wtm_sim::SimRunSpec {
+                scenario: cell.workload.clone(),
+                scheduler: cell.manager.clone(),
+                m: cell.threads,
+                n: cell.window_n,
+                tau: 2,
+                net: "zero".into(),
+                seed: 1,
+            },
+            false,
+        )
+        .unwrap()
+        .outcome;
+        let r = CellResult::from_sim_outcomes(cell, &[outcome]);
+        let back = CellResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.net.as_deref(), Some("zero"));
+        assert_eq!(back.engine, "sim");
+        assert_eq!(back.stop, "sim");
+        assert_eq!(back.metric("makespan").mean, r.metric("makespan").mean);
+        // STM results keep omitting the field entirely.
+        let stm = &grid().cells()[0];
+        let out = run_one(&stm.run_spec(0));
+        let stm_r = CellResult::from_outcomes(stm, &[out]);
+        assert!(stm_r.net.is_none());
+        assert!(!stm_r.to_json().render_pretty().contains("\"net\""));
     }
 }

@@ -341,7 +341,12 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 ///
 /// v2: cells gained a required `engine` field (`"eager"` / `"lazy"`) and
 /// fold the engine into their `v2|…|eng=…` identity keys.
-pub const RESULTS_SCHEMA_VERSION: f64 = 2.0;
+///
+/// v3: simulator cells joined the store — `engine` may be `"sim"`, `stop`
+/// may be `"sim"`, and sim cells carry an optional `net` string (the
+/// canonical network-model spec, also folded into their `v3|sim|…` keys).
+/// STM keys were re-versioned to `v3|…` in the same sweep.
+pub const RESULTS_SCHEMA_VERSION: f64 = 3.0;
 
 /// Validate a parsed `results.json` document against the committed schema
 /// (`docs/results-schema.json`): top-level shape, per-cell required
@@ -390,6 +395,11 @@ pub fn validate_results(doc: &Json) -> Result<(), String> {
         cell.get("truncated")
             .and_then(Json::as_bool)
             .ok_or_else(|| ctx("truncated"))?;
+        // `net` is optional (present on sim cells only) but must be a
+        // string when present.
+        if let Some(net) = cell.get("net") {
+            net.as_str().ok_or_else(|| ctx("net"))?;
+        }
         let metrics = cell
             .get("metrics")
             .and_then(Json::as_obj)
@@ -454,7 +464,7 @@ mod tests {
     fn minimal_valid() -> Json {
         Json::parse(
             r#"{
-              "schema_version": 2,
+              "schema_version": 3,
               "generator": "windowtm test",
               "cells": {
                 "k1": {
@@ -474,6 +484,32 @@ mod tests {
     #[test]
     fn validator_accepts_wellformed_results() {
         validate_results(&minimal_valid()).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_sim_cells_and_types_the_net_field() {
+        let doc = Json::parse(
+            r#"{
+              "schema_version": 3,
+              "generator": "windowtm test",
+              "cells": {
+                "k1": {
+                  "workload": "fig2-shape", "manager": "Greedy", "engine": "sim",
+                  "net": "fixed:4",
+                  "threads": 8,
+                  "update_pct": 0, "key_range": 0, "window_n": 16,
+                  "reps": 2, "seed": "0x1", "stop": "sim",
+                  "truncated": false,
+                  "metrics": { "makespan": { "mean": 40.0, "sd": 0.0 } }
+                }
+              }
+            }"#,
+        )
+        .unwrap();
+        validate_results(&doc).unwrap();
+        // A non-string net is a schema violation.
+        let bad = Json::parse(&doc.render().replace("\"fixed:4\"", "4")).unwrap();
+        assert!(validate_results(&bad).is_err());
     }
 
     #[test]

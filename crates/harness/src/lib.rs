@@ -38,6 +38,7 @@ pub mod metrics;
 pub mod preset;
 pub mod report;
 pub mod runner;
+pub mod sim;
 pub mod theory;
 pub mod trace;
 pub mod tracer;
@@ -50,3 +51,4 @@ pub use managers::{
 pub use preset::Preset;
 pub use report::{slugify, Table};
 pub use runner::{run_one, RunOutcome, RunSpec, StopRule};
+pub use sim::{sim_spec, sim_tables};

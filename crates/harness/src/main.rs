@@ -6,14 +6,16 @@
 //!          [--engine eager|lazy]
 //! ```
 //!
-//! Commands: `fig2 fig3 fig4 fig5 theory trace simtrace ablation metrics
-//! all list run <workload> validate`. Tables print to stdout and are also
-//! written as CSV into `--out` (default `results/`); experiment commands
-//! additionally maintain a machine-readable `--out/results.json` that
-//! doubles as a checkpoint — re-running with the same `--out` skips every
-//! already-completed cell. `trace` runs instrumented cells and writes
-//! Chrome-trace JSON (Perfetto-loadable) into `--out`; `simtrace` is the
-//! T4 window-simulator schedule trace.
+//! Commands: `fig2 fig3 fig4 fig5 theory sim trace simtrace ablation
+//! metrics all list run <workload> validate`. Tables print to stdout and
+//! are also written as CSV into `--out` (default `results/`); experiment
+//! commands additionally maintain a machine-readable `--out/results.json`
+//! that doubles as a checkpoint — re-running with the same `--out` skips
+//! every already-completed cell. `sim` sweeps the discrete-event
+//! scenarios (paper-shaped and distributed) against the verdict-latency
+//! grid through the same engine; `trace` runs instrumented cells and
+//! writes Chrome-trace JSON (Perfetto-loadable) into `--out`; `simtrace`
+//! is the T4 window-simulator schedule trace.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,13 +28,14 @@ use wtm_harness::metrics::future_work_tables;
 use wtm_harness::preset::Preset;
 use wtm_harness::report::Table;
 use wtm_harness::runner::StopRule;
+use wtm_harness::sim::sim_tables;
 use wtm_harness::theory::makespan_tables;
 use wtm_harness::trace::trace_tables;
 use wtm_harness::tracer::trace_report;
 use wtm_harness::{all_manager_names, comparison_manager_names};
 
 const COMMANDS: &str =
-    "fig2 fig3 fig4 fig5 theory trace simtrace ablation metrics all list run validate";
+    "fig2 fig3 fig4 fig5 theory sim trace simtrace ablation metrics all list run validate";
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -314,6 +317,7 @@ fn main() -> ExitCode {
         }
         "fig5" => emit(&fig5(&preset, &mut exec), &out_dir),
         "theory" => emit(&makespan_tables(&preset), &out_dir),
+        "sim" => emit(&sim_tables(&preset, &mut exec), &out_dir),
         "ablation" => emit(&ablation_tables(&preset, &mut exec), &out_dir),
         "trace" => emit(&trace_report(&preset, &out_dir), &out_dir),
         "simtrace" => emit(&trace_tables(&preset), &out_dir),
@@ -336,6 +340,7 @@ fn main() -> ExitCode {
             emit(&f4, &out_dir);
             emit(&fig5(&preset, &mut exec), &out_dir);
             emit(&makespan_tables(&preset), &out_dir);
+            emit(&sim_tables(&preset, &mut exec), &out_dir);
             emit(&trace_tables(&preset), &out_dir);
             emit(&ablation_tables(&preset, &mut exec), &out_dir);
             emit(&future_work_tables(&preset, &mut exec), &out_dir);

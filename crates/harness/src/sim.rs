@@ -1,0 +1,198 @@
+//! The `windowtm sim` driver: discrete-event scenarios through the
+//! experiment engine.
+//!
+//! One declarative [`ExperimentSpec`] sweeps the sim-scenario registry
+//! (paper-shaped windows plus the beyond-paper distributed ones) against
+//! a latency grid (`zero` / `fixed:1` / `fixed:4`) for every sim
+//! scheduler. Cells run through the shared [`Executor`], so sim results
+//! land in the same `results.json` as the STM figures — network model
+//! and scenario are part of cell identity, and resume is byte-identical.
+//!
+//! Reported tables:
+//!
+//! * per scenario — makespan (virtual steps) and aborts per commit,
+//!   rows = schedulers, columns = network models;
+//! * the latency-degradation summary — `makespan(net) / makespan(zero)`
+//!   on the paper's fig2-shape window, the headline number for how much
+//!   a window CM's guarantees erode when the verdict is no longer
+//!   instantaneous.
+
+use crate::experiment::{CellResult, Executor, ExperimentSpec, SimAxes};
+use crate::preset::Preset;
+use crate::report::Table;
+use crate::runner::StopRule;
+
+/// Network sweep every sim cell runs under: the paper's instantaneous
+/// verdict, then 1- and 4-step verdict delivery.
+pub const SIM_NETS: &[&str] = &["zero", "fixed:1", "fixed:4"];
+
+/// Transaction duration τ used by the sim sweep (matches the
+/// determinism-gate fixtures).
+pub const SIM_TAU: u32 = 2;
+
+/// Scenario specs swept by `windowtm sim`: every registry entry, with
+/// the distributed ones pinned to small parameterizations that stay
+/// meaningful at smoke scale.
+pub fn sim_scenario_specs() -> Vec<String> {
+    vec![
+        "fig2-shape".into(),
+        "clustered".into(),
+        "distributed@nodes=4,skew=1".into(),
+        "replicated@nodes=2".into(),
+        "crash-recovery@nodes=2,node=1,at=8,down=16".into(),
+    ]
+}
+
+/// The sim grid: `scenarios × nets × {preset.sim_m} × schedulers`.
+pub fn sim_spec(preset: &Preset) -> ExperimentSpec {
+    let mut s = ExperimentSpec::new("sim", StopRule::Budget(0));
+    s.managers = wtm_sim::SIM_SCHEDULER_NAMES
+        .iter()
+        .map(|m| m.to_string())
+        .collect();
+    s.threads = vec![preset.sim_m];
+    s.window_n = preset.sim_n;
+    s.reps = preset.reps;
+    s.base_seed = preset.seed;
+    s.sim = Some(SimAxes {
+        scenarios: sim_scenario_specs(),
+        nets: SIM_NETS.iter().map(|n| n.to_string()).collect(),
+        tau: SIM_TAU,
+    });
+    s
+}
+
+fn find<'a>(
+    results: &'a [CellResult],
+    scenario: &str,
+    scheduler: &str,
+    net: &str,
+) -> Option<&'a CellResult> {
+    results
+        .iter()
+        .find(|r| r.workload == scenario && r.manager == scheduler && r.net.as_deref() == Some(net))
+}
+
+/// Project one metric of one scenario: rows = schedulers, columns = nets.
+fn scenario_table(
+    spec: &ExperimentSpec,
+    results: &[CellResult],
+    scenario: &str,
+    metric: &str,
+    title: String,
+) -> Table {
+    let nets: Vec<String> = SIM_NETS.iter().map(|n| n.to_string()).collect();
+    let mut t = Table::new(title, "scheduler", nets);
+    for sched in &spec.managers {
+        let (means, sds): (Vec<f64>, Vec<f64>) = SIM_NETS
+            .iter()
+            .map(|net| {
+                find(results, scenario, sched, net)
+                    .map(|r| {
+                        let a = r.metric(metric);
+                        (a.mean, a.sd)
+                    })
+                    .unwrap_or((f64::NAN, f64::NAN))
+            })
+            .unzip();
+        t.push_row_sd(sched.clone(), means, sds);
+    }
+    t
+}
+
+/// Run the sim sweep and render every table.
+pub fn sim_tables(preset: &Preset, exec: &mut Executor) -> Vec<Table> {
+    let spec = sim_spec(preset);
+    let results = exec.run(&spec);
+    let (m, n) = (preset.sim_m, preset.sim_n);
+
+    let mut tables = Vec::new();
+    for scenario in sim_scenario_specs() {
+        tables.push(scenario_table(
+            &spec,
+            &results,
+            &scenario,
+            "makespan",
+            format!("Sim makespan (steps) vs verdict latency — {scenario} (M={m}, N={n}, tau={SIM_TAU})"),
+        ));
+        tables.push(scenario_table(
+            &spec,
+            &results,
+            &scenario,
+            "aborts_per_commit",
+            format!("Sim aborts per commit vs verdict latency — {scenario} (M={m}, N={n}, tau={SIM_TAU})"),
+        ));
+    }
+
+    // The headline summary: how much each scheduler's makespan degrades on
+    // the paper's own window shape when the verdict takes 1 or 4 steps.
+    let mut deg = Table::new(
+        format!("Sim latency degradation: makespan(net)/makespan(zero) — fig2-shape (M={m}, N={n}, tau={SIM_TAU})"),
+        "scheduler",
+        SIM_NETS.iter().skip(1).map(|n| n.to_string()).collect(),
+    );
+    for sched in &spec.managers {
+        let base = find(&results, "fig2-shape", sched, "zero")
+            .map(|r| r.metric("makespan").mean)
+            .unwrap_or(f64::NAN);
+        let row: Vec<f64> = SIM_NETS
+            .iter()
+            .skip(1)
+            .map(|net| {
+                find(&results, "fig2-shape", sched, net)
+                    .map(|r| r.metric("makespan").mean / base)
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        deg.push_row(sched.clone(), row);
+    }
+    tables.push(deg);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_smoke_produces_full_tables() {
+        let p = Preset::smoke();
+        let dir = std::env::temp_dir().join(format!("wtm_sim_tables_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut exec = Executor::new(&dir);
+        let tables = sim_tables(&p, &mut exec);
+        // Two tables per scenario plus the degradation summary.
+        assert_eq!(tables.len(), sim_scenario_specs().len() * 2 + 1);
+        for t in &tables[..tables.len() - 1] {
+            assert_eq!(t.columns.len(), SIM_NETS.len());
+            assert_eq!(t.rows.len(), wtm_sim::SIM_SCHEDULER_NAMES.len());
+        }
+        // Makespan tables are strictly positive and finite.
+        assert!(
+            tables[0]
+                .cells
+                .iter()
+                .flatten()
+                .all(|v| v.is_finite() && *v > 0.0),
+            "{}",
+            tables[0].render()
+        );
+        // Degradation ratios are well-defined. (They are not necessarily
+        // >= 1: a delayed verdict lets the loser keep executing, which can
+        // accidentally help abort-happy schedulers like OneShot.)
+        let deg = tables.last().unwrap();
+        assert_eq!(deg.columns, vec!["fixed:1", "fixed:4"]);
+        for (r, row) in deg.cells.iter().enumerate() {
+            for v in row {
+                assert!(v.is_finite() && *v > 0.0, "{}: bad ratio {v}", deg.rows[r]);
+            }
+        }
+        // Everything was checkpointed with v3 sim keys.
+        let json = std::fs::read_to_string(dir.join("results.json")).unwrap();
+        assert!(
+            json.contains("\"net\": \"fixed:4\""),
+            "net field serialized"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,24 +1,44 @@
-//! The step-accurate execution engine.
+//! The execution engine, rebuilt on the deterministic event core.
 //!
-//! Time advances in unit steps; every transaction needs `τ` *scheduled*
-//! steps to commit. Per step the engine:
+//! The original simulator was a discrete-*time* stepper: one `while` loop,
+//! one implicit node, verdicts applied in the same step they were decided.
+//! The engine is now driven by the [`event`](crate::event) core — a
+//! virtual-clock priority queue — with the step loop living inside the
+//! `Tick` event handler and everything *between* steps (verdict
+//! deliveries, commit acks, node crashes/recoveries) scheduled as
+//! delivery-class events that fire before the tick of the same instant.
 //!
-//! 1. determines the **issued** transactions — each thread's next
-//!    uncommitted transaction, issued as soon as its predecessor commits
-//!    (§II-A's sequential-per-thread rule);
+//! Per tick the engine:
+//!
+//! 1. determines the **issued** transactions — each up node's thread
+//!    issues its next uncommitted transaction (§II-A's sequential-per-
+//!    thread rule); replicated scenarios additionally gate issue on the
+//!    previous column's sibling acks;
 //! 2. asks the scheduler to **select** which issued transactions execute
-//!    this step (window schedulers select everything; one-shot holds back
-//!    future columns; Offline runs one independent set per slot);
+//!    this step;
 //! 3. resolves every conflicting selected pair through the scheduler —
-//!    each pair names a **loser**, and any transaction that lost at least
-//!    one duel aborts (its progress resets to `τ`, matching an eager STM
-//!    where a doomed transaction restarts from scratch);
-//! 4. survivors advance one step and commit when their `τ` steps are done.
+//!    detection is local to the lower-id party's node and stamped with
+//!    that node's skewed clock; the verdict then travels to the loser's
+//!    node through the [`NetworkModel`]. At zero latency the loser aborts
+//!    this same step (the paper's semantics); at nonzero latency it keeps
+//!    executing — and dueling — until the verdict arrives, and a verdict
+//!    the network *drops* never arrives at all, so the loser can commit
+//!    as a **zombie** ([`SimOutcome::zombie_commits`]);
+//! 4. survivors advance one step and commit when their `τ` steps are done
+//!    and no verdict is pending against them.
 //!
-//! The engine is deterministic given the scheduler's seed, which makes
-//! makespan comparisons across schedulers exact rather than statistical.
+//! With the default single-node topology and [`ZeroLatency`] the event
+//! core replays the old loop *exactly* — same phase order, same RNG
+//! consumption, same `loser`/`on_abort`/`on_commit` call order — which
+//! `tests/sim_determinism.rs` pins with golden outcome vectors captured
+//! from the pre-refactor simulator.
 
+use crate::error::SimError;
+use crate::event::{
+    AbortCause, EventKind, EventLog, EventQueue, Record, CLASS_DELIVERY, CLASS_TICK,
+};
 use crate::graph::{ConflictGraph, TxnId};
+use crate::net::{CrashEvent, NetworkModel, Topology, ZeroLatency};
 use crate::sched::SimScheduler;
 
 /// Simulation parameters.
@@ -37,10 +57,22 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// Defaults: `phi_factor = 1.0`, a generous step budget.
-    pub fn new(m: usize, n: usize, tau: u32) -> Self {
-        assert!(m >= 1 && n >= 1 && tau >= 1);
-        SimConfig {
+    /// Defaults: `phi_factor = 1.0`, a generous step budget. Returns a
+    /// typed [`SimError::BadConfig`] on zero dimensions.
+    pub fn try_new(m: usize, n: usize, tau: u32) -> Result<Self, SimError> {
+        for (what, v) in [("m (threads)", m), ("n (transactions per thread)", n)] {
+            if v == 0 {
+                return Err(SimError::BadConfig {
+                    reason: format!("{what} must be >= 1, got 0"),
+                });
+            }
+        }
+        if tau == 0 {
+            return Err(SimError::BadConfig {
+                reason: "tau (steps per transaction) must be >= 1, got 0".into(),
+            });
+        }
+        Ok(SimConfig {
             m,
             n,
             tau,
@@ -49,7 +81,13 @@ impl SimConfig {
                 .saturating_mul((m as u64 + 16) * (n as u64 + 16))
                 .saturating_mul(64)
                 .max(1_000_000),
-        }
+        })
+    }
+
+    /// [`try_new`](Self::try_new) that panics with the error's message
+    /// (kept for the tests and callers that validate dimensions upfront).
+    pub fn new(m: usize, n: usize, tau: u32) -> Self {
+        Self::try_new(m, n, tau).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// `ln(MN)` clamped below by 1.
@@ -81,6 +119,10 @@ pub struct SimOutcome {
     pub all_committed: bool,
     /// Sum over transactions of (commit step − issue step).
     pub sum_response: u64,
+    /// Commits by transactions that had *lost* a duel whose verdict the
+    /// network dropped: safety violations only a lossy [`NetworkModel`]
+    /// can produce. Always 0 at zero/fixed latency.
+    pub zombie_commits: u64,
 }
 
 impl SimOutcome {
@@ -103,108 +145,412 @@ impl SimOutcome {
     }
 }
 
-/// Run `sched` over `graph`. See module docs for the step semantics.
+/// Full description of one event-core run: the window, where its threads
+/// live, which faults are scheduled, and how replicated it is.
+#[derive(Debug, Clone, Copy)]
+pub struct SimSetup<'a> {
+    pub graph: &'a ConflictGraph,
+    pub cfg: &'a SimConfig,
+    pub topo: &'a Topology,
+    /// Scheduled node failures (delivered before the tick of step `at`).
+    pub crash_plan: &'a [CrashEvent],
+    /// K-way replication: the `cfg.m` threads are K contiguous blocks of
+    /// `m/K`, block `r` holding replica `r` of each base thread. A
+    /// replica issues column `j+1` only after its own column-`j` commit
+    /// *and* commit acks from all K−1 siblings. 1 = no replication.
+    pub replicas: usize,
+    /// Seed for the event queue's tie-breaking among simultaneous
+    /// same-class deliveries.
+    pub queue_seed: u64,
+}
+
+impl<'a> SimSetup<'a> {
+    /// Single-node, fault-free, unreplicated — the paper's world.
+    pub fn plain(graph: &'a ConflictGraph, cfg: &'a SimConfig, topo: &'a Topology) -> Self {
+        SimSetup {
+            graph,
+            cfg,
+            topo,
+            crash_plan: &[],
+            replicas: 1,
+            queue_seed: 0,
+        }
+    }
+}
+
+/// Run `sched` over `graph` in the paper's configuration: one node, zero
+/// latency, no faults, no logging. Bit-identical to the pre-event-core
+/// simulator (see the golden vectors in `tests/sim_determinism.rs`).
 pub fn simulate(
     graph: &ConflictGraph,
     cfg: &SimConfig,
     sched: &mut dyn SimScheduler,
 ) -> SimOutcome {
+    let topo = Topology::single_node(cfg.m);
+    let mut net = ZeroLatency;
+    let mut log = EventLog::disabled();
+    run_events(
+        &SimSetup::plain(graph, cfg, &topo),
+        sched,
+        &mut net,
+        &mut log,
+    )
+}
+
+/// Per-transaction mutable state of [`run_events`].
+struct TxnState {
+    remaining: Vec<u32>,
+    committed: Vec<bool>,
+    ever_issued: Vec<bool>,
+    issue_step: Vec<u64>,
+    /// Restart counter; in-flight verdicts carry the attempt they doom,
+    /// so verdicts against an already-restarted attempt are stale.
+    attempt: Vec<u32>,
+    /// Verdicts in flight against the current attempt.
+    pending: Vec<u32>,
+    /// The current attempt lost a duel whose verdict the network dropped.
+    doomed_drop: Vec<bool>,
+    /// Sibling commit acks received (replicated runs only).
+    acks: Vec<u32>,
+}
+
+/// Run a full [`SimSetup`] through the event core. See the module docs
+/// for the step semantics and the latency/crash extensions.
+pub fn run_events(
+    setup: &SimSetup,
+    sched: &mut dyn SimScheduler,
+    net: &mut dyn NetworkModel,
+    log: &mut EventLog,
+) -> SimOutcome {
+    let (graph, cfg, topo) = (setup.graph, setup.cfg, setup.topo);
     assert_eq!(graph.m(), cfg.m, "graph/config thread mismatch");
     assert_eq!(graph.n(), cfg.n, "graph/config width mismatch");
+    assert_eq!(topo.threads(), cfg.m, "topology/config thread mismatch");
+    assert!(
+        setup.replicas >= 1 && cfg.m % setup.replicas == 0,
+        "replicas must divide m"
+    );
     let total = cfg.m * cfg.n;
-    let mut remaining: Vec<u32> = vec![cfg.tau; total];
-    let mut committed: Vec<bool> = vec![false; total];
-    let mut ever_issued: Vec<bool> = vec![false; total];
-    let mut issue_step: Vec<u64> = vec![0; total];
+    let base_m = cfg.m / setup.replicas;
+
+    let mut st = TxnState {
+        remaining: vec![cfg.tau; total],
+        committed: vec![false; total],
+        ever_issued: vec![false; total],
+        issue_step: vec![0; total],
+        attempt: vec![0; total],
+        pending: vec![0; total],
+        doomed_drop: vec![false; total],
+        acks: vec![0; total],
+    };
     let mut next_j: Vec<usize> = vec![0; cfg.m];
+    let mut node_up: Vec<bool> = vec![true; topo.nodes()];
 
     let mut commits = 0u64;
     let mut aborts = 0u64;
     let mut sum_response = 0u64;
     let mut makespan = 0u64;
+    let mut zombie_commits = 0u64;
 
     let mut selected_mask = vec![false; total];
-    let mut step = 0u64;
+    // Per-step scratch: lost any duel this step / must abort this step.
+    let mut lost_now = vec![false; total];
+    let mut abort_now = vec![false; total];
 
-    while commits < total as u64 && step < cfg.max_steps {
-        // 1. Issued transactions (one per thread at most).
-        let mut issued: Vec<TxnId> = Vec::with_capacity(cfg.m);
-        for (i, &j) in next_j.iter().enumerate() {
-            if j < cfg.n {
-                let t = graph.id(i, j);
-                if !ever_issued[t as usize] {
-                    ever_issued[t as usize] = true;
-                    issue_step[t as usize] = step;
-                    remaining[t as usize] = cfg.tau;
+    let mut queue = EventQueue::new(setup.queue_seed);
+    for c in setup.crash_plan {
+        assert!(c.node < topo.nodes(), "crash plan names a missing node");
+        queue.push(
+            c.at,
+            CLASS_DELIVERY,
+            EventKind::Crash {
+                node: c.node as u32,
+            },
+        );
+        queue.push(
+            c.at + c.down,
+            CLASS_DELIVERY,
+            EventKind::Recover {
+                node: c.node as u32,
+            },
+        );
+    }
+    queue.push(0, CLASS_TICK, EventKind::Tick);
+
+    // One abort, whatever delivered it.
+    let abort_txn = |st: &mut TxnState,
+                     sched: &mut dyn SimScheduler,
+                     log: &mut EventLog,
+                     aborts: &mut u64,
+                     t: TxnId,
+                     step: u64,
+                     cause: AbortCause| {
+        let ti = t as usize;
+        *aborts += 1;
+        st.remaining[ti] = cfg.tau;
+        st.attempt[ti] += 1;
+        st.pending[ti] = 0;
+        st.doomed_drop[ti] = false;
+        sched.on_abort(t);
+        log.push(Record::Abort {
+            step,
+            txn: t,
+            cause,
+        });
+    };
+
+    let mut issued: Vec<TxnId> = Vec::with_capacity(cfg.m);
+    while let Some(ev) = queue.pop() {
+        let step = ev.time;
+        match ev.kind {
+            EventKind::Verdict { txn, attempt } => {
+                let ti = txn as usize;
+                if !st.committed[ti] && attempt == st.attempt[ti] {
+                    abort_txn(
+                        &mut st,
+                        sched,
+                        log,
+                        &mut aborts,
+                        txn,
+                        step,
+                        AbortCause::RemoteVerdict,
+                    );
                 }
-                issued.push(t);
             }
-        }
-
-        // 2. Scheduler picks who runs this step.
-        let selected = sched.select(step, &issued, graph);
-        for &t in &selected {
-            debug_assert!(
-                issued.contains(&t),
-                "scheduler selected a non-issued transaction"
-            );
-            selected_mask[t as usize] = true;
-        }
-
-        // 3. Duels between conflicting selected pairs.
-        let mut losers: Vec<TxnId> = Vec::new();
-        for &a in &selected {
-            for &b in graph.neighbors(a) {
-                if b > a && selected_mask[b as usize] {
-                    losers.push(sched.loser(step, a, b));
+            EventKind::Ack { txn } => {
+                st.acks[txn as usize] += 1;
+            }
+            EventKind::Crash { node } => {
+                node_up[node as usize] = false;
+                log.push(Record::Crash { step, node });
+                for (i, &j) in next_j.iter().enumerate() {
+                    if topo.node_of(i) == node as usize && j < cfg.n {
+                        let t = graph.id(i, j);
+                        if st.ever_issued[t as usize] && !st.committed[t as usize] {
+                            abort_txn(
+                                &mut st,
+                                sched,
+                                log,
+                                &mut aborts,
+                                t,
+                                step,
+                                AbortCause::NodeCrash,
+                            );
+                        }
+                    }
                 }
             }
-        }
-        let mut loser_mask = vec![false; 0];
-        if !losers.is_empty() {
-            loser_mask = vec![false; total];
-            for &l in &losers {
-                loser_mask[l as usize] = true;
+            EventKind::Recover { node } => {
+                node_up[node as usize] = true;
+                log.push(Record::Recover { step, node });
             }
-        }
+            EventKind::Tick => {
+                if commits >= total as u64 || step >= cfg.max_steps {
+                    break;
+                }
 
-        // 4. Progress survivors, restart losers.
-        for &t in &selected {
-            selected_mask[t as usize] = false;
-            let ti = t as usize;
-            if !loser_mask.is_empty() && loser_mask[ti] {
-                aborts += 1;
-                remaining[ti] = cfg.tau;
-                sched.on_abort(t);
-                continue;
-            }
-            remaining[ti] -= 1;
-            if remaining[ti] == 0 {
-                committed[ti] = true;
-                commits += 1;
-                let (i, _) = graph.coords(t);
-                next_j[i] += 1;
-                makespan = step + 1;
-                sum_response += (step + 1) - issue_step[ti];
-                sched.on_commit(t, step + 1);
+                // 1. Issued transactions (one per up-node thread at most).
+                issued.clear();
+                for (i, &j) in next_j.iter().enumerate() {
+                    if j >= cfg.n || !node_up[topo.node_of(i)] {
+                        continue;
+                    }
+                    let t = graph.id(i, j);
+                    let ti = t as usize;
+                    if !st.ever_issued[ti] {
+                        if setup.replicas > 1 && j > 0 {
+                            // Gate on the previous column's sibling acks.
+                            let prev = graph.id(i, j - 1) as usize;
+                            if st.acks[prev] + 1 < setup.replicas as u32 {
+                                continue;
+                            }
+                        }
+                        st.ever_issued[ti] = true;
+                        st.issue_step[ti] = step;
+                        st.remaining[ti] = cfg.tau;
+                        log.push(Record::Issue { step, txn: t });
+                    }
+                    issued.push(t);
+                }
+
+                // 2. Scheduler picks who runs this step.
+                let selected = sched.select(step, &issued, graph);
+                for &t in &selected {
+                    debug_assert!(
+                        issued.contains(&t),
+                        "scheduler selected a non-issued transaction"
+                    );
+                    selected_mask[t as usize] = true;
+                }
+
+                // 3. Duels between conflicting selected pairs. Detection
+                // is local to the lower-id party's node and stamped with
+                // its skewed clock; the verdict rides the network to the
+                // loser's node.
+                for &a in &selected {
+                    for &b in graph.neighbors(a) {
+                        if b > a && selected_mask[b as usize] {
+                            let det = topo.node_of(graph.coords(a).0);
+                            let local = step.wrapping_add(topo.skew(det));
+                            let loser = sched.loser(local, a, b);
+                            let li = loser as usize;
+                            log.push(Record::Duel {
+                                step,
+                                winner: if loser == a { b } else { a },
+                                loser,
+                            });
+                            lost_now[li] = true;
+                            let dst = topo.node_of(graph.coords(loser).0);
+                            if det == dst {
+                                abort_now[li] = true;
+                            } else {
+                                match net.delay(det, dst, step) {
+                                    Some(0) => abort_now[li] = true,
+                                    Some(d) => {
+                                        st.pending[li] += 1;
+                                        queue.push(
+                                            step + d,
+                                            CLASS_DELIVERY,
+                                            EventKind::Verdict {
+                                                txn: loser,
+                                                attempt: st.attempt[li],
+                                            },
+                                        );
+                                        log.push(Record::VerdictSent {
+                                            step,
+                                            loser,
+                                            attempt: st.attempt[li],
+                                            arrives: step + d,
+                                        });
+                                    }
+                                    None => {
+                                        st.doomed_drop[li] = true;
+                                        log.push(Record::VerdictDropped {
+                                            step,
+                                            loser,
+                                            attempt: st.attempt[li],
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // 4. Progress survivors, restart same-step losers.
+                for &t in &selected {
+                    let ti = t as usize;
+                    selected_mask[ti] = false;
+                    let was_lost = lost_now[ti];
+                    lost_now[ti] = false;
+                    if abort_now[ti] {
+                        abort_now[ti] = false;
+                        abort_txn(&mut st, sched, log, &mut aborts, t, step, AbortCause::Duel);
+                        continue;
+                    }
+                    if st.remaining[ti] > 0 {
+                        st.remaining[ti] -= 1;
+                    }
+                    if st.remaining[ti] == 0 && !was_lost && st.pending[ti] == 0 {
+                        st.committed[ti] = true;
+                        commits += 1;
+                        if st.doomed_drop[ti] {
+                            zombie_commits += 1;
+                        }
+                        let (i, j) = graph.coords(t);
+                        next_j[i] += 1;
+                        makespan = step + 1;
+                        sum_response += (step + 1) - st.issue_step[ti];
+                        sched.on_commit(t, step + 1);
+                        log.push(Record::Commit { step, txn: t });
+                        if setup.replicas > 1 {
+                            send_acks(setup, net, log, &mut queue, &mut st, i, j, t, step, base_m);
+                        }
+                    }
+                }
+                queue.push(step + 1, CLASS_TICK, EventKind::Tick);
             }
         }
-        step += 1;
     }
 
-    SimOutcome {
+    let out = SimOutcome {
         makespan,
         commits,
         aborts,
         all_committed: commits == total as u64,
         sum_response,
+        zombie_commits,
+    };
+    log.push(Record::Outcome {
+        makespan: out.makespan,
+        commits: out.commits,
+        aborts: out.aborts,
+        zombie_commits: out.zombie_commits,
+        sum_response: out.sum_response,
+        all_committed: out.all_committed,
+    });
+    out
+}
+
+/// Broadcast a replica's commit ack to its K−1 siblings. Acks *are*
+/// retransmitted on drop (a one-step resend gap per attempt, bounded), so
+/// replication cannot deadlock under a lossy network.
+#[allow(clippy::too_many_arguments)]
+fn send_acks(
+    setup: &SimSetup,
+    net: &mut dyn NetworkModel,
+    log: &mut EventLog,
+    queue: &mut EventQueue,
+    st: &mut TxnState,
+    i: usize,
+    j: usize,
+    t: TxnId,
+    step: u64,
+    base_m: usize,
+) {
+    let r = i / base_m;
+    let i_base = i % base_m;
+    let src = setup.topo.node_of(i);
+    for r2 in 0..setup.replicas {
+        if r2 == r {
+            continue;
+        }
+        let sib_thread = r2 * base_m + i_base;
+        let sib = setup.graph.id(sib_thread, j);
+        let dst = setup.topo.node_of(sib_thread);
+        let d = if src == dst {
+            0
+        } else {
+            let mut extra = 0u64;
+            let mut delivered = None;
+            for _ in 0..100 {
+                if let Some(x) = net.delay(src, dst, step) {
+                    delivered = Some(x + extra);
+                    break;
+                }
+                extra += 1; // one-step retransmission gap
+            }
+            delivered.unwrap_or(100 + extra)
+        };
+        if d == 0 {
+            st.acks[sib as usize] += 1;
+        } else {
+            queue.push(step + d, CLASS_DELIVERY, EventKind::Ack { txn: sib });
+        }
+        log.push(Record::AckSent {
+            step,
+            from: t,
+            to: sib,
+            arrives: step + d,
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::FreeRandomizedScheduler;
+    use crate::net::{FixedLatency, SeededJitter};
+    use crate::sched::{FreeRandomizedScheduler, GreedyTimestampScheduler};
 
     #[test]
     fn empty_graph_runs_fully_parallel() {
@@ -258,8 +604,126 @@ mod tests {
             aborts: 5,
             all_committed: true,
             sum_response: 200,
+            zombie_commits: 0,
         };
         assert!((o.aborts_per_commit() - 0.5).abs() < 1e-12);
         assert!((o.avg_response() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_dimensions_with_typed_errors() {
+        for (m, n, tau, needle) in [
+            (0usize, 5usize, 1u32, "m (threads)"),
+            (5, 0, 1, "n (transactions per thread)"),
+            (5, 5, 0, "tau"),
+        ] {
+            let e = SimConfig::try_new(m, n, tau).unwrap_err();
+            assert!(matches!(e, SimError::BadConfig { .. }));
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+        assert!(SimConfig::try_new(1, 1, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "m (threads) must be >= 1")]
+    fn new_panics_with_the_typed_message() {
+        let _ = SimConfig::new(0, 5, 1);
+    }
+
+    #[test]
+    fn zero_latency_two_nodes_matches_single_node() {
+        // With zero latency the topology is unobservable (skew 0): the
+        // cross-node verdict arrives in-step, same as the local path.
+        let g = ConflictGraph::complete_columns(4, 3);
+        let cfg = SimConfig::new(4, 3, 2);
+        let single = simulate(&g, &cfg, &mut GreedyTimestampScheduler::new(&cfg));
+
+        let topo = Topology::round_robin(4, 2, 0);
+        let mut net = ZeroLatency;
+        let mut log = EventLog::disabled();
+        let two = run_events(
+            &SimSetup::plain(&g, &cfg, &topo),
+            &mut GreedyTimestampScheduler::new(&cfg),
+            &mut net,
+            &mut log,
+        );
+        assert_eq!(single, two);
+    }
+
+    #[test]
+    fn fixed_latency_defers_aborts_and_inflates_work() {
+        let g = ConflictGraph::complete_columns(6, 4);
+        let cfg = SimConfig::new(6, 4, 2);
+        let zero = simulate(&g, &cfg, &mut GreedyTimestampScheduler::new(&cfg));
+
+        let topo = Topology::round_robin(6, 3, 0);
+        let mut net = FixedLatency(4);
+        let mut log = EventLog::disabled();
+        let slow = run_events(
+            &SimSetup::plain(&g, &cfg, &topo),
+            &mut GreedyTimestampScheduler::new(&cfg),
+            &mut net,
+            &mut log,
+        );
+        assert!(slow.all_committed);
+        assert_eq!(slow.zombie_commits, 0, "no drops, no zombies");
+        assert!(
+            slow.makespan >= zero.makespan,
+            "stale losers must not speed up the schedule ({} < {})",
+            slow.makespan,
+            zero.makespan
+        );
+    }
+
+    #[test]
+    fn dropped_verdicts_produce_zombie_commits() {
+        // drop=1000: every cross-node verdict is lost, so losers of
+        // cross-node duels eventually commit doomed.
+        let g = ConflictGraph::complete_columns(4, 3);
+        let cfg = SimConfig::new(4, 3, 2);
+        let topo = Topology::round_robin(4, 2, 0);
+        let mut net = SeededJitter::new(1, 0, 1000, 9);
+        let mut log = EventLog::disabled();
+        let out = run_events(
+            &SimSetup::plain(&g, &cfg, &topo),
+            &mut GreedyTimestampScheduler::new(&cfg),
+            &mut net,
+            &mut log,
+        );
+        assert!(out.all_committed);
+        assert!(out.zombie_commits > 0, "{out:?}");
+    }
+
+    #[test]
+    fn crash_aborts_in_flight_and_recovery_completes_the_window() {
+        let g = ConflictGraph::complete_columns(4, 4);
+        let cfg = SimConfig::new(4, 4, 2);
+        let topo = Topology::round_robin(4, 2, 0);
+        let plan = [CrashEvent {
+            node: 1,
+            at: 3,
+            down: 10,
+        }];
+        let mut net = ZeroLatency;
+        let mut log = EventLog::recording();
+        let setup = SimSetup {
+            crash_plan: &plan,
+            ..SimSetup::plain(&g, &cfg, &topo)
+        };
+        let out = run_events(
+            &setup,
+            &mut GreedyTimestampScheduler::new(&cfg),
+            &mut net,
+            &mut log,
+        );
+        assert!(out.all_committed, "{out:?}");
+        let healthy = simulate(&g, &cfg, &mut GreedyTimestampScheduler::new(&cfg));
+        assert!(
+            out.makespan > healthy.makespan,
+            "losing a node for 10 steps must cost wall-clock ({} <= {})",
+            out.makespan,
+            healthy.makespan
+        );
+        assert!(log.records() > 0);
     }
 }

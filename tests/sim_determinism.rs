@@ -1,0 +1,195 @@
+//! Determinism gates for the event-core rewrite of `wtm-sim`.
+//!
+//! Three pins, per the refactor contract:
+//!
+//! 1. **Golden outcome vectors** — `(makespan, aborts, sum_response)` for
+//!    every scheduler on five fixed windows, captured from the
+//!    *pre-refactor* discrete-time simulator. The zero-latency event core
+//!    must reproduce them bit-identically: same phase order, same RNG
+//!    consumption, same duel/abort call order.
+//! 2. **Same-seed ⇒ same event log** — a cross-scheduler property test:
+//!    any `(scenario, scheduler, net, seed)` run twice yields the same
+//!    byte log and outcome.
+//! 3. **Golden replay log** — a committed recorded run
+//!    (`tests/data/sim_golden.log`) must replay byte-identically forever;
+//!    this is the regression pin CI runs.
+
+use proptest::prelude::*;
+
+use windowtm::sim::engine::{simulate, SimConfig};
+use windowtm::sim::graph::ConflictGraph;
+use windowtm::sim::scenario::{
+    build_sim_scheduler, record_run, replay, run_sim, SimRunSpec, SIM_SCHEDULER_NAMES,
+};
+use windowtm::sim::SimError;
+
+/// `((m, n, p, seed), scheduler, (makespan, aborts, sum_response))`,
+/// captured from the pre-event-core simulator at `tau = 2`. `p > 1.5`
+/// encodes the complete-columns (fig2-shape) graph; otherwise the graph
+/// is `per_column_random(m, n, p, seed)`.
+#[allow(clippy::type_complexity)]
+const GOLDEN: &[((usize, usize, f64, u64), &str, (u64, u64, u64))] = &[
+    ((6, 8, 0.5, 1), "OneShot", (82, 167, 455)),
+    ((6, 8, 0.5, 1), "RandomizedRounds", (25, 28, 127)),
+    ((6, 8, 0.5, 1), "Greedy", (26, 30, 126)),
+    ((6, 8, 0.5, 1), "Polka", (26, 30, 126)),
+    ((6, 8, 0.5, 1), "Online", (30, 33, 138)),
+    ((6, 8, 0.5, 1), "Online-Dynamic", (30, 33, 138)),
+    ((6, 8, 0.5, 1), "Adaptive-Dynamic", (30, 33, 138)),
+    ((6, 8, 0.5, 1), "Offline", (26, 0, 126)),
+    ((8, 12, 1.0, 7), "OneShot", (239, 876, 1847)),
+    ((8, 12, 1.0, 7), "RandomizedRounds", (43, 76, 273)),
+    ((8, 12, 1.0, 7), "Greedy", (38, 56, 248)),
+    ((8, 12, 1.0, 7), "Polka", (38, 56, 248)),
+    ((8, 12, 1.0, 7), "Online", (46, 80, 280)),
+    ((8, 12, 1.0, 7), "Online-Dynamic", (46, 80, 280)),
+    ((8, 12, 1.0, 7), "Adaptive-Dynamic", (44, 76, 274)),
+    ((8, 12, 1.0, 7), "Offline", (38, 0, 248)),
+    ((10, 16, 0.6, 23), "OneShot", (264, 1088, 2577)),
+    ((10, 16, 0.6, 23), "RandomizedRounds", (52, 94, 427)),
+    ((10, 16, 0.6, 23), "Greedy", (50, 90, 410)),
+    ((10, 16, 0.6, 23), "Polka", (50, 90, 410)),
+    ((10, 16, 0.6, 23), "Online", (56, 106, 437)),
+    ((10, 16, 0.6, 23), "Online-Dynamic", (52, 95, 424)),
+    ((10, 16, 0.6, 23), "Adaptive-Dynamic", (54, 101, 431)),
+    ((10, 16, 0.6, 23), "Offline", (50, 0, 410)),
+    ((4, 6, 0.3, 42), "OneShot", (25, 19, 94)),
+    ((4, 6, 0.3, 42), "RandomizedRounds", (19, 14, 64)),
+    ((4, 6, 0.3, 42), "Greedy", (16, 10, 58)),
+    ((4, 6, 0.3, 42), "Polka", (18, 12, 60)),
+    ((4, 6, 0.3, 42), "Online", (17, 10, 59)),
+    ((4, 6, 0.3, 42), "Online-Dynamic", (17, 10, 59)),
+    ((4, 6, 0.3, 42), "Adaptive-Dynamic", (17, 10, 59)),
+    ((4, 6, 0.3, 42), "Offline", (16, 0, 58)),
+    ((8, 10, 2.0, 11), "OneShot", (209, 777, 1603)),
+    ((8, 10, 2.0, 11), "RandomizedRounds", (37, 62, 225)),
+    ((8, 10, 2.0, 11), "Greedy", (34, 56, 216)),
+    ((8, 10, 2.0, 11), "Polka", (34, 56, 216)),
+    ((8, 10, 2.0, 11), "Online", (39, 74, 239)),
+    ((8, 10, 2.0, 11), "Online-Dynamic", (38, 73, 237)),
+    ((8, 10, 2.0, 11), "Adaptive-Dynamic", (39, 74, 239)),
+    ((8, 10, 2.0, 11), "Offline", (34, 0, 216)),
+];
+
+fn golden_graph(m: usize, n: usize, p: f64, seed: u64) -> ConflictGraph {
+    if p > 1.5 {
+        ConflictGraph::complete_columns(m, n)
+    } else {
+        ConflictGraph::per_column_random(m, n, p, seed)
+    }
+}
+
+#[test]
+fn golden_vectors_pin_the_zero_latency_rewrite() {
+    for &((m, n, p, seed), name, (makespan, aborts, sum_response)) in GOLDEN {
+        let g = golden_graph(m, n, p, seed);
+        let cfg = SimConfig::new(m, n, 2);
+        let mut sched = build_sim_scheduler(name, &cfg, &g, seed).unwrap();
+        let out = simulate(&g, &cfg, sched.as_mut());
+        assert!(out.all_committed, "{name} on ({m},{n},{p},{seed})");
+        assert_eq!(out.zombie_commits, 0);
+        assert_eq!(
+            (out.makespan, out.aborts, out.sum_response),
+            (makespan, aborts, sum_response),
+            "{name} on ({m},{n},{p},{seed}) diverged from the pre-refactor simulator"
+        );
+    }
+}
+
+#[test]
+fn zero_net_matches_fixed_zero_and_plain_simulate() {
+    for sched in SIM_SCHEDULER_NAMES {
+        let spec = SimRunSpec {
+            scenario: "per-column@p=60".into(),
+            scheduler: sched.to_string(),
+            m: 5,
+            n: 6,
+            tau: 2,
+            net: "zero".into(),
+            seed: 99,
+        };
+        let zero = run_sim(&spec, true).unwrap();
+        let fixed0 = run_sim(
+            &SimRunSpec {
+                net: "fixed:0".into(),
+                ..spec.clone()
+            },
+            true,
+        )
+        .unwrap();
+        assert_eq!(zero.outcome, fixed0.outcome, "{sched}");
+        assert_eq!(zero.log.as_bytes(), fixed0.log.as_bytes(), "{sched}");
+    }
+}
+
+#[test]
+fn replay_of_the_committed_golden_log_is_byte_identical() {
+    let recorded = include_str!("data/sim_golden.log");
+    let outcome = replay(recorded).expect("the committed golden log must replay byte-identically");
+    assert!(outcome.all_committed);
+    // The trailer in the file pins the same numbers; replay() verified
+    // them. Re-record to prove serialization is stable too.
+    let header: Vec<&str> = recorded.lines().take(8).collect();
+    assert_eq!(header[0], "wtm-sim-log v1");
+    let spec = SimRunSpec {
+        scenario: header[1].strip_prefix("scenario=").unwrap().into(),
+        scheduler: header[2].strip_prefix("scheduler=").unwrap().into(),
+        m: header[3].strip_prefix("m=").unwrap().parse().unwrap(),
+        n: header[4].strip_prefix("n=").unwrap().parse().unwrap(),
+        tau: header[5].strip_prefix("tau=").unwrap().parse().unwrap(),
+        net: header[6].strip_prefix("net=").unwrap().into(),
+        seed: u64::from_str_radix(header[7].strip_prefix("seed=0x").unwrap(), 16).unwrap(),
+    };
+    assert_eq!(record_run(&spec).unwrap(), recorded);
+}
+
+#[test]
+fn tampered_golden_log_is_rejected() {
+    let recorded = include_str!("data/sim_golden.log");
+    let tampered = recorded.replacen("outcome=", "outcome=9", 1);
+    match replay(&tampered) {
+        Err(SimError::ReplayMismatch { .. }) => {}
+        other => panic!("expected ReplayMismatch, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cross-scheduler determinism: the same seed yields the same event
+    /// log and outcome for every scheduler, scenario shape, and network
+    /// model — including the jittery/lossy one.
+    #[test]
+    fn same_seed_runs_produce_identical_event_logs(
+        m in 2usize..6,
+        n in 2usize..5,
+        seed in 0u64..1_000_000,
+        scen_i in 0usize..4,
+        net_i in 0usize..3,
+    ) {
+        let scenario = ["fig2-shape", "per-column@p=40", "distributed@nodes=2,skew=1",
+                        "replicated@nodes=2"][scen_i];
+        let net = ["zero", "fixed:2", "jitter:1,j=2,drop=100"][net_i];
+        for sched in SIM_SCHEDULER_NAMES {
+            let spec = SimRunSpec {
+                scenario: scenario.into(),
+                scheduler: sched.to_string(),
+                m,
+                n,
+                tau: 2,
+                net: net.into(),
+                seed,
+            };
+            let a = run_sim(&spec, true).unwrap();
+            let b = run_sim(&spec, true).unwrap();
+            prop_assert_eq!(a.outcome, b.outcome, "{} / {} / {}", scenario, sched, net);
+            prop_assert_eq!(
+                a.log.as_bytes(),
+                b.log.as_bytes(),
+                "{} / {} / {}: event logs diverged",
+                scenario, sched, net
+            );
+            prop_assert!(a.log.records() > 0);
+        }
+    }
+}
